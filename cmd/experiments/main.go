@@ -1,0 +1,52 @@
+// Command experiments regenerates the paper's evaluation artifacts (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for a recorded run).
+//
+// Usage:
+//
+//	experiments [-run e1,e5] [-seed N] [-quick] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"eventorder/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment ids, or 'all'")
+	seed := flag.Int64("seed", 2026, "random seed")
+	quick := flag.Bool("quick", false, "smaller workloads")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-55s (paper: %s)\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Out: os.Stdout}
+	if *run == "all" {
+		if err := experiments.RunAll(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, id := range strings.Split(*run, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		if err := experiments.RunOne(e, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

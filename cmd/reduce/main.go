@@ -1,0 +1,103 @@
+// Command reduce materializes the paper's Theorem 1–4 constructions: given
+// a CNF formula it emits the corresponding synchronization program (as
+// mini-language source or as a recorded trace) whose event ordering encodes
+// the formula's satisfiability, and optionally verifies the equivalence.
+//
+// Usage:
+//
+//	reduce [-style sem|event] [-check] [-trace out.json] file.cnf
+//	reduce -random-vars N -random-clauses M [-seed S] ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"eventorder/internal/core"
+	"eventorder/internal/reduction"
+	"eventorder/internal/sat"
+	"eventorder/internal/traceio"
+)
+
+func main() {
+	style := flag.String("style", "sem", "synchronization style: sem (Theorems 1-2) or event (Theorems 3-4)")
+	check := flag.Bool("check", false, "verify a MHB b ⇔ UNSAT and b CHB a ⇔ SAT with the exact engine (exponential!)")
+	traceOut := flag.String("trace", "", "also write the observed execution as a trace file")
+	budget := flag.Int64("budget", 0, "node budget for -check (0 = unlimited)")
+	randomN := flag.Int("random-vars", 0, "generate a random 3CNF instead of reading a file")
+	randomM := flag.Int("random-clauses", 0, "clauses for -random-vars")
+	seed := flag.Int64("seed", 1, "seed for -random-vars")
+	flag.Parse()
+
+	var st reduction.Style
+	switch *style {
+	case "sem", "semaphore":
+		st = reduction.StyleSemaphore
+	case "event", "ev":
+		st = reduction.StyleEvent
+	default:
+		fmt.Fprintf(os.Stderr, "reduce: unknown style %q\n", *style)
+		os.Exit(2)
+	}
+
+	var f *sat.Formula
+	var err error
+	switch {
+	case *randomN > 0 && *randomM > 0:
+		f = sat.Random3CNF(rand.New(rand.NewSource(*seed)), *randomN, *randomM)
+	case flag.NArg() == 1:
+		var file *os.File
+		file, err = os.Open(flag.Arg(0))
+		if err == nil {
+			defer file.Close()
+			f, err = sat.ParseDIMACS(file)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "reduce: want one CNF file or -random-vars/-random-clauses")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reduce: %v\n", err)
+		os.Exit(2)
+	}
+
+	src, err := reduction.Source(f, st)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reduce: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(src)
+
+	if *traceOut != "" || *check {
+		inst, err := reduction.Build(f, st, core.Options{MaxNodes: *budget})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reduce: %v\n", err)
+			os.Exit(1)
+		}
+		if *traceOut != "" {
+			out, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reduce: %v\n", err)
+				os.Exit(1)
+			}
+			err = traceio.SaveExecution(out, inst.X)
+			out.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reduce: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (%s)\n", *traceOut, inst.X)
+		}
+		if *check {
+			res, err := inst.Check(core.Options{MaxNodes: *budget})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "reduce: check FAILED: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "check: SAT=%v  a MHB b=%v  b CHB a=%v  (%d search nodes) — equivalences hold\n",
+				res.SAT, res.MHB, res.CHBrev, res.Nodes)
+		}
+	}
+}

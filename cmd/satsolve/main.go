@@ -1,0 +1,87 @@
+// Command satsolve decides DIMACS CNF files with the built-in CDCL solver.
+//
+// Usage:
+//
+//	satsolve [-model] [-stats] [file.cnf]      (stdin when no file)
+//	satsolve -random N M [-seed S]             (random 3CNF instance)
+//
+// Exit status follows the SAT-competition convention: 10 = SAT, 20 = UNSAT.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"eventorder/internal/sat"
+)
+
+func main() {
+	model := flag.Bool("model", false, "print a satisfying assignment (v-line)")
+	stats := flag.Bool("stats", false, "print solver statistics")
+	randomN := flag.Int("random-vars", 0, "generate a random 3CNF with this many variables")
+	randomM := flag.Int("random-clauses", 0, "clauses for -random-vars")
+	seed := flag.Int64("seed", 1, "seed for -random-vars")
+	dump := flag.Bool("dump", false, "with -random-vars: print the instance instead of solving")
+	flag.Parse()
+
+	var f *sat.Formula
+	var err error
+	switch {
+	case *randomN > 0:
+		if *randomM <= 0 {
+			fmt.Fprintln(os.Stderr, "satsolve: -random-clauses must be positive")
+			os.Exit(2)
+		}
+		f = sat.Random3CNF(rand.New(rand.NewSource(*seed)), *randomN, *randomM)
+		if *dump {
+			if err := f.WriteDIMACS(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "satsolve: %v\n", err)
+				os.Exit(2)
+			}
+			return
+		}
+	case flag.NArg() == 1:
+		var file *os.File
+		file, err = os.Open(flag.Arg(0))
+		if err == nil {
+			defer file.Close()
+			f, err = sat.ParseDIMACS(file)
+		}
+	case flag.NArg() == 0:
+		f, err = sat.ParseDIMACS(io.Reader(os.Stdin))
+	default:
+		fmt.Fprintln(os.Stderr, "satsolve: at most one input file")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "satsolve: %v\n", err)
+		os.Exit(2)
+	}
+
+	res := sat.Solve(f)
+	if *stats {
+		fmt.Printf("c decisions=%d propagations=%d conflicts=%d learned=%d restarts=%d\n",
+			res.Stats.Decisions, res.Stats.Propagations, res.Stats.Conflicts,
+			res.Stats.Learned, res.Stats.Restarts)
+	}
+	if res.SAT {
+		fmt.Println("s SATISFIABLE")
+		if *model {
+			fmt.Print("v ")
+			for v := 1; v <= f.NumVars; v++ {
+				lit := v
+				if !res.Model[v] {
+					lit = -v
+				}
+				fmt.Printf("%d ", lit)
+			}
+			fmt.Println("0")
+		}
+		os.Exit(10)
+	}
+	fmt.Println("s UNSATISFIABLE")
+	os.Exit(20)
+}

@@ -1,0 +1,115 @@
+package eventorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExportedIdentifiersDocumented enforces the documentation deliverable:
+// every exported top-level declaration in every non-test source file must
+// carry a doc comment. Grouped const/var/type blocks may document the
+// block; a field or method promoted through an alias is out of scope.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	var violations []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, decl := range file.Decls {
+			switch dd := decl.(type) {
+			case *ast.FuncDecl:
+				if dd.Name.IsExported() && dd.Doc == nil {
+					violations = append(violations,
+						fmt.Sprintf("%s: func %s", fset.Position(dd.Pos()), dd.Name.Name))
+				}
+			case *ast.GenDecl:
+				blockDocumented := dd.Doc != nil
+				for _, spec := range dd.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() && !blockDocumented && sp.Doc == nil && sp.Comment == nil {
+							violations = append(violations,
+								fmt.Sprintf("%s: type %s", fset.Position(sp.Pos()), sp.Name.Name))
+						}
+					case *ast.ValueSpec:
+						for _, name := range sp.Names {
+							if name.IsExported() && !blockDocumented && sp.Doc == nil && sp.Comment == nil {
+								violations = append(violations,
+									fmt.Sprintf("%s: %s", fset.Position(sp.Pos()), name.Name))
+							}
+						}
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range violations {
+		t.Errorf("undocumented exported identifier: %s", v)
+	}
+}
+
+// TestAllPackagesHaveDocComment: every package directory's files must
+// include exactly one package doc comment (on some file).
+func TestAllPackagesHaveDocComment(t *testing.T) {
+	documented := map[string]bool{}
+	seen := map[string]bool{}
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		seen[dir] = true
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return err
+		}
+		if file.Doc != nil {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for dir := range seen {
+		if !documented[dir] {
+			t.Errorf("package in %s has no package doc comment", dir)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package eventorder
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the command-line tools once into a temp dir and
+// returns their paths. Skipped in -short mode (it shells out to go build).
+func buildTools(t *testing.T) map[string]string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("e2e builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	tools := map[string]string{}
+	for _, name := range []string{"eventorder", "satsolve", "reduce", "experiments"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		tools[name] = out
+	}
+	return tools
+}
+
+func runTool(t *testing.T, path string, stdin string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(path, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("%s %v: %v", path, args, err)
+	}
+	return buf.String(), code
+}
+
+func TestE2EPipeline(t *testing.T) {
+	tools := buildTools(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+
+	// run: record the handshake corpus program.
+	out, code := runTool(t, tools["eventorder"], "", "run", "-o", trace, "testdata/handshake.evo")
+	if code != 0 {
+		t.Fatalf("run failed (%d): %s", code, out)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+
+	// analyze: a MHB b must be true.
+	out, code = runTool(t, tools["eventorder"], "", "analyze", "-rel", "MHB", "-a", "a", "-b", "b", trace)
+	if code != 0 || !strings.Contains(out, "a MHB b: true") {
+		t.Fatalf("analyze output (%d): %s", code, out)
+	}
+	// analyze -all matrix.
+	out, code = runTool(t, tools["eventorder"], "", "analyze", "-rel", "CCW", "-all", trace)
+	if code != 0 || !strings.Contains(out, "CCW") {
+		t.Fatalf("analyze -all output (%d): %s", code, out)
+	}
+	// analyze -witness: CHB(b,a) is false, no schedule.
+	out, code = runTool(t, tools["eventorder"], "", "analyze", "-rel", "CHB", "-a", "b", "-b", "a", "-witness", trace)
+	if code != 0 || !strings.Contains(out, "b CHB a: false") {
+		t.Fatalf("analyze -witness output (%d): %s", code, out)
+	}
+	// analyze -witness MHB(b,a) false → counterexample schedule printed.
+	out, code = runTool(t, tools["eventorder"], "", "analyze", "-rel", "MHB", "-a", "b", "-b", "a", "-witness", trace)
+	if code != 0 || !strings.Contains(out, "counterexample schedule") {
+		t.Fatalf("analyze -witness counterexample (%d): %s", code, out)
+	}
+	// analyze -all -dot: Hasse diagram.
+	out, code = runTool(t, tools["eventorder"], "", "analyze", "-rel", "MHB", "-all", "-dot", trace)
+	if code != 0 || !strings.Contains(out, "digraph MHB") {
+		t.Fatalf("analyze -dot output (%d): %s", code, out)
+	}
+	// races on the handshake: none.
+	out, code = runTool(t, tools["eventorder"], "", "races", trace)
+	if code != 0 || !strings.Contains(out, "exact races") {
+		t.Fatalf("races output (%d): %s", code, out)
+	}
+	// show.
+	out, code = runTool(t, tools["eventorder"], "", "show", trace)
+	if code != 0 || !strings.Contains(out, "labels") {
+		t.Fatalf("show output (%d): %s", code, out)
+	}
+	// hmw (semaphore trace).
+	out, code = runTool(t, tools["eventorder"], "", "hmw", trace)
+	if code != 0 || !strings.Contains(out, "HMW3") {
+		t.Fatalf("hmw output (%d): %s", code, out)
+	}
+	// vclock.
+	out, code = runTool(t, tools["eventorder"], "", "vclock", trace)
+	if code != 0 || !strings.Contains(out, "clock") {
+		t.Fatalf("vclock output (%d): %s", code, out)
+	}
+	// sample.
+	out, code = runTool(t, tools["eventorder"], "", "sample", "-n", "20", trace)
+	if code != 0 || !strings.Contains(out, "sampled") {
+		t.Fatalf("sample output (%d): %s", code, out)
+	}
+	// explore the dining philosophers.
+	out, code = runTool(t, tools["eventorder"], "", "explore", "testdata/dining2.evo")
+	if code != 0 || !strings.Contains(out, "can deadlock: true") {
+		t.Fatalf("explore output (%d): %s", code, out)
+	}
+	// compare: side-by-side table.
+	out, code = runTool(t, tools["eventorder"], "", "compare", trace)
+	if code != 0 || !strings.Contains(out, "exact MHB") || !strings.Contains(out, "HMW3") {
+		t.Fatalf("compare output (%d): %s", code, out)
+	}
+	// static orderings of the pipeline corpus program.
+	out, code = runTool(t, tools["eventorder"], "", "static", "testdata/pipeline.evo")
+	if code != 0 || !strings.Contains(out, "w0 ≺ w1") {
+		t.Fatalf("static output (%d): %s", code, out)
+	}
+	// op-granular run of the cross-dependence program.
+	granTrace := filepath.Join(dir, "crossdep.json")
+	out, code = runTool(t, tools["eventorder"], "", "run", "-op-granular", "-seed", "3", "-o", granTrace, "testdata/crossdep.evo")
+	if code != 0 {
+		t.Fatalf("granular run failed (%d): %s", code, out)
+	}
+	out, code = runTool(t, tools["eventorder"], "", "show", granTrace)
+	if code != 0 || !strings.Contains(out, "labels") {
+		t.Fatalf("show on granular trace (%d): %s", code, out)
+	}
+}
+
+func TestE2ETaskgraphOnEventTrace(t *testing.T) {
+	tools := buildTools(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "fig1.json")
+	out, code := runTool(t, tools["eventorder"], "", "run", "-seed", "2", "-o", trace, "testdata/figure1.evo")
+	if code != 0 {
+		t.Fatalf("run failed (%d): %s", code, out)
+	}
+	out, code = runTool(t, tools["eventorder"], "", "taskgraph", trace)
+	if code != 0 || !strings.Contains(out, "task graph") {
+		t.Fatalf("taskgraph output (%d): %s", code, out)
+	}
+	out, code = runTool(t, tools["eventorder"], "", "taskgraph", "-dot", trace)
+	if code != 0 || !strings.Contains(out, "digraph") {
+		t.Fatalf("taskgraph -dot output (%d): %s", code, out)
+	}
+}
+
+func TestE2ESatsolve(t *testing.T) {
+	tools := buildTools(t)
+	out, code := runTool(t, tools["satsolve"], "p cnf 2 2\n1 2 0\n-1 0\n", "-model")
+	if code != 10 || !strings.Contains(out, "SATISFIABLE") {
+		t.Fatalf("satsolve SAT: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, tools["satsolve"], "p cnf 1 2\n1 0\n-1 0\n", "-stats")
+	if code != 20 || !strings.Contains(out, "UNSATISFIABLE") {
+		t.Fatalf("satsolve UNSAT: code=%d out=%s", code, out)
+	}
+	out, code = runTool(t, tools["satsolve"], "", "-random-vars", "5", "-random-clauses", "10", "-dump")
+	if code != 0 || !strings.Contains(out, "p cnf 5 10") {
+		t.Fatalf("satsolve dump: code=%d out=%s", code, out)
+	}
+}
+
+func TestE2EReduce(t *testing.T) {
+	tools := buildTools(t)
+	dir := t.TempDir()
+	cnf := filepath.Join(dir, "f.cnf")
+	if err := os.WriteFile(cnf, []byte("p cnf 1 2\n1 0\n-1 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, code := runTool(t, tools["reduce"], "", "-style", "event", "-check", cnf)
+	if code != 0 {
+		t.Fatalf("reduce failed (%d): %s", code, out)
+	}
+	if !strings.Contains(out, "a: skip") || !strings.Contains(out, "equivalences hold") {
+		t.Fatalf("reduce output missing pieces: %s", out)
+	}
+	// The emitted program must itself be runnable by the eventorder CLI.
+	prog := filepath.Join(dir, "reduction.evo")
+	progSrc := out[:strings.Index(out, "check:")]
+	if err := os.WriteFile(prog, []byte(progSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	trace := filepath.Join(dir, "red.json")
+	out, code = runTool(t, tools["eventorder"], "", "run", "-tries", "256", "-o", trace, prog)
+	if code != 0 {
+		t.Fatalf("running emitted reduction program failed (%d): %s", code, out)
+	}
+	out, code = runTool(t, tools["eventorder"], "", "analyze", "-rel", "MHB", "-a", "a", "-b", "b", trace)
+	if code != 0 || !strings.Contains(out, "a MHB b: true") {
+		t.Fatalf("analyze on reduction trace (%d): %s", code, out)
+	}
+}
+
+func TestE2EExperimentsQuick(t *testing.T) {
+	tools := buildTools(t)
+	out, code := runTool(t, tools["experiments"], "", "-quick", "-run", "e5,e10")
+	if code != 0 {
+		t.Fatalf("experiments failed (%d): %s", code, out)
+	}
+	for _, want := range []string{"e5:", "e10:", "claim reproduced"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("experiments output missing %q:\n%s", want, out)
+		}
+	}
+	out, code = runTool(t, tools["experiments"], "", "-list")
+	if code != 0 || !strings.Contains(out, "e11") {
+		t.Fatalf("experiments -list (%d): %s", code, out)
+	}
+}

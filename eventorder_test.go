@@ -1,0 +1,174 @@
+package eventorder
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestQuickstart mirrors the package documentation example end to end.
+func TestQuickstart(t *testing.T) {
+	prog, err := ParseProgram(`
+sem s = 0
+proc p1 { a: skip  V(s) }
+proc p2 { P(s)  b: skip }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunProgram(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(res.X, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.X.MustEventByLabel("a").ID
+	b := res.X.MustEventByLabel("b").ID
+	ok, err := an.MHB(a, b)
+	if err != nil || !ok {
+		t.Fatalf("MHB(a,b) = %v, %v; want true", ok, err)
+	}
+	ccw, err := an.CCW(a, b)
+	if err != nil || ccw {
+		t.Fatalf("CCW(a,b) = %v, %v; want false", ccw, err)
+	}
+}
+
+func TestFacadeBuilderPath(t *testing.T) {
+	b := NewBuilder()
+	b.Sem("m", 1, SemCounting)
+	p1 := b.Proc("p1")
+	p1.P("m")
+	p1.Label("c1").Write("x")
+	p1.V("m")
+	p2 := b.Proc("p2")
+	p2.P("m")
+	p2.Label("c2").Write("x")
+	p2.V("m")
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := DetectRaces(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exact) != 0 {
+		t.Errorf("mutex-protected writes raced: %v", rep.Exact)
+	}
+	hmwRes, err := AnalyzeHMW(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hmwRes.Phase3.Count() == 0 {
+		t.Error("HMW found nothing")
+	}
+	vc, err := VectorClocks(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.HB.Count() == 0 {
+		t.Error("VC found nothing")
+	}
+}
+
+func TestFacadeReduction(t *testing.T) {
+	f := NewFormula(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	satisfiable, _ := SolveSAT(f)
+	if satisfiable {
+		t.Fatal("x ∧ ¬x is SAT?")
+	}
+	for _, style := range []ReductionStyle{StyleSemaphore, StyleEvent} {
+		inst, err := Reduce(f, style, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := Analyze(inst.X, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mhb, err := an.MHB(inst.A, inst.B)
+		if err != nil || !mhb {
+			t.Fatalf("style %v: MHB = %v, %v; want true for UNSAT formula", style, mhb, err)
+		}
+	}
+}
+
+func TestFacadeTaskGraph(t *testing.T) {
+	prog, err := ParseProgram(`
+event e
+proc p1 { post(e) }
+proc p2 { wait(e) }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunProgram(prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := BuildTaskGraph(res.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tg.GuaranteedOrder().Count() == 0 {
+		t.Error("task graph found no ordering for post→wait")
+	}
+}
+
+func TestFacadeRunProgramGranular(t *testing.T) {
+	prog, err := ParseProgram(`
+var x
+var y
+proc p1 { a: x := y + 0 }
+proc p2 { b: y := x + 0 }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a granular observation where the events interleave.
+	for seed := int64(0); seed < 100; seed++ {
+		res, err := RunProgramGranular(prog, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := Analyze(res.X, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcw, err := an.MCW(res.X.MustEventByLabel("a").ID, res.X.MustEventByLabel("b").ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mcw {
+			return // found a forced-concurrent observation
+		}
+	}
+	t.Error("no granular observation forced concurrency in 100 seeds")
+}
+
+func TestFacadeScheduleAndRandomFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := Random3CNF(rng, 3, 5)
+	if f.NumClauses() != 5 {
+		t.Fatalf("clauses = %d", f.NumClauses())
+	}
+	b := NewBuilder()
+	b.Sem("s", 1, SemCounting)
+	p1 := b.Proc("p1")
+	p1.P("s")
+	p1.V("s")
+	x, err := b.BuildDeferred()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Schedule(x, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(x.Order) != 2 {
+		t.Errorf("order = %v", x.Order)
+	}
+}

@@ -1,0 +1,111 @@
+// Figure 1: the paper's motivating example. A task graph à la
+// Emrath–Ghosh–Padua sees no ordering between two Post operations, but a
+// shared-data dependence ("X := 1" feeding "if X == 1") forces one; the
+// exact analysis proves it, and ignoring the dependence (as the related
+// work does) loses it.
+//
+//	go run ./examples/figure1
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventorder"
+)
+
+const figure1 = `
+// Figure 1a of Netzer & Miller (1990), reconstructed.
+event e
+var X
+
+proc main {
+    fork t1
+    fork t2
+    fork t3
+}
+proc t1 {
+    lp: post(e)     // left-most Post
+    X := 1
+}
+proc t2 {
+    if X == 1 {
+        rp: post(e) // right-most Post
+    } else {
+        wait(e)
+    }
+}
+proc t3 {
+    w: wait(e)
+}
+`
+
+func main() {
+	prog, err := eventorder.ParseProgram(figure1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Reproduce the paper's observed execution (Figure 1b): the first
+	// created task completely executes before the other two, so t2 reads
+	// X == 1 and takes the then-branch. Retry seeds until that observation
+	// occurs.
+	var x *eventorder.Execution
+	for seed := int64(1); seed < 200; seed++ {
+		res, err := eventorder.RunProgram(prog, seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, ok := res.X.EventByLabel("rp"); ok {
+			x = res.X
+			break
+		}
+	}
+	if x == nil {
+		log.Fatal("no observed execution took the then-branch")
+	}
+	fmt.Printf("observed execution: %s\n\n", x)
+
+	lp := x.MustEventByLabel("lp").ID
+	rp := x.MustEventByLabel("rp").ID
+
+	// 1. The EGP task graph: no path between the Posts.
+	tg, err := eventorder.BuildTaskGraph(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	egp, err := tg.HasPath(lp, rp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("task graph shows left Post → right Post:     %v\n", egp)
+
+	// 2. Exact analysis with the shared-data dependence: ordering proven.
+	exact, err := eventorder.Analyze(x, eventorder.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mhb, err := exact.MHB(lp, rp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact MHB (with data dependences):           %v\n", mhb)
+
+	// 3. Exact analysis ignoring D (the related-work feasibility notion).
+	loose, err := eventorder.Analyze(x, eventorder.Options{IgnoreData: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mhbNoD, err := loose.MHB(lp, rp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact MHB (ignoring data dependences):       %v\n", mhbNoD)
+
+	fmt.Println("\nGraphviz rendering of the task graph (paper's Figure 1b):")
+	fmt.Print(tg.DOT())
+
+	fmt.Println("takeaway: 'even if the programmer does not intentionally introduce")
+	fmt.Println("synchronization with shared variables, some events are nevertheless")
+	fmt.Println("ordered by the shared-data dependences' — paper, Section 4.")
+}

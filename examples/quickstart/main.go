@@ -1,0 +1,79 @@
+// Quickstart: write a small parallel program, run it, and ask the six
+// ordering questions of Netzer & Miller's Table 1 about its events.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventorder"
+)
+
+const source = `
+// A tiny producer/consumer handshake plus an unrelated worker.
+sem items = 0
+var buf
+
+proc producer {
+    fill: buf := 42      // the produce step
+    V(items)
+}
+proc consumer {
+    P(items)
+    use: buf := buf + 1  // the consume step
+}
+proc worker {
+    other: skip          // no synchronization with anyone
+}
+`
+
+func main() {
+	prog, err := eventorder.ParseProgram(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eventorder.RunProgram(prog, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := res.X
+	fmt.Printf("observed execution: %s\n", x)
+	fmt.Printf("labeled events: %v\n\n", x.Labels())
+
+	an, err := eventorder.Analyze(x, eventorder.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fill := x.MustEventByLabel("fill").ID
+	use := x.MustEventByLabel("use").ID
+	other := x.MustEventByLabel("other").ID
+
+	ask := func(what string, kind eventorder.RelKind, a, b eventorder.EventID) {
+		ok, err := an.Decide(kind, a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-52s %v\n", what, ok)
+	}
+
+	fmt.Println("ordering questions (over ALL feasible re-executions):")
+	ask("fill must-have-happened-before use?", eventorder.MHB, fill, use)
+	ask("use could-have-happened-before fill?", eventorder.CHB, use, fill)
+	ask("fill could-have-been-concurrent-with use?", eventorder.CCW, fill, use)
+	ask("fill could-have-been-concurrent-with other?", eventorder.CCW, fill, other)
+	ask("other must-have-been-ordered-with fill?", eventorder.MOW, other, fill)
+
+	fmt.Println("\nfull must-have-happened-before matrix:")
+	mhb, err := an.Relation(eventorder.MHB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(mhb.FormatMatrix(x))
+
+	fmt.Println("\nwhy this is expensive: each answer quantifies over every valid")
+	fmt.Println("interleaving of the observed events (co-NP-hard for the must-have")
+	fmt.Println("relations, NP-hard for the could-have ones — the paper's Theorems 1–4).")
+}

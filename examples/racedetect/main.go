@@ -1,0 +1,86 @@
+// Race detection: the paper's closing implication in action. Exhaustively
+// detecting all data races an execution *could have* exhibited needs the
+// could-have-been-concurrent relation (NP-hard); the polynomial vector-clock
+// detector that practical tools use can both over- and under-report.
+//
+//	go run ./examples/racedetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventorder"
+)
+
+func main() {
+	// Scenario 1: a mutex-protected counter and an unprotected logger.
+	src := `
+sem mu = 1
+var counter
+var logbuf
+
+proc worker1 {
+    P(mu)
+    w1: counter := counter + 1
+    V(mu)
+    l1: logbuf := 1
+}
+proc worker2 {
+    P(mu)
+    w2: counter := counter + 1
+    V(mu)
+    l2: logbuf := 2
+}
+`
+	prog, err := eventorder.ParseProgram(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eventorder.RunProgram(prog, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := eventorder.DetectRaces(res.X, eventorder.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scenario 1: mutex-protected counter, unprotected log buffer")
+	fmt.Printf("  conflicting pairs: %d\n", len(rep.Candidates))
+	fmt.Printf("  exact races (could-have-been-concurrent): %d\n", len(rep.Exact))
+	for _, p := range rep.Exact {
+		fmt.Printf("    %s ∥ %s on %q\n", res.X.EventName(p.A), res.X.EventName(p.B), p.Var)
+	}
+	fmt.Printf("  vector-clock detector reports: %d\n", len(rep.VC))
+	fmt.Printf("  naive program-order detector reports: %d (cannot see the mutex)\n\n", len(rep.PO))
+
+	// Scenario 2: a race hidden from vector clocks. The observed execution
+	// pairs worker's V with the consumer's P, ordering the two writes — but
+	// helper's V could have done the pairing instead, freeing the writes to
+	// race. Only the exact detector sees it.
+	b := eventorder.NewBuilder()
+	b.Sem("s", 0, eventorder.SemCounting)
+	p1 := b.Proc("worker")
+	p1.Label("write1").Write("shared")
+	p1.V("s")
+	b.Proc("helper").V("s")
+	p3 := b.Proc("consumer")
+	p3.P("s")
+	p3.Label("write2").Write("shared")
+	x, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep2, err := eventorder.DetectRaces(x, eventorder.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("scenario 2: a feasible race the observed pairing hides")
+	fmt.Printf("  exact races: %d   vector-clock races: %d\n", len(rep2.Exact), len(rep2.VC))
+	fmt.Println("  → the dynamic detector misses a race that another feasible")
+	fmt.Println("    execution of the same events would exhibit (false negative).")
+	fmt.Println()
+	fmt.Println("the paper's conclusion: 'exhaustively detecting all data races")
+	fmt.Println("potentially exhibited by a given program execution is an")
+	fmt.Println("intractable problem' — exactness costs exponential search.")
+}

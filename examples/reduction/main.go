@@ -1,0 +1,81 @@
+// Reduction: watch the paper's hardness proofs run. A 3CNF formula is
+// compiled into a synchronization program whose two distinguished events a
+// and b satisfy a MHB b ⇔ the formula is unsatisfiable (Theorem 1/3) and
+// b CHB a ⇔ it is satisfiable (Theorem 2/4) — deciding event ordering is
+// at least as hard as SAT.
+//
+//	go run ./examples/reduction
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventorder"
+)
+
+func check(f *eventorder.Formula, style eventorder.ReductionStyle, name string) {
+	satisfiable, _ := eventorder.SolveSAT(f)
+	inst, err := eventorder.Reduce(f, style, eventorder.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := eventorder.Analyze(inst.X, eventorder.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mhb, err := an.MHB(inst.A, inst.B)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chb, err := an.CHB(inst.B, inst.A)
+	if err != nil {
+		log.Fatal(err)
+	}
+	status := "✓ equivalences hold"
+	if mhb == satisfiable || chb != satisfiable {
+		status = "✗ MISMATCH"
+	}
+	fmt.Printf("%-22s %-9s SAT=%-5v  procs=%-3d  a MHB b=%-5v  b CHB a=%-5v  %s\n",
+		name, style, satisfiable, inst.X.NumProcs(), mhb, chb, status)
+}
+
+func main() {
+	fmt.Println("compiling Boolean formulas into event-ordering questions")
+	fmt.Println("(Netzer & Miller, Theorems 1–4)")
+	fmt.Println()
+
+	// (x1): satisfiable.
+	sat1 := eventorder.NewFormula(1)
+	sat1.AddClause(1)
+
+	// (x1) ∧ (¬x1): unsatisfiable.
+	unsat1 := eventorder.NewFormula(1)
+	unsat1.AddClause(1)
+	unsat1.AddClause(-1)
+
+	// (x1 ∨ x2) ∧ (¬x1) ∧ (¬x2): unsatisfiable.
+	unsat2 := eventorder.NewFormula(2)
+	unsat2.AddClause(1, 2)
+	unsat2.AddClause(-1)
+	unsat2.AddClause(-2)
+
+	// (x1 ∨ ¬x2 ∨ x3): a width-3 satisfiable clause.
+	sat3 := eventorder.NewFormula(3)
+	sat3.AddClause(1, -2, 3)
+
+	for _, style := range []eventorder.ReductionStyle{
+		eventorder.StyleSemaphore, eventorder.StyleEvent,
+	} {
+		check(sat1, style, "(x1)")
+		check(unsat1, style, "(x1)∧(¬x1)")
+		check(unsat2, style, "(x1∨x2)∧(¬x1)∧(¬x2)")
+		check(sat3, style, "(x1∨¬x2∨x3)")
+		fmt.Println()
+	}
+
+	fmt.Println("reading the table: when the formula is UNSATISFIABLE, event a is")
+	fmt.Println("guaranteed to precede event b in every feasible execution (a MHB b);")
+	fmt.Println("when it is SATISFIABLE, some feasible execution runs b before a.")
+	fmt.Println("So an exact event-ordering analyzer decides SAT — hence the hardness.")
+}

@@ -1,0 +1,110 @@
+// Schedules: every verdict comes with evidence. For could-relations the
+// analyzer extracts a feasible interleaving exhibiting the property; for
+// failed must-relations it extracts a counterexample; for data races it
+// produces the reproducing schedule a programmer needs.
+//
+//	go run ./examples/schedules
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eventorder"
+)
+
+func main() {
+	prog, err := eventorder.ParseProgram(`
+sem lock = 1
+var balance
+var audit
+
+proc deposit {
+    P(lock)
+    d: balance := balance + 100
+    V(lock)
+    da: audit := audit + 1
+}
+proc withdraw {
+    P(lock)
+    w: balance := balance - 40
+    V(lock)
+    wa: audit := audit + 1
+}
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eventorder.RunProgram(prog, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x := res.X
+	an, err := eventorder.Analyze(x, eventorder.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(steps []eventorder.WitnessStep) {
+		for _, line := range eventorder.FormatWitnessSteps(x, steps) {
+			fmt.Println("    " + line)
+		}
+	}
+
+	d := x.MustEventByLabel("d").ID
+	w := x.MustEventByLabel("w").ID
+	da := x.MustEventByLabel("da").ID
+	wa := x.MustEventByLabel("wa").ID
+
+	// 1. The balance updates are mutex-protected: MOW holds, no witness of
+	// overlap exists.
+	wit, err := an.WitnessSchedule(eventorder.MOW, d, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("balance updates must be ordered (MOW): %v\n\n", wit.Holds)
+
+	// 2. Subtle: could the withdraw have committed first? NO — the observed
+	// execution's data dependence (deposit wrote balance before withdraw
+	// read it) must be preserved by every feasible re-execution (the
+	// paper's condition F3). Dropping the dependence constraint (the
+	// related-work notion, Section 5.3) makes the reversal feasible.
+	wit, err = an.WitnessSchedule(eventorder.CHB, w, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("withdraw could commit before deposit (with D):  %v\n", wit.Holds)
+	anNoD, err := eventorder.Analyze(x, eventorder.Options{IgnoreData: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	witNoD, err := anNoD.WitnessSchedule(eventorder.CHB, w, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("withdraw could commit before deposit (no D):    %v\n", witNoD.Holds)
+	if witNoD.Steps != nil {
+		fmt.Println("  schedule exhibiting it (dependences ignored):")
+		show(witNoD.Steps)
+	}
+
+	// 3. The audit counters are NOT protected — a real race, with the
+	// interleaving that reproduces it. The ⟨…⟩ markers show the two audit
+	// updates genuinely overlapping.
+	rep, err := eventorder.DetectRaces(x, eventorder.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact races found: %d\n", len(rep.Exact))
+	wit, err = an.WitnessSchedule(eventorder.CCW, da, wa)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if wit.Holds && wit.Steps != nil {
+		fmt.Println("  reproducing schedule (audit updates overlap):")
+		show(wit.Steps)
+	}
+
+	fmt.Println("\neach schedule above was checked feasible: it respects program order,")
+	fmt.Println("semaphore semantics, and (unless noted) the observed data dependences.")
+}

@@ -1,0 +1,3 @@
+module eventorder
+
+go 1.22

@@ -1,0 +1,220 @@
+package eventorder
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eventorder/internal/traceio"
+)
+
+// loadProgram reads and parses a testdata program.
+func loadProgram(t *testing.T, name string) *Program {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := ParseProgram(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return prog
+}
+
+// runCorpus executes one corpus program and round-trips its trace.
+func runCorpus(t *testing.T, name string, seed int64) *Execution {
+	t.Helper()
+	prog := loadProgram(t, name)
+	res, err := RunProgram(prog, seed)
+	if err != nil {
+		t.Fatalf("%s: run: %v", name, err)
+	}
+	var buf bytes.Buffer
+	if err := traceio.SaveExecution(&buf, res.X); err != nil {
+		t.Fatalf("%s: save: %v", name, err)
+	}
+	x, err := traceio.LoadExecution(&buf)
+	if err != nil {
+		t.Fatalf("%s: load: %v", name, err)
+	}
+	return x
+}
+
+// expectation is one labeled relation query with its expected verdict.
+type expectation struct {
+	kind   RelKind
+	a, b   string
+	want   bool
+	reason string
+}
+
+// checkExpectations runs queries against an execution.
+func checkExpectations(t *testing.T, name string, x *Execution, opts Options, exps []expectation) {
+	t.Helper()
+	an, err := Analyze(x, opts)
+	if err != nil {
+		t.Fatalf("%s: analyze: %v", name, err)
+	}
+	for _, e := range exps {
+		ea, ok := x.EventByLabel(e.a)
+		if !ok {
+			t.Errorf("%s: no event %q (labels %v)", name, e.a, x.Labels())
+			continue
+		}
+		eb, ok := x.EventByLabel(e.b)
+		if !ok {
+			t.Errorf("%s: no event %q (labels %v)", name, e.b, x.Labels())
+			continue
+		}
+		got, err := an.Decide(e.kind, ea.ID, eb.ID)
+		if err != nil {
+			t.Fatalf("%s: %v(%s,%s): %v", name, e.kind, e.a, e.b, err)
+		}
+		if got != e.want {
+			t.Errorf("%s: %v(%s,%s) = %v, want %v (%s)", name, e.kind, e.a, e.b, got, e.want, e.reason)
+		}
+	}
+}
+
+func TestCorpusHandshake(t *testing.T) {
+	x := runCorpus(t, "handshake.evo", 1)
+	checkExpectations(t, "handshake", x, Options{}, []expectation{
+		{MHB, "a", "b", true, "semaphore forces the order"},
+		{CHB, "b", "a", false, "reverse impossible"},
+		{CCW, "a", "b", false, "never concurrent"},
+		{MOW, "a", "b", true, "always ordered"},
+	})
+}
+
+func TestCorpusBarrier(t *testing.T) {
+	x := runCorpus(t, "barrier.evo", 3)
+	var exps []expectation
+	for _, before := range []string{"before0", "before1"} {
+		for _, after := range []string{"after0", "after1"} {
+			exps = append(exps, expectation{MHB, before, after, true, "barrier separates phases"})
+		}
+	}
+	exps = append(exps,
+		expectation{CCW, "before0", "before1", true, "pre-barrier work is parallel"},
+		expectation{CCW, "after0", "after1", true, "post-barrier work is parallel"},
+	)
+	checkExpectations(t, "barrier", x, Options{}, exps)
+}
+
+func TestCorpusPipeline(t *testing.T) {
+	x := runCorpus(t, "pipeline.evo", 1)
+	checkExpectations(t, "pipeline", x, Options{}, []expectation{
+		{MHB, "w0", "w1", true, "stage order"},
+		{MHB, "w1", "w2", true, "stage order"},
+		{MHB, "w0", "w2", true, "transitive"},
+		{CCW, "w1", "obs", true, "observer races stage1"},
+		{MHB, "w0", "obs", true, "observer waits stage0"},
+	})
+	// Race detection: the pipeline has no conflicting unordered accesses.
+	rep, err := DetectRaces(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exact) != 0 {
+		t.Errorf("pipeline should be race-free, found %v", rep.Exact)
+	}
+}
+
+func TestCorpusFigure1(t *testing.T) {
+	prog := loadProgram(t, "figure1.evo")
+	// Find an observation where t2 took the then-branch.
+	var x *Execution
+	for seed := int64(1); seed < 200; seed++ {
+		res, err := RunProgram(prog, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := res.X.EventByLabel("rp"); ok {
+			x = res.X
+			break
+		}
+	}
+	if x == nil {
+		t.Fatal("no observation took the then-branch")
+	}
+	checkExpectations(t, "figure1", x, Options{}, []expectation{
+		{MHB, "lp", "rp", true, "data dependence orders the posts"},
+		{CHB, "rp", "lp", false, "reverse impossible with D"},
+	})
+	checkExpectations(t, "figure1/ignoreD", x, Options{IgnoreData: true}, []expectation{
+		{MHB, "lp", "rp", false, "ordering vanishes without D"},
+	})
+	// The task graph misses the ordering.
+	tg, err := BuildTaskGraph(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := x.MustEventByLabel("lp").ID
+	rp := x.MustEventByLabel("rp").ID
+	if ok, _ := tg.HasPath(lp, rp); ok {
+		t.Error("task graph should have no lp → rp path")
+	}
+}
+
+func TestCorpusDiningPhilosophers(t *testing.T) {
+	prog := loadProgram(t, "dining2.evo")
+	// Model checking: both deadlock and completion are reachable.
+	res, err := ExploreProgram(prog, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CanDeadlock {
+		t.Error("dining philosophers deadlock not found")
+	}
+	if !res.CanTerminate {
+		t.Error("dining philosophers completion not found")
+	}
+	for _, vars := range res.Terminal {
+		if vars["meals"] != 2 {
+			t.Errorf("terminal meals = %d, want 2", vars["meals"])
+		}
+	}
+	// A completed observation: the two meals never overlap (forks are
+	// mutual exclusion), and the meal counter updates never race.
+	run, err := RunProgram(prog, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExpectations(t, "dining2", run.X, Options{}, []expectation{
+		{MOW, "eat1", "eat2", true, "fork mutual exclusion"},
+		{CCW, "eat1", "eat2", false, "never concurrent"},
+	})
+	rep, err := DetectRaces(run.X, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exact) != 0 {
+		t.Errorf("meal updates raced: %v", rep.Exact)
+	}
+}
+
+// TestCorpusAllParseAndFormat ensures the whole corpus parses and the
+// printer round-trips it.
+func TestCorpusAllParseAndFormat(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".evo" {
+			continue
+		}
+		count++
+		prog := loadProgram(t, e.Name())
+		text := FormatProgram(prog)
+		if _, err := ParseProgram(text); err != nil {
+			t.Errorf("%s: formatted output does not reparse: %v", e.Name(), err)
+		}
+	}
+	if count < 5 {
+		t.Errorf("corpus has only %d programs", count)
+	}
+}

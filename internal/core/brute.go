@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"eventorder/internal/model"
+)
+
+// BruteResult holds relations computed by exhaustive enumeration of every
+// feasible interleaving — a direct transcription of the paper's Table 1
+// definitions, used to cross-validate the search engine.
+type BruteResult struct {
+	Relations map[RelKind]*model.Relation
+	Schedules int // number of feasible action interleavings enumerated
+}
+
+// BruteRelations computes all six ordering relations by enumerating every
+// feasible action interleaving (up to limit; exceeding it is an error —
+// raise the limit or use the per-pair decision procedures). The op-level
+// projection of each enumerated interleaving is re-validated against the
+// independent reference semantics in internal/model as a safety net.
+func BruteRelations(x *model.Execution, opts Options, limit int) (*BruteResult, error) {
+	a, err := New(x, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := len(x.Events)
+	// sawOrder[a][b]: some interleaving had a T b (a's end before b's begin).
+	// sawOverlap[a][b]: some interleaving overlapped a and b.
+	sawOrder := make([][]bool, n)
+	sawOverlap := make([][]bool, n)
+	for i := range sawOrder {
+		sawOrder[i] = make([]bool, n)
+		sawOverlap[i] = make([]bool, n)
+	}
+	constraints := model.OpConstraintsForExploration(x, opts.IgnoreData)
+	pos := make([]int, len(a.acts))
+	opOrder := make([]model.OpID, 0, len(x.Ops))
+	count, err := a.enumerateActions(limit, func(acts []int32) bool {
+		opOrder = opOrder[:0]
+		for i, id := range acts {
+			pos[id] = i
+			if op := a.acts[id].op; op >= 0 {
+				opOrder = append(opOrder, model.OpID(op))
+			}
+		}
+		if err := model.Replay(x, opOrder, constraints); err != nil {
+			panic(fmt.Sprintf("core: enumerated invalid schedule: %v", err))
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				iEnd, jBegin := pos[a.evEndAct[i]], pos[a.evBeginAct[j]]
+				jEnd, iBegin := pos[a.evEndAct[j]], pos[a.evBeginAct[i]]
+				switch {
+				case iEnd < jBegin:
+					sawOrder[i][j] = true
+				case jEnd < iBegin:
+					sawOrder[j][i] = true
+				default:
+					sawOverlap[i][j] = true
+					sawOverlap[j][i] = true
+				}
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: brute-force enumeration: %w", err)
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("core: no feasible interleaving (invalid execution?)")
+	}
+
+	res := &BruteResult{
+		Relations: make(map[RelKind]*model.Relation, 6),
+		Schedules: count,
+	}
+	for _, kind := range AllRelKinds {
+		res.Relations[kind] = model.NewRelation(kind.String(), n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			ea, eb := model.EventID(i), model.EventID(j)
+			chb := sawOrder[i][j]
+			ccw := sawOverlap[i][j]
+			cow := sawOrder[i][j] || sawOrder[j][i]
+			mhb := !sawOrder[j][i] && !sawOverlap[i][j] // a T b in every interleaving
+			mcw := !cow
+			mow := !ccw
+			if chb {
+				res.Relations[RelCHB].Set(ea, eb)
+			}
+			if mhb {
+				res.Relations[RelMHB].Set(ea, eb)
+			}
+			if ccw {
+				res.Relations[RelCCW].Set(ea, eb)
+			}
+			if mcw {
+				res.Relations[RelMCW].Set(ea, eb)
+			}
+			if cow {
+				res.Relations[RelCOW].Set(ea, eb)
+			}
+			if mow {
+				res.Relations[RelMOW].Set(ea, eb)
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"eventorder/internal/model"
+)
+
+// RelationParallel computes the full relation matrix like
+// Analyzer.Relation, fanning the per-pair decisions out over worker
+// goroutines. Each worker owns a private Analyzer (the search engine keeps
+// mutable state and memo tables, so analyzers are not shared); the pair
+// queries are independent, which makes this embarrassingly parallel apart
+// from losing cross-query completion-memo reuse — the ablation benchmark
+// measures that trade. workers ≤ 0 selects GOMAXPROCS.
+func RelationParallel(x *model.Execution, opts Options, kind RelKind, workers int) (*model.Relation, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(x.Events)
+	type pair struct{ i, j int }
+	var pairs []pair
+	for i := 0; i < n; i++ {
+		jStart := 0
+		if kind.Symmetric() {
+			jStart = i + 1
+		}
+		for j := jStart; j < n; j++ {
+			if i != j {
+				pairs = append(pairs, pair{i, j})
+			}
+		}
+	}
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	r := model.NewRelation(kind.String(), n)
+	if len(pairs) == 0 {
+		return r, nil
+	}
+
+	var (
+		mu       sync.Mutex // guards r and firstErr
+		firstErr error
+		wg       sync.WaitGroup
+		next     int
+		nextMu   sync.Mutex
+	)
+	take := func() (pair, bool) {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= len(pairs) {
+			return pair{}, false
+		}
+		p := pairs[next]
+		next++
+		return p, true
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := New(x, opts)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for {
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				p, ok := take()
+				if !ok {
+					return
+				}
+				verdict, err := a.Decide(kind, model.EventID(p.i), model.EventID(p.j))
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: pair (%d,%d): %w", p.i, p.j, err)
+					}
+				} else if verdict {
+					r.Set(model.EventID(p.i), model.EventID(p.j))
+					if kind.Symmetric() {
+						r.Set(model.EventID(p.j), model.EventID(p.i))
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return r, nil
+}

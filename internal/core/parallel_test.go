@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventorder/internal/model"
+)
+
+// TestRelationParallelAgrees: the parallel computation matches the
+// sequential one for every relation kind and several worker counts.
+func TestRelationParallelAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 6; trial++ {
+		x := randomExecution(rng)
+		seq := mustAnalyzer(t, x, Options{})
+		for _, kind := range AllRelKinds {
+			want, err := seq.Relation(kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 0} {
+				got, err := RelationParallel(x, Options{}, kind, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("trial %d %s workers=%d: parallel differs", trial, kind, workers)
+				}
+			}
+		}
+	}
+}
+
+func TestRelationParallelErrorPropagates(t *testing.T) {
+	b := model.NewBuilder()
+	b.Sem("s", 0, model.SemCounting)
+	p1 := b.Proc("p1")
+	p1.Label("a").Nop()
+	p1.V("s")
+	p2 := b.Proc("p2")
+	p2.P("s")
+	p2.Label("b").Nop()
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RelationParallel(x, Options{MaxNodes: 1}, RelMHB, 2); err == nil {
+		t.Fatal("budget error not propagated")
+	}
+}
+
+func TestRelationParallelTinyAndEmpty(t *testing.T) {
+	b := model.NewBuilder()
+	b.Proc("p").Label("only").Nop()
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RelationParallel(x, Options{}, RelCCW, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count() != 0 {
+		t.Errorf("single-event execution has %d pairs", r.Count())
+	}
+}

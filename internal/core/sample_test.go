@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventorder/internal/model"
+)
+
+// TestSampleOneSided pins the containments: for could-relations the sample
+// is a subset of exact; for must-relations exact is a subset of the sample.
+func TestSampleOneSided(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		x := randomExecution(rng)
+		a := mustAnalyzer(t, x, Options{})
+		sampled, err := a.SampleRelations(5, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, err := a.AllRelations()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range []RelKind{RelCHB, RelCCW, RelCOW} {
+			if !sampled.Relations[kind].SubsetOf(exact[kind]) {
+				t.Errorf("trial %d: sampled %s ⊄ exact (unsound witness)", trial, kind)
+			}
+		}
+		for _, kind := range []RelKind{RelMHB, RelMCW, RelMOW} {
+			if !exact[kind].SubsetOf(sampled.Relations[kind]) {
+				t.Errorf("trial %d: exact %s ⊄ sampled (sample refuted a true must-relation)", trial, kind)
+			}
+		}
+	}
+}
+
+// TestSampleConvergesOnTinyExecution: with enough samples on a tiny
+// execution, the estimates coincide with the exact relations.
+func TestSampleConvergesOnTinyExecution(t *testing.T) {
+	b := model.NewBuilder()
+	b.Sem("s", 0, model.SemCounting)
+	p1 := b.Proc("p1")
+	p1.Label("a").Nop()
+	p1.V("s")
+	p2 := b.Proc("p2")
+	p2.P("s")
+	p2.Label("b").Nop()
+	b.Proc("p3").Label("c").Nop()
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := mustAnalyzer(t, x, Options{})
+	sampled, err := a.SampleRelations(8000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := a.AllRelations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range AllRelKinds {
+		if !sampled.Relations[kind].Equal(exact[kind]) {
+			t.Errorf("%s did not converge:\nsampled:\n%s\nexact:\n%s",
+				kind, sampled.Relations[kind].FormatMatrix(x), exact[kind].FormatMatrix(x))
+		}
+	}
+}
+
+func TestSampleDeterministicPerSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randomExecution(rng)
+	a := mustAnalyzer(t, x, Options{})
+	s1, err := a.SampleRelations(10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := a.SampleRelations(10, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range AllRelKinds {
+		if !s1.Relations[kind].Equal(s2.Relations[kind]) {
+			t.Errorf("%s differs across identical seeds", kind)
+		}
+	}
+}
+
+func TestSampleValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randomExecution(rng)
+	a := mustAnalyzer(t, x, Options{})
+	if _, err := a.SampleRelations(0, 1); err == nil {
+		t.Error("samples=0 accepted")
+	}
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"eventorder/internal/model"
+)
+
+// Witness is a feasible interleaving demonstrating a relation verdict.
+type Witness struct {
+	// Order is the op-level interleaving (projection of the action
+	// schedule), valid under the analyzer's constraints.
+	Order []model.OpID
+	// Steps is the full action-level schedule, including each computation
+	// event's begin/end boundaries — the detail that makes overlap
+	// (concurrency) witnesses visible: two events are concurrent in the
+	// witness iff their begin/end markers interleave.
+	Steps []WitnessStep
+	// Holds reports the verdict the witness accompanies: for could-
+	// relations, Holds==true and Order exhibits the property; for
+	// must-relations, Holds==false means Order is a counterexample
+	// violating the property (and Holds==true comes with no Order — a
+	// universal claim has no single witness).
+	Holds bool
+}
+
+// WitnessStepKind classifies one action of a witness schedule.
+type WitnessStepKind int
+
+const (
+	// StepBegin marks a computation event beginning.
+	StepBegin WitnessStepKind = iota
+	// StepOp is a shared-variable access or an atomic synchronization
+	// operation (Op is valid).
+	StepOp
+	// StepEnd marks a computation event ending.
+	StepEnd
+)
+
+// WitnessStep is one atomic action of a witness schedule.
+type WitnessStep struct {
+	Kind  WitnessStepKind
+	Event model.EventID
+	Op    model.OpID // valid for StepOp, NoID otherwise
+}
+
+// WitnessSchedule decides the relation like Decide and additionally
+// extracts a demonstrating interleaving:
+//
+//   - could-relations (CHB/CCW/COW): if the relation holds, Witness.Order
+//     is a feasible interleaving exhibiting it;
+//   - must-relations (MHB/MCW/MOW): if the relation FAILS, Witness.Order is
+//     a feasible counterexample (e.g. for MHB, an interleaving in which b
+//     begins before a ends).
+//
+// When no order accompanies the verdict (could-relation false, or
+// must-relation true), Witness.Order is nil.
+func (a *Analyzer) WitnessSchedule(kind RelKind, ea, eb model.EventID) (Witness, error) {
+	var accept func(flags byte) bool
+	mustHave := kind.MustHave()
+	switch kind {
+	case RelCHB:
+		accept = func(f byte) bool { return f&flagBA == 0 }
+	case RelMHB:
+		accept = func(f byte) bool { return f&flagBA != 0 } // violation
+	case RelCCW:
+		accept = func(f byte) bool { return f&(flagBA|flagAB) == flagBA|flagAB }
+	case RelMOW:
+		accept = func(f byte) bool { return f&(flagBA|flagAB) == flagBA|flagAB } // violation
+	case RelCOW:
+		accept = func(f byte) bool { return f&(flagBA|flagAB) != flagBA|flagAB }
+	case RelMCW:
+		accept = func(f byte) bool { return f&(flagBA|flagAB) != flagBA|flagAB } // violation
+	default:
+		return Witness{}, fmt.Errorf("core: unknown relation kind %d", kind)
+	}
+
+	if ea == eb {
+		return Witness{}, fmt.Errorf("core: query requires distinct events, got %d twice", ea)
+	}
+	n := model.EventID(len(a.x.Events))
+	if ea < 0 || ea >= n || eb < 0 || eb >= n {
+		return Witness{}, fmt.Errorf("core: event id out of range")
+	}
+	q := &pairQuery{
+		aBegin: a.evBeginAct[ea], aEnd: a.evEndAct[ea],
+		bBegin: a.evBeginAct[eb], bEnd: a.evEndAct[eb],
+		accept: accept,
+	}
+	a.resetState()
+	budget := a.opts.MaxNodes
+	memo := map[string]bool{}
+	path := make([]int32, 0, len(a.acts))
+	found, err := a.witnessSearch(q, 0, memo, &budget, &path)
+	if err != nil {
+		return Witness{}, err
+	}
+	a.resetState()
+	if !found {
+		// No accepted interleaving: could-relation false / must-relation true.
+		return Witness{Holds: mustHave}, nil
+	}
+	order := make([]model.OpID, 0, len(a.x.Ops))
+	steps := make([]WitnessStep, 0, len(path))
+	for _, id := range path {
+		act := &a.acts[id]
+		switch act.kind {
+		case actBegin:
+			steps = append(steps, WitnessStep{Kind: StepBegin, Event: model.EventID(act.event), Op: model.OpID(model.NoID)})
+		case actEnd:
+			steps = append(steps, WitnessStep{Kind: StepEnd, Event: model.EventID(act.event), Op: model.OpID(model.NoID)})
+		default:
+			steps = append(steps, WitnessStep{Kind: StepOp, Event: model.EventID(act.event), Op: model.OpID(act.op)})
+			order = append(order, model.OpID(act.op))
+		}
+	}
+	return Witness{Order: order, Steps: steps, Holds: !mustHave}, nil
+}
+
+// FormatSteps renders a witness's action schedule with event boundaries,
+// e.g. "p1⟨cs begins⟩", suitable for demonstrations.
+func FormatSteps(x *model.Execution, steps []WitnessStep) []string {
+	out := make([]string, 0, len(steps))
+	for _, s := range steps {
+		ev := &x.Events[s.Event]
+		proc := x.Procs[ev.Proc].Name
+		name := ev.Label
+		if name == "" {
+			name = fmt.Sprintf("e%d", s.Event)
+		}
+		switch s.Kind {
+		case StepBegin:
+			out = append(out, fmt.Sprintf("%s: ⟨%s begins⟩", proc, name))
+		case StepEnd:
+			out = append(out, fmt.Sprintf("%s: ⟨%s ends⟩", proc, name))
+		default:
+			out = append(out, fmt.Sprintf("%s: %s", proc, x.Ops[s.Op].Stmt))
+		}
+	}
+	return out
+}
+
+// witnessSearch mirrors existsAccepted but records the successful path.
+// The per-query memo is consulted only for negative entries (a positive
+// entry promises a path exists below, so the search just descends — it
+// will succeed without re-proving).
+func (a *Analyzer) witnessSearch(q *pairQuery, flags byte, memo map[string]bool, budget *int64, path *[]int32) (bool, error) {
+	switch classifyFlags(q, flags, a.settableMask(q)) {
+	case +1:
+		return a.completePath(budget, path)
+	case -1:
+		return false, nil
+	}
+	if v, ok := memo[a.stateKey(flags)]; ok && !v {
+		a.stats.MemoHits++
+		return false, nil
+	}
+	if err := a.budgetCharge(budget); err != nil {
+		return false, err
+	}
+	enabled := a.appendEnabled(nil)
+	for _, id := range enabled {
+		nf := a.updateFlags(q, flags, id)
+		undo := a.step(id)
+		*path = append(*path, id)
+		ok, err := a.witnessSearch(q, nf, memo, budget, path)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+		*path = (*path)[:len(*path)-1]
+		a.unstep(id, undo)
+	}
+	memo[a.stateKey(flags)] = false
+	return false, nil
+}
+
+// completePath extends path with any completing suffix from the current
+// state (guided by the persistent completion memo).
+func (a *Analyzer) completePath(budget *int64, path *[]int32) (bool, error) {
+	can, err := a.canComplete(budget)
+	if err != nil || !can {
+		return false, err
+	}
+	// Walk forward greedily: some enabled action always preserves
+	// completability when the state can complete.
+	start := len(*path)
+	for !a.allDone() {
+		enabled := a.appendEnabled(nil)
+		advanced := false
+		for _, id := range enabled {
+			undo := a.step(id)
+			can, err := a.canComplete(budget)
+			if err != nil {
+				a.unstep(id, undo)
+				return false, err
+			}
+			if can {
+				*path = append(*path, id)
+				advanced = true
+				break
+			}
+			a.unstep(id, undo)
+		}
+		if !advanced {
+			return false, fmt.Errorf("core: internal error: completable state has no completable step")
+		}
+	}
+	// The machine state is left advanced deliberately: on success every
+	// witnessSearch frame returns true immediately (no unstep runs), and
+	// the top level calls resetState.
+	_ = start
+	return true, nil
+}

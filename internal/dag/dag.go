@@ -1,0 +1,435 @@
+// Package dag implements directed-graph algorithms used by the ordering
+// analyses: reachability, transitive closure, topological sorting, cycle
+// detection, transitive reduction, and closest-common-ancestor queries.
+//
+// Graphs are over dense integer vertex ids [0, N). Edges may be added in any
+// order; algorithms that require acyclicity report cycles instead of
+// misbehaving.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"eventorder/internal/bitset"
+)
+
+// Graph is a mutable directed graph over vertices [0, N).
+type Graph struct {
+	n    int
+	succ [][]int // adjacency lists, possibly unsorted, no duplicates
+	pred [][]int
+	has  map[[2]int]bool // edge existence, for O(1) duplicate suppression
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("dag: negative vertex count")
+	}
+	return &Graph{
+		n:    n,
+		succ: make([][]int, n),
+		pred: make([][]int, n),
+		has:  make(map[[2]int]bool),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// NumEdges returns the number of distinct edges.
+func (g *Graph) NumEdges() int { return len(g.has) }
+
+func (g *Graph) checkVertex(v int) {
+	if v < 0 || v >= g.n {
+		panic(fmt.Sprintf("dag: vertex %d out of range [0,%d)", v, g.n))
+	}
+}
+
+// AddEdge inserts the edge u→v if not already present, returning whether it
+// was inserted. Self-loops are permitted (they make the graph cyclic).
+func (g *Graph) AddEdge(u, v int) bool {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	key := [2]int{u, v}
+	if g.has[key] {
+		return false
+	}
+	g.has[key] = true
+	g.succ[u] = append(g.succ[u], v)
+	g.pred[v] = append(g.pred[v], u)
+	return true
+}
+
+// HasEdge reports whether the edge u→v is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	return g.has[[2]int{u, v}]
+}
+
+// Succ returns the successors of v (do not modify).
+func (g *Graph) Succ(v int) []int {
+	g.checkVertex(v)
+	return g.succ[v]
+}
+
+// Pred returns the predecessors of v (do not modify).
+func (g *Graph) Pred(v int) []int {
+	g.checkVertex(v)
+	return g.pred[v]
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for key := range g.has {
+		c.AddEdge(key[0], key[1])
+	}
+	return c
+}
+
+// Edges returns all edges sorted lexicographically.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, len(g.has))
+	for key := range g.has {
+		out = append(out, key)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// TopoSort returns a topological order of the vertices, or ok=false if the
+// graph has a cycle. Ties are broken by vertex id so the order is
+// deterministic.
+func (g *Graph) TopoSort() (order []int, ok bool) {
+	indeg := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		for range g.pred[v] {
+			indeg[v]++
+		}
+	}
+	// Min-heap by vertex id for determinism.
+	heap := make([]int, 0, g.n)
+	push := func(v int) {
+		heap = append(heap, v)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p] <= heap[i] {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < last && heap[l] < heap[m] {
+				m = l
+			}
+			if r < last && heap[r] < heap[m] {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+		return top
+	}
+	for v := 0; v < g.n; v++ {
+		if indeg[v] == 0 {
+			push(v)
+		}
+	}
+	order = make([]int, 0, g.n)
+	for len(heap) > 0 {
+		v := pop()
+		order = append(order, v)
+		for _, w := range g.succ[v] {
+			indeg[w]--
+			if indeg[w] == 0 {
+				push(w)
+			}
+		}
+	}
+	if len(order) != g.n {
+		return nil, false
+	}
+	return order, true
+}
+
+// HasCycle reports whether the graph contains a directed cycle.
+func (g *Graph) HasCycle() bool {
+	_, ok := g.TopoSort()
+	return !ok
+}
+
+// Closure holds the transitive closure of a DAG as per-vertex reachability
+// bitsets: Reach[v] contains every w ≠ v with a nonempty path v→…→w, plus w=v
+// only if v lies on a cycle through itself (never for DAGs).
+type Closure struct {
+	n     int
+	Reach []*bitset.Set
+}
+
+// TransitiveClosure computes reachability via one reverse-topological sweep.
+// It returns ok=false (and a nil closure) if the graph is cyclic.
+func (g *Graph) TransitiveClosure() (*Closure, bool) {
+	order, ok := g.TopoSort()
+	if !ok {
+		return nil, false
+	}
+	c := &Closure{n: g.n, Reach: make([]*bitset.Set, g.n)}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		r := bitset.New(g.n)
+		for _, w := range g.succ[v] {
+			r.Set(w)
+			r.Or(c.Reach[w])
+		}
+		c.Reach[v] = r
+	}
+	return c, true
+}
+
+// Reachable reports whether there is a nonempty path u→…→v.
+func (c *Closure) Reachable(u, v int) bool {
+	if u < 0 || u >= c.n || v < 0 || v >= c.n {
+		panic("dag: closure vertex out of range")
+	}
+	return c.Reach[u].Has(v)
+}
+
+// Comparable reports whether u and v are ordered either way (u reaches v or
+// v reaches u). A vertex is not comparable with itself in a DAG.
+func (c *Closure) Comparable(u, v int) bool {
+	return c.Reachable(u, v) || c.Reachable(v, u)
+}
+
+// NumPairs returns the number of ordered reachable pairs (u,v).
+func (c *Closure) NumPairs() int {
+	total := 0
+	for _, r := range c.Reach {
+		total += r.Count()
+	}
+	return total
+}
+
+// ReachableFrom returns the set of vertices reachable from any vertex of
+// srcs by a path of length ≥ 1, computed by BFS (works on cyclic graphs).
+func (g *Graph) ReachableFrom(srcs ...int) *bitset.Set {
+	seen := bitset.New(g.n)
+	queue := make([]int, 0, len(srcs))
+	for _, s := range srcs {
+		g.checkVertex(s)
+		for _, w := range g.succ[s] {
+			if !seen.Has(w) {
+				seen.Set(w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.succ[v] {
+			if !seen.Has(w) {
+				seen.Set(w)
+				queue = append(queue, w)
+			}
+		}
+	}
+	return seen
+}
+
+// Ancestors returns the set of vertices that reach v by a path of length ≥ 1.
+func (g *Graph) Ancestors(v int) *bitset.Set {
+	g.checkVertex(v)
+	seen := bitset.New(g.n)
+	queue := []int{}
+	for _, u := range g.pred[v] {
+		if !seen.Has(u) {
+			seen.Set(u)
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, u := range g.pred[x] {
+			if !seen.Has(u) {
+				seen.Set(u)
+				queue = append(queue, u)
+			}
+		}
+	}
+	return seen
+}
+
+// CommonAncestors returns the vertices that are (strict) ancestors of every
+// vertex in vs. With a single vertex it degenerates to Ancestors.
+func (g *Graph) CommonAncestors(vs ...int) *bitset.Set {
+	if len(vs) == 0 {
+		return bitset.New(g.n)
+	}
+	acc := g.Ancestors(vs[0])
+	for _, v := range vs[1:] {
+		acc.And(g.Ancestors(v))
+	}
+	return acc
+}
+
+// ClosestCommonAncestors returns the maximal elements (under reachability)
+// of the common-ancestor set of vs: common ancestors not strictly dominated
+// by another common ancestor. This is the "closest common ancestor" rule
+// used by Emrath–Ghosh–Padua task graphs. The provided closure must belong
+// to this graph.
+func (g *Graph) ClosestCommonAncestors(c *Closure, vs ...int) []int {
+	ca := g.CommonAncestors(vs...)
+	var out []int
+	ca.ForEach(func(u int) {
+		// u is "closest" if no other common ancestor w has u →+ w.
+		dominated := false
+		ca.ForEach(func(w int) {
+			if w != u && c.Reachable(u, w) {
+				dominated = true
+			}
+		})
+		if !dominated {
+			out = append(out, u)
+		}
+	})
+	sort.Ints(out)
+	return out
+}
+
+// TransitiveReduction returns a new graph containing the unique minimal edge
+// set with the same reachability (defined for DAGs). It returns ok=false on
+// cyclic input.
+func (g *Graph) TransitiveReduction() (*Graph, bool) {
+	c, ok := g.TransitiveClosure()
+	if !ok {
+		return nil, false
+	}
+	red := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.succ[u] {
+			// u→v is redundant iff some other successor w of u reaches v.
+			redundant := false
+			for _, w := range g.succ[u] {
+				if w != v && c.Reach[w].Has(v) {
+					redundant = true
+					break
+				}
+			}
+			if !redundant {
+				red.AddEdge(u, v)
+			}
+		}
+	}
+	return red, true
+}
+
+// LongestPathLengths returns, for each vertex, the number of edges on the
+// longest path ending at that vertex (its "level"). ok=false on cycles.
+func (g *Graph) LongestPathLengths() (levels []int, ok bool) {
+	order, ok := g.TopoSort()
+	if !ok {
+		return nil, false
+	}
+	levels = make([]int, g.n)
+	for _, v := range order {
+		for _, w := range g.succ[v] {
+			if levels[v]+1 > levels[w] {
+				levels[w] = levels[v] + 1
+			}
+		}
+	}
+	return levels, true
+}
+
+// SCCs returns the strongly connected components in reverse topological
+// order of the condensation (Tarjan's algorithm, iterative).
+func (g *Graph) SCCs() [][]int {
+	const unvisited = -1
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack   []int
+		comps   [][]int
+		counter int
+	)
+	type frame struct {
+		v, childIdx int
+	}
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		callStack := []frame{{root, 0}}
+		index[root] = counter
+		low[root] = counter
+		counter++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			v := f.v
+			if f.childIdx < len(g.succ[v]) {
+				w := g.succ[v][f.childIdx]
+				f.childIdx++
+				if index[w] == unvisited {
+					index[w] = counter
+					low[w] = counter
+					counter++
+					stack = append(stack, w)
+					onStack[w] = true
+					callStack = append(callStack, frame{w, 0})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				parent := callStack[len(callStack)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+	return comps
+}

@@ -1,0 +1,344 @@
+package dag
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// chain builds 0→1→…→n-1.
+func chain(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// diamond builds 0→1, 0→2, 1→3, 2→3.
+func diamond() *Graph {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	return g
+}
+
+func TestAddEdgeDuplicates(t *testing.T) {
+	g := New(3)
+	if !g.AddEdge(0, 1) {
+		t.Error("first AddEdge returned false")
+	}
+	if g.AddEdge(0, 1) {
+		t.Error("duplicate AddEdge returned true")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("HasEdge wrong")
+	}
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := chain(5)
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("chain reported cyclic")
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want identity", order)
+		}
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := New(5)
+	g.AddEdge(4, 2)
+	g.AddEdge(3, 2)
+	g.AddEdge(2, 0)
+	first, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("unexpected cycle")
+	}
+	for i := 0; i < 10; i++ {
+		again, _ := g.TopoSort()
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("TopoSort not deterministic: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	g := chain(4)
+	if g.HasCycle() {
+		t.Error("chain reported cyclic")
+	}
+	g.AddEdge(3, 0)
+	if !g.HasCycle() {
+		t.Error("4-cycle not detected")
+	}
+	self := New(1)
+	self.AddEdge(0, 0)
+	if !self.HasCycle() {
+		t.Error("self-loop not detected")
+	}
+}
+
+func TestTransitiveClosureDiamond(t *testing.T) {
+	g := diamond()
+	c, ok := g.TransitiveClosure()
+	if !ok {
+		t.Fatal("diamond reported cyclic")
+	}
+	wantReach := map[[2]int]bool{
+		{0, 1}: true, {0, 2}: true, {0, 3}: true,
+		{1, 3}: true, {2, 3}: true,
+	}
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			got := c.Reachable(u, v)
+			if got != wantReach[[2]int{u, v}] {
+				t.Errorf("Reachable(%d,%d) = %v", u, v, got)
+			}
+		}
+	}
+	if c.NumPairs() != 5 {
+		t.Errorf("NumPairs = %d, want 5", c.NumPairs())
+	}
+	if !c.Comparable(1, 3) || c.Comparable(1, 2) {
+		t.Error("Comparable wrong on diamond")
+	}
+}
+
+func TestClosureOnCycleFails(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, ok := g.TransitiveClosure(); ok {
+		t.Error("TransitiveClosure succeeded on cyclic graph")
+	}
+}
+
+func TestReachableFromAncestors(t *testing.T) {
+	g := diamond()
+	r := g.ReachableFrom(0)
+	if r.Count() != 3 || !r.Has(1) || !r.Has(2) || !r.Has(3) {
+		t.Errorf("ReachableFrom(0) = %v", r)
+	}
+	a := g.Ancestors(3)
+	if a.Count() != 3 || !a.Has(0) || !a.Has(1) || !a.Has(2) {
+		t.Errorf("Ancestors(3) = %v", a)
+	}
+	if !g.Ancestors(0).Empty() {
+		t.Error("root has ancestors")
+	}
+}
+
+func TestCommonAncestors(t *testing.T) {
+	// 0→1→3, 0→2→4; common ancestors of {3,4} = {0}.
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 4)
+	ca := g.CommonAncestors(3, 4)
+	if ca.Count() != 1 || !ca.Has(0) {
+		t.Errorf("CommonAncestors(3,4) = %v", ca)
+	}
+	if g.CommonAncestors().Count() != 0 {
+		t.Error("CommonAncestors() of nothing should be empty")
+	}
+}
+
+func TestClosestCommonAncestors(t *testing.T) {
+	// 0→1→2→3 and 0→1→2→4: CCA(3,4) = {2}, not {0,1,2}.
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(2, 4)
+	c, _ := g.TransitiveClosure()
+	cca := g.ClosestCommonAncestors(c, 3, 4)
+	if len(cca) != 1 || cca[0] != 2 {
+		t.Errorf("CCA(3,4) = %v, want [2]", cca)
+	}
+	// Two incomparable closest ancestors: 0→2, 1→2, 0→3, 1→3; CCA(2,3) = {0,1}.
+	h := New(4)
+	h.AddEdge(0, 2)
+	h.AddEdge(1, 2)
+	h.AddEdge(0, 3)
+	h.AddEdge(1, 3)
+	hc, _ := h.TransitiveClosure()
+	got := h.ClosestCommonAncestors(hc, 2, 3)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("CCA(2,3) = %v, want [0 1]", got)
+	}
+}
+
+func TestTransitiveReduction(t *testing.T) {
+	g := chain(4)
+	g.AddEdge(0, 2) // redundant
+	g.AddEdge(0, 3) // redundant
+	g.AddEdge(1, 3) // redundant
+	red, ok := g.TransitiveReduction()
+	if !ok {
+		t.Fatal("reduction failed")
+	}
+	if red.NumEdges() != 3 {
+		t.Errorf("reduction has %d edges, want 3: %v", red.NumEdges(), red.Edges())
+	}
+	// Same reachability.
+	c1, _ := g.TransitiveClosure()
+	c2, _ := red.TransitiveClosure()
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if c1.Reachable(u, v) != c2.Reachable(u, v) {
+				t.Errorf("reduction changed reachability at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestLongestPathLengths(t *testing.T) {
+	g := diamond()
+	levels, ok := g.LongestPathLengths()
+	if !ok {
+		t.Fatal("cyclic?")
+	}
+	want := []int{0, 1, 1, 2}
+	for i := range want {
+		if levels[i] != want[i] {
+			t.Errorf("level[%d] = %d, want %d", i, levels[i], want[i])
+		}
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// 0↔1 cycle, 2 alone, 3→0.
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(3, 0)
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("got %d SCCs, want 3: %v", len(comps), comps)
+	}
+	var sizes []int
+	for _, c := range comps {
+		sizes = append(sizes, len(c))
+	}
+	sort.Ints(sizes)
+	if sizes[0] != 1 || sizes[1] != 1 || sizes[2] != 2 {
+		t.Errorf("SCC sizes = %v", sizes)
+	}
+}
+
+func TestEdgesSorted(t *testing.T) {
+	g := New(3)
+	g.AddEdge(2, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	e := g.Edges()
+	want := [][2]int{{0, 1}, {0, 2}, {2, 0}}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Fatalf("Edges() = %v, want %v", e, want)
+		}
+	}
+}
+
+// randomDAG builds a DAG by only adding forward edges under a random
+// permutation, so it is acyclic by construction.
+func randomDAG(rng *rand.Rand, n, m int) *Graph {
+	perm := rng.Perm(n)
+	g := New(n)
+	for i := 0; i < m; i++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		// orient along perm
+		if perm[a] < perm[b] {
+			g.AddEdge(a, b)
+		} else {
+			g.AddEdge(b, a)
+		}
+	}
+	return g
+}
+
+func TestQuickClosureAgreesWithBFS(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randomDAG(rng, n, rng.Intn(3*n))
+		c, ok := g.TransitiveClosure()
+		if !ok {
+			return false
+		}
+		for u := 0; u < n; u++ {
+			bfs := g.ReachableFrom(u)
+			if !bfs.Equal(c.Reach[u]) {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickReductionPreservesReachability(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(15)
+		g := randomDAG(rng, n, rng.Intn(4*n))
+		red, ok := g.TransitiveReduction()
+		if !ok {
+			return false
+		}
+		c1, _ := g.TransitiveClosure()
+		c2, _ := red.TransitiveClosure()
+		for u := 0; u < n; u++ {
+			if !c1.Reach[u].Equal(c2.Reach[u]) {
+				return false
+			}
+		}
+		return red.NumEdges() <= g.NumEdges()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTopoOrderRespectsEdges(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(25)
+		g := randomDAG(rng, n, rng.Intn(3*n))
+		order, ok := g.TopoSort()
+		if !ok {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for _, e := range g.Edges() {
+			if pos[e[0]] >= pos[e[1]] {
+				return false
+			}
+		}
+		return true
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

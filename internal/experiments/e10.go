@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"eventorder/internal/core"
+	"eventorder/internal/reduction"
+	"eventorder/internal/sat"
+)
+
+// runE10 reproduces Section 5.3: the hardness equivalences survive when
+// shared-data dependences are ignored (the reductions contain none), while
+// Figure 1's D-enforced ordering — the thing the related work misses — is
+// exactly what disappears in that mode.
+func runE10(cfg Config) error {
+	rng := cfg.rng()
+
+	// Part 1: theorem equivalences under IgnoreData.
+	trials := 6
+	if cfg.Quick {
+		trials = 2
+	}
+	t := newTable(cfg.Out, "trial", "style", "SAT", "MHB (with D)", "MHB (ignoring D)", "identical")
+	allSame := true
+	for trial := 0; trial < trials; trial++ {
+		f := randomSmallFormula(rng, 1+rng.Intn(2), 1+rng.Intn(2))
+		style := reduction.StyleSemaphore
+		if trial%2 == 1 {
+			style = reduction.StyleEvent
+		}
+		isSat := sat.Solve(f).SAT
+		inst, err := reduction.Build(f, style, core.Options{})
+		if err != nil {
+			return err
+		}
+		withD, err := core.New(inst.X, core.Options{})
+		if err != nil {
+			return err
+		}
+		m1, err := withD.MHB(inst.A, inst.B)
+		if err != nil {
+			return err
+		}
+		noD, err := core.New(inst.X, core.Options{IgnoreData: true})
+		if err != nil {
+			return err
+		}
+		m2, err := noD.MHB(inst.A, inst.B)
+		if err != nil {
+			return err
+		}
+		same := m1 == m2 && m1 == !isSat
+		allSame = allSame && same
+		t.row(trial, style, boolMark(isSat), boolMark(m1), boolMark(m2), boolMark(same))
+	}
+	t.flush()
+	fmt.Fprintf(cfg.Out, "reduction programs have no shared data, so both feasibility notions coincide: %s\n\n", boolMark(allSame))
+
+	// Part 2: Figure 1 under both notions.
+	x, err := Figure1Execution()
+	if err != nil {
+		return err
+	}
+	lp := x.MustEventByLabel("lp").ID
+	rp := x.MustEventByLabel("rp").ID
+	withD, err := core.New(x, core.Options{})
+	if err != nil {
+		return err
+	}
+	m1, err := withD.MHB(lp, rp)
+	if err != nil {
+		return err
+	}
+	noD, err := core.New(x, core.Options{IgnoreData: true})
+	if err != nil {
+		return err
+	}
+	m2, err := noD.MHB(lp, rp)
+	if err != nil {
+		return err
+	}
+	t2 := newTable(cfg.Out, "query", "with D (paper's feasibility)", "ignoring D (related work)")
+	t2.row("leftPost MHB rightPost (Figure 1)", boolMark(m1), boolMark(m2))
+	t2.flush()
+	if !m1 || m2 {
+		return fmt.Errorf("figure-1 contrast failed: withD=%v ignoreD=%v", m1, m2)
+	}
+	fmt.Fprintln(cfg.Out, "claim reproduced: hardness holds in both modes (Section 5.3), and the")
+	fmt.Fprintln(cfg.Out, "dependence-aware notion is strictly more precise (Figure 1's ordering).")
+	return nil
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eventorder/internal/core"
+	"eventorder/internal/gen"
+	"eventorder/internal/hmw"
+	"eventorder/internal/model"
+	"eventorder/internal/vclock"
+)
+
+// runE6 measures how much of the exact must-have-happened-before relation
+// the polynomial analyses recover on random semaphore workloads, and
+// verifies the safety claims: HMW phases 2–3 never overclaim; phase 1 and
+// vector clocks can.
+func runE6(cfg Config) error {
+	rng := cfg.rng()
+	trials := 12
+	if cfg.Quick {
+		trials = 3
+	}
+	t := newTable(cfg.Out, "trial", "events", "exact MHB pairs",
+		"HMW1 unsafe claims", "HMW2 recall", "HMW3 recall", "VC unsafe claims",
+		"exact time", "poly time")
+	var sumExact, sumH2, sumH3 int
+	var h1Unsafe, vcUnsafe int
+	for trial := 0; trial < trials; trial++ {
+		x, err := gen.Random(rng, gen.RandomOptions{
+			Procs: 3, OpsPerProc: 4, Sems: 2, SemInit: 1,
+		})
+		if err != nil {
+			return err
+		}
+		// HMW and VC ignore shared-data dependences; compare against the
+		// same feasibility notion (Section 5.3).
+		a, err := core.New(x, core.Options{IgnoreData: true})
+		if err != nil {
+			return err
+		}
+		startExact := time.Now()
+		exact, err := a.Relation(core.RelMHB)
+		if err != nil {
+			return err
+		}
+		exactTime := time.Since(startExact)
+
+		startPoly := time.Now()
+		res, err := hmw.Analyze(x)
+		if err != nil {
+			return err
+		}
+		vc, err := vclock.Compute(x)
+		if err != nil {
+			return err
+		}
+		polyTime := time.Since(startPoly)
+
+		count := func(r *model.Relation) (inExact, notInExact int) {
+			for _, p := range r.Pairs() {
+				if exact.Has(p[0], p[1]) {
+					inExact++
+				} else {
+					notInExact++
+				}
+			}
+			return
+		}
+		_, h1Bad := count(res.Phase1)
+		h2Good, h2Bad := count(res.Phase2)
+		h3Good, h3Bad := count(res.Phase3)
+		_, vcBad := count(vc.HB)
+		if h2Bad > 0 || h3Bad > 0 {
+			return fmt.Errorf("trial %d: safe HMW phase overclaimed (%d, %d pairs)", trial, h2Bad, h3Bad)
+		}
+		h1Unsafe += h1Bad
+		vcUnsafe += vcBad
+		sumExact += exact.Count()
+		sumH2 += h2Good
+		sumH3 += h3Good
+
+		recall := func(good int) string {
+			if exact.Count() == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%d/%d", good, exact.Count())
+		}
+		t.row(trial, x.NumEvents(), exact.Count(),
+			h1Bad, recall(h2Good), recall(h3Good), vcBad,
+			exactTime.Round(time.Microsecond), polyTime.Round(time.Microsecond))
+	}
+	t.flush()
+	fmt.Fprintf(cfg.Out, "aggregate: exact MHB pairs %d; HMW2 recall %.0f%%; HMW3 recall %.0f%%\n",
+		sumExact, pct(sumH2, sumExact), pct(sumH3, sumExact))
+	fmt.Fprintf(cfg.Out, "unsafe overclaims across all trials: HMW phase 1 = %d, vector clocks = %d\n", h1Unsafe, vcUnsafe)
+
+	// Crafted incompleteness witness: a token supply chain.
+	//
+	//	p1: v1:V(s)   p2: P(s); v2:V(s)   p3: P(s); b:skip
+	//
+	// Every complete execution is forced into v1 → p2.P → v2 → p3.P (if
+	// p3's P stole v1's token, p2 could never finish), so exact MHB chains
+	// all four sync events. The counting rule sees two candidate suppliers
+	// for each P and derives nothing — the incompleteness the paper's
+	// Theorem 1 guarantees some input must exhibit.
+	fmt.Fprintln(cfg.Out, "\nincompleteness witness (token supply chain):")
+	b := model.NewBuilder()
+	b.Sem("s", 0, model.SemCounting)
+	p1 := b.Proc("p1")
+	p1.Label("v1").V("s")
+	p2 := b.Proc("p2")
+	p2.Label("p2P").P("s")
+	p2.Label("v2").V("s")
+	p3 := b.Proc("p3")
+	p3.Label("p3P").P("s")
+	x, err := b.Build()
+	if err != nil {
+		return err
+	}
+	a, err := core.New(x, core.Options{IgnoreData: true})
+	if err != nil {
+		return err
+	}
+	res, err := hmw.Analyze(x)
+	if err != nil {
+		return err
+	}
+	t2 := newTable(cfg.Out, "ordering", "exact MHB", "HMW3")
+	chain := [][2]string{{"v1", "p2P"}, {"v2", "p3P"}, {"v1", "p3P"}}
+	missed := 0
+	for _, pair := range chain {
+		ea := x.MustEventByLabel(pair[0]).ID
+		eb := x.MustEventByLabel(pair[1]).ID
+		exactHas, err := a.MHB(ea, eb)
+		if err != nil {
+			return err
+		}
+		hmwHas := res.Phase3.Has(ea, eb)
+		if exactHas && !hmwHas {
+			missed++
+		}
+		t2.row(fmt.Sprintf("%s → %s", pair[0], pair[1]), boolMark(exactHas), boolMark(hmwHas))
+	}
+	t2.flush()
+	if missed == 0 {
+		return fmt.Errorf("incompleteness witness failed: HMW found the whole chain")
+	}
+	fmt.Fprintf(cfg.Out, "exact MHB proves %d orderings the polynomial analysis misses\n", missed)
+	fmt.Fprintln(cfg.Out, "claim reproduced: the safe polynomial phases compute a subset of MHB (Theorem 1")
+	fmt.Fprintln(cfg.Out, "makes the full relation co-NP-hard); the observed-pairing analyses overclaim.")
+	return nil
+}
+
+func pct(a, b int) float64 {
+	if b == 0 {
+		return 100
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"eventorder/internal/core"
+	"eventorder/internal/gen"
+	"eventorder/internal/model"
+	"eventorder/internal/race"
+)
+
+// runE8 reproduces the conclusion's implication: exhaustive race detection
+// (via could-have-been-concurrent) is exact but exponential; the practical
+// vector-clock detector is fast but wrong in both directions.
+func runE8(cfg Config) error {
+	// Part 1: seeded workloads — half the pairs mutex-guarded.
+	pairCounts := []int{2, 4, 6}
+	if cfg.Quick {
+		pairCounts = []int{2}
+	}
+	t := newTable(cfg.Out, "pairs", "planted races", "exact found", "VC found",
+		"VC false pos", "VC false neg", "PO found", "exact time")
+	for _, pairs := range pairCounts {
+		x, planted, err := gen.SeededRaces(pairs, 0.5)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		rep, err := race.Detect(x, core.Options{})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		d := race.Compare(rep.Exact, rep.VC)
+		t.row(pairs, planted, len(rep.Exact), len(rep.VC),
+			d.FalsePositives, d.FalseNegatives, len(rep.PO),
+			elapsed.Round(time.Microsecond))
+		if len(rep.Exact) != planted {
+			return fmt.Errorf("exact detector missed planted races: %d vs %d", len(rep.Exact), planted)
+		}
+	}
+	t.flush()
+
+	// Part 2: the hidden-race example where the observed pairing fools the
+	// vector-clock detector (false negative).
+	fmt.Fprintln(cfg.Out, "\nhidden race (two V suppliers; observed pairing orders the writes):")
+	b := model.NewBuilder()
+	b.Sem("s", 0, model.SemCounting)
+	p1 := b.Proc("p1")
+	p1.Label("w1").Write("x")
+	p1.V("s")
+	b.Proc("p2").V("s")
+	p3 := b.Proc("p3")
+	p3.P("s")
+	p3.Label("w2").Write("x")
+	x, err := b.BuildDeferred()
+	if err != nil {
+		return err
+	}
+	x.Order = []model.OpID{0, 1, 2, 3, 4}
+	if err := model.Replay(x, x.Order, nil); err != nil {
+		return err
+	}
+	rep, err := race.Detect(x, core.Options{})
+	if err != nil {
+		return err
+	}
+	t2 := newTable(cfg.Out, "detector", "races reported", "verdict")
+	t2.row("exact (CCW)", len(rep.Exact), "finds the feasible race")
+	t2.row("vector clocks", len(rep.VC), "misses it (pairing artifact)")
+	t2.row("program order", len(rep.PO), "over-approximates")
+	t2.flush()
+	if len(rep.Exact) != 1 || len(rep.VC) != 0 {
+		return fmt.Errorf("hidden-race demonstration failed: exact=%d vc=%d", len(rep.Exact), len(rep.VC))
+	}
+	fmt.Fprintln(cfg.Out, "claim reproduced: exhaustively detecting all data races a given execution")
+	fmt.Fprintln(cfg.Out, "could have exhibited requires the NP-hard CCW relation; the polynomial")
+	fmt.Fprintln(cfg.Out, "detector both over- and under-reports relative to the exact set.")
+	return nil
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode: they
+// must complete without error and print their tables (the assertions inside
+// each experiment double as integration checks of the whole pipeline).
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := Config{Seed: 7, Quick: true, Out: &buf}
+			if err := RunOne(e, cfg); err != nil {
+				t.Fatalf("%s failed: %v\noutput so far:\n%s", e.ID, err, buf.String())
+			}
+			out := buf.String()
+			if !strings.Contains(out, e.ID+":") {
+				t.Errorf("missing header in output:\n%s", out)
+			}
+			if len(out) < 100 {
+				t.Errorf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e5"); !ok {
+		t.Error("e5 not found")
+	}
+	if _, ok := ByID("e99"); ok {
+		t.Error("e99 found")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(Config{Seed: 3, Quick: true, Out: &buf}); err != nil {
+		t.Fatalf("RunAll: %v", err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(buf.String(), e.ID+":") {
+			t.Errorf("output missing %s", e.ID)
+		}
+	}
+}
+
+func TestTableHelper(t *testing.T) {
+	var buf bytes.Buffer
+	tb := newTable(&buf, "a", "bb")
+	tb.row(1, "x")
+	tb.flush()
+	out := buf.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "--") {
+		t.Errorf("table output wrong:\n%s", out)
+	}
+	if boolMark(true) != "yes" || boolMark(false) != "no" {
+		t.Error("boolMark wrong")
+	}
+	if pct(1, 0) != 100 || pct(1, 2) != 50 {
+		t.Error("pct wrong")
+	}
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"eventorder/internal/core"
+	"eventorder/internal/model"
+	"eventorder/internal/reduction"
+	"eventorder/internal/sat"
+)
+
+// randomSmallFormula draws a formula over n variables with m clauses of
+// width 1–3; narrow clauses make unsatisfiable instances common, so both
+// sides of the theorem equivalences get exercised.
+func randomSmallFormula(rng *rand.Rand, n, m int) *sat.Formula {
+	f := sat.NewFormula(n)
+	for j := 0; j < m; j++ {
+		w := 1 + rng.Intn(3)
+		if w > n {
+			w = n
+		}
+		clause := make([]int, 0, w)
+		for k := 0; k < w; k++ {
+			lit := 1 + rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				lit = -lit
+			}
+			clause = append(clause, lit)
+		}
+		f.AddClause(clause...)
+	}
+	return f
+}
+
+// reductionRow is one measured reduction instance.
+type reductionRow struct {
+	n, m    int
+	procs   int
+	actions int
+	sat     bool
+	nodes   int64
+	elapsed time.Duration
+	agree   bool
+}
+
+// measureReduction builds one instance, runs the selected query, and checks
+// the theorem equivalence against the CDCL oracle.
+//
+// query = "mhb": a MHB b, expect ⇔ ¬SAT (Theorems 1/3).
+// query = "chb": b CHB a, expect ⇔ SAT  (Theorems 2/4).
+func measureReduction(f *sat.Formula, style reduction.Style, query string, opts core.Options) (reductionRow, error) {
+	row := reductionRow{n: f.NumVars, m: len(f.Clauses)}
+	row.sat = sat.Solve(f).SAT
+	inst, err := reduction.Build(f, style, opts)
+	if err != nil {
+		return row, err
+	}
+	row.procs = inst.X.NumProcs()
+	a, err := core.New(inst.X, opts)
+	if err != nil {
+		return row, err
+	}
+	row.actions = a.NumActions()
+	start := time.Now()
+	var got, want bool
+	switch query {
+	case "mhb":
+		got, err = a.MHB(inst.A, inst.B)
+		want = !row.sat
+	case "chb":
+		got, err = a.CHB(inst.B, inst.A)
+		want = row.sat
+	default:
+		return row, fmt.Errorf("unknown query %q", query)
+	}
+	if err != nil {
+		return row, err
+	}
+	row.elapsed = time.Since(start)
+	row.nodes = a.Stats().Nodes
+	row.agree = got == want
+	return row, nil
+}
+
+// runReductionExperiment renders the sweep table shared by E2–E4.
+func runReductionExperiment(cfg Config, style reduction.Style, query, expect string) error {
+	rng := cfg.rng()
+	type size struct{ n, m, trials int }
+	sizes := []size{{1, 1, 6}, {1, 2, 6}, {2, 2, 6}, {2, 3, 4}, {3, 3, 2}}
+	if cfg.Quick {
+		sizes = []size{{1, 1, 2}, {1, 2, 2}}
+	}
+	t := newTable(cfg.Out, "vars", "clauses", "trials", "SAT/UNSAT", "procs", "actions", "avg nodes", "avg time", "equivalence holds")
+	allAgree := true
+	for _, s := range sizes {
+		var satCount, unsatCount int
+		var nodes int64
+		var elapsed time.Duration
+		agree := true
+		procs, actions := 0, 0
+		for trial := 0; trial < s.trials; trial++ {
+			f := randomSmallFormula(rng, s.n, s.m)
+			row, err := measureReduction(f, style, query, core.Options{})
+			if err != nil {
+				return err
+			}
+			if row.sat {
+				satCount++
+			} else {
+				unsatCount++
+			}
+			nodes += row.nodes
+			elapsed += row.elapsed
+			agree = agree && row.agree
+			procs, actions = row.procs, row.actions
+		}
+		allAgree = allAgree && agree
+		t.row(s.n, s.m, s.trials, fmt.Sprintf("%d/%d", satCount, unsatCount),
+			procs, actions,
+			nodes/int64(s.trials), (elapsed / time.Duration(s.trials)).Round(time.Microsecond),
+			boolMark(agree))
+	}
+	t.flush()
+	fmt.Fprintf(cfg.Out, "claim: %s; all instances agree with the SAT oracle: %s\n", expect, boolMark(allAgree))
+	return nil
+}
+
+func runE2(cfg Config) error {
+	fmt.Fprintln(cfg.Out, "construction: 3n+3m+2 processes, 3n+m+1 counting semaphores (paper, Theorem 1)")
+	return runReductionExperiment(cfg, reduction.StyleSemaphore, "mhb",
+		"a MHB b ⇔ B unsatisfiable (co-NP-hardness witness)")
+}
+
+func runE3(cfg Config) error {
+	return runReductionExperiment(cfg, reduction.StyleSemaphore, "chb",
+		"b CHB a ⇔ B satisfiable (NP-hardness witness)")
+}
+
+func runE4(cfg Config) error {
+	fmt.Fprintln(cfg.Out, "construction: per-variable fork/Clear/Wait mutual-exclusion gadget (paper, Theorem 3)")
+	if err := runReductionExperiment(cfg, reduction.StyleEvent, "mhb",
+		"a MHB b ⇔ B unsatisfiable"); err != nil {
+		return err
+	}
+	if err := runReductionExperiment(cfg, reduction.StyleEvent, "chb",
+		"b CHB a ⇔ B satisfiable"); err != nil {
+		return err
+	}
+	// Binary-semaphore variant (paper: the proofs do not use the counting
+	// ability).
+	fmt.Fprintln(cfg.Out, "binary-semaphore variant of Theorem 1 (paper, end of Section 5.1):")
+	rng := cfg.rng()
+	trials := 4
+	if cfg.Quick {
+		trials = 2
+	}
+	t := newTable(cfg.Out, "trial", "SAT", "a MHB b", "equivalence holds")
+	all := true
+	for trial := 0; trial < trials; trial++ {
+		f := randomSmallFormula(rng, 1+rng.Intn(2), 1+rng.Intn(2))
+		isSat := sat.Solve(f).SAT
+		inst, err := reduction.BuildSemaphore(f, model.SemBinary, core.Options{})
+		if err != nil {
+			return err
+		}
+		a, err := core.New(inst.X, core.Options{})
+		if err != nil {
+			return err
+		}
+		mhb, err := a.MHB(inst.A, inst.B)
+		if err != nil {
+			return err
+		}
+		ok := mhb == !isSat
+		all = all && ok
+		t.row(trial, boolMark(isSat), boolMark(mhb), boolMark(ok))
+	}
+	t.flush()
+	fmt.Fprintf(cfg.Out, "binary-semaphore equivalences hold: %s\n", boolMark(all))
+	return nil
+}

@@ -1,0 +1,227 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventorder/internal/core"
+	"eventorder/internal/model"
+	"eventorder/internal/race"
+	"eventorder/internal/semsched"
+)
+
+func TestMutex(t *testing.T) {
+	x, err := Mutex(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Validate(x); err != nil {
+		t.Fatal(err)
+	}
+	if x.NumProcs() != 3 {
+		t.Errorf("procs = %d", x.NumProcs())
+	}
+	// Critical sections must never race (they all write "shared").
+	rep, err := race.Detect(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exact) != 0 {
+		t.Errorf("mutex workload has %d exact races", len(rep.Exact))
+	}
+}
+
+func TestProducerConsumer(t *testing.T) {
+	x, err := ProducerConsumer(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Validate(x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProducerConsumer(1, 3, 1); err == nil {
+		t.Error("uneven items accepted")
+	}
+	// Each consume is preceded by some produce: with one producer and one
+	// consumer, the first produce MHB the first consume.
+	x2, err := ProducerConsumer(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(x2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mhb, err := a.MHB(x2.MustEventByLabel("prod0_0").ID, x2.MustEventByLabel("cons0_0").ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mhb {
+		t.Error("prod0_0 should MHB cons0_0")
+	}
+}
+
+func TestPipeline(t *testing.T) {
+	x, err := Pipeline(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mhb, err := a.MHB(x.MustEventByLabel("work0").ID, x.MustEventByLabel("work3").ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mhb {
+		t.Error("pipeline stage 0 should MHB stage 3")
+	}
+	if _, err := Pipeline(0); err == nil {
+		t.Error("0-stage pipeline accepted")
+	}
+}
+
+func TestForkJoinTree(t *testing.T) {
+	x, err := ForkJoinTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := x.MustEventByLabel("setup").ID
+	collect := x.MustEventByLabel("collect").ID
+	for _, l := range []string{"work0", "work1", "work2"} {
+		w := x.MustEventByLabel(l).ID
+		if ok, _ := a.MHB(setup, w); !ok {
+			t.Errorf("setup should MHB %s", l)
+		}
+		if ok, _ := a.MHB(w, collect); !ok {
+			t.Errorf("%s should MHB collect", l)
+		}
+	}
+	ccw, err := a.CCW(x.MustEventByLabel("work0").ID, x.MustEventByLabel("work1").ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ccw {
+		t.Error("workers should be possibly concurrent")
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	x, err := Barrier(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// before_i MHB after_j for all i, j: the barrier separates phases.
+	for _, i := range []string{"before0", "before1"} {
+		for _, j := range []string{"after0", "after1"} {
+			ok, err := a.MHB(x.MustEventByLabel(i).ID, x.MustEventByLabel(j).ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Errorf("%s should MHB %s across the barrier", i, j)
+			}
+		}
+	}
+}
+
+func TestSingleSem(t *testing.T) {
+	x, err := SingleSem(2, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := semsched.FromExecution(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.CanComplete() {
+		t.Error("single-sem workload should complete")
+	}
+}
+
+func TestReadersWriters(t *testing.T) {
+	x, err := ReadersWriters(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Validate(x); err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.New(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writers never overlap each other or any read (write lock).
+	mow, err := a.MOW(x.MustEventByLabel("write0").ID, x.MustEventByLabel("write1").ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mow {
+		t.Error("writers overlapped")
+	}
+	mow, err = a.MOW(x.MustEventByLabel("write0").ID, x.MustEventByLabel("read0").ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mow {
+		t.Error("write overlapped a read")
+	}
+	// No races: the lock protects "data".
+	rep, err := race.Detect(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exact) != 0 {
+		t.Errorf("readers-writers raced: %v", rep.Exact)
+	}
+	if _, err := ReadersWriters(0, 1); err == nil {
+		t.Error("0 readers accepted")
+	}
+}
+
+func TestRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 10; i++ {
+		x, err := Random(rng, RandomOptions{
+			Procs: 3, OpsPerProc: 3, Sems: 1, Events: 1, Vars: 2, SemInit: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := model.Validate(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSeededRaces(t *testing.T) {
+	x, planted, err := SeededRaces(4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planted != 2 {
+		t.Fatalf("planted = %d, want 2", planted)
+	}
+	rep, err := race.Detect(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Exact) != planted {
+		t.Errorf("exact races = %d, want %d", len(rep.Exact), planted)
+	}
+	if len(rep.Candidates) != 4 {
+		t.Errorf("candidates = %d, want 4", len(rep.Candidates))
+	}
+	if _, _, err := SeededRaces(0, 0); err == nil {
+		t.Error("0 pairs accepted")
+	}
+}

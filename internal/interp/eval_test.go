@@ -1,0 +1,131 @@
+package interp
+
+import (
+	"testing"
+
+	"eventorder/internal/lang"
+)
+
+// TestExploreEvalOperators drives every operator through the explorer's
+// evaluator (which duplicates the runner's) and cross-checks the final
+// values against Run.
+func TestExploreEvalOperators(t *testing.T) {
+	src := `
+var a
+var b
+var c
+var d
+var e
+var f
+var g
+var h
+var i
+var j
+var k
+var l
+var m
+var n
+proc main {
+    a := 7 + 3
+    b := 7 - 3
+    c := 7 * 3
+    d := 7 / 3
+    e := 7 % 3
+    f := -(7)
+    g := !0 + !5
+    h := (1 == 1) + (1 != 1)
+    i := (1 < 2) + (2 <= 2) + (3 > 2) + (2 >= 3)
+    j := (1 && 2) + (1 && 0)
+    k := (0 || 3) + (0 || 0)
+    l := a + b * c
+    m := (a + b) * 2
+    n := 1 - -1
+}`
+	prog := lang.MustParse(src)
+	want := map[string]int64{
+		"a": 10, "b": 4, "c": 21, "d": 2, "e": 1, "f": -7,
+		"g": 1, "h": 1, "i": 3, "j": 1, "k": 1,
+		"l": 10 + 4*21, "m": 28, "n": 2,
+	}
+	run, err := Run(lang.MustParse(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, w := range want {
+		if run.Vars[v] != w {
+			t.Errorf("Run: %s = %d, want %d", v, run.Vars[v], w)
+		}
+	}
+	res, err := Explore(prog, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Terminal) != 1 {
+		t.Fatalf("deterministic program has %d outcomes", len(res.Terminal))
+	}
+	for _, vars := range res.Terminal {
+		for v, w := range want {
+			if vars[v] != w {
+				t.Errorf("Explore: %s = %d, want %d", v, vars[v], w)
+			}
+		}
+	}
+}
+
+func TestExploreEvalErrors(t *testing.T) {
+	for _, src := range []string{
+		`var x
+proc main { x := 1 / (x - 0) }`, // x starts 0 → division by zero
+		`var x
+proc main { x := 1 % x }`,
+	} {
+		if _, err := Explore(lang.MustParse(src), ExploreOptions{}); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestEnumerateRunsBasics(t *testing.T) {
+	// Two independent labeled statements: two runs with opposite orders.
+	runs, truncated, err := EnumerateRuns(lang.MustParse(`
+proc p1 { a: skip }
+proc p2 { b: skip }`), 0)
+	if err != nil || truncated {
+		t.Fatalf("err=%v truncated=%v", err, truncated)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d, want 2", len(runs))
+	}
+	seen := map[string]bool{}
+	for _, r := range runs {
+		if len(r) != 2 {
+			t.Fatalf("run labels = %v", r)
+		}
+		seen[r[0]+r[1]] = true
+	}
+	if !seen["ab"] || !seen["ba"] {
+		t.Errorf("orders seen: %v", seen)
+	}
+
+	// Deadlocked runs are skipped.
+	runs, _, err = EnumerateRuns(lang.MustParse(`
+sem s = 0
+proc p { P(s)  a: skip }`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 0 {
+		t.Errorf("deadlocked program produced %d complete runs", len(runs))
+	}
+
+	// Truncation.
+	_, truncated, err = EnumerateRuns(lang.MustParse(`
+proc p1 { a: skip  b: skip }
+proc p2 { c: skip  d: skip }`), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("limit not reported as truncation")
+	}
+}

@@ -1,0 +1,623 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eventorder/internal/lang"
+)
+
+// Explore enumerates the reachable outcomes of a program across ALL
+// schedules — a small explicit-state model checker over program states
+// (control locations, shared variables, semaphores, event variables).
+// Unlike the trace analyses (which fix an observed event set), Explore
+// covers executions that take different branches.
+//
+// It answers questions the paper's arguments appeal to informally, e.g.
+// that the Theorem 3 gadget posts exactly one of X/X̄ during the first pass
+// in every non-deadlocking schedule, or that Figure 1's program has
+// executions taking both branches of the conditional.
+//
+// The state space is exponential; Options.MaxStates bounds it.
+type ExploreOptions struct {
+	// MaxStates bounds distinct visited states (0 = 1_000_000).
+	MaxStates int
+	// MaxDepth bounds scheduling steps along one path (0 = 10_000);
+	// exceeding it reports ErrDepthExceeded (likely an unbounded loop).
+	MaxDepth int
+}
+
+// ExploreResult summarizes the reachable behavior.
+type ExploreResult struct {
+	// States is the number of distinct program states visited.
+	States int
+	// Terminal holds each distinct termination outcome (all processes
+	// finished), keyed by the canonical final shared-variable valuation.
+	Terminal map[string]map[string]int64
+	// Deadlocks is the number of distinct deadlocked states.
+	Deadlocks int
+	// DeadlockWitness describes one deadlocked state, if any.
+	DeadlockWitness string
+	// DeadlockValuations holds the shared-variable values of each distinct
+	// deadlocked state, keyed like Terminal.
+	DeadlockValuations map[string]map[string]int64
+	// CanTerminate / CanDeadlock summarize reachability.
+	CanTerminate bool
+	CanDeadlock  bool
+	// LabelsSeen collects statement labels reachable in some execution
+	// (branch coverage across schedules).
+	LabelsSeen map[string]bool
+	// Truncated is set when MaxStates was hit: absence claims (e.g.
+	// CanDeadlock == false) are then unreliable.
+	Truncated bool
+}
+
+// ErrDepthExceeded reports a path exceeding ExploreOptions.MaxDepth.
+var ErrDepthExceeded = fmt.Errorf("interp: exploration depth exceeded (unbounded loop?)")
+
+// exploreState is an immutable snapshot for hashing.
+type exploreState struct {
+	key string
+}
+
+// Explore runs the model checker.
+func Explore(p *lang.Program, opts ExploreOptions) (*ExploreResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxStates <= 0 {
+		opts.MaxStates = 1_000_000
+	}
+	if opts.MaxDepth <= 0 {
+		opts.MaxDepth = 10_000
+	}
+	res := &ExploreResult{
+		Terminal:           map[string]map[string]int64{},
+		DeadlockValuations: map[string]map[string]int64{},
+		LabelsSeen:         map[string]bool{},
+	}
+	seen := map[string]bool{}
+
+	// The explorer reuses the runner machinery but needs cloneable state;
+	// rather than teaching runner to undo arbitrary steps, each node clones
+	// a compact machine state and replays from it.
+	init, err := newMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	type node struct {
+		m     *machine
+		depth int
+	}
+	stack := []node{{init, 0}}
+	seen[init.key()] = true
+
+	var depthErr error
+	for len(stack) > 0 && !res.Truncated && depthErr == nil {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.States++
+
+		ready := nd.m.ready()
+		if len(ready) == 0 {
+			if nd.m.allFinished() {
+				res.CanTerminate = true
+				key, vars := nd.m.finalVars()
+				if _, ok := res.Terminal[key]; !ok {
+					res.Terminal[key] = vars
+				}
+			} else {
+				res.CanDeadlock = true
+				res.Deadlocks++
+				if res.DeadlockWitness == "" {
+					res.DeadlockWitness = nd.m.describeBlocked()
+				}
+				key, vars := nd.m.finalVars()
+				if _, ok := res.DeadlockValuations[key]; !ok {
+					res.DeadlockValuations[key] = vars
+				}
+			}
+			continue
+		}
+		if nd.depth >= opts.MaxDepth {
+			depthErr = ErrDepthExceeded
+			break
+		}
+		for _, pi := range ready {
+			child := nd.m.clone()
+			label, err := child.step(pi)
+			if err != nil {
+				return nil, err
+			}
+			if label != "" {
+				res.LabelsSeen[label] = true
+			}
+			k := child.key()
+			if seen[k] {
+				continue
+			}
+			if len(seen) >= opts.MaxStates {
+				res.Truncated = true
+				break
+			}
+			seen[k] = true
+			stack = append(stack, node{child, nd.depth + 1})
+		}
+	}
+	if depthErr != nil {
+		return nil, depthErr
+	}
+	return res, nil
+}
+
+// EnumerateRuns enumerates complete executions of the program across all
+// schedules (paths, not deduplicated states), reporting each run's sequence
+// of executed statement labels. Deadlocked runs are skipped. At most limit
+// runs are returned when limit > 0 (ErrTruncated-style boolean flags
+// truncation). Intended for validating static analyses on small loop-free
+// programs; the path count is exponential.
+func EnumerateRuns(p *lang.Program, limit int) (runs [][]string, truncated bool, err error) {
+	if err := p.Validate(); err != nil {
+		return nil, false, err
+	}
+	init, err := newMachine(p)
+	if err != nil {
+		return nil, false, err
+	}
+	var labels []string
+	var rec func(m *machine, depth int) error
+	rec = func(m *machine, depth int) error {
+		if truncated {
+			return nil
+		}
+		if depth > 100_000 {
+			return ErrDepthExceeded
+		}
+		ready := m.ready()
+		if len(ready) == 0 {
+			if m.allFinished() {
+				runs = append(runs, append([]string(nil), labels...))
+				if limit > 0 && len(runs) >= limit {
+					truncated = true
+				}
+			}
+			return nil
+		}
+		for _, pi := range ready {
+			child := m.clone()
+			label, err := child.step(pi)
+			if err != nil {
+				return err
+			}
+			if label != "" {
+				labels = append(labels, label)
+			}
+			if err := rec(child, depth+1); err != nil {
+				return err
+			}
+			if label != "" {
+				labels = labels[:len(labels)-1]
+			}
+			if truncated {
+				return nil
+			}
+		}
+		return nil
+	}
+	if err := rec(init, 0); err != nil {
+		return nil, false, err
+	}
+	return runs, truncated, nil
+}
+
+// machine is a compact cloneable program state for exploration. It mirrors
+// runner's semantics but without trace recording.
+type machine struct {
+	prog  *lang.Program
+	procs []mProc
+	vars  map[string]int64
+	sems  map[string]int
+	evs   map[string]bool
+}
+
+type mProc struct {
+	started  bool
+	finished bool
+	stack    []frame
+}
+
+func newMachine(p *lang.Program) (*machine, error) {
+	m := &machine{
+		prog: p,
+		vars: map[string]int64{},
+		sems: map[string]int{},
+		evs:  map[string]bool{},
+	}
+	for _, d := range p.Sems {
+		m.sems[d.Name] = d.Init
+	}
+	for _, d := range p.Events {
+		m.evs[d.Name] = d.Posted
+	}
+	for _, d := range p.Vars {
+		m.vars[d.Name] = d.Init
+	}
+	for i := range p.Procs {
+		mp := mProc{stack: []frame{{body: p.Procs[i].Body}}}
+		if !p.IsForked(p.Procs[i].Name) {
+			mp.started = true
+		}
+		m.procs = append(m.procs, mp)
+	}
+	return m, nil
+}
+
+func (m *machine) clone() *machine {
+	c := &machine{
+		prog: m.prog,
+		vars: make(map[string]int64, len(m.vars)),
+		sems: make(map[string]int, len(m.sems)),
+		evs:  make(map[string]bool, len(m.evs)),
+	}
+	for k, v := range m.vars {
+		c.vars[k] = v
+	}
+	for k, v := range m.sems {
+		c.sems[k] = v
+	}
+	for k, v := range m.evs {
+		c.evs[k] = v
+	}
+	c.procs = make([]mProc, len(m.procs))
+	for i := range m.procs {
+		c.procs[i] = mProc{
+			started:  m.procs[i].started,
+			finished: m.procs[i].finished,
+			stack:    make([]frame, len(m.procs[i].stack)),
+		}
+		copy(c.procs[i].stack, m.procs[i].stack)
+	}
+	return c
+}
+
+// key canonically encodes the state. Frames are identified by the frame
+// body's address-independent position: (len(stack), idx list) plus loop
+// markers are derivable from the program structure, so encoding the idx
+// chain per process suffices together with variable/semaphore/event values.
+func (m *machine) key() string {
+	var b strings.Builder
+	for i := range m.procs {
+		p := &m.procs[i]
+		fmt.Fprintf(&b, "p%d:%v/%v[", i, p.started, p.finished)
+		for _, f := range p.stack {
+			// The body pointer identifies WHICH block the frame executes
+			// (then vs else vs loop body); the index alone is ambiguous.
+			if len(f.body) > 0 {
+				fmt.Fprintf(&b, "%p@%d,", &f.body[0], f.idx)
+			} else {
+				fmt.Fprintf(&b, "nil@%d,", f.idx)
+			}
+		}
+		b.WriteByte(']')
+	}
+	// Deterministic map encodings.
+	names := make([]string, 0, len(m.vars))
+	for k := range m.vars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "v%s=%d;", k, m.vars[k])
+	}
+	names = names[:0]
+	for k := range m.sems {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "s%s=%d;", k, m.sems[k])
+	}
+	names = names[:0]
+	for k := range m.evs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(&b, "e%s=%v;", k, m.evs[k])
+	}
+	return b.String()
+}
+
+func (m *machine) allFinished() bool {
+	for i := range m.procs {
+		if !m.procs[i].finished {
+			// An unstarted, never-forkable process... conservatively: any
+			// unfinished process means not terminated.
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) finalVars() (string, map[string]int64) {
+	names := make([]string, 0, len(m.vars))
+	for k := range m.vars {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	out := make(map[string]int64, len(m.vars))
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s=%d;", k, m.vars[k])
+		out[k] = m.vars[k]
+	}
+	return b.String(), out
+}
+
+// nextStmt mirrors runner.nextStmt over machine state.
+func (m *machine) nextStmt(pi int) lang.Stmt {
+	p := &m.procs[pi]
+	for len(p.stack) > 0 {
+		f := &p.stack[len(p.stack)-1]
+		if f.idx < len(f.body) {
+			return f.body[f.idx]
+		}
+		if f.loop != nil {
+			return f.loop
+		}
+		p.stack = p.stack[:len(p.stack)-1]
+	}
+	return nil
+}
+
+func (m *machine) stmtReady(s lang.Stmt) bool {
+	switch st := s.(type) {
+	case *lang.SemStmt:
+		val, declared := m.sems[st.Sem]
+		if !declared {
+			return true // error surfaces in step
+		}
+		if st.Op == lang.SemP && val <= 0 {
+			return false
+		}
+		if st.Op == lang.SemV && m.semBinary(st.Sem) && val >= 1 {
+			return false
+		}
+	case *lang.EventStmt:
+		if st.Op == lang.EvWait && !m.evs[st.Event] {
+			return false
+		}
+	case *lang.JoinStmt:
+		ci := m.procIndex(st.Proc)
+		if ci < 0 {
+			return true
+		}
+		child := &m.procs[ci]
+		if !child.started {
+			return false
+		}
+		if !child.finished && m.nextStmt(ci) != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *machine) semBinary(name string) bool {
+	for _, d := range m.prog.Sems {
+		if d.Name == name {
+			return d.Binary
+		}
+	}
+	return false
+}
+
+func (m *machine) procIndex(name string) int {
+	for i := range m.prog.Procs {
+		if m.prog.Procs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func (m *machine) ready() []int {
+	var out []int
+	for i := range m.procs {
+		p := &m.procs[i]
+		if p.finished || !p.started {
+			continue
+		}
+		s := m.nextStmt(i)
+		if s == nil {
+			p.finished = true
+			continue
+		}
+		if m.stmtReady(s) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (m *machine) describeBlocked() string {
+	var parts []string
+	for i := range m.procs {
+		p := &m.procs[i]
+		if p.finished {
+			continue
+		}
+		if !p.started {
+			parts = append(parts, m.prog.Procs[i].Name+": never forked")
+			continue
+		}
+		if s := m.nextStmt(i); s != nil && !m.stmtReady(s) {
+			parts = append(parts, fmt.Sprintf("%s: blocked at %s", m.prog.Procs[i].Name, s.Position()))
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+// step executes one statement of process pi, returning its label (if any).
+func (m *machine) step(pi int) (string, error) {
+	p := &m.procs[pi]
+	f := &p.stack[len(p.stack)-1]
+	var s lang.Stmt
+	whileRecheck := false
+	if f.idx < len(f.body) {
+		s = f.body[f.idx]
+	} else {
+		s = f.loop
+		whileRecheck = true
+	}
+	label := ""
+	if !whileRecheck {
+		label = s.StmtLabel()
+	}
+
+	switch st := s.(type) {
+	case *lang.SkipStmt:
+		f.idx++
+	case *lang.AssignStmt:
+		v, err := m.eval(st.Expr)
+		if err != nil {
+			return "", err
+		}
+		m.vars[st.Var] = v
+		f.idx++
+	case *lang.SemStmt:
+		if _, ok := m.sems[st.Sem]; !ok {
+			return "", fmt.Errorf("%s: undeclared semaphore %q", st.Pos, st.Sem)
+		}
+		if st.Op == lang.SemP {
+			m.sems[st.Sem]--
+		} else {
+			m.sems[st.Sem]++
+		}
+		f.idx++
+	case *lang.EventStmt:
+		switch st.Op {
+		case lang.EvPost:
+			m.evs[st.Event] = true
+		case lang.EvClear:
+			m.evs[st.Event] = false
+		}
+		f.idx++
+	case *lang.ForkStmt:
+		ci := m.procIndex(st.Proc)
+		if m.procs[ci].started {
+			return "", fmt.Errorf("%s: process %q already started", st.Pos, st.Proc)
+		}
+		m.procs[ci].started = true
+		f.idx++
+	case *lang.JoinStmt:
+		f.idx++
+	case *lang.IfStmt:
+		cond, err := m.eval(st.Cond)
+		if err != nil {
+			return "", err
+		}
+		f.idx++
+		if cond != 0 {
+			if len(st.Then) > 0 {
+				p.stack = append(p.stack, frame{body: st.Then})
+			}
+		} else if len(st.Else) > 0 {
+			p.stack = append(p.stack, frame{body: st.Else})
+		}
+	case *lang.WhileStmt:
+		cond, err := m.eval(st.Cond)
+		if err != nil {
+			return "", err
+		}
+		if whileRecheck {
+			if cond != 0 {
+				f.idx = 0
+			} else {
+				p.stack = p.stack[:len(p.stack)-1]
+				parent := &p.stack[len(p.stack)-1]
+				parent.idx++
+			}
+		} else {
+			if cond != 0 {
+				p.stack = append(p.stack, frame{body: st.Body, loop: st})
+			} else {
+				f.idx++
+			}
+		}
+	default:
+		return "", fmt.Errorf("%s: unknown statement %T", s.Position(), s)
+	}
+
+	if m.nextStmt(pi) == nil {
+		p.finished = true
+	}
+	return label, nil
+}
+
+func (m *machine) eval(e lang.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return x.Value, nil
+	case *lang.VarRef:
+		return m.vars[x.Name], nil
+	case *lang.UnaryExpr:
+		v, err := m.eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "!":
+			return b2i(v == 0), nil
+		case "-":
+			return -v, nil
+		}
+		return 0, fmt.Errorf("%s: unknown unary op %q", x.Pos, x.Op)
+	case *lang.BinaryExpr:
+		a, err := m.eval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		c, err := m.eval(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return a + c, nil
+		case "-":
+			return a - c, nil
+		case "*":
+			return a * c, nil
+		case "/":
+			if c == 0 {
+				return 0, fmt.Errorf("%s: division by zero", x.Pos)
+			}
+			return a / c, nil
+		case "%":
+			if c == 0 {
+				return 0, fmt.Errorf("%s: modulo by zero", x.Pos)
+			}
+			return a % c, nil
+		case "==":
+			return b2i(a == c), nil
+		case "!=":
+			return b2i(a != c), nil
+		case "<":
+			return b2i(a < c), nil
+		case "<=":
+			return b2i(a <= c), nil
+		case ">":
+			return b2i(a > c), nil
+		case ">=":
+			return b2i(a >= c), nil
+		case "&&":
+			return b2i(a != 0 && c != 0), nil
+		case "||":
+			return b2i(a != 0 || c != 0), nil
+		}
+		return 0, fmt.Errorf("%s: unknown op %q", x.Pos, x.Op)
+	}
+	return 0, fmt.Errorf("%s: unknown expression %T", e.Position(), e)
+}

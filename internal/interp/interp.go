@@ -1,0 +1,760 @@
+// Package interp executes programs of the mini-language (internal/lang) on
+// a sequentially consistent abstract machine and records the observed
+// execution ⟨E, T, D⟩ in the model of internal/model.
+//
+// Scheduling is pluggable (round-robin, seeded random, or a fixed script);
+// one scheduling step executes one basic statement atomically — shared
+// reads and the write of an assignment appear consecutively in the observed
+// interleaving, which is one valid observation of a sequentially consistent
+// machine. Blocking operations (P on a zero semaphore, V on a full binary
+// semaphore, wait on a clear event variable, join on an unfinished process)
+// make the process unready; if no process is ready and some are unfinished,
+// Run reports a DeadlockError. RunAvoidingDeadlock retries random schedules
+// for programs where only some interleavings complete.
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"eventorder/internal/lang"
+	"eventorder/internal/model"
+)
+
+// Scheduler picks which ready process runs the next statement.
+type Scheduler interface {
+	// Pick returns an element of ready (a sorted, nonempty slice of runtime
+	// process indices). step counts scheduling decisions from zero. names
+	// maps process indices to declared names.
+	Pick(ready []int, step int, names []string) (int, error)
+}
+
+// RoundRobin cycles through processes fairly.
+type RoundRobin struct{ last int }
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(ready []int, _ int, _ []string) (int, error) {
+	for _, p := range ready {
+		if p > r.last {
+			r.last = p
+			return p, nil
+		}
+	}
+	r.last = ready[0]
+	return ready[0], nil
+}
+
+// Random picks uniformly with a seeded source (deterministic per seed).
+type Random struct {
+	Rng *rand.Rand
+}
+
+// NewRandom returns a Random scheduler with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Pick implements Scheduler.
+func (r *Random) Pick(ready []int, _ int, _ []string) (int, error) {
+	return ready[r.Rng.Intn(len(ready))], nil
+}
+
+// Script schedules by process name, consuming one name per step; it fails
+// if the scripted process is not ready (precise control for tests).
+type Script struct {
+	Names []string
+	next  int
+}
+
+// Pick implements Scheduler.
+func (s *Script) Pick(ready []int, step int, names []string) (int, error) {
+	if s.next >= len(s.Names) {
+		return 0, fmt.Errorf("interp: schedule script exhausted at step %d", step)
+	}
+	want := s.Names[s.next]
+	s.next++
+	for _, p := range ready {
+		if names[p] == want {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("interp: scripted process %q not ready at step %d (ready: %v)", want, step, readyNames(ready, names))
+}
+
+func readyNames(ready []int, names []string) []string {
+	out := make([]string, len(ready))
+	for i, p := range ready {
+		out[i] = names[p]
+	}
+	return out
+}
+
+// Options configures Run.
+type Options struct {
+	Sched    Scheduler // default: RoundRobin
+	MaxSteps int       // default 1_000_000; guards against unbounded loops
+	// OpGranular schedules at shared-access granularity instead of
+	// statement granularity: each scheduling step performs ONE shared
+	// read/write, so the accesses of an assignment (or condition) can
+	// interleave with other processes. Observed executions can then exhibit
+	// genuinely overlapping computation events — including cross-dependence
+	// patterns that FORCE two events to be concurrent in every feasible
+	// re-execution (the model's must-have-concurrent cases).
+	OpGranular bool
+}
+
+// Result is a completed run.
+type Result struct {
+	X     *model.Execution
+	Vars  map[string]int64 // final shared-variable values
+	Steps int
+}
+
+// DeadlockError reports a stuck execution.
+type DeadlockError struct {
+	Blocked []string // "proc: reason" descriptions
+}
+
+func (e *DeadlockError) Error() string {
+	return "interp: deadlock: " + strings.Join(e.Blocked, "; ")
+}
+
+// frame is one level of the per-process control stack.
+type frame struct {
+	body []lang.Stmt
+	idx  int
+	loop *lang.WhileStmt // non-nil for while bodies: recheck on completion
+}
+
+type process struct {
+	name     string
+	decl     *lang.ProcDecl
+	pb       *model.ProcBuilder
+	stack    []frame
+	started  bool
+	finished bool
+	// micro tracks a partially executed statement in op-granular mode.
+	micro *microState
+}
+
+// microState is the progress of one statement's shared accesses when the
+// runner schedules at access granularity.
+type microState struct {
+	stmt   lang.Stmt
+	reads  []string // variables to read, in evaluation order
+	values []int64  // values observed so far
+}
+
+type runner struct {
+	prog    *lang.Program
+	b       *model.Builder
+	procs   []*process
+	byName  map[string]*process
+	vars    map[string]int64
+	sems    map[string]int
+	semDecl map[string]lang.SemDecl
+	evs     map[string]bool
+	order   []model.OpID
+	nOps    int
+	// labelCount tracks how many instances of each source label have been
+	// recorded; re-executions (loops) get "#k" suffixes since event labels
+	// are unique per execution.
+	labelCount map[string]int
+	opGranular bool
+}
+
+// instanceLabel returns the unique event label for the next instance of a
+// source label: "lbl" for the first instance, "lbl#2", "lbl#3", … after.
+func (r *runner) instanceLabel(label string) string {
+	r.labelCount[label]++
+	if n := r.labelCount[label]; n > 1 {
+		return fmt.Sprintf("%s#%d", label, n)
+	}
+	return label
+}
+
+// Run executes the program to completion under the given scheduler.
+func Run(p *lang.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Sched == nil {
+		opts.Sched = &RoundRobin{last: -1}
+	}
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 1_000_000
+	}
+	r := &runner{
+		prog:       p,
+		b:          model.NewBuilder(),
+		byName:     map[string]*process{},
+		vars:       map[string]int64{},
+		sems:       map[string]int{},
+		semDecl:    map[string]lang.SemDecl{},
+		evs:        map[string]bool{},
+		labelCount: map[string]int{},
+		opGranular: opts.OpGranular,
+	}
+	for _, d := range p.Sems {
+		kind := model.SemCounting
+		if d.Binary {
+			kind = model.SemBinary
+		}
+		r.b.Sem(d.Name, d.Init, kind)
+		r.sems[d.Name] = d.Init
+		r.semDecl[d.Name] = d
+	}
+	for _, d := range p.Events {
+		r.b.EventVar(d.Name, d.Posted)
+		r.evs[d.Name] = d.Posted
+	}
+	for _, d := range p.Vars {
+		r.vars[d.Name] = d.Init
+	}
+	// Create runtime processes; roots get builder processes now, forked
+	// processes get theirs when the fork executes.
+	for i := range p.Procs {
+		decl := &p.Procs[i]
+		proc := &process{
+			name:  decl.Name,
+			decl:  decl,
+			stack: []frame{{body: decl.Body}},
+		}
+		if !p.IsForked(decl.Name) {
+			proc.started = true
+			proc.pb = r.b.Proc(decl.Name)
+		}
+		r.procs = append(r.procs, proc)
+		r.byName[decl.Name] = proc
+	}
+	names := make([]string, len(r.procs))
+	for i, proc := range r.procs {
+		names[i] = proc.name
+	}
+
+	steps := 0
+	for {
+		ready, blocked := r.readiness()
+		if len(ready) == 0 {
+			if len(blocked) == 0 {
+				break // all finished
+			}
+			return nil, &DeadlockError{Blocked: blocked}
+		}
+		if steps >= opts.MaxSteps {
+			return nil, fmt.Errorf("interp: exceeded %d steps (unbounded loop?)", opts.MaxSteps)
+		}
+		pick, err := opts.Sched.Pick(ready, steps, names)
+		if err != nil {
+			return nil, err
+		}
+		if !contains(ready, pick) {
+			return nil, fmt.Errorf("interp: scheduler picked unready process %d", pick)
+		}
+		if err := r.step(r.procs[pick]); err != nil {
+			return nil, err
+		}
+		steps++
+	}
+
+	xe, err := r.b.BuildWithOrder(r.order)
+	if err != nil {
+		return nil, fmt.Errorf("interp: building execution: %w", err)
+	}
+	vars := make(map[string]int64, len(r.vars))
+	for k, v := range r.vars {
+		vars[k] = v
+	}
+	return &Result{X: xe, Vars: vars, Steps: steps}, nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAvoidingDeadlock runs the program under seeded random schedulers,
+// retrying on deadlock up to tries times. It returns the first completed
+// run. Programs like the paper's Theorem 3 construction block under many
+// (but not all) schedules; retrying recovers a completing observation.
+func RunAvoidingDeadlock(p *lang.Program, tries int, baseSeed int64) (*Result, error) {
+	if tries <= 0 {
+		tries = 32
+	}
+	var lastErr error
+	for t := 0; t < tries; t++ {
+		res, err := Run(p, Options{Sched: NewRandom(baseSeed + int64(t))})
+		if err == nil {
+			return res, nil
+		}
+		if _, isDeadlock := err.(*DeadlockError); !isDeadlock {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("interp: no completing schedule in %d tries: %w", tries, lastErr)
+}
+
+// readiness partitions unfinished processes into ready (index list) and
+// blocked ("name: reason") sets.
+func (r *runner) readiness() (ready []int, blocked []string) {
+	for i, proc := range r.procs {
+		if proc.finished || !proc.started {
+			continue // an unstarted process may be forked later
+		}
+		s := r.nextStmt(proc)
+		if s == nil {
+			// Control exhausted: finishing is a zero-cost transition done
+			// eagerly here so joins see it immediately.
+			proc.finished = true
+			continue
+		}
+		if ok, why := r.stmtReady(s); ok {
+			ready = append(ready, i)
+		} else {
+			blocked = append(blocked, proc.name+": "+why)
+		}
+	}
+	// Unforked processes count as blocked only if everything else is stuck;
+	// they are reported when no process is ready.
+	if len(ready) == 0 {
+		for _, proc := range r.procs {
+			if !proc.started && !proc.finished {
+				blocked = append(blocked, proc.name+": never forked")
+			}
+		}
+	}
+	sort.Ints(ready)
+	return ready, blocked
+}
+
+// nextStmt returns the statement the process would execute next, popping
+// finished frames (and re-checking while loops lazily — the recheck itself
+// is performed in step, since it reads shared variables).
+func (r *runner) nextStmt(proc *process) lang.Stmt {
+	for len(proc.stack) > 0 {
+		f := &proc.stack[len(proc.stack)-1]
+		if f.idx < len(f.body) {
+			return f.body[f.idx]
+		}
+		if f.loop != nil {
+			// The while recheck is itself the next "statement".
+			return f.loop
+		}
+		proc.stack = proc.stack[:len(proc.stack)-1]
+	}
+	return nil
+}
+
+// stmtReady reports whether the statement can execute now.
+func (r *runner) stmtReady(s lang.Stmt) (bool, string) {
+	switch st := s.(type) {
+	case *lang.SemStmt:
+		val, declared := r.sems[st.Sem]
+		if !declared {
+			return true, "" // runtime error surfaces in step
+		}
+		if st.Op == lang.SemP && val <= 0 {
+			return false, fmt.Sprintf("P(%s) blocked at 0", st.Sem)
+		}
+		if st.Op == lang.SemV && r.semDecl[st.Sem].Binary && val >= 1 {
+			return false, fmt.Sprintf("V(%s) blocked: binary at 1", st.Sem)
+		}
+	case *lang.EventStmt:
+		if st.Op == lang.EvWait && !r.evs[st.Event] {
+			return false, fmt.Sprintf("wait(%s) blocked", st.Event)
+		}
+	case *lang.JoinStmt:
+		child := r.byName[st.Proc]
+		if child == nil {
+			return true, ""
+		}
+		if !child.started {
+			return false, fmt.Sprintf("join(%s): not yet forked", st.Proc)
+		}
+		// A started process with exhausted control may not have been marked
+		// finished yet; check both.
+		if !child.finished && r.nextStmt(child) != nil {
+			return false, fmt.Sprintf("join(%s): still running", st.Proc)
+		}
+	}
+	return true, ""
+}
+
+// emit records the ops appended by the last builder call into the observed
+// order.
+func (r *runner) emit() {
+	for r.nOps < r.b.NumOps() {
+		r.order = append(r.order, model.OpID(r.nOps))
+		r.nOps++
+	}
+}
+
+// step executes one basic statement of proc (or, in op-granular mode, one
+// shared access of it).
+func (r *runner) step(proc *process) error {
+	if r.opGranular {
+		return r.stepGranular(proc)
+	}
+	return r.stepStatement(proc)
+}
+
+// stepGranular performs one shared access of the process's current
+// statement. Statements without expression reads fall through to the
+// statement-atomic path (they perform at most one shared access anyway).
+func (r *runner) stepGranular(proc *process) error {
+	f := &proc.stack[len(proc.stack)-1]
+	var s lang.Stmt
+	whileRecheck := false
+	if f.idx < len(f.body) {
+		s = f.body[f.idx]
+	} else {
+		s = f.loop
+		whileRecheck = true
+	}
+	var expr lang.Expr
+	switch st := s.(type) {
+	case *lang.AssignStmt:
+		expr = st.Expr
+	case *lang.IfStmt:
+		expr = st.Cond
+	case *lang.WhileStmt:
+		expr = st.Cond
+	}
+	if expr == nil {
+		return r.stepStatement(proc)
+	}
+	if proc.micro == nil {
+		if label := s.StmtLabel(); label != "" && !whileRecheck {
+			proc.pb.Label(r.instanceLabel(label))
+		}
+		proc.micro = &microState{stmt: s, reads: lang.VarsRead(expr)}
+	}
+	m := proc.micro
+	if len(m.values) < len(m.reads) {
+		// One shared access per scheduling step: the statement's final
+		// action (write or branch decision) happens on a later pick.
+		name := m.reads[len(m.values)]
+		proc.pb.Read(name)
+		r.emit()
+		m.values = append(m.values, r.vars[name])
+		return nil
+	}
+	// All reads performed: finalize the statement with the observed values.
+	proc.micro = nil
+	idx := 0
+	val, err := evalWithValues(expr, m.values, &idx)
+	if err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case *lang.AssignStmt:
+		r.finishAssign(proc, f, st, val)
+	case *lang.IfStmt:
+		r.finishIf(proc, f, st, val)
+	case *lang.WhileStmt:
+		r.finishWhile(proc, f, st, whileRecheck, val)
+	}
+	if r.nextStmt(proc) == nil {
+		proc.finished = true
+	}
+	return nil
+}
+
+func (r *runner) finishAssign(proc *process, f *frame, st *lang.AssignStmt, val int64) {
+	proc.pb.Write(st.Var)
+	r.emit()
+	r.vars[st.Var] = val
+	f.idx++
+}
+
+func (r *runner) finishIf(proc *process, f *frame, st *lang.IfStmt, cond int64) {
+	f.idx++
+	if cond != 0 {
+		if len(st.Then) > 0 {
+			proc.stack = append(proc.stack, frame{body: st.Then})
+		}
+	} else if len(st.Else) > 0 {
+		proc.stack = append(proc.stack, frame{body: st.Else})
+	}
+}
+
+func (r *runner) finishWhile(proc *process, f *frame, st *lang.WhileStmt, whileRecheck bool, cond int64) {
+	if whileRecheck {
+		if cond != 0 {
+			f.idx = 0
+		} else {
+			proc.stack = proc.stack[:len(proc.stack)-1]
+			parent := &proc.stack[len(proc.stack)-1]
+			parent.idx++
+		}
+		return
+	}
+	if cond != 0 {
+		// idx stays at the while statement; the loop frame's completion
+		// triggers the recheck path.
+		proc.stack = append(proc.stack, frame{body: st.Body, loop: st})
+	} else {
+		f.idx++
+	}
+}
+
+// stepStatement executes one whole basic statement of proc atomically.
+func (r *runner) stepStatement(proc *process) error {
+	f := &proc.stack[len(proc.stack)-1]
+	var s lang.Stmt
+	whileRecheck := false
+	if f.idx < len(f.body) {
+		s = f.body[f.idx]
+	} else {
+		// nextStmt guaranteed this is a while recheck.
+		s = f.loop
+		whileRecheck = true
+	}
+
+	if label := s.StmtLabel(); label != "" && !whileRecheck {
+		proc.pb.Label(r.instanceLabel(label))
+	}
+
+	switch st := s.(type) {
+	case *lang.SkipStmt:
+		proc.pb.Nop()
+		r.emit()
+		f.idx++
+
+	case *lang.AssignStmt:
+		val, err := r.evalExpr(proc, st.Expr)
+		if err != nil {
+			return err
+		}
+		r.finishAssign(proc, f, st, val)
+
+	case *lang.SemStmt:
+		if _, ok := r.sems[st.Sem]; !ok {
+			return fmt.Errorf("%s: undeclared semaphore %q", st.Pos, st.Sem)
+		}
+		if st.Op == lang.SemP {
+			proc.pb.P(st.Sem)
+			r.sems[st.Sem]--
+		} else {
+			proc.pb.V(st.Sem)
+			r.sems[st.Sem]++
+		}
+		r.emit()
+		f.idx++
+
+	case *lang.EventStmt:
+		switch st.Op {
+		case lang.EvPost:
+			proc.pb.Post(st.Event)
+			r.evs[st.Event] = true
+		case lang.EvWait:
+			proc.pb.Wait(st.Event)
+		case lang.EvClear:
+			proc.pb.Clear(st.Event)
+			r.evs[st.Event] = false
+		}
+		r.emit()
+		f.idx++
+
+	case *lang.ForkStmt:
+		child := r.byName[st.Proc]
+		if child.started {
+			return fmt.Errorf("%s: process %q already started", st.Pos, st.Proc)
+		}
+		child.pb = proc.pb.Fork(st.Proc)
+		child.started = true
+		r.emit()
+		f.idx++
+
+	case *lang.JoinStmt:
+		proc.pb.Join(st.Proc)
+		r.emit()
+		f.idx++
+
+	case *lang.IfStmt:
+		cond, err := r.evalExpr(proc, st.Cond)
+		if err != nil {
+			return err
+		}
+		r.emit()
+		r.finishIf(proc, f, st, cond)
+
+	case *lang.WhileStmt:
+		cond, err := r.evalExpr(proc, st.Cond)
+		if err != nil {
+			return err
+		}
+		r.emit()
+		r.finishWhile(proc, f, st, whileRecheck, cond)
+
+	default:
+		return fmt.Errorf("%s: unknown statement %T", s.Position(), s)
+	}
+
+	if r.nextStmt(proc) == nil {
+		proc.finished = true
+	}
+	return nil
+}
+
+// evalExpr evaluates an expression, emitting one Read op per variable
+// reference (in left-to-right order). Both operands of && and || are
+// evaluated (no short-circuit), keeping access sets schedule-independent
+// for a given branch.
+func (r *runner) evalExpr(proc *process, e lang.Expr) (int64, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return x.Value, nil
+	case *lang.VarRef:
+		proc.pb.Read(x.Name)
+		return r.vars[x.Name], nil
+	case *lang.UnaryExpr:
+		v, err := r.evalExpr(proc, x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "!":
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		case "-":
+			return -v, nil
+		}
+		return 0, fmt.Errorf("%s: unknown unary operator %q", x.Pos, x.Op)
+	case *lang.BinaryExpr:
+		a, err := r.evalExpr(proc, x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := r.evalExpr(proc, x.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0, fmt.Errorf("%s: division by zero", x.Pos)
+			}
+			return a / b, nil
+		case "%":
+			if b == 0 {
+				return 0, fmt.Errorf("%s: modulo by zero", x.Pos)
+			}
+			return a % b, nil
+		case "==":
+			return b2i(a == b), nil
+		case "!=":
+			return b2i(a != b), nil
+		case "<":
+			return b2i(a < b), nil
+		case "<=":
+			return b2i(a <= b), nil
+		case ">":
+			return b2i(a > b), nil
+		case ">=":
+			return b2i(a >= b), nil
+		case "&&":
+			return b2i(a != 0 && b != 0), nil
+		case "||":
+			return b2i(a != 0 || b != 0), nil
+		}
+		return 0, fmt.Errorf("%s: unknown operator %q", x.Pos, x.Op)
+	}
+	return 0, fmt.Errorf("%s: unknown expression %T", e.Position(), e)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evalWithValues evaluates an expression using pre-recorded read values in
+// left-to-right order (the order lang.VarsRead reports and evalExpr reads);
+// used by the op-granular scheduler, whose reads happened at earlier steps.
+func evalWithValues(e lang.Expr, values []int64, idx *int) (int64, error) {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		return x.Value, nil
+	case *lang.VarRef:
+		if *idx >= len(values) {
+			return 0, fmt.Errorf("%s: internal error: read value missing", x.Pos)
+		}
+		v := values[*idx]
+		*idx++
+		return v, nil
+	case *lang.UnaryExpr:
+		v, err := evalWithValues(x.X, values, idx)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "!":
+			return b2i(v == 0), nil
+		case "-":
+			return -v, nil
+		}
+		return 0, fmt.Errorf("%s: unknown unary operator %q", x.Pos, x.Op)
+	case *lang.BinaryExpr:
+		a, err := evalWithValues(x.X, values, idx)
+		if err != nil {
+			return 0, err
+		}
+		b, err := evalWithValues(x.Y, values, idx)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0, fmt.Errorf("%s: division by zero", x.Pos)
+			}
+			return a / b, nil
+		case "%":
+			if b == 0 {
+				return 0, fmt.Errorf("%s: modulo by zero", x.Pos)
+			}
+			return a % b, nil
+		case "==":
+			return b2i(a == b), nil
+		case "!=":
+			return b2i(a != b), nil
+		case "<":
+			return b2i(a < b), nil
+		case "<=":
+			return b2i(a <= b), nil
+		case ">":
+			return b2i(a > b), nil
+		case ">=":
+			return b2i(a >= b), nil
+		case "&&":
+			return b2i(a != 0 && b != 0), nil
+		case "||":
+			return b2i(a != 0 || b != 0), nil
+		}
+		return 0, fmt.Errorf("%s: unknown operator %q", x.Pos, x.Op)
+	}
+	return 0, fmt.Errorf("%s: unknown expression %T", e.Position(), e)
+}

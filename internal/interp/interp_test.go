@@ -1,0 +1,352 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"eventorder/internal/lang"
+	"eventorder/internal/model"
+)
+
+func run(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	res, err := Run(lang.MustParse(src), opts)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := model.Validate(res.X); err != nil {
+		t.Fatalf("recorded execution invalid: %v", err)
+	}
+	return res
+}
+
+func TestRunStraightLine(t *testing.T) {
+	res := run(t, `
+var x
+proc main {
+    x := 2
+    x := x + 3
+}`, Options{})
+	if res.Vars["x"] != 5 {
+		t.Errorf("x = %d, want 5", res.Vars["x"])
+	}
+	if res.X.NumProcs() != 1 {
+		t.Errorf("procs = %d", res.X.NumProcs())
+	}
+	// Ops: write, read, write → one computation event.
+	if res.X.NumEvents() != 1 {
+		t.Errorf("events = %d, want 1 merged computation event", res.X.NumEvents())
+	}
+}
+
+func TestRunIfBranches(t *testing.T) {
+	res := run(t, `
+var x = 1
+proc main {
+    if x == 1 {
+        t: skip
+    } else {
+        e: skip
+    }
+}`, Options{})
+	if _, ok := res.X.EventByLabel("t"); !ok {
+		t.Error("then branch not recorded")
+	}
+	if _, ok := res.X.EventByLabel("e"); ok {
+		t.Error("else branch recorded despite true condition")
+	}
+}
+
+func TestRunWhileLoop(t *testing.T) {
+	res := run(t, `
+var n = 3
+var total
+proc main {
+    while n > 0 {
+        total := total + n
+        n := n - 1
+    }
+}`, Options{})
+	if res.Vars["total"] != 6 || res.Vars["n"] != 0 {
+		t.Errorf("total=%d n=%d, want 6, 0", res.Vars["total"], res.Vars["n"])
+	}
+}
+
+func TestRunNestedLoops(t *testing.T) {
+	res := run(t, `
+var i = 2
+var acc
+proc main {
+    while i > 0 {
+        j: skip
+        i := i - 1
+        if i == 1 {
+            acc := acc + 10
+        } else {
+            acc := acc + 1
+        }
+    }
+}`, Options{})
+	if res.Vars["acc"] != 11 {
+		t.Errorf("acc = %d, want 11", res.Vars["acc"])
+	}
+}
+
+func TestRunSemaphores(t *testing.T) {
+	res := run(t, `
+sem s = 0
+var got
+proc producer {
+    V(s)
+}
+proc consumer {
+    P(s)
+    got := 1
+}`, Options{})
+	if res.Vars["got"] != 1 {
+		t.Errorf("got = %d", res.Vars["got"])
+	}
+}
+
+func TestRunForkJoin(t *testing.T) {
+	res := run(t, `
+var x
+proc main {
+    fork child
+    join child
+    x := x + 1
+}
+proc child {
+    x := 41
+}`, Options{})
+	if res.Vars["x"] != 42 {
+		t.Errorf("x = %d, want 42", res.Vars["x"])
+	}
+	child, ok := res.X.ProcByName("child")
+	if !ok || child.Parent == model.ProcID(model.NoID) {
+		t.Error("child not linked to parent")
+	}
+}
+
+func TestRunDeadlockDetected(t *testing.T) {
+	_, err := Run(lang.MustParse(`
+sem s = 0
+proc main { P(s) }`), Options{})
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+	if !strings.Contains(de.Error(), "P(s)") {
+		t.Errorf("deadlock message uninformative: %v", de)
+	}
+}
+
+func TestRunNeverForkedDeadlock(t *testing.T) {
+	// w's forker is itself blocked forever, so w is never started and the
+	// join can never fire.
+	_, err := Run(lang.MustParse(`
+sem s = 0
+proc main { join w }
+proc f { P(s) fork w }
+proc w { skip }`), Options{})
+	if err == nil {
+		t.Fatal("join of never-started proc should deadlock")
+	}
+	if !strings.Contains(err.Error(), "never forked") &&
+		!strings.Contains(err.Error(), "not yet forked") {
+		t.Errorf("unexpected deadlock detail: %v", err)
+	}
+}
+
+func TestRunMaxSteps(t *testing.T) {
+	_, err := Run(lang.MustParse(`
+var x
+proc main { while 1 { x := x + 1 } }`), Options{MaxSteps: 100})
+	if err == nil || !strings.Contains(err.Error(), "steps") {
+		t.Fatalf("err = %v, want step-limit error", err)
+	}
+}
+
+func TestRunRuntimeErrors(t *testing.T) {
+	for _, src := range []string{
+		`var x
+proc main { x := 1 / 0 }`,
+		`var x
+proc main { x := 1 % 0 }`,
+		`proc main { P(undeclared) }`,
+	} {
+		if _, err := Run(lang.MustParse(src), Options{}); err == nil {
+			t.Errorf("no error for:\n%s", src)
+		}
+	}
+}
+
+func TestRunDoubleForkCaught(t *testing.T) {
+	// fork inside a loop re-executes the same fork statement.
+	_, err := Run(lang.MustParse(`
+var i = 2
+proc main {
+    while i > 0 {
+        fork w
+        i := i - 1
+    }
+}
+proc w { skip }`), Options{})
+	if err == nil || !strings.Contains(err.Error(), "already started") {
+		t.Fatalf("err = %v, want double-fork error", err)
+	}
+}
+
+func TestScriptScheduler(t *testing.T) {
+	src := `
+var x
+proc a { x := 1 }
+proc b { x := 2 }
+`
+	// a then b: final x = 2.
+	res, err := Run(lang.MustParse(src), Options{Sched: &Script{Names: []string{"a", "b"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vars["x"] != 2 {
+		t.Errorf("x = %d, want 2", res.Vars["x"])
+	}
+	// b then a: final x = 1.
+	res, err = Run(lang.MustParse(src), Options{Sched: &Script{Names: []string{"b", "a"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vars["x"] != 1 {
+		t.Errorf("x = %d, want 1", res.Vars["x"])
+	}
+	// Script naming an unready process fails.
+	if _, err := Run(lang.MustParse(src), Options{Sched: &Script{Names: []string{"zz"}}}); err == nil {
+		t.Error("script with unknown proc should fail")
+	}
+	// Script exhausting early fails.
+	if _, err := Run(lang.MustParse(src), Options{Sched: &Script{Names: []string{"a"}}}); err == nil {
+		t.Error("exhausted script should fail")
+	}
+}
+
+func TestRandomSchedulerDeterministicPerSeed(t *testing.T) {
+	src := `
+var x
+proc a { x := x + 1 }
+proc b { x := x * 2 }
+proc c { x := x + 10 }
+`
+	r1, err := Run(lang.MustParse(src), Options{Sched: NewRandom(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(lang.MustParse(src), Options{Sched: NewRandom(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Vars["x"] != r2.Vars["x"] {
+		t.Error("same seed produced different runs")
+	}
+	if len(r1.X.Order) != len(r2.X.Order) {
+		t.Error("same seed produced different orders")
+	}
+}
+
+func TestRunAvoidingDeadlock(t *testing.T) {
+	// Lock-order inversion: some random schedules deadlock, some complete.
+	src := `
+sem s = 1
+sem t = 1
+proc p1 { P(s) P(t) V(t) V(s) }
+proc p2 { P(t) P(s) V(s) V(t) }
+`
+	res, err := RunAvoidingDeadlock(lang.MustParse(src), 64, 1)
+	if err != nil {
+		t.Fatalf("RunAvoidingDeadlock: %v", err)
+	}
+	if err := model.Validate(res.X); err != nil {
+		t.Fatal(err)
+	}
+	// A program that always deadlocks must still fail.
+	always := `
+sem s = 0
+proc main { P(s) }`
+	if _, err := RunAvoidingDeadlock(lang.MustParse(always), 8, 1); err == nil {
+		t.Error("always-deadlocking program completed")
+	}
+}
+
+func TestObservedDataDependences(t *testing.T) {
+	// Writer then reader under script scheduling: D must contain w → r.
+	src := `
+var x
+proc writer { w: x := 1 }
+proc reader { var2read: skip  r: x := x }
+`
+	res, err := Run(lang.MustParse(src), Options{Sched: &Script{Names: []string{"writer", "reader", "reader"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := model.DataDependence(res.X)
+	w := res.X.MustEventByLabel("w").ID
+	r := res.X.MustEventByLabel("r").ID
+	if !d.Has(w, r) {
+		t.Errorf("D missing w→r: %s", d)
+	}
+}
+
+func TestEventVariablesAcrossProcs(t *testing.T) {
+	res := run(t, `
+event go
+var x
+proc main {
+    x := 7
+    post(go)
+}
+proc waiter {
+    wait(go)
+    x := x + 1
+}`, Options{})
+	if res.Vars["x"] != 8 {
+		t.Errorf("x = %d, want 8", res.Vars["x"])
+	}
+}
+
+func TestBinarySemaphoreRun(t *testing.T) {
+	res := run(t, `
+sem m = 0 binary
+var n
+proc a {
+    V(m)
+    n := n + 1
+}
+proc b {
+    P(m)
+    n := n + 1
+}`, Options{})
+	if res.Vars["n"] != 2 {
+		t.Errorf("n = %d, want 2", res.Vars["n"])
+	}
+}
+
+func TestRoundRobinFairness(t *testing.T) {
+	// Two independent 3-statement processes: round-robin alternates.
+	res := run(t, `
+var x
+var y
+proc a { x := 1  x := 2  x := 3 }
+proc b { y := 1  y := 2  y := 3 }
+`, Options{Sched: &RoundRobin{last: -1}})
+	// With statement-level alternation each proc's writes interleave, so
+	// the ops of a and b alternate in the observed order.
+	procOf := func(id model.OpID) model.ProcID { return res.X.Ops[id].Proc }
+	alternations := 0
+	for i := 1; i < len(res.X.Order); i++ {
+		if procOf(res.X.Order[i]) != procOf(res.X.Order[i-1]) {
+			alternations++
+		}
+	}
+	if alternations < 3 {
+		t.Errorf("round-robin produced only %d alternations", alternations)
+	}
+}

@@ -1,0 +1,358 @@
+// Package lang defines a small concurrent programming language with exactly
+// the paper's repertoire: fork/join, P/V on counting or binary semaphores,
+// Post/Wait/Clear on event variables, assignments and conditionals over
+// shared integer variables. Programs in this language are executed by
+// internal/interp to produce observed executions ⟨E, T, D⟩ for analysis.
+//
+// Grammar (EBNF):
+//
+//	program  = { decl } { proc } .
+//	decl     = "sem" ident "=" int [ "binary" ]
+//	         | "event" ident [ "posted" ]
+//	         | "var" ident [ "=" int ] .
+//	proc     = "proc" ident "{" { stmt } "}" .
+//	stmt     = [ ident ":" ] basic .
+//	basic    = "skip"
+//	         | ident ":=" expr
+//	         | "P" "(" ident ")" | "V" "(" ident ")"
+//	         | "post" "(" ident ")" | "wait" "(" ident ")" | "clear" "(" ident ")"
+//	         | "fork" ident | "join" ident
+//	         | "if" expr "{" { stmt } "}" [ "else" "{" { stmt } "}" ]
+//	         | "while" expr "{" { stmt } "}" .
+//	expr     = or .
+//	or       = and { "||" and } .
+//	and      = cmp { "&&" cmp } .
+//	cmp      = add [ ( "==" | "!=" | "<" | "<=" | ">" | ">=" ) add ] .
+//	add      = mul { ( "+" | "-" ) mul } .
+//	mul      = unary { ( "*" | "/" | "%" ) unary } .
+//	unary    = [ "!" | "-" ] primary .
+//	primary  = int | ident | "(" expr ")" .
+//
+// All variables are shared; conditions treat nonzero as true. Comments run
+// from "//" or "#" to end of line.
+package lang
+
+import "fmt"
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Program is a parsed program.
+type Program struct {
+	Sems   []SemDecl
+	Events []EventDecl
+	Vars   []VarDecl
+	Procs  []ProcDecl
+}
+
+// SemDecl declares a semaphore.
+type SemDecl struct {
+	Name   string
+	Init   int
+	Binary bool
+	Pos    Pos
+}
+
+// EventDecl declares an event variable.
+type EventDecl struct {
+	Name   string
+	Posted bool // initial state
+	Pos    Pos
+}
+
+// VarDecl declares a shared integer variable.
+type VarDecl struct {
+	Name string
+	Init int64
+	Pos  Pos
+}
+
+// ProcDecl declares a process. A process that is the target of some fork
+// statement starts when forked; all other processes start when the program
+// starts.
+type ProcDecl struct {
+	Name string
+	Body []Stmt
+	Pos  Pos
+}
+
+// ProcByName returns the declared process with the given name.
+func (p *Program) ProcByName(name string) (*ProcDecl, bool) {
+	for i := range p.Procs {
+		if p.Procs[i].Name == name {
+			return &p.Procs[i], true
+		}
+	}
+	return nil, false
+}
+
+// Stmt is a statement. Any statement may carry a label, which names the
+// event its instance begins in the recorded execution.
+type Stmt interface {
+	Position() Pos
+	StmtLabel() string
+	stmtNode()
+}
+
+// common statement head
+type stmtHead struct {
+	Label string
+	Pos   Pos
+}
+
+func (h stmtHead) Position() Pos     { return h.Pos }
+func (h stmtHead) StmtLabel() string { return h.Label }
+
+// SkipStmt is "skip".
+type SkipStmt struct{ stmtHead }
+
+// AssignStmt is "v := expr".
+type AssignStmt struct {
+	stmtHead
+	Var  string
+	Expr Expr
+}
+
+// SemOp distinguishes P from V.
+type SemOp int
+
+const (
+	SemP SemOp = iota // acquire
+	SemV              // release
+)
+
+func (o SemOp) String() string {
+	if o == SemP {
+		return "P"
+	}
+	return "V"
+}
+
+// SemStmt is "P(s)" or "V(s)".
+type SemStmt struct {
+	stmtHead
+	Op  SemOp
+	Sem string
+}
+
+// EventOp distinguishes post/wait/clear.
+type EventOp int
+
+const (
+	EvPost EventOp = iota
+	EvWait
+	EvClear
+)
+
+func (o EventOp) String() string {
+	switch o {
+	case EvPost:
+		return "post"
+	case EvWait:
+		return "wait"
+	}
+	return "clear"
+}
+
+// EventStmt is "post(e)", "wait(e)" or "clear(e)".
+type EventStmt struct {
+	stmtHead
+	Op    EventOp
+	Event string
+}
+
+// ForkStmt is "fork p".
+type ForkStmt struct {
+	stmtHead
+	Proc string
+}
+
+// JoinStmt is "join p".
+type JoinStmt struct {
+	stmtHead
+	Proc string
+}
+
+// IfStmt is "if cond { … } else { … }".
+type IfStmt struct {
+	stmtHead
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt is "while cond { … }".
+type WhileStmt struct {
+	stmtHead
+	Cond Expr
+	Body []Stmt
+}
+
+func (*SkipStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*SemStmt) stmtNode()    {}
+func (*EventStmt) stmtNode()  {}
+func (*ForkStmt) stmtNode()   {}
+func (*JoinStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+
+// Expr is an integer expression over shared variables.
+type Expr interface {
+	Position() Pos
+	exprNode()
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Value int64
+	Pos   Pos
+}
+
+// VarRef reads a shared variable.
+type VarRef struct {
+	Name string
+	Pos  Pos
+}
+
+// UnaryExpr is "!x" or "-x".
+type UnaryExpr struct {
+	Op  string
+	X   Expr
+	Pos Pos
+}
+
+// BinaryExpr is "x op y".
+type BinaryExpr struct {
+	Op   string
+	X, Y Expr
+	Pos  Pos
+}
+
+func (e *IntLit) Position() Pos     { return e.Pos }
+func (e *VarRef) Position() Pos     { return e.Pos }
+func (e *UnaryExpr) Position() Pos  { return e.Pos }
+func (e *BinaryExpr) Position() Pos { return e.Pos }
+
+func (*IntLit) exprNode()     {}
+func (*VarRef) exprNode()     {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinaryExpr) exprNode() {}
+
+// Validate performs static checks: unique process names, fork/join targets
+// exist, a process is the target of at most one fork statement (the model
+// requires single-shot forks), no process forks itself, declared names are
+// unique per namespace, and labels are unique program-wide.
+func (p *Program) Validate() error {
+	procs := map[string]bool{}
+	for _, pd := range p.Procs {
+		if procs[pd.Name] {
+			return fmt.Errorf("%s: duplicate process %q", pd.Pos, pd.Name)
+		}
+		procs[pd.Name] = true
+	}
+	if len(p.Procs) == 0 {
+		return fmt.Errorf("program has no processes")
+	}
+	seen := map[string]Pos{}
+	for _, d := range p.Sems {
+		if prev, dup := seen["sem:"+d.Name]; dup {
+			return fmt.Errorf("%s: semaphore %q already declared at %s", d.Pos, d.Name, prev)
+		}
+		seen["sem:"+d.Name] = d.Pos
+		if d.Init < 0 || (d.Binary && d.Init > 1) {
+			return fmt.Errorf("%s: bad initial value %d for semaphore %q", d.Pos, d.Init, d.Name)
+		}
+	}
+	for _, d := range p.Events {
+		if prev, dup := seen["ev:"+d.Name]; dup {
+			return fmt.Errorf("%s: event %q already declared at %s", d.Pos, d.Name, prev)
+		}
+		seen["ev:"+d.Name] = d.Pos
+	}
+	for _, d := range p.Vars {
+		if prev, dup := seen["var:"+d.Name]; dup {
+			return fmt.Errorf("%s: variable %q already declared at %s", d.Pos, d.Name, prev)
+		}
+		seen["var:"+d.Name] = d.Pos
+	}
+
+	labels := map[string]Pos{}
+	forkTargets := map[string]Pos{}
+	var walk func(owner string, body []Stmt) error
+	walk = func(owner string, body []Stmt) error {
+		for _, s := range body {
+			if l := s.StmtLabel(); l != "" {
+				if prev, dup := labels[l]; dup {
+					return fmt.Errorf("%s: duplicate label %q (also at %s)", s.Position(), l, prev)
+				}
+				labels[l] = s.Position()
+			}
+			switch st := s.(type) {
+			case *ForkStmt:
+				if !procs[st.Proc] {
+					return fmt.Errorf("%s: fork of undeclared process %q", st.Pos, st.Proc)
+				}
+				if st.Proc == owner {
+					return fmt.Errorf("%s: process %q forks itself", st.Pos, st.Proc)
+				}
+				if prev, dup := forkTargets[st.Proc]; dup {
+					return fmt.Errorf("%s: process %q already forked at %s", st.Pos, st.Proc, prev)
+				}
+				forkTargets[st.Proc] = st.Pos
+			case *JoinStmt:
+				if !procs[st.Proc] {
+					return fmt.Errorf("%s: join of undeclared process %q", st.Pos, st.Proc)
+				}
+			case *IfStmt:
+				if err := walk(owner, st.Then); err != nil {
+					return err
+				}
+				if err := walk(owner, st.Else); err != nil {
+					return err
+				}
+			case *WhileStmt:
+				if err := walk(owner, st.Body); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	for _, pd := range p.Procs {
+		if err := walk(pd.Name, pd.Body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IsForked reports whether the named process is the target of a fork
+// statement anywhere in the program.
+func (p *Program) IsForked(name string) bool {
+	found := false
+	var walk func(body []Stmt)
+	walk = func(body []Stmt) {
+		for _, s := range body {
+			switch st := s.(type) {
+			case *ForkStmt:
+				if st.Proc == name {
+					found = true
+				}
+			case *IfStmt:
+				walk(st.Then)
+				walk(st.Else)
+			case *WhileStmt:
+				walk(st.Body)
+			}
+		}
+	}
+	for _, pd := range p.Procs {
+		walk(pd.Body)
+	}
+	return found
+}

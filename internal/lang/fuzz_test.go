@@ -1,0 +1,42 @@
+package lang
+
+import "testing"
+
+// FuzzParse is a native fuzz target for the parser; under plain `go test`
+// it runs the seed corpus, asserting the parser never panics and that any
+// accepted program survives a Format→Parse round trip.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"proc m { skip }",
+		"sem s = 1\nproc m { P(s) V(s) }",
+		"event e posted\nproc m { wait(e) clear(e) post(e) }",
+		"var x = -3\nproc m { x := x * (x + 1) % 7 }",
+		"proc m { if x == 1 { skip } else { while x { x := x - 1 } } }",
+		"proc a { fork b join b }\nproc b { skip }",
+		"proc m { l: skip; l2: skip }",
+		"# comment\n// comment\nproc m { skip }",
+		"proc m { x := 1 ? 2 }",
+		"proc m {",
+		"proc m } {",
+		"\x00\x01\x02",
+		"proc m { P(s }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		text := Format(prog)
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v\ninput: %q\nformatted:\n%s", err, src, text)
+		}
+		if Format(again) != text {
+			t.Fatalf("format not idempotent for input %q", src)
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package lang
+
+import (
+	"testing"
+)
+
+const figure1Src = `
+// Reconstruction of the paper's Figure 1a.
+event e
+var X
+
+proc main {
+    fork t1
+    fork t2
+    fork t3
+}
+proc t1 {
+    lp: post(e)
+    X := 1
+}
+proc t2 {
+    if X == 1 {
+        rp: post(e)
+    } else {
+        wait(e)
+    }
+}
+proc t3 {
+    w: wait(e)
+}
+`
+
+func TestParseFigure1(t *testing.T) {
+	p, err := Parse(figure1Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.Procs) != 4 {
+		t.Fatalf("procs = %d, want 4", len(p.Procs))
+	}
+	if len(p.Events) != 1 || p.Events[0].Name != "e" {
+		t.Errorf("events = %+v", p.Events)
+	}
+	if len(p.Vars) != 1 || p.Vars[0].Name != "X" {
+		t.Errorf("vars = %+v", p.Vars)
+	}
+	t2, ok := p.ProcByName("t2")
+	if !ok {
+		t.Fatal("no proc t2")
+	}
+	ifStmt, ok := t2.Body[0].(*IfStmt)
+	if !ok {
+		t.Fatalf("t2 body[0] = %T, want IfStmt", t2.Body[0])
+	}
+	if len(ifStmt.Then) != 1 || len(ifStmt.Else) != 1 {
+		t.Errorf("if branches = %d/%d", len(ifStmt.Then), len(ifStmt.Else))
+	}
+	if ifStmt.Then[0].StmtLabel() != "rp" {
+		t.Errorf("then label = %q", ifStmt.Then[0].StmtLabel())
+	}
+	if !p.IsForked("t1") || p.IsForked("main") {
+		t.Error("IsForked wrong")
+	}
+}
+
+func TestParseAllStatementKinds(t *testing.T) {
+	src := `
+sem s = 1
+sem m = 0 binary
+event ev posted
+var x = 5
+var y = -3
+
+proc main {
+    skip
+    x := x + 2 * y - 1
+    P(s)
+    V(s)
+    post(ev); wait(ev); clear(ev)
+    fork w
+    join w
+    while x > 0 {
+        x := x - 1
+    }
+    if x == 0 && y < 0 || !x {
+        skip
+    }
+}
+proc w {
+    lbl: x := (y + 1) % 4 / 2
+}
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !p.Sems[1].Binary || p.Sems[0].Init != 1 {
+		t.Errorf("sem decls wrong: %+v", p.Sems)
+	}
+	if !p.Events[0].Posted {
+		t.Errorf("event decl wrong: %+v", p.Events)
+	}
+	if p.Vars[1].Init != -3 {
+		t.Errorf("var decl wrong: %+v", p.Vars)
+	}
+	main, _ := p.ProcByName("main")
+	if len(main.Body) != 11 {
+		t.Errorf("main has %d statements, want 11", len(main.Body))
+	}
+}
+
+func TestParseEqualsAliases(t *testing.T) {
+	// The paper writes "if X=1 then"; accept single '=' in comparisons.
+	p, err := Parse(`var X
+proc m { if X = 1 { skip } }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ifs := p.Procs[0].Body[0].(*IfStmt)
+	be := ifs.Cond.(*BinaryExpr)
+	if be.Op != "==" {
+		t.Errorf("op = %q, want ==", be.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"proc m {",                                  // unterminated block
+		"proc m { P(s }",                            // bad paren
+		"proc m { fork }",                           // missing ident
+		"proc m { x := }",                           // missing expr
+		"proc m { skip } proc m { skip }",           // duplicate proc
+		"proc m { fork q } ",                        // fork of unknown proc
+		"proc m { fork m }",                         // hmm: fork of undeclared still
+		"sem s = -1\nproc m { skip }",               // negative semaphore
+		"sem b = 2 binary\nproc m { skip }",         // binary init > 1
+		"proc m { l: skip }\nproc q { l: skip }",    // duplicate label
+		"proc m { join zz }",                        // join unknown
+		"sem s = 1\nsem s = 2\nproc m { skip }",     // duplicate sem
+		"var v\nvar v\nproc m { skip }",             // duplicate var
+		"event e\nevent e\nproc m { skip }",         // duplicate event
+		"proc m { fork q; fork q }\nproc q {skip}",  // double fork
+		"proc a { skip } proc b { skip } garbage x", // trailing junk
+		"",                      // no processes
+		"proc m { x := 1 ? 2 }", // bad operator
+		"proc m { skip } @",     // bad character
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted invalid program:\n%s", src)
+		}
+	}
+}
+
+func TestSelfForkRejected(t *testing.T) {
+	if _, err := Parse("proc m { fork q }\nproc q { fork q }"); err == nil {
+		t.Error("self-fork accepted")
+	}
+}
+
+func TestCyclicForkAccepted(t *testing.T) {
+	// m forks q and q forks m is statically accepted (each proc forked at
+	// most once) but will fail at run time since m already started; the
+	// static check only enforces single-fork-target.
+	if _, err := Parse("proc m { fork q }\nproc q { skip }"); err != nil {
+		t.Errorf("valid fork rejected: %v", err)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	srcs := []string{figure1Src, `
+sem s = 2
+event done posted
+var total = 7
+
+proc main {
+    start: total := total * 2 + 1
+    while total > 0 {
+        P(s)
+        total := total - 1
+        V(s)
+    }
+    if total == 0 {
+        post(done)
+    } else {
+        clear(done)
+    }
+}
+proc aux {
+    wait(done)
+}
+`}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		text := Format(p1)
+		p2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of formatted output failed: %v\n%s", err, text)
+		}
+		text2 := Format(p2)
+		if text != text2 {
+			t.Errorf("format not idempotent:\n--- first\n%s\n--- second\n%s", text, text2)
+		}
+	}
+}
+
+func TestVarsRead(t *testing.T) {
+	p := MustParse(`var x
+var y
+proc m { x := x + y * x }`)
+	asn := p.Procs[0].Body[0].(*AssignStmt)
+	got := VarsRead(asn.Expr)
+	want := []string{"x", "y", "x"}
+	if len(got) != len(want) {
+		t.Fatalf("VarsRead = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VarsRead = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFormatExprPrecedence(t *testing.T) {
+	p := MustParse(`var x
+var y
+proc m { x := (x + y) * 2 }`)
+	asn := p.Procs[0].Body[0].(*AssignStmt)
+	s := FormatExpr(asn.Expr)
+	if s != "(x + y) * 2" {
+		t.Errorf("FormatExpr = %q", s)
+	}
+}
+
+func TestCommentsBothStyles(t *testing.T) {
+	p, err := Parse(`# hash comment
+// slash comment
+proc m { skip } // trailing
+`)
+	if err != nil || len(p.Procs) != 1 {
+		t.Fatalf("comment handling: %v", err)
+	}
+}
+
+func TestSemicolonSeparators(t *testing.T) {
+	p := MustParse(`sem s = 0
+proc m { V(s); P(s); skip }`)
+	if len(p.Procs[0].Body) != 3 {
+		t.Errorf("body = %d stmts, want 3", len(p.Procs[0].Body))
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	toks, err := lexAll("proc\n  m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].pos.Line != 1 || toks[0].pos.Col != 1 {
+		t.Errorf("first token pos = %v", toks[0].pos)
+	}
+	if toks[1].pos.Line != 2 || toks[1].pos.Col != 3 {
+		t.Errorf("second token pos = %v", toks[1].pos)
+	}
+}

@@ -1,0 +1,154 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokPunct // one of the operator/punctuation strings below
+)
+
+type token struct {
+	kind tokKind
+	text string
+	val  int64 // for tokInt
+	pos  Pos
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokInt:
+		return fmt.Sprintf("integer %d", t.val)
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  []rune
+	i    int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *lexer) peekRune() rune {
+	if lx.i >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.i]
+}
+
+func (lx *lexer) nextRune() rune {
+	r := lx.src[lx.i]
+	lx.i++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+func (lx *lexer) skipSpaceAndComments() {
+	for lx.i < len(lx.src) {
+		r := lx.peekRune()
+		switch {
+		case unicode.IsSpace(r):
+			lx.nextRune()
+		case r == '#':
+			for lx.i < len(lx.src) && lx.peekRune() != '\n' {
+				lx.nextRune()
+			}
+		case r == '/' && lx.i+1 < len(lx.src) && lx.src[lx.i+1] == '/':
+			for lx.i < len(lx.src) && lx.peekRune() != '\n' {
+				lx.nextRune()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// twoCharPuncts are matched before single-character punctuation.
+var twoCharPuncts = []string{":=", "==", "!=", "<=", ">=", "&&", "||"}
+
+func (lx *lexer) next() (token, error) {
+	lx.skipSpaceAndComments()
+	pos := Pos{lx.line, lx.col}
+	if lx.i >= len(lx.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	r := lx.peekRune()
+	switch {
+	case unicode.IsLetter(r) || r == '_':
+		start := lx.i
+		for lx.i < len(lx.src) {
+			c := lx.peekRune()
+			if unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_' {
+				lx.nextRune()
+			} else {
+				break
+			}
+		}
+		return token{kind: tokIdent, text: string(lx.src[start:lx.i]), pos: pos}, nil
+	case unicode.IsDigit(r):
+		start := lx.i
+		for lx.i < len(lx.src) && unicode.IsDigit(lx.peekRune()) {
+			lx.nextRune()
+		}
+		text := string(lx.src[start:lx.i])
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return token{}, fmt.Errorf("%s: bad integer %q", pos, text)
+		}
+		return token{kind: tokInt, text: text, val: v, pos: pos}, nil
+	}
+	// Two-character punctuation.
+	if lx.i+1 < len(lx.src) {
+		two := string(lx.src[lx.i : lx.i+2])
+		for _, p := range twoCharPuncts {
+			if two == p {
+				lx.nextRune()
+				lx.nextRune()
+				return token{kind: tokPunct, text: p, pos: pos}, nil
+			}
+		}
+	}
+	switch r {
+	case '{', '}', '(', ')', ':', '=', '<', '>', '+', '-', '*', '/', '%', '!', ';':
+		lx.nextRune()
+		return token{kind: tokPunct, text: string(r), pos: pos}, nil
+	}
+	return token{}, fmt.Errorf("%s: unexpected character %q", pos, string(r))
+}
+
+// lexAll tokenizes the whole input.
+func lexAll(src string) ([]token, error) {
+	lx := newLexer(src)
+	var toks []token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,573 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses and validates a program.
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse for tests and examples; it panics on error.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) peek() token { // token after cur
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+func (p *parser) advance() token {
+	t := p.toks[p.i]
+	if p.i+1 < len(p.toks) {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("%s: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(text string) error {
+	t := p.cur()
+	if t.kind != tokPunct || t.text != text {
+		return p.errf("expected %q, found %s", text, t)
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return t, p.errf("expected identifier, found %s", t)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == kw
+}
+
+func (p *parser) program() (*Program, error) {
+	prog := &Program{}
+	for {
+		switch {
+		case p.atKeyword("sem"):
+			d, err := p.semDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Sems = append(prog.Sems, d)
+		case p.atKeyword("event"):
+			d, err := p.eventDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Events = append(prog.Events, d)
+		case p.atKeyword("var"):
+			d, err := p.varDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Vars = append(prog.Vars, d)
+		case p.atKeyword("proc"):
+			d, err := p.procDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Procs = append(prog.Procs, d)
+		case p.cur().kind == tokEOF:
+			return prog, nil
+		default:
+			return nil, p.errf("expected declaration (sem/event/var/proc), found %s", p.cur())
+		}
+	}
+}
+
+func (p *parser) semDecl() (SemDecl, error) {
+	pos := p.advance().pos // "sem"
+	name, err := p.expectIdent()
+	if err != nil {
+		return SemDecl{}, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return SemDecl{}, err
+	}
+	t := p.cur()
+	if t.kind != tokInt {
+		return SemDecl{}, p.errf("expected integer initial value, found %s", t)
+	}
+	p.advance()
+	d := SemDecl{Name: name.text, Init: int(t.val), Pos: pos}
+	if p.atKeyword("binary") {
+		p.advance()
+		d.Binary = true
+	}
+	return d, nil
+}
+
+func (p *parser) eventDecl() (EventDecl, error) {
+	pos := p.advance().pos // "event"
+	name, err := p.expectIdent()
+	if err != nil {
+		return EventDecl{}, err
+	}
+	d := EventDecl{Name: name.text, Pos: pos}
+	if p.atKeyword("posted") {
+		p.advance()
+		d.Posted = true
+	}
+	return d, nil
+}
+
+func (p *parser) varDecl() (VarDecl, error) {
+	pos := p.advance().pos // "var"
+	name, err := p.expectIdent()
+	if err != nil {
+		return VarDecl{}, err
+	}
+	d := VarDecl{Name: name.text, Pos: pos}
+	if p.cur().kind == tokPunct && p.cur().text == "=" {
+		p.advance()
+		neg := false
+		if p.cur().kind == tokPunct && p.cur().text == "-" {
+			neg = true
+			p.advance()
+		}
+		t := p.cur()
+		if t.kind != tokInt {
+			return d, p.errf("expected integer initial value, found %s", t)
+		}
+		p.advance()
+		d.Init = t.val
+		if neg {
+			d.Init = -d.Init
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) procDecl() (ProcDecl, error) {
+	pos := p.advance().pos // "proc"
+	name, err := p.expectIdent()
+	if err != nil {
+		return ProcDecl{}, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return ProcDecl{}, err
+	}
+	return ProcDecl{Name: name.text, Body: body, Pos: pos}, nil
+}
+
+func (p *parser) block() ([]Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var body []Stmt
+	for {
+		t := p.cur()
+		if t.kind == tokPunct && t.text == "}" {
+			p.advance()
+			return body, nil
+		}
+		if t.kind == tokEOF {
+			return nil, p.errf("unexpected end of input inside block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, s)
+		// Optional statement separator.
+		if p.cur().kind == tokPunct && p.cur().text == ";" {
+			p.advance()
+		}
+	}
+}
+
+// reserved words cannot label statements or name variables in expressions.
+var reserved = map[string]bool{
+	"proc": true, "sem": true, "event": true, "var": true,
+	"skip": true, "if": true, "else": true, "while": true,
+	"fork": true, "join": true, "post": true, "wait": true, "clear": true,
+	"P": true, "V": true, "binary": true, "posted": true,
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	label := ""
+	labelPos := p.cur().pos
+	// Label: IDENT ":" not followed by "=" (":=" is assignment).
+	if t := p.cur(); t.kind == tokIdent && !reserved[t.text] {
+		if n := p.peek(); n.kind == tokPunct && n.text == ":" {
+			label = t.text
+			p.advance() // ident
+			p.advance() // ":"
+		}
+	}
+	s, err := p.basicStmt(label, labelPos)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) basicStmt(label string, labelPos Pos) (Stmt, error) {
+	t := p.cur()
+	head := stmtHead{Label: label, Pos: t.pos}
+	if label != "" {
+		head.Pos = labelPos
+	}
+	switch {
+	case p.atKeyword("skip"):
+		p.advance()
+		return &SkipStmt{head}, nil
+
+	case p.atKeyword("P") || p.atKeyword("V"):
+		op := SemP
+		if t.text == "V" {
+			op = SemV
+		}
+		p.advance()
+		name, err := p.parenIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &SemStmt{head, op, name}, nil
+
+	case p.atKeyword("post") || p.atKeyword("wait") || p.atKeyword("clear"):
+		var op EventOp
+		switch t.text {
+		case "post":
+			op = EvPost
+		case "wait":
+			op = EvWait
+		default:
+			op = EvClear
+		}
+		p.advance()
+		name, err := p.parenIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &EventStmt{head, op, name}, nil
+
+	case p.atKeyword("fork"):
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &ForkStmt{head, name.text}, nil
+
+	case p.atKeyword("join"):
+		p.advance()
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &JoinStmt{head, name.text}, nil
+
+	case p.atKeyword("if"):
+		p.advance()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.atKeyword("else") {
+			p.advance()
+			els, err = p.block()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &IfStmt{head, cond, then, els}, nil
+
+	case p.atKeyword("while"):
+		p.advance()
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{head, cond, body}, nil
+
+	case t.kind == tokIdent && !reserved[t.text]:
+		// Assignment: ident ":=" expr.
+		name := t.text
+		p.advance()
+		if err := p.expectPunct(":="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{head, name, e}, nil
+	}
+	return nil, p.errf("expected statement, found %s", t)
+}
+
+func (p *parser) parenIdent() (string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return "", err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return "", err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return "", err
+	}
+	return name.text, nil
+}
+
+// Expression parsing: precedence climbing over the fixed grammar.
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	x, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && p.cur().text == "||" {
+		pos := p.advance().pos
+		y, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{"||", x, y, pos}
+	}
+	return x, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	x, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct && p.cur().text == "&&" {
+		pos := p.advance().pos
+		y, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{"&&", x, y, pos}
+	}
+	return x, nil
+}
+
+var cmpOps = map[string]bool{"==": true, "!=": true, "<": true, "<=": true, ">": true, ">=": true, "=": true}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	x, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.kind == tokPunct && cmpOps[t.text] {
+		op := t.text
+		if op == "=" {
+			op = "==" // accept the paper's "if X=1 then" spelling
+		}
+		pos := p.advance().pos
+		y, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{op, x, y, pos}
+	}
+	return x, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	x, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct || (t.text != "+" && t.text != "-") {
+			return x, nil
+		}
+		pos := p.advance().pos
+		y, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{t.text, x, y, pos}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	x, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return x, nil
+		}
+		pos := p.advance().pos
+		y, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{t.text, x, y, pos}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "!" || t.text == "-") {
+		pos := p.advance().pos
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{t.text, x, pos}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokInt:
+		p.advance()
+		return &IntLit{t.val, t.pos}, nil
+	case t.kind == tokIdent && !reserved[t.text]:
+		p.advance()
+		return &VarRef{t.text, t.pos}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("expected expression, found %s", t)
+}
+
+// VarsRead returns the variable names an expression reads, left to right,
+// with duplicates (each read is a distinct access).
+func VarsRead(e Expr) []string {
+	var out []string
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *VarRef:
+			out = append(out, x.Name)
+		case *UnaryExpr:
+			walk(x.X)
+		case *BinaryExpr:
+			walk(x.X)
+			walk(x.Y)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// FormatExpr renders an expression as source text.
+func FormatExpr(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0)
+	return b.String()
+}
+
+// precedence levels for formatting: higher binds tighter.
+func exprPrec(e Expr) int {
+	switch x := e.(type) {
+	case *BinaryExpr:
+		switch x.Op {
+		case "||":
+			return 1
+		case "&&":
+			return 2
+		case "==", "!=", "<", "<=", ">", ">=":
+			return 3
+		case "+", "-":
+			return 4
+		default:
+			return 5
+		}
+	case *UnaryExpr:
+		return 6
+	}
+	return 7
+}
+
+func writeExpr(b *strings.Builder, e Expr, parentPrec int) {
+	prec := exprPrec(e)
+	parens := prec < parentPrec
+	if parens {
+		b.WriteByte('(')
+	}
+	switch x := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(b, "%d", x.Value)
+	case *VarRef:
+		b.WriteString(x.Name)
+	case *UnaryExpr:
+		b.WriteString(x.Op)
+		writeExpr(b, x.X, prec)
+	case *BinaryExpr:
+		leftPrec := prec
+		if cmpOps[x.Op] {
+			// Comparisons are non-associative in the grammar (cmp = add
+			// [op add]); a comparison operand of a comparison must be
+			// parenthesized on BOTH sides.
+			leftPrec = prec + 1
+		}
+		writeExpr(b, x.X, leftPrec)
+		fmt.Fprintf(b, " %s ", x.Op)
+		writeExpr(b, x.Y, prec+1)
+	}
+	if parens {
+		b.WriteByte(')')
+	}
+}

@@ -1,0 +1,90 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders the program as parseable source text.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, d := range p.Sems {
+		fmt.Fprintf(&b, "sem %s = %d", d.Name, d.Init)
+		if d.Binary {
+			b.WriteString(" binary")
+		}
+		b.WriteByte('\n')
+	}
+	for _, d := range p.Events {
+		fmt.Fprintf(&b, "event %s", d.Name)
+		if d.Posted {
+			b.WriteString(" posted")
+		}
+		b.WriteByte('\n')
+	}
+	for _, d := range p.Vars {
+		fmt.Fprintf(&b, "var %s", d.Name)
+		if d.Init != 0 {
+			fmt.Fprintf(&b, " = %d", d.Init)
+		}
+		b.WriteByte('\n')
+	}
+	if len(p.Sems)+len(p.Events)+len(p.Vars) > 0 {
+		b.WriteByte('\n')
+	}
+	for i := range p.Procs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "proc %s {\n", p.Procs[i].Name)
+		writeBody(&b, p.Procs[i].Body, 1)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func writeBody(b *strings.Builder, body []Stmt, depth int) {
+	for _, s := range body {
+		indent(b, depth)
+		if l := s.StmtLabel(); l != "" {
+			fmt.Fprintf(b, "%s: ", l)
+		}
+		switch st := s.(type) {
+		case *SkipStmt:
+			b.WriteString("skip\n")
+		case *AssignStmt:
+			fmt.Fprintf(b, "%s := %s\n", st.Var, FormatExpr(st.Expr))
+		case *SemStmt:
+			fmt.Fprintf(b, "%s(%s)\n", st.Op, st.Sem)
+		case *EventStmt:
+			fmt.Fprintf(b, "%s(%s)\n", st.Op, st.Event)
+		case *ForkStmt:
+			fmt.Fprintf(b, "fork %s\n", st.Proc)
+		case *JoinStmt:
+			fmt.Fprintf(b, "join %s\n", st.Proc)
+		case *IfStmt:
+			fmt.Fprintf(b, "if %s {\n", FormatExpr(st.Cond))
+			writeBody(b, st.Then, depth+1)
+			indent(b, depth)
+			if len(st.Else) > 0 {
+				b.WriteString("} else {\n")
+				writeBody(b, st.Else, depth+1)
+				indent(b, depth)
+			}
+			b.WriteString("}\n")
+		case *WhileStmt:
+			fmt.Fprintf(b, "while %s {\n", FormatExpr(st.Cond))
+			writeBody(b, st.Body, depth+1)
+			indent(b, depth)
+			b.WriteString("}\n")
+		default:
+			fmt.Fprintf(b, "/* unknown statement %T */\n", s)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package lang
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomAST builds a random valid program AST directly (not via source
+// text), exercising the printer/parser round trip from the structural
+// side.
+type astGen struct {
+	rng    *rand.Rand
+	labels int
+	forked map[string]bool
+	procs  []string
+}
+
+func (g *astGen) label() string {
+	g.labels++
+	if g.rng.Intn(3) > 0 {
+		return "" // most statements unlabeled
+	}
+	return fmt.Sprintf("L%d", g.labels)
+}
+
+func (g *astGen) expr(depth int) Expr {
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 {
+			return &IntLit{Value: int64(g.rng.Intn(20) - 10)}
+		}
+		return &VarRef{Name: fmt.Sprintf("v%d", g.rng.Intn(3))}
+	}
+	if g.rng.Intn(5) == 0 {
+		op := "!"
+		if g.rng.Intn(2) == 0 {
+			op = "-"
+		}
+		return &UnaryExpr{Op: op, X: g.expr(depth - 1)}
+	}
+	ops := []string{"+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+	return &BinaryExpr{
+		Op: ops[g.rng.Intn(len(ops))],
+		X:  g.expr(depth - 1),
+		Y:  g.expr(depth - 1),
+	}
+}
+
+func (g *astGen) stmts(depth, n int) []Stmt {
+	var out []Stmt
+	for i := 0; i < n; i++ {
+		out = append(out, g.stmt(depth))
+	}
+	return out
+}
+
+func (g *astGen) stmt(depth int) Stmt {
+	head := stmtHead{Label: g.label()}
+	switch g.rng.Intn(10) {
+	case 0:
+		return &SkipStmt{head}
+	case 1:
+		return &AssignStmt{head, fmt.Sprintf("v%d", g.rng.Intn(3)), g.expr(2)}
+	case 2:
+		op := SemP
+		if g.rng.Intn(2) == 0 {
+			op = SemV
+		}
+		return &SemStmt{head, op, fmt.Sprintf("s%d", g.rng.Intn(2))}
+	case 3:
+		return &EventStmt{head, EventOp(g.rng.Intn(3)), fmt.Sprintf("e%d", g.rng.Intn(2))}
+	case 4:
+		if depth > 0 {
+			var els []Stmt
+			if g.rng.Intn(2) == 0 {
+				els = g.stmts(depth-1, 1+g.rng.Intn(2))
+			}
+			return &IfStmt{head, g.expr(2), g.stmts(depth-1, 1+g.rng.Intn(2)), els}
+		}
+		return &SkipStmt{head}
+	case 5:
+		if depth > 0 {
+			return &WhileStmt{head, g.expr(1), g.stmts(depth-1, 1+g.rng.Intn(2))}
+		}
+		return &SkipStmt{head}
+	default:
+		return &AssignStmt{head, fmt.Sprintf("v%d", g.rng.Intn(3)), g.expr(1)}
+	}
+}
+
+func (g *astGen) program() *Program {
+	p := &Program{}
+	for i := 0; i < 2; i++ {
+		p.Sems = append(p.Sems, SemDecl{Name: fmt.Sprintf("s%d", i), Init: g.rng.Intn(3)})
+		p.Events = append(p.Events, EventDecl{Name: fmt.Sprintf("e%d", i), Posted: g.rng.Intn(2) == 0})
+	}
+	for i := 0; i < 3; i++ {
+		p.Vars = append(p.Vars, VarDecl{Name: fmt.Sprintf("v%d", i), Init: int64(g.rng.Intn(7) - 3)})
+	}
+	nproc := 1 + g.rng.Intn(3)
+	for i := 0; i < nproc; i++ {
+		name := fmt.Sprintf("p%d", i)
+		g.procs = append(g.procs, name)
+		p.Procs = append(p.Procs, ProcDecl{
+			Name: name,
+			Body: g.stmts(2, 1+g.rng.Intn(4)),
+		})
+	}
+	return p
+}
+
+// TestQuickFormatParseRoundTrip: Format ∘ Parse is the identity on
+// formatted output, for randomly generated ASTs.
+func TestQuickFormatParseRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		g := &astGen{rng: rand.New(rand.NewSource(seed)), forked: map[string]bool{}}
+		prog := g.program()
+		if err := prog.Validate(); err != nil {
+			// Random labels can collide only via our counter (they cannot);
+			// a validation failure here is a generator bug.
+			t.Fatalf("seed %d: generated AST invalid: %v", seed, err)
+		}
+		text1 := Format(prog)
+		parsed, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("seed %d: formatted program does not parse: %v\n%s", seed, err, text1)
+		}
+		text2 := Format(parsed)
+		if text1 != text2 {
+			t.Fatalf("seed %d: format not stable:\n--- first\n%s\n--- second\n%s", seed, text1, text2)
+		}
+	}
+}
+
+// TestQuickParserNeverPanics: the parser must return errors, not panic, on
+// mutated inputs.
+func TestQuickParserNeverPanics(t *testing.T) {
+	base := `
+sem s = 1
+event e posted
+var x = 2
+proc main {
+    a: x := x + 1
+    if x > 0 { P(s) } else { wait(e) }
+    while x < 5 { x := x + 1 }
+    fork w
+    join w
+}
+proc w { post(e) }
+`
+	rng := rand.New(rand.NewSource(9))
+	mutate := func(s string) string {
+		b := []byte(s)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			switch rng.Intn(3) {
+			case 0: // delete a byte
+				if len(b) > 1 {
+					i := rng.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				}
+			case 1: // duplicate a byte
+				i := rng.Intn(len(b))
+				b = append(b[:i], append([]byte{b[i]}, b[i:]...)...)
+			case 2: // random punctuation
+				i := rng.Intn(len(b))
+				b[i] = "{}()=:;<>!&|"[rng.Intn(12)]
+			}
+		}
+		return string(b)
+	}
+	for i := 0; i < 500; i++ {
+		src := mutate(base)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("parser panicked on input:\n%s\npanic: %v", src, r)
+				}
+			}()
+			_, _ = Parse(src)
+		}()
+	}
+	// Sanity: the unmutated base parses.
+	if _, err := Parse(base); err != nil {
+		t.Fatalf("base program invalid: %v", err)
+	}
+	_ = strings.TrimSpace("")
+}

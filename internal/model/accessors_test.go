@@ -1,0 +1,173 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAccessors exercises the small read-only helpers directly.
+func TestAccessors(t *testing.T) {
+	b := NewBuilder()
+	b.Sem("s", 0, SemCounting)
+	b.Sem("m", 1, SemBinary)
+	b.EventVar("go", true)
+	p := b.Proc("p")
+	p.Label("a").Write("x")
+	p.V("s")
+	q := b.Proc("q")
+	q.P("s")
+	q.Wait("go")
+	x := b.MustBuild()
+
+	if names := x.SemNames(); len(names) != 2 || names[0] != "m" || names[1] != "s" {
+		t.Errorf("SemNames = %v", names)
+	}
+	if ev := x.EventOf(0); ev.Label != "a" {
+		t.Errorf("EventOf(0) = %+v", ev)
+	}
+	if _, ok := x.ProcByName("nope"); ok {
+		t.Error("ProcByName found ghost")
+	}
+	if pr, ok := x.ProcByName("q"); !ok || pr.Name != "q" {
+		t.Error("ProcByName(q) failed")
+	}
+	if SemBinary.String() != "binary" || SemCounting.String() != "counting" {
+		t.Error("SemKind strings wrong")
+	}
+	if OpKind(99).String() == "" {
+		t.Error("unknown OpKind String empty")
+	}
+	if !strings.Contains(x.EventName(x.MustEventByLabel("a").ID), "a:") {
+		t.Errorf("EventName missing label: %s", x.EventName(0))
+	}
+
+	// Relation accessors.
+	r := NewRelation("R", 3)
+	r.Set(0, 1)
+	if r.N() != 3 {
+		t.Errorf("N = %d", r.N())
+	}
+	if !r.Row(0).Has(1) {
+		t.Error("Row wrong")
+	}
+	r.Unset(0, 1)
+	if r.Has(0, 1) {
+		t.Error("Unset failed")
+	}
+	r.Set(2, 0)
+	if s := r.String(); !strings.Contains(s, "(2,0)") {
+		t.Errorf("String = %q", s)
+	}
+	other := NewRelation("O", 4)
+	if r.Equal(other) || r.SubsetOf(other) {
+		t.Error("size-mismatched relations compared equal/subset")
+	}
+
+	// Sim accessors.
+	s := NewSim(x, nil)
+	if s.NumExecuted() != 0 {
+		t.Error("NumExecuted != 0 initially")
+	}
+	if !s.EvValue("go") {
+		t.Error("EvValue initial state wrong")
+	}
+	if err := s.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Executed(0) || s.Executed(1) {
+		t.Error("Executed wrong")
+	}
+	if len(s.History()) != 1 {
+		t.Error("History wrong")
+	}
+	if s.NextOp(0) != 1 {
+		t.Errorf("NextOp = %d", s.NextOp(0))
+	}
+
+	// MustEventByLabel panics on absence.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustEventByLabel did not panic")
+			}
+		}()
+		x.MustEventByLabel("ghost")
+	}()
+
+	// Builder misc.
+	b2 := NewBuilder()
+	pb := b2.Proc("only")
+	if pb.ID() != 0 {
+		t.Error("ProcBuilder.ID wrong")
+	}
+	pb.Nop()
+	if b2.NumOps() != 1 {
+		t.Error("NumOps wrong")
+	}
+	x2, err := b2.BuildWithOrder([]OpID{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x2.Order) != 1 {
+		t.Error("BuildWithOrder order lost")
+	}
+	// Invalid supplied order.
+	b3 := NewBuilder()
+	b3.Proc("a").Nop()
+	b3.Proc("b").Nop()
+	if _, err := b3.BuildWithOrder([]OpID{1}); err == nil {
+		t.Error("incomplete order accepted")
+	}
+	// Sem validation errors.
+	b4 := NewBuilder()
+	b4.Sem("bad", -1, SemCounting)
+	b4.Proc("p").Nop()
+	if _, err := b4.Build(); err == nil {
+		t.Error("negative sem init accepted")
+	}
+	b5 := NewBuilder()
+	b5.Sem("bad", 2, SemBinary)
+	b5.Proc("p").Nop()
+	if _, err := b5.Build(); err == nil {
+		t.Error("binary init 2 accepted")
+	}
+	// Double Build.
+	b6 := NewBuilder()
+	b6.Proc("p").Nop()
+	if _, err := b6.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b6.Build(); err == nil {
+		t.Error("second Build accepted")
+	}
+	// Join of undeclared process.
+	b7 := NewBuilder()
+	b7.Proc("p").Join("ghost")
+	if _, err := b7.Build(); err == nil {
+		t.Error("join of undeclared proc accepted")
+	}
+}
+
+func TestOpConstraintsForExploration(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("p").Write("x")
+	b.Proc("q").Read("x")
+	x := b.MustBuild()
+	if got := OpConstraintsForExploration(x, true); got != nil {
+		t.Errorf("ignoreData should yield nil, got %v", got)
+	}
+	if got := OpConstraintsForExploration(x, false); len(got) != 1 {
+		t.Errorf("constraints = %v, want 1", got)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild did not panic on invalid builder")
+		}
+	}()
+	b := NewBuilder()
+	b.Proc("p").P("s") // deadlocks: greedy cannot complete... s implicit 0
+	b.MustBuild()
+}

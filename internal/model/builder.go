@@ -1,0 +1,284 @@
+package model
+
+import (
+	"fmt"
+)
+
+// Builder constructs executions programmatically. It takes care of event
+// formation: each synchronization op becomes its own event (as the model
+// requires), and maximal runs of consecutive non-synchronization ops of one
+// process merge into a single computation event. A label forces the start
+// of a fresh event and names it.
+//
+// Typical use:
+//
+//	b := model.NewBuilder()
+//	b.Sem("s", 0, model.SemCounting)
+//	p := b.Proc("p1")
+//	p.Label("a").Nop()
+//	p.V("s")
+//	q := b.Proc("p2")
+//	q.P("s")
+//	q.Label("b").Nop()
+//	x, err := b.Build() // finds an observed order greedily
+type Builder struct {
+	x       Execution
+	built   bool
+	pending map[ProcID]string // label to apply to next op's event
+	// open computation event per process (merging target), or NoID
+	openEvent map[ProcID]EventID
+	err       error
+}
+
+// NewBuilder returns an empty execution builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		x: Execution{
+			Sems:   map[string]Semaphore{},
+			EvInit: map[string]bool{},
+		},
+		pending:   map[ProcID]string{},
+		openEvent: map[ProcID]EventID{},
+	}
+}
+
+// Sem declares a semaphore.
+func (b *Builder) Sem(name string, init int, kind SemKind) *Builder {
+	if init < 0 {
+		b.fail(fmt.Errorf("semaphore %q: negative initial value %d", name, init))
+		return b
+	}
+	if kind == SemBinary && init > 1 {
+		b.fail(fmt.Errorf("binary semaphore %q: initial value %d > 1", name, init))
+		return b
+	}
+	b.x.Sems[name] = Semaphore{Name: name, Init: init, Kind: kind}
+	return b
+}
+
+// EventVar declares an event variable with its initial state.
+func (b *Builder) EventVar(name string, posted bool) *Builder {
+	b.x.EvInit[name] = posted
+	return b
+}
+
+func (b *Builder) fail(err error) {
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+// ProcBuilder appends ops to one process.
+type ProcBuilder struct {
+	b  *Builder
+	id ProcID
+}
+
+// Proc declares a new root process (present from the start of execution)
+// and returns its builder. Process names must be unique.
+func (b *Builder) Proc(name string) *ProcBuilder {
+	return b.addProc(name, ProcID(NoID))
+}
+
+func (b *Builder) addProc(name string, parent ProcID) *ProcBuilder {
+	if _, exists := b.x.ProcByName(name); exists {
+		b.fail(fmt.Errorf("duplicate process name %q", name))
+	}
+	id := ProcID(len(b.x.Procs))
+	b.x.Procs = append(b.x.Procs, Proc{
+		ID:     id,
+		Name:   name,
+		Parent: parent,
+		ForkOp: OpID(NoID),
+	})
+	b.openEvent[id] = EventID(NoID)
+	return &ProcBuilder{b: b, id: id}
+}
+
+// Label names the event begun by the next op. It also forces an event
+// boundary, so a labeled computation step never merges into the preceding
+// computation event.
+func (p *ProcBuilder) Label(label string) *ProcBuilder {
+	p.b.pending[p.id] = label
+	p.b.openEvent[p.id] = EventID(NoID)
+	return p
+}
+
+// addOp appends one op, creating or extending events per the grouping rule.
+func (p *ProcBuilder) addOp(kind OpKind, obj, stmt string) *ProcBuilder {
+	b := p.b
+	opID := OpID(len(b.x.Ops))
+	var evID EventID
+	label := b.pending[p.id]
+	delete(b.pending, p.id)
+	if kind.IsSync() || b.openEvent[p.id] == EventID(NoID) || label != "" {
+		evID = EventID(len(b.x.Events))
+		ev := Event{ID: evID, Proc: p.id, Label: label}
+		if kind.IsSync() {
+			ev.Kind = kind
+			ev.Obj = obj
+			b.openEvent[p.id] = EventID(NoID)
+		} else {
+			ev.Kind = OpNop
+			b.openEvent[p.id] = evID
+		}
+		b.x.Events = append(b.x.Events, ev)
+	} else {
+		evID = b.openEvent[p.id]
+	}
+	if kind.IsSync() {
+		// A sync op closes any open computation event of this process.
+		b.openEvent[p.id] = EventID(NoID)
+	}
+	b.x.Events[evID].Ops = append(b.x.Events[evID].Ops, opID)
+	b.x.Ops = append(b.x.Ops, Op{
+		ID: opID, Proc: p.id, Event: evID, Kind: kind, Obj: obj, Stmt: stmt,
+	})
+	b.x.Procs[p.id].Ops = append(b.x.Procs[p.id].Ops, opID)
+	return p
+}
+
+// Nop appends an access-free computation step ("skip").
+func (p *ProcBuilder) Nop() *ProcBuilder { return p.addOp(OpNop, "", "skip") }
+
+// Read appends a read of shared variable v.
+func (p *ProcBuilder) Read(v string) *ProcBuilder {
+	return p.addOp(OpRead, v, "read "+v)
+}
+
+// Write appends a write of shared variable v.
+func (p *ProcBuilder) Write(v string) *ProcBuilder {
+	return p.addOp(OpWrite, v, "write "+v)
+}
+
+// P appends a semaphore acquire. The semaphore must be declared by Build time.
+func (p *ProcBuilder) P(sem string) *ProcBuilder {
+	return p.addOp(OpAcquire, sem, "P("+sem+")")
+}
+
+// V appends a semaphore release.
+func (p *ProcBuilder) V(sem string) *ProcBuilder {
+	return p.addOp(OpRelease, sem, "V("+sem+")")
+}
+
+// Post appends a Post on event variable e.
+func (p *ProcBuilder) Post(e string) *ProcBuilder {
+	return p.addOp(OpPost, e, "post("+e+")")
+}
+
+// Wait appends a Wait on event variable e.
+func (p *ProcBuilder) Wait(e string) *ProcBuilder {
+	return p.addOp(OpWait, e, "wait("+e+")")
+}
+
+// Clear appends a Clear on event variable e.
+func (p *ProcBuilder) Clear(e string) *ProcBuilder {
+	return p.addOp(OpClear, e, "clear("+e+")")
+}
+
+// Fork declares a child process, appends the fork op that starts it, and
+// returns the child's builder.
+func (p *ProcBuilder) Fork(name string) *ProcBuilder {
+	child := p.b.addProc(name, p.id)
+	p.addOp(OpFork, name, "fork "+name)
+	p.b.x.Procs[child.id].ForkOp = OpID(len(p.b.x.Ops) - 1)
+	return child
+}
+
+// Join appends a join on the named process.
+func (p *ProcBuilder) Join(name string) *ProcBuilder {
+	return p.addOp(OpJoin, name, "join "+name)
+}
+
+// ID returns the process id being built.
+func (p *ProcBuilder) ID() ProcID { return p.id }
+
+// finish validates the structure and returns the execution without an
+// observed order.
+func (b *Builder) finish() (*Execution, error) {
+	if b.built {
+		return nil, fmt.Errorf("model: Build called twice")
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	b.built = true
+	x := &b.x
+	// Implicitly declare any semaphore or event variable that ops mention.
+	for i := range x.Ops {
+		op := &x.Ops[i]
+		switch op.Kind {
+		case OpAcquire, OpRelease:
+			if _, ok := x.Sems[op.Obj]; !ok {
+				x.Sems[op.Obj] = Semaphore{Name: op.Obj, Init: 0, Kind: SemCounting}
+			}
+		case OpPost, OpWait, OpClear:
+			if _, ok := x.EvInit[op.Obj]; !ok {
+				x.EvInit[op.Obj] = false
+			}
+		case OpJoin:
+			if _, ok := x.ProcByName(op.Obj); !ok {
+				return nil, fmt.Errorf("model: join of undeclared process %q", op.Obj)
+			}
+		}
+	}
+	if err := ValidateStructure(x); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// BuildWithOrder finalizes the execution using the supplied observed
+// interleaving, which is validated (including the shared-data constraints it
+// itself induces — any valid interleaving trivially satisfies those).
+func (b *Builder) BuildWithOrder(order []OpID) (*Execution, error) {
+	x, err := b.finish()
+	if err != nil {
+		return nil, err
+	}
+	if err := Replay(x, order, nil); err != nil {
+		return nil, fmt.Errorf("model: supplied order invalid: %w", err)
+	}
+	x.Order = append([]OpID(nil), order...)
+	return x, nil
+}
+
+// Build finalizes the execution, finding an observed interleaving with the
+// greedy round-robin scheduler. It fails if the greedy scheduler deadlocks;
+// use BuildWithOrder (or the search engine in internal/core) for executions
+// that need specific schedules to complete.
+func (b *Builder) Build() (*Execution, error) {
+	x, err := b.finish()
+	if err != nil {
+		return nil, err
+	}
+	order, ok := GreedySchedule(x, nil)
+	if !ok {
+		return nil, fmt.Errorf("model: greedy scheduler deadlocked; supply an order explicitly")
+	}
+	x.Order = order
+	return x, nil
+}
+
+// NumOps returns the number of ops added so far; together with the fact
+// that op ids are dense and increasing, this lets incremental consumers
+// (e.g. the interpreter) recover the ids just appended.
+func (b *Builder) NumOps() int { return len(b.x.Ops) }
+
+// BuildDeferred finalizes the execution's structure without an observed
+// order. The caller must install a valid x.Order before analysis — e.g. via
+// the search-based scheduler in internal/core, which completes executions
+// (like the paper's Post/Wait/Clear constructions) on which naive
+// schedulers deadlock.
+func (b *Builder) BuildDeferred() (*Execution, error) {
+	return b.finish()
+}
+
+// MustBuild is Build for tests and examples: it panics on error.
+func (b *Builder) MustBuild() *Execution {
+	x, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return x
+}

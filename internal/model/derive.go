@@ -1,0 +1,147 @@
+package model
+
+import "sort"
+
+// ConflictPairs returns the op-level shared-data-dependence orientation
+// constraints induced by the observed interleaving: every ordered pair
+// (u, v) of ops in *different events* that access the same shared variable,
+// at least one being a write, with u before v in x.Order. A feasible
+// re-execution must preserve the orientation of each such pair (the
+// op-level strengthening of the paper's condition F3: a D b ⇒ a D′ b).
+//
+// Only immediate constraints are emitted per variable: for writes it is
+// enough to chain consecutive conflicting accesses (write→write and
+// write→read / read→write around each write), because orientation of the
+// full conflict set follows transitively. For clarity and because the
+// matrices involved are small, this implementation emits all pairs.
+func ConflictPairs(x *Execution) [][2]OpID {
+	pos := orderPositions(x)
+	// Group access ops by variable, sorted by observed position.
+	byVar := map[string][]OpID{}
+	for i := range x.Ops {
+		op := &x.Ops[i]
+		if op.Kind.IsAccess() {
+			byVar[op.Obj] = append(byVar[op.Obj], op.ID)
+		}
+	}
+	var out [][2]OpID
+	for _, ops := range byVar {
+		sort.Slice(ops, func(i, j int) bool { return pos[ops[i]] < pos[ops[j]] })
+		for i := 0; i < len(ops); i++ {
+			for j := i + 1; j < len(ops); j++ {
+				u, v := ops[i], ops[j]
+				if x.Ops[u].Event == x.Ops[v].Event {
+					continue // intra-event order is program order
+				}
+				if x.Ops[u].Kind == OpRead && x.Ops[v].Kind == OpRead {
+					continue // read-read pairs do not conflict
+				}
+				out = append(out, [2]OpID{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// orderPositions returns pos[op] = index of op in x.Order.
+func orderPositions(x *Execution) []int {
+	pos := make([]int, len(x.Ops))
+	for i, id := range x.Order {
+		pos[id] = i
+	}
+	return pos
+}
+
+// DataDependence computes the event-level D relation of the observed
+// execution: a D b iff some op of a conflicts with a later op of b.
+func DataDependence(x *Execution) *Relation {
+	r := NewRelation("D", len(x.Events))
+	for _, c := range ConflictPairs(x) {
+		r.Set(x.Ops[c[0]].Event, x.Ops[c[1]].Event)
+	}
+	return r
+}
+
+// ObservedBefore computes the event-level observed temporal ordering T of
+// the given interleaving: a T b iff a's last op precedes b's first op. If
+// order is nil, x.Order is used.
+func ObservedBefore(x *Execution, order []OpID) *Relation {
+	if order == nil {
+		order = x.Order
+	}
+	pos := make([]int, len(x.Ops))
+	for i, id := range order {
+		pos[id] = i
+	}
+	r := NewRelation("T", len(x.Events))
+	for a := range x.Events {
+		ea := &x.Events[a]
+		for b := range x.Events {
+			if a == b {
+				continue
+			}
+			eb := &x.Events[b]
+			if pos[ea.Last()] < pos[eb.First()] {
+				r.Set(EventID(a), EventID(b))
+			}
+		}
+	}
+	return r
+}
+
+// ProgramOrder computes the event-level static ordering: intra-process
+// program order plus fork/join edges, transitively closed. These orderings
+// hold in every feasible execution by construction, so ProgramOrder is a
+// (cheap, incomplete) lower bound on the must-have-happened-before relation.
+func ProgramOrder(x *Execution) *Relation {
+	r := NewRelation("PO", len(x.Events))
+	// Intra-process chains.
+	for p := range x.Procs {
+		var prev EventID = EventID(NoID)
+		for _, opID := range x.Procs[p].Ops {
+			ev := x.Ops[opID].Event
+			if prev != EventID(NoID) && prev != ev {
+				r.Set(prev, ev)
+			}
+			prev = ev
+		}
+	}
+	// Fork edges: fork event → first event of child.
+	for p := range x.Procs {
+		proc := &x.Procs[p]
+		if proc.ForkOp != OpID(NoID) && len(proc.Ops) > 0 {
+			r.Set(x.Ops[proc.ForkOp].Event, x.Ops[proc.Ops[0]].Event)
+		}
+	}
+	// Join edges: last event of child → join event.
+	for i := range x.Ops {
+		op := &x.Ops[i]
+		if op.Kind != OpJoin {
+			continue
+		}
+		child, ok := x.ProcByName(op.Obj)
+		if ok && len(child.Ops) > 0 {
+			last := child.Ops[len(child.Ops)-1]
+			r.Set(x.Ops[last].Event, op.Event)
+		}
+	}
+	r.TransitiveClose()
+	return r
+}
+
+// OpConstraintsForExploration returns the fixed op-level precedence
+// constraints a feasible interleaving must satisfy beyond program order and
+// synchronization semantics: the shared-data orientation constraints
+// (unless ignoreData), as op pairs (before, after).
+func OpConstraintsForExploration(x *Execution, ignoreData bool) [][2]OpID {
+	if ignoreData {
+		return nil
+	}
+	return ConflictPairs(x)
+}

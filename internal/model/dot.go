@@ -1,0 +1,53 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"eventorder/internal/dag"
+)
+
+// DOT renders the relation as a Graphviz digraph over the execution's
+// events. When reduce is true and the relation is acyclic, the transitive
+// reduction is drawn (the Hasse diagram — usually what a human wants to
+// see for a happened-before relation); otherwise all pairs are drawn.
+func (r *Relation) DOT(x *Execution, reduce bool) string {
+	g := dag.New(r.n)
+	for _, p := range r.Pairs() {
+		g.AddEdge(int(p[0]), int(p[1]))
+	}
+	if reduce {
+		if red, ok := g.TransitiveReduction(); ok {
+			g = red
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %s {\n  rankdir=TB;\n  label=%q;\n", sanitizeDOTName(r.Name), r.Name)
+	for i := 0; i < r.n; i++ {
+		label := fmt.Sprintf("e%d", i)
+		if x != nil {
+			label = x.EventName(EventID(i))
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, label)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func sanitizeDOTName(s string) string {
+	var b strings.Builder
+	for _, c := range s {
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_' {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "relation"
+	}
+	return b.String()
+}

@@ -1,0 +1,490 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+// twoProcSem builds:
+//
+//	p1: a:skip ; V(s)
+//	p2: P(s) ; b:skip
+func twoProcSem(t *testing.T) *Execution {
+	t.Helper()
+	b := NewBuilder()
+	b.Sem("s", 0, SemCounting)
+	p1 := b.Proc("p1")
+	p1.Label("a").Nop()
+	p1.V("s")
+	p2 := b.Proc("p2")
+	p2.P("s")
+	p2.Label("b").Nop()
+	x, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return x
+}
+
+func TestBuilderBasics(t *testing.T) {
+	x := twoProcSem(t)
+	if x.NumProcs() != 2 || x.NumOps() != 4 || x.NumEvents() != 4 {
+		t.Fatalf("unexpected shape: %s", x)
+	}
+	a := x.MustEventByLabel("a")
+	if a.IsSync() || a.Proc != 0 {
+		t.Errorf("event a wrong: %+v", a)
+	}
+	bEv := x.MustEventByLabel("b")
+	if bEv.Proc != 1 {
+		t.Errorf("event b wrong proc: %+v", bEv)
+	}
+	if err := Validate(x); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if len(x.Labels()) != 2 {
+		t.Errorf("Labels = %v", x.Labels())
+	}
+}
+
+func TestBuilderEventGrouping(t *testing.T) {
+	b := NewBuilder()
+	p := b.Proc("p")
+	p.Write("x").Read("y").Nop() // one computation event of 3 ops
+	p.V("s")                     // sync event
+	p.Read("x")                  // new computation event
+	x, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if x.NumEvents() != 3 {
+		t.Fatalf("NumEvents = %d, want 3", x.NumEvents())
+	}
+	if len(x.Events[0].Ops) != 3 {
+		t.Errorf("first event has %d ops, want 3", len(x.Events[0].Ops))
+	}
+	if !x.Events[1].IsSync() || x.Events[1].Kind != OpRelease {
+		t.Errorf("second event should be V: %+v", x.Events[1])
+	}
+	if len(x.Events[2].Ops) != 1 {
+		t.Errorf("third event has %d ops, want 1", len(x.Events[2].Ops))
+	}
+}
+
+func TestBuilderLabelForcesBoundary(t *testing.T) {
+	b := NewBuilder()
+	p := b.Proc("p")
+	p.Nop()
+	p.Label("mid").Nop() // label must break the run
+	p.Nop()              // merges into "mid" event? No: continues mid's event
+	x, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if x.NumEvents() != 2 {
+		t.Fatalf("NumEvents = %d, want 2 (label breaks run)", x.NumEvents())
+	}
+	mid := x.MustEventByLabel("mid")
+	if len(mid.Ops) != 2 {
+		t.Errorf("labeled event has %d ops, want 2", len(mid.Ops))
+	}
+}
+
+func TestBuilderDuplicateLabelFails(t *testing.T) {
+	b := NewBuilder()
+	p := b.Proc("p")
+	p.Label("a").Nop()
+	p.V("s")
+	p.Label("a").Nop()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate label did not fail")
+	}
+}
+
+func TestBuilderDuplicateProcFails(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("p").Nop()
+	b.Proc("p").Nop()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("duplicate process name did not fail")
+	}
+}
+
+func TestBuilderForkJoin(t *testing.T) {
+	b := NewBuilder()
+	main := b.Proc("main")
+	child := main.Fork("child")
+	child.Label("c").Nop()
+	main.Join("child")
+	main.Label("after").Nop()
+	x, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	cp, _ := x.ProcByName("child")
+	if cp.Parent != 0 || cp.ForkOp == OpID(NoID) {
+		t.Errorf("child proc links wrong: %+v", cp)
+	}
+	// Program order must put fork → c → join → after.
+	po := ProgramOrder(x)
+	c := x.MustEventByLabel("c").ID
+	after := x.MustEventByLabel("after").ID
+	if !po.Has(c, after) {
+		t.Error("PO missing c → after (via join)")
+	}
+}
+
+func TestSimSemaphoreBlocking(t *testing.T) {
+	x := twoProcSem(t)
+	s := NewSim(x, nil)
+	// p2's P(s) (op 2) must be blocked initially.
+	if ok, _ := s.EnabledOp(2); ok {
+		t.Fatal("P(s) enabled with semaphore at 0")
+	}
+	if err := s.Step(0); err != nil { // a: skip
+		t.Fatal(err)
+	}
+	if err := s.Step(1); err != nil { // V(s)
+		t.Fatal(err)
+	}
+	if s.SemValue("s") != 1 {
+		t.Errorf("sem = %d, want 1", s.SemValue("s"))
+	}
+	if ok, why := s.EnabledOp(2); !ok {
+		t.Fatalf("P(s) still blocked: %s", why)
+	}
+	if err := s.Step(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.SemValue("s") != 0 {
+		t.Errorf("sem = %d after P, want 0", s.SemValue("s"))
+	}
+	if err := s.Step(3); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Done() {
+		t.Error("sim not done after all ops")
+	}
+}
+
+func TestSimProgramOrderEnforced(t *testing.T) {
+	x := twoProcSem(t)
+	s := NewSim(x, nil)
+	if err := s.Step(1); err == nil { // V before a
+		t.Fatal("out-of-program-order step allowed")
+	}
+}
+
+func TestSimBinarySemaphore(t *testing.T) {
+	b := NewBuilder()
+	b.Sem("m", 0, SemBinary)
+	p := b.Proc("p")
+	p.V("m").V("m") // second V must block until a P
+	q := b.Proc("q")
+	q.P("m")
+	x, err := b.BuildDeferred()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(x, nil)
+	if err := s.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.EnabledOp(1); ok {
+		t.Fatal("binary V enabled at value 1")
+	}
+	if err := s.Step(2); err != nil { // P(m)
+		t.Fatal(err)
+	}
+	if ok, _ := s.EnabledOp(1); !ok {
+		t.Fatal("binary V blocked at value 0")
+	}
+}
+
+func TestSimEventVariables(t *testing.T) {
+	b := NewBuilder()
+	p := b.Proc("p")
+	p.Post("e").Clear("e").Post("e")
+	q := b.Proc("q")
+	q.Wait("e")
+	x, err := b.BuildDeferred()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(x, nil)
+	if ok, _ := s.EnabledOp(3); ok {
+		t.Fatal("wait enabled before post")
+	}
+	s.Step(0) // post
+	if ok, _ := s.EnabledOp(3); !ok {
+		t.Fatal("wait blocked after post")
+	}
+	s.Step(1) // clear
+	if ok, _ := s.EnabledOp(3); ok {
+		t.Fatal("wait enabled after clear")
+	}
+	s.Step(2) // post again
+	if err := s.Step(3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimForkJoin(t *testing.T) {
+	b := NewBuilder()
+	main := b.Proc("main")
+	child := main.Fork("child")
+	child.Nop()
+	main.Join("child")
+	x, err := b.BuildDeferred()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(x, nil)
+	// ops: 0=fork(main) 1=nop(child) 2=join(main)
+	if ok, _ := s.EnabledOp(1); ok {
+		t.Fatal("child op enabled before fork")
+	}
+	if err := s.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := s.EnabledOp(2); ok {
+		t.Fatal("join enabled before child finished")
+	}
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimConstraints(t *testing.T) {
+	b := NewBuilder()
+	b.Proc("p").Nop()
+	b.Proc("q").Nop()
+	x, err := b.BuildDeferred()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(x, [][2]OpID{{1, 0}}) // q's op before p's op
+	if ok, _ := s.EnabledOp(0); ok {
+		t.Fatal("constrained op enabled before prerequisite")
+	}
+	if err := s.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	b := NewBuilder()
+	b.Sem("s", 0, SemCounting)
+	b.Proc("p").P("s")
+	x, err := b.BuildDeferred()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSim(x, nil)
+	if !s.Deadlocked() {
+		t.Error("P on zero semaphore with no V should deadlock")
+	}
+	if _, ok := GreedySchedule(x, nil); ok {
+		t.Error("GreedySchedule succeeded on deadlocking execution")
+	}
+}
+
+func TestReplayRejectsBadOrders(t *testing.T) {
+	x := twoProcSem(t)
+	if err := Replay(x, []OpID{2, 3, 0, 1}, nil); err == nil {
+		t.Error("Replay accepted P before V")
+	}
+	if err := Replay(x, []OpID{0, 1}, nil); err == nil {
+		t.Error("Replay accepted incomplete order")
+	}
+	if err := Replay(x, []OpID{0, 1, 2, 3}, nil); err != nil {
+		t.Errorf("Replay rejected valid order: %v", err)
+	}
+}
+
+func TestConflictPairsAndD(t *testing.T) {
+	b := NewBuilder()
+	p := b.Proc("p")
+	p.Label("w").Write("x")
+	q := b.Proc("q")
+	q.Label("r").Read("x")
+	q.V("dummy")
+	q.Label("r2").Read("x")
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy runs p first, so the write precedes both reads.
+	pairs := ConflictPairs(x)
+	if len(pairs) != 2 {
+		t.Fatalf("ConflictPairs = %v, want 2 pairs (write→read ×2)", pairs)
+	}
+	d := DataDependence(x)
+	w := x.MustEventByLabel("w").ID
+	r := x.MustEventByLabel("r").ID
+	r2 := x.MustEventByLabel("r2").ID
+	if !d.Has(w, r) || !d.Has(w, r2) {
+		t.Errorf("D missing write→read: %s", d)
+	}
+	if d.Has(r, r2) || d.Has(r2, r) {
+		t.Error("read-read pair in D")
+	}
+}
+
+func TestObservedBeforeIntervals(t *testing.T) {
+	// One proc with a two-op computation event, another overlapping it.
+	b := NewBuilder()
+	p := b.Proc("p")
+	p.Label("long").Read("x").Read("y")
+	q := b.Proc("q")
+	q.Label("mid").Nop()
+	x, err := b.BuildDeferred()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave: p.read(x), q.nop, p.read(y) → "mid" inside "long".
+	x.Order = []OpID{0, 2, 1}
+	if err := Replay(x, x.Order, nil); err != nil {
+		t.Fatal(err)
+	}
+	tRel := ObservedBefore(x, nil)
+	long := x.MustEventByLabel("long").ID
+	mid := x.MustEventByLabel("mid").ID
+	if tRel.Has(long, mid) || tRel.Has(mid, long) {
+		t.Errorf("overlapping events reported ordered: %s", tRel)
+	}
+	// Serial interleaving orders them.
+	tSerial := ObservedBefore(x, []OpID{0, 1, 2})
+	if !tSerial.Has(long, mid) {
+		t.Error("serial interleaving should order long T mid")
+	}
+}
+
+func TestRelationOps(t *testing.T) {
+	r := NewRelation("R", 4)
+	r.Set(0, 1)
+	r.Set(1, 2)
+	if r.Count() != 2 || !r.Has(0, 1) || r.Has(1, 0) {
+		t.Fatalf("basic ops wrong: %s", r)
+	}
+	c := r.Clone("C")
+	c.TransitiveClose()
+	if !c.Has(0, 2) {
+		t.Error("TransitiveClose missed 0→2")
+	}
+	if !c.IsTransitive() {
+		t.Error("closed relation not transitive")
+	}
+	if c.IsSymmetric() {
+		t.Error("order relation reported symmetric")
+	}
+	if !c.IsAntisymmetric() || !c.IsIrreflexive() {
+		t.Error("order relation should be irreflexive+antisymmetric")
+	}
+	inv := r.Invert("inv")
+	if !inv.Has(1, 0) || !inv.Has(2, 1) || inv.Count() != 2 {
+		t.Errorf("Invert wrong: %s", inv)
+	}
+	if !r.SubsetOf(c) {
+		t.Error("relation not subset of its closure")
+	}
+	d := c.Diff("D", r)
+	if d.Count() != 1 || !d.Has(0, 2) {
+		t.Errorf("Diff wrong: %s", d)
+	}
+	u := r.Clone("U")
+	u.Union(d)
+	if !u.Equal(c) {
+		t.Error("Union(diff) != closure")
+	}
+	i := c.Clone("I")
+	i.Intersect(r)
+	if !i.Equal(r.Clone("I")) && i.Count() != r.Count() {
+		t.Error("Intersect wrong")
+	}
+}
+
+func TestRelationFormatMatrix(t *testing.T) {
+	x := twoProcSem(t)
+	r := NewRelation("MHB", x.NumEvents())
+	r.Set(x.MustEventByLabel("a").ID, x.MustEventByLabel("b").ID)
+	out := r.FormatMatrix(x)
+	if !strings.Contains(out, "MHB") || !strings.Contains(out, "X") {
+		t.Errorf("FormatMatrix output unexpected:\n%s", out)
+	}
+	pairs := r.SortedLabeledPairs(x)
+	if len(pairs) != 1 || pairs[0] != "a MHB b" {
+		t.Errorf("SortedLabeledPairs = %v", pairs)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	x := twoProcSem(t)
+	bad := *x
+	bad.Ops = append([]Op(nil), x.Ops...)
+	bad.Ops[0].Proc = 1
+	if err := ValidateStructure(&bad); err == nil {
+		t.Error("op/proc mismatch not caught")
+	}
+
+	bad2 := *x
+	bad2.Events = append([]Event(nil), x.Events...)
+	bad2.Events[1].Ops = append([]OpID{}, x.Events[1].Ops...)
+	bad2.Events[1].Ops = append(bad2.Events[1].Ops, 3)
+	if err := ValidateStructure(&bad2); err == nil {
+		t.Error("multi-op sync event not caught")
+	}
+}
+
+func TestEventNameAndString(t *testing.T) {
+	x := twoProcSem(t)
+	if !strings.Contains(x.EventName(1), "V(s)") {
+		t.Errorf("EventName(1) = %q", x.EventName(1))
+	}
+	if !strings.Contains(x.String(), "events=4") {
+		t.Errorf("String() = %q", x.String())
+	}
+}
+
+func TestRelationDOT(t *testing.T) {
+	x := twoProcSem(t)
+	r := NewRelation("MHB", x.NumEvents())
+	r.Set(0, 1)
+	r.Set(1, 2)
+	r.Set(0, 2) // redundant under reduction
+	full := r.DOT(x, false)
+	reduced := r.DOT(x, true)
+	if !strings.Contains(full, "digraph MHB") || !strings.Contains(full, "n0 -> n2") {
+		t.Errorf("full DOT wrong:\n%s", full)
+	}
+	if strings.Contains(reduced, "n0 -> n2") {
+		t.Errorf("reduced DOT kept transitive edge:\n%s", reduced)
+	}
+	if strings.Count(reduced, "->") != 2 {
+		t.Errorf("reduced DOT edge count wrong:\n%s", reduced)
+	}
+	odd := NewRelation("A-B c", 1)
+	if !strings.Contains(odd.DOT(nil, false), "digraph A_B_c") {
+		t.Error("DOT name sanitization failed")
+	}
+}
+
+func TestProgramOrderRelation(t *testing.T) {
+	x := twoProcSem(t)
+	po := ProgramOrder(x)
+	a := x.MustEventByLabel("a").ID
+	bEv := x.MustEventByLabel("b").ID
+	// a precedes V in its proc; P precedes b in its proc; no cross edges.
+	if !po.Has(a, 1) || !po.Has(2, bEv) {
+		t.Errorf("PO missing intra-process edges: %s", po)
+	}
+	if po.Has(a, bEv) {
+		t.Error("PO has cross-process edge without fork/join")
+	}
+}

@@ -1,0 +1,220 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sim is the reference operational semantics of an execution's event set: it
+// steps through ops one at a time, enforcing per-process program order,
+// fork/join edges, semaphore safety, event-variable semantics, and any
+// extra precedence constraints (e.g. shared-data-dependence orientations).
+//
+// Sim favors clarity over speed; the exponential-search engine in
+// internal/core re-implements the same rules with incremental state. Tests
+// cross-validate the two.
+type Sim struct {
+	x        *Execution
+	pc       []int // per-process index into Proc.Ops
+	sem      map[string]int
+	ev       map[string]bool
+	started  []bool
+	executed []bool
+	nDone    int
+	// prereqs[v] lists ops that must execute before op v may execute.
+	prereqs map[OpID][]OpID
+	history []OpID
+}
+
+// NewSim returns a simulator at the initial state of x. The extra
+// constraints require, for each pair (u, v), that op u executes before op v.
+func NewSim(x *Execution, constraints [][2]OpID) *Sim {
+	s := &Sim{
+		x:        x,
+		pc:       make([]int, len(x.Procs)),
+		sem:      make(map[string]int, len(x.Sems)),
+		ev:       make(map[string]bool, len(x.EvInit)),
+		started:  make([]bool, len(x.Procs)),
+		executed: make([]bool, len(x.Ops)),
+		prereqs:  make(map[OpID][]OpID),
+	}
+	for name, decl := range x.Sems {
+		s.sem[name] = decl.Init
+	}
+	for name, init := range x.EvInit {
+		s.ev[name] = init
+	}
+	for i := range x.Procs {
+		s.started[i] = x.Procs[i].Parent == NoID
+	}
+	for _, c := range constraints {
+		s.prereqs[c[1]] = append(s.prereqs[c[1]], c[0])
+	}
+	return s
+}
+
+// Done reports whether every op has executed.
+func (s *Sim) Done() bool { return s.nDone == len(s.x.Ops) }
+
+// NumExecuted returns the number of ops executed so far.
+func (s *Sim) NumExecuted() int { return s.nDone }
+
+// History returns the ops executed so far, in order.
+func (s *Sim) History() []OpID { return s.history }
+
+// Executed reports whether op id has executed.
+func (s *Sim) Executed(id OpID) bool { return s.executed[id] }
+
+// SemValue returns the current value of semaphore name.
+func (s *Sim) SemValue(name string) int { return s.sem[name] }
+
+// EvValue returns the current state of event variable name.
+func (s *Sim) EvValue(name string) bool { return s.ev[name] }
+
+// NextOp returns the next op of process p in program order, or NoID if p
+// has finished.
+func (s *Sim) NextOp(p ProcID) OpID {
+	proc := &s.x.Procs[p]
+	if s.pc[p] >= len(proc.Ops) {
+		return OpID(NoID)
+	}
+	return proc.Ops[s.pc[p]]
+}
+
+// procFinished reports whether process p has started and run all its ops.
+// A forked process whose fork has not executed is NOT finished even if it
+// has zero ops.
+func (s *Sim) procFinished(p ProcID) bool {
+	return s.started[p] && s.pc[p] >= len(s.x.Procs[p].Ops)
+}
+
+// EnabledOp reports whether op id may execute in the current state, with a
+// reason when it may not.
+func (s *Sim) EnabledOp(id OpID) (bool, string) {
+	op := &s.x.Ops[id]
+	if s.executed[id] {
+		return false, "already executed"
+	}
+	if !s.started[op.Proc] {
+		return false, "process not yet forked"
+	}
+	if s.NextOp(op.Proc) != id {
+		return false, "not next in program order"
+	}
+	for _, u := range s.prereqs[id] {
+		if !s.executed[u] {
+			return false, fmt.Sprintf("constraint: op %d must come first", u)
+		}
+	}
+	switch op.Kind {
+	case OpAcquire:
+		if s.sem[op.Obj] <= 0 {
+			return false, fmt.Sprintf("P(%s) blocked: value 0", op.Obj)
+		}
+	case OpRelease:
+		decl := s.x.Sems[op.Obj]
+		if decl.Kind == SemBinary && s.sem[op.Obj] >= 1 {
+			return false, fmt.Sprintf("V(%s) blocked: binary semaphore at 1", op.Obj)
+		}
+	case OpWait:
+		if !s.ev[op.Obj] {
+			return false, fmt.Sprintf("wait(%s) blocked: event clear", op.Obj)
+		}
+	case OpJoin:
+		child, ok := s.x.ProcByName(op.Obj)
+		if !ok {
+			return false, fmt.Sprintf("join(%s): no such process", op.Obj)
+		}
+		if !s.procFinished(child.ID) {
+			return false, fmt.Sprintf("join(%s) blocked: child not finished", op.Obj)
+		}
+	}
+	return true, ""
+}
+
+// Enabled returns all currently executable ops, in increasing id order.
+func (s *Sim) Enabled() []OpID {
+	var out []OpID
+	for p := range s.x.Procs {
+		id := s.NextOp(ProcID(p))
+		if id == OpID(NoID) {
+			continue
+		}
+		if ok, _ := s.EnabledOp(id); ok {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Step executes op id, or returns an error explaining why it cannot.
+func (s *Sim) Step(id OpID) error {
+	if int(id) < 0 || int(id) >= len(s.x.Ops) {
+		return fmt.Errorf("sim: op %d out of range", id)
+	}
+	if ok, why := s.EnabledOp(id); !ok {
+		return fmt.Errorf("sim: op %d (%s %s by %s) not enabled: %s",
+			id, s.x.Ops[id].Kind, s.x.Ops[id].Obj, s.x.Procs[s.x.Ops[id].Proc].Name, why)
+	}
+	op := &s.x.Ops[id]
+	switch op.Kind {
+	case OpAcquire:
+		s.sem[op.Obj]--
+	case OpRelease:
+		s.sem[op.Obj]++
+	case OpPost:
+		s.ev[op.Obj] = true
+	case OpClear:
+		s.ev[op.Obj] = false
+	case OpFork:
+		child, ok := s.x.ProcByName(op.Obj)
+		if !ok {
+			return fmt.Errorf("sim: fork(%s): no such process", op.Obj)
+		}
+		s.started[child.ID] = true
+	}
+	s.executed[id] = true
+	s.pc[op.Proc]++
+	s.nDone++
+	s.history = append(s.history, id)
+	return nil
+}
+
+// Deadlocked reports whether the simulation is stuck: not done, yet no op
+// is enabled.
+func (s *Sim) Deadlocked() bool { return !s.Done() && len(s.Enabled()) == 0 }
+
+// Replay validates that order is a complete valid interleaving under the
+// simulator's rules, returning a descriptive error on the first violation.
+func Replay(x *Execution, order []OpID, constraints [][2]OpID) error {
+	if len(order) != len(x.Ops) {
+		return fmt.Errorf("model: interleaving has %d ops, execution has %d", len(order), len(x.Ops))
+	}
+	s := NewSim(x, constraints)
+	for i, id := range order {
+		if err := s.Step(id); err != nil {
+			return fmt.Errorf("at position %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// GreedySchedule attempts to find a complete valid interleaving by running
+// processes round-robin, taking the first enabled op each time. It can fail
+// (return ok=false) on executions where only specific interleavings
+// complete; callers needing completeness should use the search engine in
+// internal/core.
+func GreedySchedule(x *Execution, constraints [][2]OpID) ([]OpID, bool) {
+	s := NewSim(x, constraints)
+	for !s.Done() {
+		enabled := s.Enabled()
+		if len(enabled) == 0 {
+			return nil, false
+		}
+		if err := s.Step(enabled[0]); err != nil {
+			return nil, false
+		}
+	}
+	return s.History(), true
+}

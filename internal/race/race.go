@@ -1,0 +1,261 @@
+// Package race detects data races in observed executions — the application
+// the paper's conclusion points at: "exhaustively detecting all data races
+// potentially exhibited by a given program execution is an intractable
+// problem" (because exact detection needs the could-have-been-concurrent
+// relation, which Theorem 2 makes NP-hard).
+//
+// Three detectors are provided over the same candidate set (pairs of events
+// in different processes holding conflicting accesses to the same shared
+// variable):
+//
+//   - Exact: the pair is a race iff the events could have executed
+//     concurrently in some feasible execution (core CCW) — exponential.
+//   - VC: the pair is reported iff the vector-clock happened-before of the
+//     observed pairing orders the events in neither direction — what
+//     practical dynamic detectors report; polynomial, but both false
+//     positives and false negatives are possible relative to Exact.
+//   - PO: the pair is reported iff program order (plus fork/join) leaves
+//     the events unordered — the naive over-approximation.
+package race
+
+import (
+	"fmt"
+	"sort"
+
+	"eventorder/internal/core"
+	"eventorder/internal/model"
+	"eventorder/internal/vclock"
+)
+
+// Pair is one candidate or confirmed race. A < B by event id.
+type Pair struct {
+	A, B model.EventID
+	Var  string
+}
+
+func (p Pair) String() string { return fmt.Sprintf("race{%d,%d on %s}", p.A, p.B, p.Var) }
+
+// Report is the result of Detect.
+type Report struct {
+	Candidates []Pair // conflicting event pairs (the universe)
+	Exact      []Pair // confirmed by CCW (could-have-been-concurrent)
+	VC         []Pair // apparent races per vector clocks
+	PO         []Pair // apparent races per program order only
+	// Nodes is the search effort the exact detector spent.
+	Nodes int64
+}
+
+// Detect runs all three detectors. The exact detector inherits opts (node
+// budgets apply per CCW query).
+func Detect(x *model.Execution, opts core.Options) (*Report, error) {
+	if err := model.Validate(x); err != nil {
+		return nil, err
+	}
+	rep := &Report{Candidates: Candidates(x)}
+
+	vcRes, err := vclock.Compute(x)
+	if err != nil {
+		return nil, err
+	}
+	po := model.ProgramOrder(x)
+	an, err := core.New(x, opts)
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range rep.Candidates {
+		if !vcRes.HB.Has(c.A, c.B) && !vcRes.HB.Has(c.B, c.A) {
+			rep.VC = append(rep.VC, c)
+		}
+		if !po.Has(c.A, c.B) && !po.Has(c.B, c.A) {
+			rep.PO = append(rep.PO, c)
+		}
+		ccw, err := an.CCW(c.A, c.B)
+		if err != nil {
+			return nil, fmt.Errorf("race: exact query for %s: %w", c, err)
+		}
+		if ccw {
+			rep.Exact = append(rep.Exact, c)
+		}
+	}
+	rep.Nodes = an.Stats().Nodes
+	return rep, nil
+}
+
+// Candidates enumerates the conflicting event pairs: events of different
+// processes that access one common shared variable with at least one write.
+// Each pair is reported once, tagged with the (lexicographically least)
+// variable witnessing the conflict.
+func Candidates(x *model.Execution) []Pair {
+	// accesses[var] → events reading/writing it, with write flags.
+	type access struct {
+		ev     model.EventID
+		writes bool
+	}
+	byVar := map[string]map[model.EventID]*access{}
+	for i := range x.Ops {
+		op := &x.Ops[i]
+		if !op.Kind.IsAccess() {
+			continue
+		}
+		m := byVar[op.Obj]
+		if m == nil {
+			m = map[model.EventID]*access{}
+			byVar[op.Obj] = m
+		}
+		a := m[op.Event]
+		if a == nil {
+			a = &access{ev: op.Event}
+			m[op.Event] = a
+		}
+		if op.Kind == model.OpWrite {
+			a.writes = true
+		}
+	}
+	vars := make([]string, 0, len(byVar))
+	for v := range byVar {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+
+	seen := map[[2]model.EventID]bool{}
+	var out []Pair
+	for _, v := range vars {
+		m := byVar[v]
+		events := make([]model.EventID, 0, len(m))
+		for ev := range m {
+			events = append(events, ev)
+		}
+		sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+		for i := 0; i < len(events); i++ {
+			for j := i + 1; j < len(events); j++ {
+				a, b := m[events[i]], m[events[j]]
+				if !a.writes && !b.writes {
+					continue
+				}
+				if x.Events[a.ev].Proc == x.Events[b.ev].Proc {
+					continue // same process: always ordered
+				}
+				key := [2]model.EventID{a.ev, b.ev}
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				out = append(out, Pair{A: a.ev, B: b.ev, Var: v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Diff summarizes how an approximate detector compares to the exact one.
+type Diff struct {
+	TruePositives  int // reported and real
+	FalsePositives int // reported but not real
+	FalseNegatives int // real but not reported
+}
+
+// FirstRaces filters a set of exact races down to the "first" ones, in the
+// spirit of Netzer & Miller's companion race-detection work (the paper's
+// reference [10]): a race whose participants both causally follow a
+// participant of an earlier race is a potential artifact — fixing the
+// earlier race may make it disappear — so debugging should start from the
+// minimal races.
+//
+// Race R1 precedes race R2 here iff some event of R1 must-happen-before
+// BOTH events of R2 (so R2 lies entirely in R1's causal future). FirstRaces
+// returns the races minimal under this order, preserving input order.
+func FirstRaces(x *model.Execution, opts core.Options, races []Pair) ([]Pair, error) {
+	an, err := core.New(x, opts)
+	if err != nil {
+		return nil, err
+	}
+	mhb := func(u, v model.EventID) (bool, error) {
+		if u == v {
+			return false, nil
+		}
+		return an.MHB(u, v)
+	}
+	precedes := func(r1, r2 Pair) (bool, error) {
+		for _, e1 := range [2]model.EventID{r1.A, r1.B} {
+			okA, err := mhb(e1, r2.A)
+			if err != nil {
+				return false, err
+			}
+			okB, err := mhb(e1, r2.B)
+			if err != nil {
+				return false, err
+			}
+			if okA && okB {
+				return true, nil
+			}
+		}
+		return false, nil
+	}
+	var first []Pair
+	for i, r2 := range races {
+		minimal := true
+		for j, r1 := range races {
+			if i == j {
+				continue
+			}
+			ok, err := precedes(r1, r2)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			first = append(first, r2)
+		}
+	}
+	return first, nil
+}
+
+// WitnessFor returns a feasible interleaving in which the pair's events
+// overlap — the schedule a programmer would need to reproduce the race.
+// ok=false means the pair is not an exact race.
+func WitnessFor(x *model.Execution, opts core.Options, p Pair) (order []model.OpID, ok bool, err error) {
+	an, err := core.New(x, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	w, err := an.WitnessSchedule(core.RelCCW, p.A, p.B)
+	if err != nil {
+		return nil, false, err
+	}
+	return w.Order, w.Holds, nil
+}
+
+// Compare computes the confusion counts of approx against exact.
+func Compare(exact, approx []Pair) Diff {
+	key := func(p Pair) [2]model.EventID { return [2]model.EventID{p.A, p.B} }
+	real := map[[2]model.EventID]bool{}
+	for _, p := range exact {
+		real[key(p)] = true
+	}
+	var d Diff
+	seen := map[[2]model.EventID]bool{}
+	for _, p := range approx {
+		seen[key(p)] = true
+		if real[key(p)] {
+			d.TruePositives++
+		} else {
+			d.FalsePositives++
+		}
+	}
+	for _, p := range exact {
+		if !seen[key(p)] {
+			d.FalseNegatives++
+		}
+	}
+	return d
+}

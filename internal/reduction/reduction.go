@@ -1,0 +1,343 @@
+// Package reduction implements the paper's Section 5 constructions as
+// executable program generators: given a CNF formula B, it builds a program
+// execution P = ⟨E, T, D⟩ containing two labeled events a and b such that
+//
+//	a MHB b  ⇔  B is not satisfiable   (Theorems 1 and 3)
+//	b CHB a  ⇔  B is satisfiable       (Theorems 2 and 4)
+//
+// for programs that use counting (or binary) semaphores — Theorems 1–2 —
+// and for programs that use Post/Wait/Clear event-style synchronization —
+// Theorems 3–4. The generated executions contain no conditional statements
+// and no shared variables, so every execution of the generated program
+// performs the same events and exhibits the same (empty) shared-data
+// dependences; this is what makes the equivalences exact and is also why
+// the results extend to the dependence-free feasibility notion of
+// Section 5.3.
+//
+// The same instances witness the hardness of the concurrent-with and
+// ordered-with families: a CCW b ⇔ B satisfiable and a MOW b ⇔ B
+// unsatisfiable (the paper notes that "similar reductions" cover these
+// relations; on this construction they fall out of the same program).
+//
+// The constructions accept clauses of any width ≥ 1 (the paper fixes
+// width 3, which is all the hardness proof needs; narrower clauses only
+// make instances smaller).
+package reduction
+
+import (
+	"fmt"
+
+	"eventorder/internal/core"
+	"eventorder/internal/model"
+	"eventorder/internal/sat"
+)
+
+// Style selects the synchronization repertoire of the generated program.
+type Style int
+
+const (
+	// StyleSemaphore uses P/V on semaphores (Theorems 1 and 2).
+	StyleSemaphore Style = iota
+	// StyleEvent uses Post/Wait/Clear on event variables plus fork/join
+	// (Theorems 3 and 4).
+	StyleEvent
+)
+
+func (s Style) String() string {
+	if s == StyleEvent {
+		return "event"
+	}
+	return "semaphore"
+}
+
+// Instance is a generated reduction instance: the execution, its two
+// distinguished events, and the source formula.
+type Instance struct {
+	Formula *sat.Formula
+	X       *model.Execution
+	A, B    model.EventID // the events labeled "a" and "b"
+	Style   Style
+}
+
+// validateFormula rejects formulas the construction cannot express.
+func validateFormula(f *sat.Formula) error {
+	if f.NumVars < 1 {
+		return fmt.Errorf("reduction: formula must have at least one variable")
+	}
+	if len(f.Clauses) < 1 {
+		return fmt.Errorf("reduction: formula must have at least one clause")
+	}
+	for j, c := range f.Clauses {
+		if len(c) < 1 {
+			return fmt.Errorf("reduction: clause %d is empty", j+1)
+		}
+		for _, l := range c {
+			if l == 0 {
+				return fmt.Errorf("reduction: clause %d has a zero literal", j+1)
+			}
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if v > f.NumVars {
+				return fmt.Errorf("reduction: clause %d uses variable %d > NumVars", j+1, v)
+			}
+		}
+	}
+	return nil
+}
+
+// litName returns the synchronization-object name for a literal: "X3" for
+// x3, "Xn3" for ¬x3.
+func litName(l int) string {
+	if l < 0 {
+		return fmt.Sprintf("Xn%d", -l)
+	}
+	return fmt.Sprintf("X%d", l)
+}
+
+// occurrences counts how many times each literal appears in the formula,
+// keyed by DIMACS literal.
+func occurrences(f *sat.Formula) map[int]int {
+	occ := map[int]int{}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			occ[l]++
+		}
+	}
+	return occ
+}
+
+// BuildSemaphore constructs the Theorem 1/2 program execution for f using
+// semaphores of the given kind (the paper notes the proof does not use the
+// counting ability, so binary semaphores work too). The observed order is
+// found by the exhaustive scheduler; the construction never deadlocks, but
+// options bound the search anyway.
+func BuildSemaphore(f *sat.Formula, kind model.SemKind, opts core.Options) (*Instance, error) {
+	if err := validateFormula(f); err != nil {
+		return nil, err
+	}
+	n, m := f.NumVars, len(f.Clauses)
+	occ := occurrences(f)
+
+	b := model.NewBuilder()
+	// 3n + m + 1 semaphores, all initialized to zero.
+	for i := 1; i <= n; i++ {
+		b.Sem(fmt.Sprintf("A%d", i), 0, kind)
+		b.Sem(litName(i), 0, kind)
+		b.Sem(litName(-i), 0, kind)
+	}
+	for j := 1; j <= m; j++ {
+		b.Sem(fmt.Sprintf("C%d", j), 0, kind)
+	}
+	b.Sem("Pass2", 0, kind)
+
+	// Per-variable gadget: two competitor processes guess the truth value
+	// (exactly one wins the first-pass P(A_i)); the controller re-signals
+	// A_i in the second pass so the loser can drain (no deadlock).
+	for i := 1; i <= n; i++ {
+		ai := fmt.Sprintf("A%d", i)
+		tp := b.Proc(fmt.Sprintf("assignTrue%d", i))
+		tp.P(ai)
+		for k := 0; k < occ[i]; k++ {
+			tp.V(litName(i))
+		}
+		fp := b.Proc(fmt.Sprintf("assignFalse%d", i))
+		fp.P(ai)
+		for k := 0; k < occ[-i]; k++ {
+			fp.V(litName(-i))
+		}
+		cp := b.Proc(fmt.Sprintf("ctl%d", i))
+		cp.V(ai)
+		cp.P("Pass2")
+		cp.V(ai)
+	}
+
+	// Per-clause gadget: one process per literal; the clause semaphore is
+	// signaled when its literal's truth was guessed.
+	for j, clause := range f.Clauses {
+		cj := fmt.Sprintf("C%d", j+1)
+		for k, l := range clause {
+			p := b.Proc(fmt.Sprintf("clause%d_%d", j+1, k+1))
+			p.P(litName(l))
+			p.V(cj)
+		}
+	}
+
+	// Event a, then n V(Pass2) (one per variable controller).
+	pa := b.Proc("procA")
+	pa.Label("a").Nop()
+	for i := 1; i <= n; i++ {
+		pa.V("Pass2")
+	}
+	// Event b, reachable only after every clause semaphore is signaled.
+	pb := b.Proc("procB")
+	for j := 1; j <= m; j++ {
+		pb.P(fmt.Sprintf("C%d", j))
+	}
+	pb.Label("b").Nop()
+
+	return finishInstance(b, f, StyleSemaphore, opts)
+}
+
+// BuildEventStyle constructs the Theorem 3/4 program execution for f using
+// Post/Wait/Clear and fork/join. The per-variable gadget implements
+// two-process mutual exclusion with Clear operations; runs of the program
+// can genuinely deadlock (the paper says as much, and an early second-pass
+// re-post can even be wasted by a later first-pass Clear — see the state
+// exploration in internal/interp's tests), so the observed complete
+// execution the theorems quantify from is found by the exhaustive
+// scheduler. Deadlocked runs perform fewer events and are not feasible
+// program executions (condition F1), so they do not affect the theorems.
+func BuildEventStyle(f *sat.Formula, opts core.Options) (*Instance, error) {
+	if err := validateFormula(f); err != nil {
+		return nil, err
+	}
+	n, m := f.NumVars, len(f.Clauses)
+
+	b := model.NewBuilder()
+	for i := 1; i <= n; i++ {
+		b.EventVar(fmt.Sprintf("A%d", i), false)
+		b.EventVar(fmt.Sprintf("B%d", i), false)
+		b.EventVar(litName(i), false)
+		b.EventVar(litName(-i), false)
+	}
+	for j := 1; j <= m; j++ {
+		b.EventVar(fmt.Sprintf("C%d", j), false)
+	}
+
+	// Per-variable gadget (paper, Theorem 3):
+	//
+	//	Post(A_i); Post(B_i)
+	//	fork ──► child: Clear(A_i); Wait(B_i); Post(X_i)
+	//	parent:  Clear(B_i); Wait(A_i); Post(X̄_i)
+	//	join
+	//
+	// During the first pass at most one branch passes its Wait (mutual
+	// exclusion via Clear); the second-pass re-posts of A_i and B_i release
+	// whichever branches blocked.
+	for i := 1; i <= n; i++ {
+		ai, bi := fmt.Sprintf("A%d", i), fmt.Sprintf("B%d", i)
+		vp := b.Proc(fmt.Sprintf("var%d", i))
+		vp.Post(ai)
+		vp.Post(bi)
+		child := vp.Fork(fmt.Sprintf("var%dchild", i))
+		child.Clear(ai)
+		child.Wait(bi)
+		child.Post(litName(i))
+		vp.Clear(bi)
+		vp.Wait(ai)
+		vp.Post(litName(-i))
+		vp.Join(fmt.Sprintf("var%dchild", i))
+	}
+
+	for j, clause := range f.Clauses {
+		cj := fmt.Sprintf("C%d", j+1)
+		for k, l := range clause {
+			p := b.Proc(fmt.Sprintf("clause%d_%d", j+1, k+1))
+			p.Wait(litName(l))
+			p.Post(cj)
+		}
+	}
+
+	// Event a, then the second-pass re-posts.
+	pa := b.Proc("procA")
+	pa.Label("a").Nop()
+	for i := 1; i <= n; i++ {
+		pa.Post(fmt.Sprintf("A%d", i))
+		pa.Post(fmt.Sprintf("B%d", i))
+	}
+	pb := b.Proc("procB")
+	for j := 1; j <= m; j++ {
+		pb.Wait(fmt.Sprintf("C%d", j))
+	}
+	pb.Label("b").Nop()
+
+	return finishInstance(b, f, StyleEvent, opts)
+}
+
+// Build constructs an instance in the requested style with counting
+// semaphores (for StyleSemaphore).
+func Build(f *sat.Formula, style Style, opts core.Options) (*Instance, error) {
+	if style == StyleEvent {
+		return BuildEventStyle(f, opts)
+	}
+	return BuildSemaphore(f, model.SemCounting, opts)
+}
+
+func finishInstance(b *model.Builder, f *sat.Formula, style Style, opts core.Options) (*Instance, error) {
+	x, err := b.BuildDeferred()
+	if err != nil {
+		return nil, fmt.Errorf("reduction: building execution: %w", err)
+	}
+	if err := core.Schedule(x, opts); err != nil {
+		return nil, fmt.Errorf("reduction: scheduling observed execution: %w", err)
+	}
+	inst := &Instance{
+		Formula: f.Clone(),
+		X:       x,
+		A:       x.MustEventByLabel("a").ID,
+		B:       x.MustEventByLabel("b").ID,
+		Style:   style,
+	}
+	return inst, nil
+}
+
+// ExpectedProcs returns the process count the paper's construction
+// predicts: 3n+3m+2 for width-3 formulas with semaphores (the event-style
+// construction merges each variable's three processes into a forked pair,
+// giving 2n+3m+2). General-width clauses contribute one process per
+// literal occurrence.
+func ExpectedProcs(f *sat.Formula, style Style) int {
+	lits := 0
+	for _, c := range f.Clauses {
+		lits += len(c)
+	}
+	if style == StyleEvent {
+		return 2*f.NumVars + lits + 2
+	}
+	return 3*f.NumVars + lits + 2
+}
+
+// ExpectedSyncObjects returns the number of synchronization objects the
+// construction uses: 3n+m+1 semaphores, or 4n+m event variables.
+func ExpectedSyncObjects(f *sat.Formula, style Style) int {
+	if style == StyleEvent {
+		return 4*f.NumVars + len(f.Clauses)
+	}
+	return 3*f.NumVars + len(f.Clauses) + 1
+}
+
+// Check decides the Theorem 1–4 equivalences on this instance using the
+// exact engine and an independent SAT verdict, returning an error if any
+// equivalence fails. It is the core of experiments E2–E4.
+func (inst *Instance) Check(opts core.Options) (CheckResult, error) {
+	var res CheckResult
+	res.SAT = sat.Solve(inst.Formula).SAT
+	a, err := core.New(inst.X, opts)
+	if err != nil {
+		return res, err
+	}
+	if res.MHB, err = a.MHB(inst.A, inst.B); err != nil {
+		return res, fmt.Errorf("reduction: MHB query: %w", err)
+	}
+	if res.CHBrev, err = a.CHB(inst.B, inst.A); err != nil {
+		return res, fmt.Errorf("reduction: CHB query: %w", err)
+	}
+	res.Nodes = a.Stats().Nodes
+	if res.MHB == res.SAT {
+		return res, fmt.Errorf("reduction: MHB(a,b)=%v but SAT=%v (want MHB ⇔ ¬SAT)", res.MHB, res.SAT)
+	}
+	if res.CHBrev != res.SAT {
+		return res, fmt.Errorf("reduction: CHB(b,a)=%v but SAT=%v (want CHB ⇔ SAT)", res.CHBrev, res.SAT)
+	}
+	return res, nil
+}
+
+// CheckResult reports the verdicts of Instance.Check.
+type CheckResult struct {
+	SAT    bool  // formula satisfiable (CDCL oracle)
+	MHB    bool  // a MHB b per the exact engine
+	CHBrev bool  // b CHB a per the exact engine
+	Nodes  int64 // search nodes spent on the two queries
+}

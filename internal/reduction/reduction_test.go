@@ -1,0 +1,274 @@
+package reduction
+
+import (
+	"math/rand"
+	"testing"
+
+	"eventorder/internal/core"
+	"eventorder/internal/model"
+	"eventorder/internal/sat"
+)
+
+// unsat1 is the smallest unsatisfiable formula: (x1) ∧ (¬x1).
+func unsat1() *sat.Formula {
+	f := sat.NewFormula(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	return f
+}
+
+// sat1 is (x1): trivially satisfiable.
+func sat1() *sat.Formula {
+	f := sat.NewFormula(1)
+	f.AddClause(1)
+	return f
+}
+
+// unsat2 is (x1 ∨ x2) ∧ (¬x1) ∧ (¬x2).
+func unsat2() *sat.Formula {
+	f := sat.NewFormula(2)
+	f.AddClause(1, 2)
+	f.AddClause(-1)
+	f.AddClause(-2)
+	return f
+}
+
+// sat3 is a width-3 satisfiable clause (x1 ∨ ¬x2 ∨ x3).
+func sat3() *sat.Formula {
+	f := sat.NewFormula(3)
+	f.AddClause(1, -2, 3)
+	return f
+}
+
+func styles() []Style { return []Style{StyleSemaphore, StyleEvent} }
+
+func TestReductionShape(t *testing.T) {
+	f := sat3()
+	for _, style := range styles() {
+		inst, err := Build(f, style, core.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", style, err)
+		}
+		if got, want := inst.X.NumProcs(), ExpectedProcs(f, style); got != want {
+			t.Errorf("%v: procs = %d, want %d", style, got, want)
+		}
+		var syncObjs int
+		if style == StyleSemaphore {
+			syncObjs = len(inst.X.Sems)
+		} else {
+			syncObjs = len(inst.X.EvInit)
+		}
+		if want := ExpectedSyncObjects(f, style); syncObjs != want {
+			t.Errorf("%v: sync objects = %d, want %d", style, syncObjs, want)
+		}
+		// Width-3, one clause, semaphores: the paper's 3n+3m+2 formula.
+		if style == StyleSemaphore {
+			if inst.X.NumProcs() != 3*3+3*1+2 {
+				t.Errorf("width-3 proc count mismatch with paper: %d", inst.X.NumProcs())
+			}
+		}
+		if err := model.Validate(inst.X); err != nil {
+			t.Errorf("%v: generated execution invalid: %v", style, err)
+		}
+		if inst.A == inst.B {
+			t.Errorf("%v: a and b are the same event", style)
+		}
+	}
+}
+
+func TestReductionNoSharedData(t *testing.T) {
+	// The constructions must contain no shared variables, so D is empty —
+	// the property that extends the theorems to Section 5.3.
+	for _, style := range styles() {
+		inst, err := Build(unsat1(), style, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := model.DataDependence(inst.X); d.Count() != 0 {
+			t.Errorf("%v: D relation nonempty: %s", style, d)
+		}
+	}
+}
+
+func TestTheorem1and3Unsat(t *testing.T) {
+	for _, style := range styles() {
+		for _, f := range []*sat.Formula{unsat1(), unsat2()} {
+			inst, err := Build(f, style, core.Options{})
+			if err != nil {
+				t.Fatalf("%v: %v", style, err)
+			}
+			res, err := inst.Check(core.Options{})
+			if err != nil {
+				t.Fatalf("%v %s: %v", style, f, err)
+			}
+			if res.SAT {
+				t.Fatalf("%v: oracle says SAT for unsat formula %s", style, f)
+			}
+			if !res.MHB || res.CHBrev {
+				t.Errorf("%v %s: MHB=%v CHBrev=%v, want true,false", style, f, res.MHB, res.CHBrev)
+			}
+		}
+	}
+}
+
+func TestTheorem2and4Sat(t *testing.T) {
+	for _, style := range styles() {
+		for _, f := range []*sat.Formula{sat1(), sat3()} {
+			inst, err := Build(f, style, core.Options{})
+			if err != nil {
+				t.Fatalf("%v: %v", style, err)
+			}
+			res, err := inst.Check(core.Options{})
+			if err != nil {
+				t.Fatalf("%v %s: %v", style, f, err)
+			}
+			if !res.SAT {
+				t.Fatalf("%v: oracle says UNSAT for sat formula %s", style, f)
+			}
+			if res.MHB || !res.CHBrev {
+				t.Errorf("%v %s: MHB=%v CHBrev=%v, want false,true", style, f, res.MHB, res.CHBrev)
+			}
+		}
+	}
+}
+
+func TestConcurrencyFamilyOnReduction(t *testing.T) {
+	// On the same instances: a CCW b ⇔ SAT and a MOW b ⇔ ¬SAT.
+	for _, style := range styles() {
+		for _, tc := range []struct {
+			f     *sat.Formula
+			isSat bool
+		}{
+			{sat1(), true},
+			{unsat1(), false},
+		} {
+			inst, err := Build(tc.f, style, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := core.New(inst.X, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ccw, err := a.CCW(inst.A, inst.B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mow, err := a.MOW(inst.A, inst.B)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ccw != tc.isSat {
+				t.Errorf("%v %s: CCW(a,b)=%v, want %v", style, tc.f, ccw, tc.isSat)
+			}
+			if mow != !tc.isSat {
+				t.Errorf("%v %s: MOW(a,b)=%v, want %v", style, tc.f, mow, !tc.isSat)
+			}
+		}
+	}
+}
+
+func TestBinarySemaphoreVariant(t *testing.T) {
+	// The paper: the proofs do not use the counting ability, so the results
+	// hold for binary semaphores too.
+	for _, tc := range []struct {
+		f     *sat.Formula
+		isSat bool
+	}{
+		{sat1(), true},
+		{unsat1(), false},
+		{unsat2(), false},
+	} {
+		inst, err := BuildSemaphore(tc.f, model.SemBinary, core.Options{})
+		if err != nil {
+			t.Fatalf("binary build: %v", err)
+		}
+		res, err := inst.Check(core.Options{})
+		if err != nil {
+			t.Fatalf("binary %s: %v", tc.f, err)
+		}
+		if res.SAT != tc.isSat {
+			t.Fatalf("binary oracle mismatch for %s", tc.f)
+		}
+	}
+}
+
+func TestIgnoreDataModeSameVerdicts(t *testing.T) {
+	// Section 5.3: the constructions have no shared data, so the verdicts
+	// are identical when dependences are ignored.
+	for _, style := range styles() {
+		for _, f := range []*sat.Formula{sat1(), unsat1()} {
+			inst, err := Build(f, style, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := inst.Check(core.Options{IgnoreData: true}); err != nil {
+				t.Errorf("%v %s (ignore data): %v", style, f, err)
+			}
+		}
+	}
+}
+
+func TestRandomFormulasMatchOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exponential verification is slow in -short mode")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 6; trial++ {
+		n := 1 + rng.Intn(2) // 1–2 variables keeps the search tractable
+		m := 1 + rng.Intn(2)
+		f := sat.NewFormula(n)
+		for j := 0; j < m; j++ {
+			w := 1 + rng.Intn(2)
+			clause := make([]int, 0, w)
+			for k := 0; k < w; k++ {
+				lit := 1 + rng.Intn(n)
+				if rng.Intn(2) == 0 {
+					lit = -lit
+				}
+				clause = append(clause, lit)
+			}
+			f.AddClause(clause...)
+		}
+		for _, style := range styles() {
+			inst, err := Build(f, style, core.Options{})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, style, err)
+			}
+			if _, err := inst.Check(core.Options{}); err != nil {
+				t.Errorf("trial %d %v %s: %v", trial, style, f, err)
+			}
+		}
+	}
+}
+
+func TestValidateFormulaErrors(t *testing.T) {
+	empty := sat.NewFormula(0)
+	if _, err := Build(empty, StyleSemaphore, core.Options{}); err == nil {
+		t.Error("empty formula accepted")
+	}
+	noClauses := sat.NewFormula(2)
+	if _, err := Build(noClauses, StyleEvent, core.Options{}); err == nil {
+		t.Error("clause-free formula accepted")
+	}
+	bad := sat.NewFormula(1)
+	bad.Clauses = append(bad.Clauses, []int{})
+	if _, err := Build(bad, StyleSemaphore, core.Options{}); err == nil {
+		t.Error("empty clause accepted")
+	}
+}
+
+func TestObservedScheduleValid(t *testing.T) {
+	// The event-style gadget can block mid-run; the scheduler must still
+	// produce a complete valid observed order.
+	inst, err := BuildEventStyle(unsat1(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Replay(inst.X, inst.X.Order, nil); err != nil {
+		t.Fatalf("observed order invalid: %v", err)
+	}
+	if len(inst.X.Order) != inst.X.NumOps() {
+		t.Fatalf("observed order incomplete: %d of %d ops", len(inst.X.Order), inst.X.NumOps())
+	}
+}

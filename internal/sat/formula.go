@@ -1,0 +1,279 @@
+// Package sat provides a from-scratch CNF satisfiability toolkit: a CDCL
+// solver with watched literals, first-UIP clause learning, VSIDS-style
+// branching and Luby restarts; a brute-force reference solver; DIMACS
+// reading and writing; and random 3CNF generators.
+//
+// It serves as the independent oracle for the paper's Theorem 1–4
+// experiments: the reductions in internal/reduction map a 3CNF formula B to
+// a program execution such that a MHB b iff B is unsatisfiable and
+// b CHB a iff B is satisfiable; this package decides the right-hand sides.
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Formula is a CNF formula in DIMACS conventions: variables are numbered
+// 1..NumVars and a literal is ±v.
+type Formula struct {
+	NumVars int
+	Clauses [][]int
+}
+
+// NewFormula returns an empty formula over n variables.
+func NewFormula(n int) *Formula {
+	if n < 0 {
+		panic("sat: negative variable count")
+	}
+	return &Formula{NumVars: n}
+}
+
+// AddClause appends a clause given as non-zero DIMACS literals. It panics
+// on a zero literal and grows NumVars as needed.
+func (f *Formula) AddClause(lits ...int) {
+	for _, l := range lits {
+		if l == 0 {
+			panic("sat: zero literal in clause")
+		}
+		v := l
+		if v < 0 {
+			v = -v
+		}
+		if v > f.NumVars {
+			f.NumVars = v
+		}
+	}
+	f.Clauses = append(f.Clauses, append([]int(nil), lits...))
+}
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// Eval reports whether the assignment satisfies the formula. assignment[v]
+// gives the value of variable v (index 0 unused; the slice must have length
+// ≥ NumVars+1).
+func (f *Formula) Eval(assignment []bool) bool {
+	if len(assignment) < f.NumVars+1 {
+		return false
+	}
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			v := l
+			if v < 0 {
+				v = -v
+			}
+			if (l > 0) == assignment[v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (f *Formula) Clone() *Formula {
+	c := &Formula{NumVars: f.NumVars, Clauses: make([][]int, len(f.Clauses))}
+	for i, cl := range f.Clauses {
+		c.Clauses[i] = append([]int(nil), cl...)
+	}
+	return c
+}
+
+// String renders the formula in a compact mathematical notation, e.g.
+// "(x1 ∨ ¬x2 ∨ x3) ∧ (…)".
+func (f *Formula) String() string {
+	var b strings.Builder
+	for i, c := range f.Clauses {
+		if i > 0 {
+			b.WriteString(" ∧ ")
+		}
+		b.WriteByte('(')
+		for j, l := range c {
+			if j > 0 {
+				b.WriteString(" ∨ ")
+			}
+			if l < 0 {
+				fmt.Fprintf(&b, "¬x%d", -l)
+			} else {
+				fmt.Fprintf(&b, "x%d", l)
+			}
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// WriteDIMACS writes the formula in DIMACS CNF format.
+func (f *Formula) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", f.NumVars, len(f.Clauses)); err != nil {
+		return err
+	}
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			if _, err := fmt.Fprintf(bw, "%d ", l); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseDIMACS reads a DIMACS CNF file. Comment lines ("c …") and the
+// problem line ("p cnf V C") are handled; the clause count in the problem
+// line is advisory.
+func ParseDIMACS(r io.Reader) (*Formula, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	f := &Formula{}
+	sawProblem := false
+	var cur []int
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if strings.HasPrefix(line, "p") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: malformed problem line %q", lineNo, line)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad variable count", lineNo)
+			}
+			f.NumVars = nv
+			sawProblem = true
+			continue
+		}
+		for _, tok := range strings.Fields(line) {
+			l, err := strconv.Atoi(tok)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", lineNo, tok)
+			}
+			if l == 0 {
+				f.AddClause(cur...)
+				cur = cur[:0]
+				continue
+			}
+			cur = append(cur, l)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		f.AddClause(cur...)
+	}
+	if !sawProblem && len(f.Clauses) == 0 {
+		return nil, fmt.Errorf("sat: no problem line and no clauses")
+	}
+	return f, nil
+}
+
+// Random3CNF returns a uniform random 3CNF formula with n variables and m
+// clauses: each clause has three distinct variables with random polarity.
+// n must be at least 3.
+func Random3CNF(rng *rand.Rand, n, m int) *Formula {
+	if n < 3 {
+		panic("sat: Random3CNF needs n ≥ 3")
+	}
+	f := NewFormula(n)
+	for i := 0; i < m; i++ {
+		vars := rng.Perm(n)[:3]
+		sort.Ints(vars)
+		clause := make([]int, 3)
+		for j, v := range vars {
+			lit := v + 1
+			if rng.Intn(2) == 0 {
+				lit = -lit
+			}
+			clause[j] = lit
+		}
+		f.AddClause(clause...)
+	}
+	return f
+}
+
+// RandomPlanted3CNF returns a random 3CNF formula that is satisfiable by
+// construction: a hidden assignment is drawn and every clause is forced to
+// contain at least one literal it satisfies. The planted assignment is
+// returned (1-indexed).
+func RandomPlanted3CNF(rng *rand.Rand, n, m int) (*Formula, []bool) {
+	if n < 3 {
+		panic("sat: RandomPlanted3CNF needs n ≥ 3")
+	}
+	hidden := make([]bool, n+1)
+	for v := 1; v <= n; v++ {
+		hidden[v] = rng.Intn(2) == 0
+	}
+	f := NewFormula(n)
+	for i := 0; i < m; i++ {
+		vars := rng.Perm(n)[:3]
+		sort.Ints(vars)
+		clause := make([]int, 3)
+		for j, v0 := range vars {
+			v := v0 + 1
+			lit := v
+			if rng.Intn(2) == 0 {
+				lit = -v
+			}
+			clause[j] = lit
+		}
+		// Force one randomly chosen literal to agree with the hidden
+		// assignment.
+		k := rng.Intn(3)
+		v := clause[k]
+		if v < 0 {
+			v = -v
+		}
+		if hidden[v] {
+			clause[k] = v
+		} else {
+			clause[k] = -v
+		}
+		f.AddClause(clause...)
+	}
+	return f, hidden
+}
+
+// Pigeonhole returns the (unsatisfiable for holes < pigeons) pigeonhole
+// principle formula PHP(pigeons, holes): useful as a guaranteed-UNSAT
+// workload with tunable hardness.
+func Pigeonhole(pigeons, holes int) *Formula {
+	f := NewFormula(pigeons * holes)
+	v := func(p, h int) int { return p*holes + h + 1 }
+	// Every pigeon sits somewhere.
+	for p := 0; p < pigeons; p++ {
+		clause := make([]int, holes)
+		for h := 0; h < holes; h++ {
+			clause[h] = v(p, h)
+		}
+		f.AddClause(clause...)
+	}
+	// No two pigeons share a hole.
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				f.AddClause(-v(p1, h), -v(p2, h))
+			}
+		}
+	}
+	return f
+}

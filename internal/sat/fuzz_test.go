@@ -1,0 +1,53 @@
+package sat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseDIMACS asserts the DIMACS reader never panics and that accepted
+// formulas survive a write/parse round trip and solve without crashing.
+func FuzzParseDIMACS(f *testing.F) {
+	seeds := []string{
+		"",
+		"p cnf 0 0\n",
+		"p cnf 2 1\n1 -2 0\n",
+		"c comment\np cnf 3 2\n1 2 3 0\n-1 -2 -3 0\n",
+		"p cnf 1 1\n1 0",
+		"1 2 0\n-1 0\n", // no problem line
+		"p cnf x y\n",
+		"p cnf 2 1\n1 zz 0\n",
+		"%\n0\n",
+		"p cnf 1 1\n1 1 1 0\n",
+		"p cnf 1 2\n1 -1 0\n1 0\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		formula, err := ParseDIMACS(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if formula.NumVars > 64 || len(formula.Clauses) > 256 {
+			return // keep solving cheap under fuzzing
+		}
+		var buf bytes.Buffer
+		if err := formula.WriteDIMACS(&buf); err != nil {
+			t.Fatalf("write failed: %v", err)
+		}
+		again, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.NumVars < formula.NumVars || len(again.Clauses) != len(formula.Clauses) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				again.NumVars, len(again.Clauses), formula.NumVars, len(formula.Clauses))
+		}
+		r := Solve(formula)
+		if r.SAT && !formula.Eval(r.Model) {
+			t.Fatal("solver returned non-satisfying model")
+		}
+	})
+}

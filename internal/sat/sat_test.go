@@ -1,0 +1,264 @@
+package sat
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveTrivial(t *testing.T) {
+	f := NewFormula(1)
+	f.AddClause(1)
+	r := Solve(f)
+	if !r.SAT || !r.Model[1] {
+		t.Fatalf("x1 should be SAT with x1=true: %+v", r)
+	}
+
+	g := NewFormula(1)
+	g.AddClause(1)
+	g.AddClause(-1)
+	if Solve(g).SAT {
+		t.Fatal("x1 ∧ ¬x1 should be UNSAT")
+	}
+
+	empty := NewFormula(3)
+	if !Solve(empty).SAT {
+		t.Fatal("empty formula should be SAT")
+	}
+
+	ec := NewFormula(2)
+	ec.AddClause(1, 2)
+	ec.Clauses = append(ec.Clauses, []int{}) // empty clause
+	if Solve(ec).SAT {
+		t.Fatal("formula with empty clause should be UNSAT")
+	}
+}
+
+func TestSolveTautologyAndDuplicates(t *testing.T) {
+	f := NewFormula(2)
+	f.AddClause(1, -1)   // tautology: ignorable
+	f.AddClause(2, 2, 2) // duplicates collapse to unit
+	r := Solve(f)
+	if !r.SAT || !r.Model[2] {
+		t.Fatalf("expected SAT with x2=true: %+v", r)
+	}
+}
+
+func TestSolveSmallUnsat(t *testing.T) {
+	// All eight sign patterns over three variables: classically UNSAT.
+	f := NewFormula(3)
+	for mask := 0; mask < 8; mask++ {
+		clause := make([]int, 3)
+		for v := 0; v < 3; v++ {
+			lit := v + 1
+			if mask&(1<<uint(v)) != 0 {
+				lit = -lit
+			}
+			clause[v] = lit
+		}
+		f.AddClause(clause...)
+	}
+	if Solve(f).SAT {
+		t.Fatal("complete clause set should be UNSAT")
+	}
+}
+
+func TestSolvePigeonhole(t *testing.T) {
+	if Solve(Pigeonhole(4, 3)).SAT {
+		t.Error("PHP(4,3) should be UNSAT")
+	}
+	if Solve(Pigeonhole(5, 4)).SAT {
+		t.Error("PHP(5,4) should be UNSAT")
+	}
+	r := Solve(Pigeonhole(4, 4))
+	if !r.SAT {
+		t.Error("PHP(4,4) should be SAT")
+	}
+	if r.SAT && !Pigeonhole(4, 4).Eval(r.Model) {
+		t.Error("PHP(4,4) model does not satisfy")
+	}
+}
+
+func TestSolveAgainstBruteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(8)
+		m := 1 + rng.Intn(5*n)
+		f := Random3CNF(rng, n, m)
+		want := SolveBrute(f)
+		got := Solve(f)
+		if got.SAT != want.SAT {
+			t.Fatalf("trial %d: CDCL=%v brute=%v for %s", trial, got.SAT, want.SAT, f)
+		}
+		if got.SAT && !f.Eval(got.Model) {
+			t.Fatalf("trial %d: model does not satisfy %s", trial, f)
+		}
+	}
+}
+
+func TestSolvePlantedAlwaysSAT(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		n := 3 + rng.Intn(15)
+		m := 1 + rng.Intn(6*n)
+		f, hidden := RandomPlanted3CNF(rng, n, m)
+		if !f.Eval(hidden) {
+			t.Fatalf("trial %d: hidden assignment does not satisfy", trial)
+		}
+		r := Solve(f)
+		if !r.SAT {
+			t.Fatalf("trial %d: planted formula reported UNSAT", trial)
+		}
+		if !f.Eval(r.Model) {
+			t.Fatalf("trial %d: returned model invalid", trial)
+		}
+	}
+}
+
+func TestSolveHardRandomNearThreshold(t *testing.T) {
+	// m/n ≈ 4.26 is the hard region for random 3SAT; exercise learning and
+	// restarts on a few instances, checking against brute force.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		n := 12
+		m := 51
+		f := Random3CNF(rng, n, m)
+		want := SolveBrute(f)
+		got := Solve(f)
+		if got.SAT != want.SAT {
+			t.Fatalf("trial %d: CDCL=%v brute=%v", trial, got.SAT, want.SAT)
+		}
+	}
+}
+
+func TestEval(t *testing.T) {
+	f := NewFormula(2)
+	f.AddClause(1, -2)
+	if !f.Eval([]bool{false, true, true}) {
+		t.Error("x1 satisfies (x1 ∨ ¬x2)")
+	}
+	if f.Eval([]bool{false, false, true}) {
+		t.Error("¬x1, x2 falsifies (x1 ∨ ¬x2)")
+	}
+	if f.Eval([]bool{false}) {
+		t.Error("short assignment should fail")
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		f := Random3CNF(rng, 3+rng.Intn(10), 1+rng.Intn(20))
+		var buf bytes.Buffer
+		if err := f.WriteDIMACS(&buf); err != nil {
+			t.Fatal(err)
+		}
+		g, err := ParseDIMACS(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				g.NumVars, len(g.Clauses), f.NumVars, len(f.Clauses))
+		}
+		for i := range f.Clauses {
+			if len(f.Clauses[i]) != len(g.Clauses[i]) {
+				t.Fatalf("clause %d length mismatch", i)
+			}
+			for j := range f.Clauses[i] {
+				if f.Clauses[i][j] != g.Clauses[i][j] {
+					t.Fatalf("clause %d literal %d mismatch", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestParseDIMACSComments(t *testing.T) {
+	in := `c a comment
+p cnf 3 2
+1 -2 0
+c mid comment
+-1 3 0
+`
+	f, err := ParseDIMACS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 3 || len(f.Clauses) != 2 {
+		t.Fatalf("parse shape wrong: %+v", f)
+	}
+	if f.Clauses[0][1] != -2 {
+		t.Errorf("literal parse wrong: %v", f.Clauses[0])
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	for _, in := range []string{
+		"p cnf x 2\n1 0\n",
+		"p wrong 3 2\n",
+		"p cnf 2 1\n1 z 0\n",
+		"",
+	} {
+		if _, err := ParseDIMACS(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseDIMACS(%q) succeeded", in)
+		}
+	}
+}
+
+func TestFormulaStringAndClone(t *testing.T) {
+	f := NewFormula(2)
+	f.AddClause(1, -2)
+	s := f.String()
+	if !strings.Contains(s, "x1") || !strings.Contains(s, "¬x2") {
+		t.Errorf("String() = %q", s)
+	}
+	c := f.Clone()
+	c.Clauses[0][0] = 2
+	if f.Clauses[0][0] != 1 {
+		t.Error("Clone shares clause storage")
+	}
+}
+
+func TestAddClauseGrowsVars(t *testing.T) {
+	f := NewFormula(1)
+	f.AddClause(-5)
+	if f.NumVars != 5 {
+		t.Errorf("NumVars = %d, want 5", f.NumVars)
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if got := luby(int64(i + 1)); got != w {
+			t.Errorf("luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+// Property: any model returned by Solve satisfies the formula, and
+// verdicts are stable across clause permutations.
+func TestQuickSolveProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(7)
+		m := rng.Intn(4 * n)
+		f := Random3CNF(rng, n, m)
+		r1 := Solve(f)
+		if r1.SAT && !f.Eval(r1.Model) {
+			return false
+		}
+		// Permute clauses.
+		g := f.Clone()
+		rng.Shuffle(len(g.Clauses), func(i, j int) {
+			g.Clauses[i], g.Clauses[j] = g.Clauses[j], g.Clauses[i]
+		})
+		return Solve(g).SAT == r1.SAT
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,411 @@
+package sat
+
+import (
+	"sort"
+)
+
+// Result reports a satisfiability verdict. When SAT is true, Model is a
+// satisfying assignment indexed by variable (index 0 unused).
+type Result struct {
+	SAT   bool
+	Model []bool
+	Stats SolveStats
+}
+
+// SolveStats reports solver effort.
+type SolveStats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Learned      int64
+	Restarts     int64
+}
+
+// Solve decides the formula with a conflict-driven clause-learning solver
+// (two-watched-literal propagation, first-UIP learning, VSIDS-style
+// activity branching with phase saving, Luby restarts).
+func Solve(f *Formula) Result {
+	s := newSolver(f)
+	if s.unsat {
+		return Result{SAT: false, Stats: s.stats}
+	}
+	return s.solve()
+}
+
+// internal literal encoding: variable v (0-based) → positive literal 2v,
+// negative literal 2v+1.
+type ilit int32
+
+func fromDIMACS(l int) ilit {
+	if l > 0 {
+		return ilit(2 * (l - 1))
+	}
+	return ilit(2*(-l-1) + 1)
+}
+
+func (l ilit) neg() ilit  { return l ^ 1 }
+func (l ilit) v() int32   { return int32(l) >> 1 }
+func (l ilit) sign() bool { return l&1 == 0 } // true: positive
+
+type clause struct {
+	lits    []ilit
+	learned bool
+	act     float64
+}
+
+const (
+	valUnset int8 = 0
+	valTrue  int8 = 1
+	valFalse int8 = -1
+)
+
+type solver struct {
+	nVars   int
+	clauses []*clause
+	watches [][]*clause // indexed by literal: clauses woken when lit becomes false
+
+	assign   []int8 // per var
+	level    []int32
+	reason   []*clause
+	trail    []ilit
+	trailLim []int
+	qhead    int
+
+	activity []float64
+	varInc   float64
+	phase    []int8
+
+	seen []bool
+
+	unsat bool
+	stats SolveStats
+}
+
+func newSolver(f *Formula) *solver {
+	s := &solver{
+		nVars:    f.NumVars,
+		watches:  make([][]*clause, 2*f.NumVars),
+		assign:   make([]int8, f.NumVars),
+		level:    make([]int32, f.NumVars),
+		reason:   make([]*clause, f.NumVars),
+		activity: make([]float64, f.NumVars),
+		phase:    make([]int8, f.NumVars),
+		seen:     make([]bool, f.NumVars),
+		varInc:   1,
+	}
+	for _, raw := range f.Clauses {
+		lits := make([]ilit, 0, len(raw))
+		for _, l := range raw {
+			lits = append(lits, fromDIMACS(l))
+		}
+		// Dedupe and drop tautologies.
+		sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+		out := lits[:0]
+		taut := false
+		for i, l := range lits {
+			if i > 0 && l == lits[i-1] {
+				continue
+			}
+			if i > 0 && l == lits[i-1]^1 {
+				taut = true
+				break
+			}
+			out = append(out, l)
+		}
+		if taut {
+			continue
+		}
+		lits = out
+		switch len(lits) {
+		case 0:
+			s.unsat = true
+			return s
+		case 1:
+			if !s.enqueue(lits[0], nil) {
+				s.unsat = true
+				return s
+			}
+		default:
+			s.attach(&clause{lits: lits})
+		}
+	}
+	if s.propagate() != nil {
+		s.unsat = true
+	}
+	return s
+}
+
+func (s *solver) attach(c *clause) {
+	s.clauses = append(s.clauses, c)
+	s.watches[c.lits[0].neg()] = append(s.watches[c.lits[0].neg()], c)
+	s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], c)
+}
+
+func (s *solver) litValue(l ilit) int8 {
+	v := s.assign[l.v()]
+	if v == valUnset {
+		return valUnset
+	}
+	if l.sign() {
+		return v
+	}
+	return -v
+}
+
+func (s *solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// enqueue assigns literal l true with the given reason; returns false on an
+// immediate conflict with an existing assignment.
+func (s *solver) enqueue(l ilit, from *clause) bool {
+	switch s.litValue(l) {
+	case valTrue:
+		return true
+	case valFalse:
+		return false
+	}
+	v := l.v()
+	if l.sign() {
+		s.assign[v] = valTrue
+	} else {
+		s.assign[v] = valFalse
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate runs unit propagation; it returns the conflicting clause or nil.
+func (s *solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is now true; watchers of p fire on ¬p false
+		s.qhead++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			s.stats.Propagations++
+			// Normalize: ensure the false literal is lits[1].
+			falseLit := p.neg()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			// If the other watch is true, the clause is satisfied.
+			if s.litValue(c.lits[0]) == valTrue {
+				kept = append(kept, c)
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != valFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].neg()] = append(s.watches[c.lits[1].neg()], c)
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit (or conflicting) on lits[0].
+			kept = append(kept, c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: keep remaining watchers and report.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				return c
+			}
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+func (s *solver) bumpVar(v int32) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first) and the backtrack level.
+func (s *solver) analyze(confl *clause) ([]ilit, int32) {
+	learnt := []ilit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	var p ilit = -1
+	idx := len(s.trail) - 1
+	var btLevel int32
+
+	for {
+		for _, q := range confl.lits {
+			if p >= 0 && q == p {
+				continue
+			}
+			v := q.v()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if s.level[v] == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+				if s.level[v] > btLevel {
+					btLevel = s.level[v]
+				}
+			}
+		}
+		// Select the next trail literal at the current decision level.
+		for !s.seen[s.trail[idx].v()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.v()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.v()]
+	}
+	learnt[0] = p.neg()
+	// Move a literal of btLevel into slot 1 for watching.
+	if len(learnt) > 2 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].v()] > s.level[learnt[maxI].v()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+	}
+	for _, q := range learnt[1:] {
+		s.seen[q.v()] = false
+	}
+	return learnt, btLevel
+}
+
+// backtrackTo undoes assignments above the given decision level.
+func (s *solver) backtrackTo(level int32) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		v := s.trail[i].v()
+		s.phase[v] = s.assign[v]
+		s.assign[v] = valUnset
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// pickBranchVar returns the unassigned variable with the highest activity,
+// or -1 when all variables are assigned.
+func (s *solver) pickBranchVar() int32 {
+	best := int32(-1)
+	var bestAct float64 = -1
+	for v := 0; v < s.nVars; v++ {
+		if s.assign[v] == valUnset && s.activity[v] > bestAct {
+			best = int32(v)
+			bestAct = s.activity[v]
+		}
+	}
+	return best
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence.
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+func (s *solver) solve() Result {
+	const restartBase = 64
+	restartNum := int64(1)
+	conflictsUntilRestart := luby(restartNum) * restartBase
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				return Result{SAT: false, Stats: s.stats}
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], nil) {
+					return Result{SAT: false, Stats: s.stats}
+				}
+			} else {
+				c := &clause{lits: learnt, learned: true}
+				s.attach(c)
+				s.stats.Learned++
+				if !s.enqueue(learnt[0], c) {
+					return Result{SAT: false, Stats: s.stats}
+				}
+			}
+			s.varInc /= 0.95
+			conflictsUntilRestart--
+			continue
+		}
+		if conflictsUntilRestart <= 0 && s.decisionLevel() > 0 {
+			s.stats.Restarts++
+			restartNum++
+			conflictsUntilRestart = luby(restartNum) * restartBase
+			s.backtrackTo(0)
+			continue
+		}
+		v := s.pickBranchVar()
+		if v < 0 {
+			// All variables assigned: SAT.
+			model := make([]bool, s.nVars+1)
+			for i := 0; i < s.nVars; i++ {
+				model[i+1] = s.assign[i] == valTrue
+			}
+			return Result{SAT: true, Model: model, Stats: s.stats}
+		}
+		s.stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		lit := ilit(2 * v)
+		if s.phase[v] == valFalse {
+			lit = lit.neg()
+		}
+		s.enqueue(lit, nil)
+	}
+}
+
+// SolveBrute decides the formula by exhaustive assignment enumeration
+// (practical to ~25 variables); it is the reference oracle for testing the
+// CDCL solver.
+func SolveBrute(f *Formula) Result {
+	n := f.NumVars
+	if n > 30 {
+		panic("sat: SolveBrute limited to 30 variables")
+	}
+	assignment := make([]bool, n+1)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			assignment[v] = mask&(1<<uint(v-1)) != 0
+		}
+		if f.Eval(assignment) {
+			model := append([]bool(nil), assignment...)
+			return Result{SAT: true, Model: model}
+		}
+	}
+	return Result{SAT: false}
+}

@@ -1,0 +1,457 @@
+// Package semsched specializes the feasibility question for executions
+// whose only synchronization is a single counting semaphore — the case the
+// paper singles out at the end of Section 5.1: the hardness results hold
+// "for a program execution that uses a single counting semaphore by a
+// reduction from the problem of sequencing to minimize maximum cumulative
+// cost" (Garey & Johnson, problem SS7).
+//
+// Two solvers and the SS7 connection are implemented:
+//
+//   - SMMCC: the sequencing-to-minimize-maximum-cumulative-cost decision
+//     problem itself (given partially ordered tasks with integer costs, is
+//     there a linear extension whose running cost never exceeds K?), solved
+//     exactly by memoized search. Scheduling a single semaphore's P (+1
+//     cost) and V (−1 cost) operations so the counter never goes negative
+//     is exactly SMMCC with K = the initial value — the equivalence the
+//     paper's remark rests on, and it is tested both ways.
+//
+//   - Instance: a symmetry-reduced search for single-semaphore executions.
+//     Processes whose remaining operation profiles are identical are
+//     interchangeable, so the state is the multiset {(profile, position)}
+//     rather than the vector of per-process positions — an exponential
+//     saving on workloads with many identical processes (e.g. the clause
+//     processes of the paper's reductions). Experiment E9 measures the gap
+//     against the generic engine.
+package semsched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eventorder/internal/model"
+)
+
+// Instance is a single-semaphore scheduling instance: each process is a
+// sequence of +1 (V) and −1 (P) operations on one shared counting
+// semaphore with the given initial value.
+type Instance struct {
+	Init  int
+	Procs [][]int8 // +1 = V, −1 = P
+}
+
+// FromExecution extracts an Instance from an execution whose only
+// synchronization operations are P/V on exactly one counting semaphore
+// (computation events are ignored — they do not constrain scheduling).
+func FromExecution(x *model.Execution) (*Instance, error) {
+	if err := model.ValidateStructure(x); err != nil {
+		return nil, err
+	}
+	semName := ""
+	for i := range x.Ops {
+		op := &x.Ops[i]
+		switch op.Kind {
+		case model.OpAcquire, model.OpRelease:
+			if semName == "" {
+				semName = op.Obj
+			} else if semName != op.Obj {
+				return nil, fmt.Errorf("semsched: execution uses two semaphores (%q and %q)", semName, op.Obj)
+			}
+		case model.OpPost, model.OpWait, model.OpClear, model.OpFork, model.OpJoin:
+			return nil, fmt.Errorf("semsched: execution uses non-semaphore synchronization (%v)", op.Kind)
+		}
+	}
+	if semName == "" {
+		return nil, fmt.Errorf("semsched: execution uses no semaphore")
+	}
+	decl := x.Sems[semName]
+	if decl.Kind != model.SemCounting {
+		return nil, fmt.Errorf("semsched: semaphore %q is binary; the SS7 specialization needs a counting semaphore", semName)
+	}
+	inst := &Instance{Init: decl.Init}
+	for p := range x.Procs {
+		var prof []int8
+		for _, opID := range x.Procs[p].Ops {
+			switch x.Ops[opID].Kind {
+			case model.OpAcquire:
+				prof = append(prof, -1)
+			case model.OpRelease:
+				prof = append(prof, +1)
+			}
+		}
+		inst.Procs = append(inst.Procs, prof)
+	}
+	return inst, nil
+}
+
+// profKey canonicalizes a remaining-profile suffix.
+func profKey(prof []int8, pos int) string {
+	var b strings.Builder
+	for _, v := range prof[pos:] {
+		if v > 0 {
+			b.WriteByte('V')
+		} else {
+			b.WriteByte('P')
+		}
+	}
+	return b.String()
+}
+
+// CanComplete reports whether some interleaving runs every process to
+// completion with the semaphore counter never negative. The search state is
+// the multiset of remaining profiles plus the current counter (derived, so
+// not stored): symmetry reduction over identical processes.
+func (in *Instance) CanComplete() bool {
+	// Group positions by full-profile identity up front: the remaining
+	// profile (suffix) is what matters, so the state is a multiset of
+	// suffix strings.
+	counts := map[string]int{}
+	for _, prof := range in.Procs {
+		counts[profKey(prof, 0)]++
+	}
+	memo := map[string]bool{}
+	var rec func(counter int) bool
+	rec = func(counter int) bool {
+		// Done?
+		done := true
+		for suffix, n := range counts {
+			if n > 0 && len(suffix) > 0 {
+				done = false
+				break
+			}
+		}
+		if done {
+			return true
+		}
+		key := encodeState(counts, counter)
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		result := false
+		// Try advancing one process of each distinct suffix class.
+		suffixes := make([]string, 0, len(counts))
+		for suffix, n := range counts {
+			if n > 0 && len(suffix) > 0 {
+				suffixes = append(suffixes, suffix)
+			}
+		}
+		sort.Strings(suffixes)
+		for _, suffix := range suffixes {
+			var delta int
+			if suffix[0] == 'V' {
+				delta = +1
+			} else {
+				if counter <= 0 {
+					continue
+				}
+				delta = -1
+			}
+			next := suffix[1:]
+			counts[suffix]--
+			counts[next]++
+			if rec(counter + delta) {
+				result = true
+			}
+			counts[next]--
+			counts[suffix]++
+			if result {
+				break
+			}
+		}
+		memo[key] = result
+		return result
+	}
+	return rec(in.Init)
+}
+
+// encodeState canonicalizes the multiset (sorted suffix:count pairs). The
+// counter is derived from the multiset and the initial value, but encoding
+// it is cheap and keeps the key self-contained.
+func encodeState(counts map[string]int, counter int) string {
+	keys := make([]string, 0, len(counts))
+	for suffix, n := range counts {
+		if n > 0 && len(suffix) > 0 {
+			keys = append(keys, suffix)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|", counter)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s:%d;", k, counts[k])
+	}
+	return b.String()
+}
+
+// CouldPrecede reports whether some complete valid interleaving runs
+// operation (procA, idxA) before operation (procB, idxB). The two marked
+// processes are excluded from symmetry grouping; the rest remain grouped.
+func (in *Instance) CouldPrecede(procA, idxA, procB, idxB int) (bool, error) {
+	if procA == procB {
+		if idxA < 0 || idxB < 0 || idxA >= len(in.Procs[procA]) || idxB >= len(in.Procs[procB]) {
+			return false, fmt.Errorf("semsched: op index out of range")
+		}
+		// Program order decides, provided any complete interleaving exists.
+		return idxA < idxB && in.CanComplete(), nil
+	}
+	check := func(p, i int) error {
+		if p < 0 || p >= len(in.Procs) || i < 0 || i >= len(in.Procs[p]) {
+			return fmt.Errorf("semsched: op (%d,%d) out of range", p, i)
+		}
+		return nil
+	}
+	if err := check(procA, idxA); err != nil {
+		return false, err
+	}
+	if err := check(procB, idxB); err != nil {
+		return false, err
+	}
+
+	counts := map[string]int{}
+	for p, prof := range in.Procs {
+		if p == procA || p == procB {
+			continue
+		}
+		counts[profKey(prof, 0)]++
+	}
+	memo := map[string]bool{}
+	// posA, posB: progress of the two marked processes; fired: whether A's
+	// marked op already executed (so B's marked op is permitted).
+	var rec func(counter, posA, posB int, fired bool) bool
+	rec = func(counter, posA, posB int, fired bool) bool {
+		doneGroups := true
+		for suffix, n := range counts {
+			if n > 0 && len(suffix) > 0 {
+				doneGroups = false
+				break
+			}
+		}
+		if doneGroups && posA == len(in.Procs[procA]) && posB == len(in.Procs[procB]) {
+			return fired
+		}
+		key := fmt.Sprintf("%s#%d,%d,%v", encodeState(counts, counter), posA, posB, fired)
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		result := false
+		try := func(delta int, adv func(), undo func()) {
+			if result {
+				return
+			}
+			if delta < 0 && counter <= 0 {
+				return
+			}
+			adv()
+			if rec(counter+delta, posA, posB, fired) {
+				result = true
+			}
+			undo()
+		}
+		// Advance grouped processes.
+		suffixes := make([]string, 0, len(counts))
+		for suffix, n := range counts {
+			if n > 0 && len(suffix) > 0 {
+				suffixes = append(suffixes, suffix)
+			}
+		}
+		sort.Strings(suffixes)
+		for _, suffix := range suffixes {
+			s := suffix
+			delta := +1
+			if s[0] == 'P' {
+				delta = -1
+			}
+			try(delta, func() { counts[s]--; counts[s[1:]]++ }, func() { counts[s[1:]]--; counts[s]++ })
+			if result {
+				break
+			}
+		}
+		// Advance marked process A.
+		if !result && posA < len(in.Procs[procA]) {
+			delta := int(in.Procs[procA][posA])
+			if delta > 0 || counter > 0 {
+				oldFired := fired
+				if posA == idxA {
+					fired = true
+				}
+				posA++
+				if rec(counter+delta, posA, posB, fired) {
+					result = true
+				}
+				posA--
+				fired = oldFired
+			}
+		}
+		// Advance marked process B; its marked op requires fired.
+		if !result && posB < len(in.Procs[procB]) {
+			if posB != idxB || fired {
+				delta := int(in.Procs[procB][posB])
+				if delta > 0 || counter > 0 {
+					posB++
+					if rec(counter+delta, posA, posB, fired) {
+						result = true
+					}
+					posB--
+				}
+			}
+		}
+		memo[key] = result
+		return result
+	}
+	return rec(in.Init, 0, 0, false), nil
+}
+
+// FindSchedule returns a completing schedule as a sequence of process
+// indices (one entry per operation, in execution order), or ok=false when
+// no interleaving completes. The search is symmetry-reduced like
+// CanComplete; the returned schedule names concrete processes, picking the
+// lowest-indexed process of each profile class at each step.
+func (in *Instance) FindSchedule() (procs []int, ok bool) {
+	if !in.CanComplete() {
+		return nil, false
+	}
+	// Track per-process positions; at each step pick the first process
+	// whose advance keeps the residual instance completable.
+	pos := make([]int, len(in.Procs))
+	counter := in.Init
+	total := in.NumOps()
+	for len(procs) < total {
+		advanced := false
+		for p := range in.Procs {
+			if pos[p] >= len(in.Procs[p]) {
+				continue
+			}
+			delta := int(in.Procs[p][pos[p]])
+			if delta < 0 && counter <= 0 {
+				continue
+			}
+			pos[p]++
+			counter += delta
+			if in.residualCompletable(pos, counter) {
+				procs = append(procs, p)
+				advanced = true
+				break
+			}
+			pos[p]--
+			counter -= delta
+		}
+		if !advanced {
+			// Cannot happen: the prefix was completable.
+			return nil, false
+		}
+	}
+	return procs, true
+}
+
+// residualCompletable checks completability of the remaining suffixes.
+func (in *Instance) residualCompletable(pos []int, counter int) bool {
+	rest := &Instance{Init: counter}
+	for p, prof := range in.Procs {
+		if pos[p] < len(prof) {
+			rest.Procs = append(rest.Procs, prof[pos[p]:])
+		}
+	}
+	return rest.CanComplete()
+}
+
+// MustPrecede reports whether operation (procA, idxA) completes before
+// (procB, idxB) begins in EVERY complete interleaving: the single-semaphore
+// specialization of must-have-happened-before for atomic semaphore
+// operations. It is the negation of CouldPrecede(b, a) when any complete
+// interleaving exists at all.
+func (in *Instance) MustPrecede(procA, idxA, procB, idxB int) (bool, error) {
+	if !in.CanComplete() {
+		return false, nil // vacuous domain: no feasible executions
+	}
+	rev, err := in.CouldPrecede(procB, idxB, procA, idxA)
+	if err != nil {
+		return false, err
+	}
+	return !rev, nil
+}
+
+// Task is one SMMCC task: an integer cost and prerequisite task indices.
+type Task struct {
+	Cost    int
+	Prereqs []int
+}
+
+// SMMCCDecide answers the sequencing-to-minimize-maximum-cumulative-cost
+// decision problem: is there a linear extension of the tasks in which every
+// prefix's total cost is at most K? Solved by memoized search over
+// downward-closed task sets (exponential in the worst case — SS7 is
+// NP-complete).
+func SMMCCDecide(tasks []Task, k int) (bool, error) {
+	n := len(tasks)
+	if n > 62 {
+		return false, fmt.Errorf("semsched: SMMCCDecide limited to 62 tasks, got %d", n)
+	}
+	for i, t := range tasks {
+		for _, p := range t.Prereqs {
+			if p < 0 || p >= n || p == i {
+				return false, fmt.Errorf("semsched: task %d has bad prerequisite %d", i, p)
+			}
+		}
+	}
+	prereqMask := make([]uint64, n)
+	for i, t := range tasks {
+		for _, p := range t.Prereqs {
+			prereqMask[i] |= 1 << uint(p)
+		}
+	}
+	memo := map[uint64]bool{}
+	var rec func(doneSet uint64, cost int) bool
+	rec = func(doneSet uint64, cost int) bool {
+		if doneSet == (1<<uint(n))-1 {
+			return true
+		}
+		if v, ok := memo[doneSet]; ok {
+			return v
+		}
+		result := false
+		for i := 0; i < n && !result; i++ {
+			bit := uint64(1) << uint(i)
+			if doneSet&bit != 0 || prereqMask[i]&^doneSet != 0 {
+				continue
+			}
+			if cost+tasks[i].Cost > k {
+				continue
+			}
+			if rec(doneSet|bit, cost+tasks[i].Cost) {
+				result = true
+			}
+		}
+		memo[doneSet] = result
+		return result
+	}
+	return rec(0, 0), nil
+}
+
+// ToSMMCC converts the instance into an SMMCC system: one task per
+// operation, chain prerequisites within each process, cost +1 for P and −1
+// for V, bound K = Init. CanComplete(instance) ⇔ SMMCCDecide(tasks, Init):
+// the counter staying ≥ 0 is exactly the cumulative cost staying ≤ Init.
+func (in *Instance) ToSMMCC() ([]Task, int) {
+	var tasks []Task
+	for _, prof := range in.Procs {
+		prev := -1
+		for _, v := range prof {
+			t := Task{Cost: -int(v)}
+			if prev >= 0 {
+				t.Prereqs = []int{prev}
+			}
+			tasks = append(tasks, t)
+			prev = len(tasks) - 1
+		}
+	}
+	return tasks, in.Init
+}
+
+// NumOps returns the total operation count.
+func (in *Instance) NumOps() int {
+	n := 0
+	for _, p := range in.Procs {
+		n += len(p)
+	}
+	return n
+}

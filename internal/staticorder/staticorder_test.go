@@ -1,0 +1,288 @@
+package staticorder
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"eventorder/internal/interp"
+	"eventorder/internal/lang"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	r, err := Analyze(lang.MustParse(src))
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return r
+}
+
+func precedes(t *testing.T, r *Result, a, b string) bool {
+	t.Helper()
+	ok, err := r.Precedes(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok
+}
+
+func TestIntraProcessOrder(t *testing.T) {
+	r := analyze(t, `
+var x
+proc main {
+    a: x := 1
+    b: x := 2
+}`)
+	if !precedes(t, r, "a", "b") || precedes(t, r, "b", "a") {
+		t.Error("program order wrong")
+	}
+}
+
+func TestBranchesShareOrder(t *testing.T) {
+	// Statements in different branches never co-execute; statements before
+	// and after the if are ordered with both branches.
+	r := analyze(t, `
+var x
+proc main {
+    pre: skip
+    if x == 1 {
+        t1: skip
+    } else {
+        e1: skip
+    }
+    post_: skip
+}`)
+	for _, br := range []string{"t1", "e1"} {
+		if !precedes(t, r, "pre", br) {
+			t.Errorf("pre should precede %s", br)
+		}
+		if !precedes(t, r, br, "post_") {
+			t.Errorf("%s should precede post_", br)
+		}
+	}
+	if precedes(t, r, "t1", "e1") || precedes(t, r, "e1", "t1") {
+		t.Error("branch statements should be unordered (they never co-execute)")
+	}
+	if !precedes(t, r, "pre", "post_") {
+		t.Error("pre should precede post_ through the conditional")
+	}
+}
+
+func TestForkJoinOrder(t *testing.T) {
+	r := analyze(t, `
+proc main {
+    pre: skip
+    fork w
+    mid: skip
+    join w
+    post_: skip
+}
+proc w {
+    work: skip
+}`)
+	if !precedes(t, r, "pre", "work") {
+		t.Error("pre should precede forked work")
+	}
+	if !precedes(t, r, "work", "post_") {
+		t.Error("work should precede post-join")
+	}
+	if precedes(t, r, "mid", "work") || precedes(t, r, "work", "mid") {
+		t.Error("mid and work run in parallel")
+	}
+}
+
+func TestSingleCandidatePost(t *testing.T) {
+	r := analyze(t, `
+event e
+proc p1 {
+    before: skip
+    post(e)
+}
+proc p2 {
+    wait(e)
+    after: skip
+}`)
+	if !precedes(t, r, "before", "after") {
+		t.Error("post/wait chain missed")
+	}
+}
+
+func TestTwoCandidatesCommonAncestor(t *testing.T) {
+	// Both posts are in forked children; their common ancestor (pre) is
+	// guaranteed before the wait, but neither post individually is.
+	r := analyze(t, `
+event e
+proc main {
+    pre: skip
+    fork c1
+    fork c2
+    wait(e)
+    after: skip
+}
+proc c1 { pa: post(e) }
+proc c2 { pb: post(e) }`)
+	if !precedes(t, r, "pre", "after") {
+		t.Error("common ancestor rule missed pre → after")
+	}
+	if precedes(t, r, "pa", "after") || precedes(t, r, "pb", "after") {
+		t.Error("individual candidate posts are not guaranteed before the wait")
+	}
+}
+
+func TestFixpointPrunesCandidates(t *testing.T) {
+	// p2's own post comes after its wait, so it cannot trigger it; the
+	// fixpoint prunes it, leaving p1's post as sole candidate.
+	r := analyze(t, `
+event e
+proc p1 {
+    a: skip
+    post(e)
+}
+proc p2 {
+    wait(e)
+    b: skip
+    post(e)
+}`)
+	if !precedes(t, r, "a", "b") {
+		t.Error("candidate pruning failed: a should precede b")
+	}
+}
+
+func TestInitiallyPostedNoEdges(t *testing.T) {
+	r := analyze(t, `
+event e posted
+proc p1 {
+    a: skip
+    post(e)
+}
+proc p2 {
+    wait(e)
+    b: skip
+}`)
+	if precedes(t, r, "a", "b") {
+		t.Error("pre-posted event variable cannot guarantee ordering")
+	}
+}
+
+func TestRejections(t *testing.T) {
+	if _, err := Analyze(lang.MustParse(`
+var x
+proc main { while x < 3 { x := x + 1 } }`)); err == nil {
+		t.Error("while loop accepted")
+	}
+	if _, err := Analyze(lang.MustParse(`
+event e
+proc main { clear(e) }`)); err == nil {
+		t.Error("clear accepted")
+	}
+	r := analyze(t, `proc main { a: skip }`)
+	if _, err := r.Precedes("a", "zz"); err == nil {
+		t.Error("unknown label accepted")
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	r := analyze(t, `
+event e
+proc p1 { a: post(e) }
+proc p2 { wait(e)  b: skip }`)
+	if len(r.Labels()) != 2 {
+		t.Errorf("Labels = %v", r.Labels())
+	}
+	if r.NumNodes() != 3 {
+		t.Errorf("NumNodes = %d, want 3", r.NumNodes())
+	}
+	if r.Rounds() < 1 {
+		t.Error("Rounds < 1")
+	}
+	pairs := r.Pairs()
+	if len(pairs) != 1 || pairs[0] != [2]string{"a", "b"} {
+		t.Errorf("Pairs = %v", pairs)
+	}
+}
+
+// TestSoundnessAgainstEnumeration: every static Precedes claim must hold in
+// every complete run of the program (validated by exhaustive run
+// enumeration), on a battery of small random loop-free programs.
+func TestSoundnessAgainstEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		src := randomProgram(rng)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("trial %d: generated program invalid: %v\n%s", trial, err, src)
+		}
+		r, err := Analyze(prog)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		runs, truncated, err := interp.EnumerateRuns(prog, 30_000)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if truncated || len(runs) == 0 {
+			continue // cannot validate exhaustively; skip
+		}
+		for _, pair := range r.Pairs() {
+			a, b := pair[0], pair[1]
+			for _, run := range runs {
+				ia, ib := -1, -1
+				for i, l := range run {
+					if l == a {
+						ia = i
+					}
+					if l == b {
+						ib = i
+					}
+				}
+				if ia >= 0 && ib >= 0 && ia > ib {
+					t.Fatalf("trial %d: static claims %s ≺ %s but a run violates it\nprogram:\n%s\nrun: %v",
+						trial, a, b, src, run)
+				}
+			}
+		}
+	}
+}
+
+// randomProgram generates a small loop-free program with labels on every
+// statement.
+func randomProgram(rng *rand.Rand) string {
+	nproc := 2 + rng.Intn(2)
+	src := "event e\nevent f\nvar x\n"
+	label := 0
+	nextLabel := func() string {
+		label++
+		return fmt.Sprintf("l%d", label)
+	}
+	stmt := func() string {
+		switch rng.Intn(6) {
+		case 0:
+			return fmt.Sprintf("%s: skip", nextLabel())
+		case 1:
+			return fmt.Sprintf("%s: x := x + 1", nextLabel())
+		case 2:
+			return fmt.Sprintf("%s: post(e)", nextLabel())
+		case 3:
+			return fmt.Sprintf("%s: post(f)", nextLabel())
+		case 4:
+			return fmt.Sprintf("%s: wait(e)", nextLabel())
+		default:
+			return fmt.Sprintf("%s: wait(f)", nextLabel())
+		}
+	}
+	for p := 0; p < nproc; p++ {
+		src += fmt.Sprintf("proc p%d {\n", p)
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			if rng.Intn(5) == 0 {
+				src += fmt.Sprintf("    if x == %d {\n        %s\n    } else {\n        %s\n    }\n",
+					rng.Intn(2), stmt(), stmt())
+			} else {
+				src += "    " + stmt() + "\n"
+			}
+		}
+		src += "}\n"
+	}
+	return src
+}

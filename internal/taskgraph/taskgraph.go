@@ -1,0 +1,288 @@
+// Package taskgraph implements the task-graph construction of Emrath,
+// Ghosh, and Padua ("Event Synchronization Analysis for Debugging Parallel
+// Programs", Supercomputing '89), the related-work baseline of the paper's
+// Section 4. It applies to executions that use fork/join and Post/Wait/
+// Clear event-style synchronization.
+//
+// The graph has one node per synchronization event. Edges:
+//
+//   - Machine edges between consecutive synchronization events of a process;
+//   - Task Start edges from a fork to the forked process's first sync event,
+//     and Task End edges from a process's last sync event to its join;
+//   - Synchronization edges: for each Wait node, the Posts that might have
+//     triggered it are identified — a Post is a candidate unless there is
+//     already a path from the Wait to the Post, or a Clear of the same event
+//     variable provably intervenes (path Post → Clear → Wait) — and edges
+//     are added from the closest common ancestors of the candidates to the
+//     Wait (from the single candidate itself if there is exactly one).
+//
+// A path in the resulting graph is intended to show a guaranteed ordering.
+// As the paper's Figure 1 demonstrates, the construction ignores shared-data
+// dependences and therefore misses orderings that the exact analysis
+// (internal/core) finds; experiment E5 reproduces exactly that.
+package taskgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"eventorder/internal/dag"
+	"eventorder/internal/model"
+)
+
+// EdgeKind classifies task-graph edges.
+type EdgeKind int
+
+const (
+	EdgeMachine EdgeKind = iota
+	EdgeTaskStart
+	EdgeTaskEnd
+	EdgeSync
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeMachine:
+		return "machine"
+	case EdgeTaskStart:
+		return "task-start"
+	case EdgeTaskEnd:
+		return "task-end"
+	case EdgeSync:
+		return "sync"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", int(k))
+}
+
+// Graph is a built task graph.
+type Graph struct {
+	X     *model.Execution
+	Nodes []model.EventID       // sync events, in event-id order
+	Index map[model.EventID]int // event id → node index
+	G     *dag.Graph            // over node indices
+	Kind  map[[2]int]EdgeKind   // edge → kind (first kind that added it)
+	pos   map[model.OpID]int    // observed positions
+	clo   *dag.Closure          // closure of the final graph
+}
+
+// Build constructs the task graph of an execution. Executions containing
+// semaphore operations are rejected: the construction is defined for
+// event-style synchronization only.
+func Build(x *model.Execution) (*Graph, error) {
+	if err := model.Validate(x); err != nil {
+		return nil, err
+	}
+	for i := range x.Ops {
+		switch x.Ops[i].Kind {
+		case model.OpAcquire, model.OpRelease:
+			return nil, fmt.Errorf("taskgraph: execution uses semaphores (op %d); the EGP construction covers event-style synchronization only", i)
+		}
+	}
+	tg := &Graph{
+		X:     x,
+		Index: map[model.EventID]int{},
+		Kind:  map[[2]int]EdgeKind{},
+		pos:   map[model.OpID]int{},
+	}
+	for i, id := range x.Order {
+		tg.pos[id] = i
+	}
+	for e := range x.Events {
+		if x.Events[e].IsSync() {
+			tg.Index[model.EventID(e)] = len(tg.Nodes)
+			tg.Nodes = append(tg.Nodes, model.EventID(e))
+		}
+	}
+	tg.G = dag.New(len(tg.Nodes))
+
+	addEdge := func(u, v int, kind EdgeKind) {
+		if tg.G.AddEdge(u, v) {
+			tg.Kind[[2]int{u, v}] = kind
+		}
+	}
+
+	// Machine edges: consecutive sync events per process.
+	lastSync := make([]int, x.NumProcs())
+	for i := range lastSync {
+		lastSync[i] = -1
+	}
+	firstSync := make([]int, x.NumProcs())
+	for i := range firstSync {
+		firstSync[i] = -1
+	}
+	for p := range x.Procs {
+		for _, opID := range x.Procs[p].Ops {
+			ev := x.Ops[opID].Event
+			if !x.Events[ev].IsSync() {
+				continue
+			}
+			node := tg.Index[ev]
+			if lastSync[p] >= 0 && lastSync[p] != node {
+				addEdge(lastSync[p], node, EdgeMachine)
+			}
+			if firstSync[p] < 0 {
+				firstSync[p] = node
+			}
+			lastSync[p] = node
+		}
+	}
+	// Task Start / Task End edges.
+	for p := range x.Procs {
+		proc := &x.Procs[p]
+		if proc.ForkOp != model.OpID(model.NoID) && firstSync[p] >= 0 {
+			forkNode := tg.Index[x.Ops[proc.ForkOp].Event]
+			addEdge(forkNode, firstSync[p], EdgeTaskStart)
+		}
+	}
+	for i := range x.Ops {
+		op := &x.Ops[i]
+		if op.Kind != model.OpJoin {
+			continue
+		}
+		child, ok := x.ProcByName(op.Obj)
+		if ok && lastSync[child.ID] >= 0 {
+			addEdge(lastSync[child.ID], tg.Index[op.Event], EdgeTaskEnd)
+		}
+	}
+
+	// Synchronization edges, processing Waits in observed order.
+	for _, id := range x.Order {
+		op := &x.Ops[id]
+		if op.Kind == model.OpWait {
+			tg.addSyncEdges(op.Event, addEdge)
+		}
+	}
+
+	clo, ok := tg.G.TransitiveClosure()
+	if !ok {
+		return nil, fmt.Errorf("taskgraph: construction produced a cyclic graph")
+	}
+	tg.clo = clo
+	return tg, nil
+}
+
+// addSyncEdges implements the EGP rule for one Wait node.
+func (tg *Graph) addSyncEdges(wait model.EventID, addEdge func(u, v int, kind EdgeKind)) {
+	x := tg.X
+	wNode := tg.Index[wait]
+	evVar := x.Events[wait].Obj
+
+	// An initially posted event variable is a trigger the graph cannot
+	// represent; no ordering is guaranteed for this Wait.
+	if x.EvInit[evVar] {
+		return
+	}
+
+	clo, ok := tg.G.TransitiveClosure()
+	if !ok {
+		return
+	}
+	// Candidate Posts.
+	var cands []int
+	for e := range x.Events {
+		ev := &x.Events[e]
+		if ev.Kind != model.OpPost || ev.Obj != evVar {
+			continue
+		}
+		pNode := tg.Index[model.EventID(e)]
+		// Excluded if the Wait provably precedes the Post.
+		if clo.Reachable(wNode, pNode) {
+			continue
+		}
+		// Excluded if a Clear of the same variable provably intervenes.
+		cancelled := false
+		for c := range x.Events {
+			cev := &x.Events[c]
+			if cev.Kind != model.OpClear || cev.Obj != evVar {
+				continue
+			}
+			cNode := tg.Index[model.EventID(c)]
+			if clo.Reachable(pNode, cNode) && clo.Reachable(cNode, wNode) {
+				cancelled = true
+				break
+			}
+		}
+		if !cancelled {
+			cands = append(cands, pNode)
+		}
+	}
+	switch len(cands) {
+	case 0:
+		return
+	case 1:
+		addEdge(cands[0], wNode, EdgeSync)
+	default:
+		vs := make([]int, len(cands))
+		copy(vs, cands)
+		for _, anc := range tg.G.ClosestCommonAncestors(clo, vs...) {
+			addEdge(anc, wNode, EdgeSync)
+		}
+	}
+}
+
+// HasPath reports whether the graph shows a guaranteed ordering from event
+// a to event b (both must be synchronization events).
+func (tg *Graph) HasPath(a, b model.EventID) (bool, error) {
+	ia, ok := tg.Index[a]
+	if !ok {
+		return false, fmt.Errorf("taskgraph: event %d is not a synchronization event", a)
+	}
+	ib, ok := tg.Index[b]
+	if !ok {
+		return false, fmt.Errorf("taskgraph: event %d is not a synchronization event", b)
+	}
+	return tg.clo.Reachable(ia, ib), nil
+}
+
+// GuaranteedOrder returns the ordering relation the task graph claims, over
+// all events of the execution (pairs involving computation events are
+// never related: the construction does not model them).
+func (tg *Graph) GuaranteedOrder() *model.Relation {
+	r := model.NewRelation("EGP", len(tg.X.Events))
+	for i, a := range tg.Nodes {
+		tg.clo.Reach[i].ForEach(func(j int) {
+			r.Set(a, tg.Nodes[j])
+		})
+	}
+	return r
+}
+
+// NumEdges returns the number of edges by kind.
+func (tg *Graph) NumEdges() map[EdgeKind]int {
+	out := map[EdgeKind]int{}
+	for _, k := range tg.Kind {
+		out[k]++
+	}
+	return out
+}
+
+// DOT renders the task graph in Graphviz format, with node labels naming
+// the sync operations and edge styles by kind.
+func (tg *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph taskgraph {\n  rankdir=TB;\n")
+	for i, ev := range tg.Nodes {
+		label := tg.X.EventName(ev)
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", i, label)
+	}
+	edges := tg.G.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		style := "solid"
+		switch tg.Kind[[2]int{e[0], e[1]}] {
+		case EdgeTaskStart, EdgeTaskEnd:
+			style = "dotted"
+		case EdgeMachine:
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [style=%s];\n", e[0], e[1], style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

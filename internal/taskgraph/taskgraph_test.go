@@ -1,0 +1,302 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+
+	"eventorder/internal/core"
+	"eventorder/internal/interp"
+	"eventorder/internal/lang"
+	"eventorder/internal/model"
+)
+
+// figure1 reproduces the paper's Figure 1a and the observed execution in
+// which the first created task completely executes before the other two.
+func figure1(t *testing.T) *model.Execution {
+	t.Helper()
+	prog := lang.MustParse(`
+event e
+var X
+
+proc main {
+    fork t1
+    fork t2
+    fork t3
+}
+proc t1 {
+    lp: post(e)
+    X := 1
+}
+proc t2 {
+    if X == 1 {
+        rp: post(e)
+    } else {
+        wait(e)
+    }
+}
+proc t3 {
+    w: wait(e)
+}
+`)
+	res, err := interp.Run(prog, interp.Options{Sched: &interp.Script{Names: []string{
+		"main", "main", "main", // the three forks
+		"t1", "t1", // post(e), X := 1
+		"t2", "t2", // if-condition read, post(e)
+		"t3", // wait(e)
+	}}})
+	if err != nil {
+		t.Fatalf("figure1 run: %v", err)
+	}
+	return res.X
+}
+
+func TestFigure1TaskGraphMissesOrdering(t *testing.T) {
+	x := figure1(t)
+	tg, err := Build(x)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	lp := x.MustEventByLabel("lp").ID
+	rp := x.MustEventByLabel("rp").ID
+	w := x.MustEventByLabel("w").ID
+
+	// The task graph shows no path between the two Posts (the paper's
+	// point: it ignores the shared-data dependence).
+	if ok, err := tg.HasPath(lp, rp); err != nil || ok {
+		t.Errorf("task graph claims lp → rp (ok=%v err=%v); the EGP graph should have no path", ok, err)
+	}
+	if ok, _ := tg.HasPath(rp, lp); ok {
+		t.Error("task graph claims rp → lp")
+	}
+	// It does draw a guaranteed ordering into the Wait from the closest
+	// common ancestor of the two Posts (the first fork).
+	forkEv := x.Ops[0].Event // main's first op is fork t1
+	if x.Events[forkEv].Kind != model.OpFork {
+		t.Fatalf("expected first op to be fork, got %v", x.Events[forkEv].Kind)
+	}
+	if ok, _ := tg.HasPath(forkEv, w); !ok {
+		t.Error("task graph missing CCA → wait edge")
+	}
+
+	// The exact analysis proves the ordering the task graph misses: the
+	// data dependence X:=1 → (if X==1) forces lp before rp.
+	a, err := core.New(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mhb, err := a.MHB(lp, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mhb {
+		t.Error("exact analysis should prove lp MHB rp via the data dependence")
+	}
+	// And without the data dependence the ordering genuinely disappears.
+	ai, err := core.New(x, core.Options{IgnoreData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mhbIgnore, err := ai.MHB(lp, rp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mhbIgnore {
+		t.Error("ignoring D, lp MHB rp should not hold")
+	}
+}
+
+func TestSingleCandidatePostDirectEdge(t *testing.T) {
+	b := model.NewBuilder()
+	p1 := b.Proc("p1")
+	p1.Post("e")
+	p2 := b.Proc("p2")
+	p2.Wait("e")
+	x := b.MustBuild()
+	tg, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := model.EventID(0)
+	wait := model.EventID(1)
+	if ok, _ := tg.HasPath(post, wait); !ok {
+		t.Error("single-candidate post should get a direct sync edge")
+	}
+	kinds := tg.NumEdges()
+	if kinds[EdgeSync] != 1 {
+		t.Errorf("sync edges = %d, want 1", kinds[EdgeSync])
+	}
+}
+
+func TestClearCancelsCandidate(t *testing.T) {
+	// child: post(e); clear(e); post(e), then main joins the child and
+	// waits. The first post is provably cancelled (post → clear → join →
+	// wait all guaranteed), so the second post is the sole candidate and
+	// gets a direct sync edge.
+	b := model.NewBuilder()
+	main := b.Proc("main")
+	child := main.Fork("child")
+	child.Post("e")
+	child.Clear("e")
+	child.Post("e")
+	main.Join("child")
+	main.Wait("e")
+	x := b.MustBuild()
+	tg, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var post1, post2, wait model.EventID = -1, -1, -1
+	for e := range x.Events {
+		ev := &x.Events[e]
+		switch ev.Kind {
+		case model.OpPost:
+			if post1 < 0 {
+				post1 = model.EventID(e)
+			} else {
+				post2 = model.EventID(e)
+			}
+		case model.OpWait:
+			wait = model.EventID(e)
+		}
+	}
+	if tg.Kind[[2]int{tg.Index[post2], tg.Index[wait]}] != EdgeSync {
+		t.Error("sole surviving candidate should get a direct sync edge")
+	}
+	if tg.Kind[[2]int{tg.Index[post1], tg.Index[wait]}] == EdgeSync {
+		t.Error("cancelled post received a direct sync edge")
+	}
+}
+
+func TestBothPostsCandidatesNoCCA(t *testing.T) {
+	// p1: post; clear; post ∥ p2: wait — in an alternate interleaving the
+	// wait may fire between the first post and the clear, so BOTH posts are
+	// candidates; they share no common ancestor, so no sync edge is added.
+	b := model.NewBuilder()
+	p1 := b.Proc("p1")
+	p1.Post("e")
+	p1.Clear("e")
+	p1.Post("e")
+	p2 := b.Proc("p2")
+	p2.Wait("e")
+	x := b.MustBuild()
+	tg, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds := tg.NumEdges(); kinds[EdgeSync] != 0 {
+		t.Errorf("expected no sync edges, got %d", kinds[EdgeSync])
+	}
+}
+
+func TestInitiallyPostedNoEdge(t *testing.T) {
+	b := model.NewBuilder()
+	b.EventVar("e", true)
+	p1 := b.Proc("p1")
+	p1.Post("e")
+	p2 := b.Proc("p2")
+	p2.Wait("e")
+	x := b.MustBuild()
+	tg, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kinds := tg.NumEdges(); kinds[EdgeSync] != 0 {
+		t.Errorf("initially posted variable must yield no sync edges, got %d", kinds[EdgeSync])
+	}
+}
+
+func TestMachineAndTaskEdges(t *testing.T) {
+	b := model.NewBuilder()
+	main := b.Proc("main")
+	child := main.Fork("child")
+	child.Post("e")
+	child.Post("f")
+	main.Join("child")
+	x := b.MustBuild()
+	tg, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := tg.NumEdges()
+	if kinds[EdgeTaskStart] != 1 || kinds[EdgeTaskEnd] != 1 {
+		t.Errorf("task edges = %+v", kinds)
+	}
+	if kinds[EdgeMachine] < 2 { // fork→join in main, post→post in child
+		t.Errorf("machine edges = %d, want ≥ 2", kinds[EdgeMachine])
+	}
+	// fork → post(e) → post(f) → join must all be paths.
+	forkEv := x.Ops[0].Event
+	joinEv := x.Ops[3].Event
+	if ok, _ := tg.HasPath(forkEv, joinEv); !ok {
+		t.Error("no fork → join path")
+	}
+}
+
+func TestRejectSemaphores(t *testing.T) {
+	b := model.NewBuilder()
+	b.Sem("s", 1, model.SemCounting)
+	b.Proc("p").P("s")
+	x := b.MustBuild()
+	if _, err := Build(x); err == nil {
+		t.Error("semaphore execution accepted")
+	}
+}
+
+func TestGuaranteedOrderIsSubsetOfMHBOnSyncPairs(t *testing.T) {
+	// On Figure 1 the task graph's claimed orderings must all be real
+	// (EGP is sound here; it is incomplete, not unsound, on this example).
+	x := figure1(t)
+	tg, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	claimed := tg.GuaranteedOrder()
+	a, err := core.New(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range claimed.Pairs() {
+		mhb, err := a.MHB(pair[0], pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mhb {
+			t.Errorf("task graph claims %s → %s but exact MHB disagrees",
+				x.EventName(pair[0]), x.EventName(pair[1]))
+		}
+	}
+}
+
+func TestHasPathErrors(t *testing.T) {
+	x := figure1(t)
+	tg, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compEv := x.MustEventByLabel("w").ID // sync
+	var someComp model.EventID = -1
+	for e := range x.Events {
+		if !x.Events[e].IsSync() {
+			someComp = model.EventID(e)
+			break
+		}
+	}
+	if someComp < 0 {
+		t.Fatal("no computation event in figure1")
+	}
+	if _, err := tg.HasPath(someComp, compEv); err == nil {
+		t.Error("HasPath accepted a computation event")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	x := figure1(t)
+	tg, err := Build(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := tg.DOT()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Errorf("DOT output malformed:\n%s", dot)
+	}
+}

@@ -1,0 +1,117 @@
+package traceio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eventorder/internal/model"
+)
+
+func sample(t *testing.T) *model.Execution {
+	t.Helper()
+	b := model.NewBuilder()
+	b.Sem("s", 0, model.SemCounting)
+	b.Sem("m", 1, model.SemBinary)
+	b.EventVar("e", true)
+	main := b.Proc("main")
+	main.Label("a").Write("x")
+	child := main.Fork("child")
+	child.Wait("e")
+	child.V("s")
+	main.P("s")
+	main.Join("child")
+	main.Label("b").Read("x")
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func TestExecutionRoundTrip(t *testing.T) {
+	x := sample(t)
+	var buf bytes.Buffer
+	if err := SaveExecution(&buf, x); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	y, err := LoadExecution(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if y.NumProcs() != x.NumProcs() || y.NumEvents() != x.NumEvents() || y.NumOps() != x.NumOps() {
+		t.Fatalf("shape changed: %s vs %s", y, x)
+	}
+	for i := range x.Ops {
+		if x.Ops[i].Kind != y.Ops[i].Kind || x.Ops[i].Obj != y.Ops[i].Obj || x.Ops[i].Proc != y.Ops[i].Proc {
+			t.Fatalf("op %d changed: %+v vs %+v", i, y.Ops[i], x.Ops[i])
+		}
+	}
+	if len(y.Order) != len(x.Order) {
+		t.Fatal("order length changed")
+	}
+	for i := range x.Order {
+		if x.Order[i] != y.Order[i] {
+			t.Fatal("order changed")
+		}
+	}
+	if y.Sems["m"].Kind != model.SemBinary || y.Sems["s"].Init != 0 {
+		t.Errorf("sems changed: %+v", y.Sems)
+	}
+	if !y.EvInit["e"] {
+		t.Error("event var initial state lost")
+	}
+	if _, ok := y.EventByLabel("a"); !ok {
+		t.Error("label lost")
+	}
+	// D must derive identically.
+	if !model.DataDependence(x).Equal(model.DataDependence(y)) {
+		t.Error("derived D differs after round trip")
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	x := sample(t)
+	bad := *x
+	bad.Order = nil
+	var buf bytes.Buffer
+	if err := SaveExecution(&buf, &bad); err == nil {
+		t.Error("saved execution without order")
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"version": 99}`,
+		`{"version": 1, "procs": [], "events": [], "ops": [], "order": [3]}`,
+		`{"version": 1, "procs": [{"name":"p","ops":[0],"parent":-1,"forkOp":-1}],
+		  "events": [{"proc":0,"kind":"zap","ops":[0]}],
+		  "ops": [{"proc":0,"event":0,"kind":"nop"}], "order":[0]}`,
+	}
+	for _, src := range cases {
+		if _, err := LoadExecution(strings.NewReader(src)); err == nil {
+			t.Errorf("loaded corrupt input %q", src)
+		}
+	}
+}
+
+func TestRelationRoundTrip(t *testing.T) {
+	r := model.NewRelation("MHB", 5)
+	r.Set(0, 3)
+	r.Set(2, 4)
+	var buf bytes.Buffer
+	if err := SaveRelation(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := LoadRelation(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(r2) || r2.Name != "MHB" {
+		t.Errorf("relation round trip changed: %s vs %s", r2, r)
+	}
+	if _, err := LoadRelation(strings.NewReader(`{"name":"x","n":2,"pairs":[[0,9]]}`)); err == nil {
+		t.Error("out-of-range pair accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Command eventorderd is the resident analysis server: an HTTP/JSON
+// service over the exact event-ordering engine, with a bounded worker
+// pool, a content-addressed result cache, per-request deadlines, and
+// graceful shutdown.
+//
+// Usage:
+//
+//	eventorderd [-addr :8080] [-workers N] [-queue N] [-cache-bytes N]
+//	            [-timeout 30s] [-max-timeout 5m] [-budget N]
+//	eventorderd -selfcheck
+//
+// Endpoints:
+//
+//	POST /v1/analyze   relation queries: single pair or full matrices
+//	POST /v1/races     exact + vector-clock + program-order race detection
+//	POST /v1/witness   demonstrating schedule for a relation verdict
+//	GET  /v1/jobs/{id} poll an async submission
+//	GET  /healthz      liveness and queue depth
+//	GET  /metrics      JSON metrics registry
+//
+// -selfcheck starts the server on a loopback port, exercises the analyze,
+// cache, deadline, and metrics paths end-to-end, and exits 0 on success
+// (used by CI as a smoke test).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eventorder/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "analysis workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "job queue depth (submissions beyond it get 503)")
+	cacheBytes := flag.Int64("cache-bytes", 32<<20, "result cache budget in bytes")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
+	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
+	budget := flag.Int64("budget", 0, "default search node budget per query (0 = unlimited)")
+	selfcheck := flag.Bool("selfcheck", false, "run an end-to-end smoke test against a loopback instance and exit")
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	cfg := service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     *cacheBytes,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxNodes:       *budget,
+		Logger:         logger,
+	}
+
+	if *selfcheck {
+		if err := runSelfcheck(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "eventorderd: selfcheck FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("eventorderd: selfcheck ok")
+		return
+	}
+
+	srv := service.New(cfg)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Info("listening", "addr", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		// Drain the analysis workers first (in-flight jobs finish, new
+		// submissions get 503), then close HTTP connections.
+		if err := srv.Shutdown(ctx); err != nil {
+			logger.Error("worker drain timed out; jobs force-canceled", "err", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logger.Error("http shutdown", "err", err)
+		}
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"eventorder/internal/gen"
+	"eventorder/internal/service"
+	"eventorder/internal/traceio"
+)
+
+// figure1Src is the paper's Figure 1a program (testdata/figure1.evo): the
+// shared-data dependence "X := 1" → "if X == 1" orders the two posts even
+// though no explicit synchronization connects them. Under the default
+// scheduler seed the observed run takes the X == 1 branch, so the labels
+// lp (left post) and rp (right post) both exist and lp MHB rp must hold.
+const figure1Src = `
+event e
+var X
+
+proc main {
+    fork t1
+    fork t2
+    fork t3
+}
+proc t1 {
+    lp: post(e)
+    X := 1
+}
+proc t2 {
+    if X == 1 {
+        rp: post(e)
+    } else {
+        wait(e)
+    }
+}
+proc t3 {
+    w: wait(e)
+}
+`
+
+// runSelfcheck boots a loopback server and exercises the acceptance path:
+// Figure 1 MHB verdict, cache hit on the identical repeat, a 1ms deadline
+// on a large instance returning 504 with the queue draining back to zero,
+// and graceful shutdown.
+func runSelfcheck(cfg service.Config) error {
+	cfg.QueueDepth = 16
+	srv := service.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	post := func(path string, body any, want int, into any) error {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != want {
+			var e struct {
+				Error string `json:"error"`
+			}
+			json.NewDecoder(resp.Body).Decode(&e)
+			return fmt.Errorf("POST %s: status %d (want %d): %s", path, resp.StatusCode, want, e.Error)
+		}
+		if into != nil {
+			return json.NewDecoder(resp.Body).Decode(into)
+		}
+		return nil
+	}
+	get := func(path string, into any) error {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return json.NewDecoder(resp.Body).Decode(into)
+	}
+
+	// Liveness.
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := get("/healthz", &health); err != nil {
+		return err
+	}
+	if health.Status != "ok" {
+		return fmt.Errorf("healthz reports %q", health.Status)
+	}
+
+	// Figure 1: lp MHB rp must hold (the data dependence orders the posts).
+	req := map[string]any{"program": figure1Src, "rel": "MHB", "a": "lp", "b": "rp"}
+	var env service.Envelope
+	if err := post("/v1/analyze", req, http.StatusOK, &env); err != nil {
+		return err
+	}
+	var pair service.PairResult
+	if err := json.Unmarshal(env.Result, &pair); err != nil {
+		return err
+	}
+	if !pair.Holds {
+		return fmt.Errorf("figure 1: lp MHB rp = false, want true")
+	}
+	if env.Cached {
+		return fmt.Errorf("first figure-1 request claimed a cache hit")
+	}
+
+	// The identical request must be served from the result cache.
+	env = service.Envelope{}
+	if err := post("/v1/analyze", req, http.StatusOK, &env); err != nil {
+		return err
+	}
+	if !env.Cached {
+		return fmt.Errorf("repeat figure-1 request was not served from cache")
+	}
+	var snap service.Snapshot
+	if err := get("/metrics", &snap); err != nil {
+		return err
+	}
+	if snap.Counters[service.MetricCacheHits] < 1 {
+		return fmt.Errorf("metrics report %d cache hits after a cached response", snap.Counters[service.MetricCacheHits])
+	}
+
+	// A 1ms deadline on a large instance must 504 and free its worker.
+	big, err := gen.Mutex(4, 4)
+	if err != nil {
+		return err
+	}
+	var trace bytes.Buffer
+	if err := traceio.SaveExecution(&trace, big); err != nil {
+		return err
+	}
+	slow := map[string]any{"execution": json.RawMessage(trace.Bytes()), "all": true, "timeoutMs": 1}
+	if err := post("/v1/analyze", slow, http.StatusGatewayTimeout, nil); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := get("/metrics", &snap); err != nil {
+			return err
+		}
+		if snap.Gauges[service.MetricQueueDepth] == 0 && snap.Gauges[service.MetricJobsRunning] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("queue depth stuck at %d (running %d) after deadline-exceeded job",
+				snap.Gauges[service.MetricQueueDepth], snap.Gauges[service.MetricJobsRunning])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if snap.Counters[service.MetricJobsDeadline] < 1 {
+		return fmt.Errorf("no deadline-exceeded job counted")
+	}
+
+	// The freed worker must serve new requests.
+	if err := post("/v1/analyze", req, http.StatusOK, &env); err != nil {
+		return err
+	}
+
+	// Graceful shutdown: drain workers, then close connections.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return httpSrv.Shutdown(ctx)
+}

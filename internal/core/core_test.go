@@ -381,21 +381,6 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 }
 
-func TestParseRelKind(t *testing.T) {
-	for _, k := range AllRelKinds {
-		got, err := ParseRelKind(k.String())
-		if err != nil || got != k {
-			t.Errorf("ParseRelKind(%s) = %v, %v", k, got, err)
-		}
-	}
-	if _, err := ParseRelKind("nope"); err == nil {
-		t.Error("ParseRelKind accepted garbage")
-	}
-	if k, err := ParseRelKind("mhb"); err != nil || k != RelMHB {
-		t.Errorf("case-insensitive parse failed: %v %v", k, err)
-	}
-}
-
 func TestRelKindProperties(t *testing.T) {
 	if !RelMHB.MustHave() || RelCHB.MustHave() {
 		t.Error("MustHave wrong")

@@ -34,6 +34,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -127,6 +128,12 @@ type Analyzer struct {
 
 	pcBytes int // bytes per program counter in state keys (1 or 2)
 	keyBuf  []byte
+
+	// ctx, when non-nil, is polled inside the search so an abandoned query
+	// (canceled request, expired deadline) stops burning CPU. Set and
+	// cleared by the *Ctx wrappers in ctx.go; nil means never cancel.
+	ctx     context.Context
+	ctxTick uint32 // node counter for amortized ctx polling
 }
 
 // New preprocesses x for relation queries. The execution must be
@@ -467,9 +474,23 @@ func (a *Analyzer) stateKey(extra byte) string {
 	return string(buf)
 }
 
-// budgetCharge counts one search node against the per-query budget.
+// ctxPollInterval is how many search nodes pass between cancellation
+// checks. Nodes cost well under a microsecond, so polling every 256 keeps
+// cancellation latency far below a millisecond without measurable overhead.
+const ctxPollInterval = 256
+
+// budgetCharge counts one search node against the per-query budget and,
+// when a context is installed, polls it for cancellation.
 func (a *Analyzer) budgetCharge(remaining *int64) error {
 	a.stats.Nodes++
+	if a.ctx != nil {
+		a.ctxTick++
+		if a.ctxTick%ctxPollInterval == 0 {
+			if err := a.ctx.Err(); err != nil {
+				return err
+			}
+		}
+	}
 	if a.opts.MaxNodes > 0 {
 		*remaining--
 		if *remaining < 0 {

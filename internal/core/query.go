@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"eventorder/internal/model"
 )
@@ -42,30 +43,11 @@ func (k RelKind) String() string {
 // ParseRelKind converts a relation name ("MHB", "chb", …) to its kind.
 func ParseRelKind(s string) (RelKind, error) {
 	for i, name := range relNames {
-		if s == name || equalFold(s, name) {
+		if strings.EqualFold(s, name) {
 			return RelKind(i), nil
 		}
 	}
 	return 0, fmt.Errorf("core: unknown relation %q (want one of MHB CHB MCW CCW MOW COW)", s)
-}
-
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'a' <= ca && ca <= 'z' {
-			ca -= 'a' - 'A'
-		}
-		if 'a' <= cb && cb <= 'z' {
-			cb -= 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
 }
 
 // AllRelKinds lists the six relations in Table 1 order.

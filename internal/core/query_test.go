@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"eventorder/internal/model"
+)
+
+func TestParseRelKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want RelKind
+		ok   bool
+	}{
+		{"MHB", RelMHB, true},
+		{"CHB", RelCHB, true},
+		{"MCW", RelMCW, true},
+		{"CCW", RelCCW, true},
+		{"MOW", RelMOW, true},
+		{"COW", RelCOW, true},
+		// Mixed and lower case must parse.
+		{"mhb", RelMHB, true},
+		{"Chb", RelCHB, true},
+		{"mCw", RelMCW, true},
+		{"ccw", RelCCW, true},
+		{"moW", RelMOW, true},
+		{"cow", RelCOW, true},
+		// Invalid inputs must fail with a descriptive error.
+		{"", 0, false},
+		{"MH", 0, false},
+		{"MHBX", 0, false},
+		{"must-have", 0, false},
+		{"HBM", 0, false},
+		{" MHB", 0, false},
+		{"MHB ", 0, false},
+		// Unicode case folding beyond ASCII must not match (relation names
+		// are ASCII), and non-ASCII garbage must not panic.
+		{"ＭＨＢ", 0, false},
+		{"ｍhb", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseRelKind(c.in)
+		if c.ok {
+			if err != nil {
+				t.Errorf("ParseRelKind(%q): unexpected error %v", c.in, err)
+				continue
+			}
+			if got != c.want {
+				t.Errorf("ParseRelKind(%q) = %v, want %v", c.in, got, c.want)
+			}
+		} else {
+			if err == nil {
+				t.Errorf("ParseRelKind(%q) = %v, want error", c.in, got)
+				continue
+			}
+			if !strings.Contains(err.Error(), "unknown relation") {
+				t.Errorf("ParseRelKind(%q) error %q lacks context", c.in, err)
+			}
+		}
+	}
+}
+
+func TestParseRelKindRoundTrip(t *testing.T) {
+	for _, kind := range AllRelKinds {
+		for _, variant := range []string{kind.String(), strings.ToLower(kind.String())} {
+			got, err := ParseRelKind(variant)
+			if err != nil || got != kind {
+				t.Errorf("ParseRelKind(%q) = %v, %v; want %v", variant, got, err, kind)
+			}
+		}
+	}
+}
+
+// mutexAnalyzer builds an analyzer over a mutual-exclusion workload big
+// enough that full-matrix queries take real search effort.
+func mutexAnalyzer(t *testing.T, procs, crits int) *Analyzer {
+	t.Helper()
+	x := mutexExecution(t, procs, crits)
+	a, err := New(x, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func mutexExecution(t *testing.T, procs, crits int) *model.Execution {
+	t.Helper()
+	b := model.NewBuilder()
+	b.Sem("m", 1, model.SemCounting)
+	for p := 0; p < procs; p++ {
+		pb := b.Proc(procName(p))
+		for k := 0; k < crits; k++ {
+			pb.P("m")
+			pb.Write("shared")
+			pb.V("m")
+		}
+	}
+	x, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func procName(p int) string { return string(rune('a'+p)) + "proc" }
+
+func TestDecideCtxMatchesDecide(t *testing.T) {
+	a := mutexAnalyzer(t, 3, 2)
+	for _, kind := range AllRelKinds {
+		want, err := a.Decide(kind, 0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.DecideCtx(context.Background(), kind, 0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%v: DecideCtx = %v, Decide = %v", kind, got, want)
+		}
+	}
+}
+
+func TestDecideCtxAlreadyCanceled(t *testing.T) {
+	a := mutexAnalyzer(t, 3, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	before := a.Stats().Nodes
+	_, err := a.DecideCtx(ctx, RelMHB, 0, 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if a.Stats().Nodes != before {
+		t.Errorf("canceled query still expanded %d nodes", a.Stats().Nodes-before)
+	}
+}
+
+func TestRelationCtxDeadlineAborts(t *testing.T) {
+	// Large enough that the full six-relation sweep takes well over a
+	// millisecond, so a 1ms deadline must abort mid-search.
+	a := mutexAnalyzer(t, 4, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := a.AllRelationsCtx(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v (elapsed %v)", err, elapsed)
+	}
+	// Cancellation is polled every ctxPollInterval nodes; even on a slow
+	// machine the abort must land far below the uncanceled runtime.
+	if elapsed > 2*time.Second {
+		t.Errorf("deadline abort took %v, cancellation not effective", elapsed)
+	}
+	// The analyzer must remain usable after an aborted query.
+	if _, err := a.Decide(RelCHB, 0, 1); err != nil {
+		t.Fatalf("analyzer unusable after canceled query: %v", err)
+	}
+}
+
+func TestWitnessScheduleCtxCanceled(t *testing.T) {
+	a := mutexAnalyzer(t, 3, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := a.WitnessScheduleCtx(ctx, RelCCW, 0, 5)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -19,6 +19,7 @@
 package race
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -48,6 +49,14 @@ type Report struct {
 // Detect runs all three detectors. The exact detector inherits opts (node
 // budgets apply per CCW query).
 func Detect(x *model.Execution, opts core.Options) (*Report, error) {
+	return DetectCtx(context.Background(), x, opts)
+}
+
+// DetectCtx runs all three detectors like Detect, aborting the exact
+// detector's exponential CCW queries with ctx's error if ctx is canceled
+// or its deadline passes (the polynomial detectors are not worth
+// interrupting).
+func DetectCtx(ctx context.Context, x *model.Execution, opts core.Options) (*Report, error) {
 	if err := model.Validate(x); err != nil {
 		return nil, err
 	}
@@ -69,8 +78,11 @@ func Detect(x *model.Execution, opts core.Options) (*Report, error) {
 		if !po.Has(c.A, c.B) && !po.Has(c.B, c.A) {
 			rep.PO = append(rep.PO, c)
 		}
-		ccw, err := an.CCW(c.A, c.B)
+		ccw, err := an.DecideCtx(ctx, core.RelCCW, c.A, c.B)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("race: exact query for %s: %w", c, err)
 		}
 		if ccw {

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// errRejected is returned by submit when the job queue is full or the
+// server is shutting down; handlers map it to 503.
+var errRejected = errors.New("service: job rejected (queue full or shutting down)")
+
+// job is one unit of analysis work bound for the worker pool. The ctx
+// carries the request deadline; workers pass it into the core engine's
+// context-aware search so an abandoned job stops burning CPU.
+type job struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	// run computes the result body. It executes on a worker goroutine
+	// with a private core.Analyzer; it must honor ctx.
+	run func(ctx context.Context) ([]byte, error)
+	// onDone, when non-nil, observes the outcome on the worker goroutine
+	// (used for caching and async bookkeeping) before done is closed.
+	onDone func(body []byte, err error)
+
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// submit enqueues j without blocking. It fails with errRejected when the
+// queue is at capacity or the server no longer accepts work.
+func (s *Server) submit(j *job) error {
+	s.shutdownMu.Lock()
+	if s.closed {
+		s.shutdownMu.Unlock()
+		s.metrics.Counter(MetricJobsRejected).Add(1)
+		return errRejected
+	}
+	select {
+	case s.jobs <- j:
+		s.queueDepth.Add(1)
+		s.shutdownMu.Unlock()
+		return nil
+	default:
+		s.shutdownMu.Unlock()
+		s.metrics.Counter(MetricJobsRejected).Add(1)
+		return errRejected
+	}
+}
+
+// worker drains the job channel until it is closed (graceful shutdown
+// closes it after the last submit). Each job runs under its own context;
+// a job whose deadline already passed while queued is failed without
+// running.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.jobs {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	defer s.queueDepth.Add(-1)
+	defer j.cancel()
+	if err := j.ctx.Err(); err != nil {
+		j.err = err
+	} else {
+		s.jobsRunning.Add(1)
+		j.body, j.err = j.run(j.ctx)
+		s.jobsRunning.Add(-1)
+	}
+	s.metrics.Counter(MetricJobsCompleted).Add(1)
+	if j.err != nil && (errors.Is(j.err, context.DeadlineExceeded) || errors.Is(j.err, context.Canceled)) {
+		s.metrics.Counter(MetricJobsDeadline).Add(1)
+	}
+	if j.onDone != nil {
+		j.onDone(j.body, j.err)
+	}
+	close(j.done)
+}
+
+// Async job store -----------------------------------------------------------
+
+// JobState names the lifecycle phase of an async job.
+type JobState string
+
+// Async job lifecycle states reported by GET /v1/jobs/{id}.
+const (
+	// JobQueued means the job is admitted but no worker has picked it up.
+	JobQueued JobState = "queued"
+	// JobRunning means a worker is computing the result.
+	JobRunning JobState = "running"
+	// JobDone means the result body is available.
+	JobDone JobState = "done"
+	// JobFailed means the computation ended with an error.
+	JobFailed JobState = "failed"
+)
+
+// storedJob tracks one async submission for polling.
+type storedJob struct {
+	mu    sync.Mutex
+	id    string
+	state JobState
+	body  []byte
+	errs  string
+}
+
+func (sj *storedJob) set(state JobState, body []byte, errs string) {
+	sj.mu.Lock()
+	sj.state, sj.body, sj.errs = state, body, errs
+	sj.mu.Unlock()
+}
+
+func (sj *storedJob) snapshot() (JobState, []byte, string) {
+	sj.mu.Lock()
+	defer sj.mu.Unlock()
+	return sj.state, sj.body, sj.errs
+}
+
+// jobStore retains recent async jobs for polling, bounded by maxJobs
+// (oldest evicted first — pollers of evicted ids get 404).
+type jobStore struct {
+	mu      sync.Mutex
+	seq     int64
+	maxJobs int
+	order   *list.List // oldest at back
+	byID    map[string]*list.Element
+}
+
+func newJobStore(maxJobs int) *jobStore {
+	return &jobStore{maxJobs: maxJobs, order: list.New(), byID: map[string]*list.Element{}}
+}
+
+// add registers a fresh queued job and returns it with a unique id.
+func (st *jobStore) add() *storedJob {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	sj := &storedJob{id: fmt.Sprintf("j%06d", st.seq), state: JobQueued}
+	st.byID[sj.id] = st.order.PushFront(sj)
+	for st.order.Len() > st.maxJobs {
+		back := st.order.Back()
+		st.order.Remove(back)
+		delete(st.byID, back.Value.(*storedJob).id)
+	}
+	return sj
+}
+
+// get looks up a job by id.
+func (st *jobStore) get(id string) (*storedJob, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	el, ok := st.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*storedJob), true
+}

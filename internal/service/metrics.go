@@ -1,0 +1,206 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric names used by the server. Grouped here so tests and operators
+// have one place to look; the registry itself is generic.
+const (
+	// MetricRequests counts HTTP requests per endpoint as
+	// "requests_<endpoint>" (e.g. requests_analyze).
+	MetricRequests = "requests"
+	// MetricCacheHits counts analysis responses served from the result
+	// cache without any search.
+	MetricCacheHits = "cache_hits"
+	// MetricCacheMisses counts analysis requests that had to run a job.
+	MetricCacheMisses = "cache_misses"
+	// MetricCacheEvictions counts cache entries dropped to respect the
+	// byte budget.
+	MetricCacheEvictions = "cache_evictions"
+	// MetricJobsRejected counts jobs refused because the queue was full
+	// or the server was shutting down.
+	MetricJobsRejected = "jobs_rejected"
+	// MetricJobsCompleted counts jobs whose computation finished
+	// (successfully or with an error), freeing their worker.
+	MetricJobsCompleted = "jobs_completed"
+	// MetricJobsDeadline counts jobs abandoned because their deadline
+	// passed or their client went away.
+	MetricJobsDeadline = "jobs_deadline_exceeded"
+	// MetricQueueDepth gauges jobs admitted but not yet finished
+	// (queued + running). It returns to 0 when every worker is idle.
+	MetricQueueDepth = "queue_depth"
+	// MetricJobsRunning gauges jobs currently executing on a worker.
+	MetricJobsRunning = "jobs_running"
+	// MetricCacheBytes gauges the bytes currently held by the result
+	// cache.
+	MetricCacheBytes = "cache_bytes"
+	// MetricCacheEntries gauges the number of cached results.
+	MetricCacheEntries = "cache_entries"
+	// MetricLatency is the request latency histogram, in seconds, as
+	// "latency_seconds_<endpoint>".
+	MetricLatency = "latency_seconds"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram accumulates observations into fixed upper-bound buckets
+// (cumulative, Prometheus-style) plus a sum and count.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; implicit +Inf last
+	counts []int64   // len(bounds)+1
+	sum    float64
+	count  int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// HistogramSnapshot is the JSON form of a histogram at one instant.
+type HistogramSnapshot struct {
+	// Count is the total number of observations.
+	Count int64 `json:"count"`
+	// Sum is the sum of all observed values.
+	Sum float64 `json:"sum"`
+	// Buckets maps "le_<bound>" (upper bound, "le_inf" for the overflow
+	// bucket) to the number of observations at or below that bound.
+	Buckets map[string]int64 `json:"buckets"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Buckets: make(map[string]int64, len(h.counts))}
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		s.Buckets[fmt.Sprintf("le_%g", b)] = cum
+	}
+	s.Buckets["le_inf"] = cum + h.counts[len(h.bounds)]
+	return s
+}
+
+// Registry is an in-process metrics registry: named counters, gauges, and
+// histograms, snapshotted as JSON by the /metrics endpoint. All methods
+// are safe for concurrent use; metrics are created on first touch.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it at zero if absent.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it at zero if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// ascending upper bounds if absent (bounds are ignored on later calls).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]int64, len(bounds)+1)}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot captures every metric as a JSON-marshalable value, in the
+// expvar spirit: {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+type Snapshot struct {
+	// Counters holds each counter's current value by name.
+	Counters map[string]int64 `json:"counters"`
+	// Gauges holds each gauge's current value by name.
+	Gauges map[string]int64 `json:"gauges"`
+	// Histograms holds each histogram's bucket/sum/count state by name.
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot returns a point-in-time copy of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// MarshalJSON renders the live registry state (so a Registry can be
+// exposed directly as an expvar-style endpoint).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}

@@ -1,0 +1,760 @@
+// Package service implements eventorderd, a resident HTTP/JSON analysis
+// server over the exact event-ordering engine. The paper proves every
+// relation query (co-)NP-hard, which makes the workload long-running,
+// cache-friendly, and deadline-sensitive — exactly the shape a one-shot
+// CLI serves worst. The server amortizes that cost three ways:
+//
+//   - a bounded worker-pool job scheduler (N workers, each running jobs on
+//     private core.Analyzer instances, mirroring the S22 parallel path);
+//   - a content-addressed result cache (LRU with a byte budget) keyed by a
+//     canonical hash of the execution plus the query options, so repeated
+//     queries — the common case for interactive debugging — skip the
+//     exponential search entirely;
+//   - per-request deadlines threaded as context.Context into the core
+//     search loops, so an abandoned request stops burning CPU.
+//
+// Endpoints: POST /v1/analyze (single pair or full relation matrices),
+// POST /v1/races, POST /v1/witness, GET /v1/jobs/{id} (async polling),
+// GET /healthz, GET /metrics (expvar-style JSON registry).
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"eventorder/internal/core"
+	"eventorder/internal/interp"
+	"eventorder/internal/lang"
+	"eventorder/internal/model"
+	"eventorder/internal/race"
+	"eventorder/internal/traceio"
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// Workers is the number of analysis worker goroutines (default
+	// GOMAXPROCS). The worker pool bounds concurrent searches: each job
+	// builds its own core.Analyzer (the engine is single-threaded), so
+	// Workers is also the peak number of live analyzers.
+	Workers int
+	// QueueDepth bounds jobs admitted but not yet running (default 64).
+	// Submissions beyond it are rejected with 503 rather than queued
+	// without bound — load-shedding for a server of exponential queries.
+	QueueDepth int
+	// CacheBytes is the result cache budget in bytes (default 32 MiB).
+	CacheBytes int64
+	// DefaultTimeout applies to requests that set no timeoutMs
+	// (default 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 5m).
+	MaxTimeout time.Duration
+	// MaxNodes is the default per-query search node budget when a request
+	// sets none; 0 means unbounded.
+	MaxNodes int64
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxJobs bounds retained async jobs for polling (default 1024).
+	MaxJobs int
+	// Logger receives structured request logs (default: JSON to stderr).
+	Logger *slog.Logger
+}
+
+func (c *Config) withDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 32 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
+	}
+}
+
+// Server is the eventorderd analysis service. Create with New, mount
+// Handler on an http.Server, and call Shutdown to drain.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	mux     *http.ServeMux
+	metrics *Registry
+	cache   *resultCache
+	store   *jobStore
+
+	jobs        chan *job
+	queueDepth  *Gauge
+	jobsRunning *Gauge
+	workerWG    sync.WaitGroup
+
+	shutdownMu sync.Mutex
+	closed     bool
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg.withDefaults()
+	m := NewRegistry()
+	s := &Server{
+		cfg:         cfg,
+		log:         cfg.Logger,
+		mux:         http.NewServeMux(),
+		metrics:     m,
+		cache:       newResultCache(cfg.CacheBytes, m),
+		store:       newJobStore(cfg.MaxJobs),
+		jobs:        make(chan *job, cfg.QueueDepth),
+		queueDepth:  m.Gauge(MetricQueueDepth),
+		jobsRunning: m.Gauge(MetricJobsRunning),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.HandleFunc("POST /v1/races", s.instrument("races", s.handleRaces))
+	s.mux.HandleFunc("POST /v1/witness", s.instrument("witness", s.handleWitness))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.instrument("jobs", s.handleJobGet))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's metrics registry (for embedding and tests).
+func (s *Server) Metrics() *Registry { return s.metrics }
+
+// Shutdown drains the server: new submissions are rejected with 503,
+// queued and running jobs finish, then workers exit. If ctx expires
+// first, running jobs are force-canceled (their searches abort at the
+// next cancellation poll) and Shutdown returns ctx.Err().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shutdownMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.jobs) // safe: submissions only send while holding shutdownMu with closed=false
+	}
+	s.shutdownMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Wire types ----------------------------------------------------------------
+
+// ExecutionSource selects the execution under analysis: either a
+// mini-language program to run into a trace, or a serialized trace in the
+// traceio wire format.
+type ExecutionSource struct {
+	// Program is mini-language source; the server runs it (deadlock-
+	// avoiding, seeded) and analyzes the recorded execution.
+	Program string `json:"program,omitempty"`
+	// Execution is a trace in the traceio JSON format, as produced by
+	// `eventorder run` or a previous server response.
+	Execution json.RawMessage `json:"execution,omitempty"`
+	// Seed seeds the program scheduler (default 1). Ignored with
+	// Execution.
+	Seed int64 `json:"seed,omitempty"`
+	// Tries bounds deadlock-avoiding rescheduling attempts (default 64).
+	Tries int `json:"tries,omitempty"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	ExecutionSource
+	// Rel names the relation (MHB CHB MCW CCW MOW COW, case-insensitive).
+	// With A and B it selects a single pair query; with All (or alone) a
+	// full matrix. Empty Rel with All computes all six matrices.
+	Rel string `json:"rel,omitempty"`
+	// A and B are event labels for a single pair query.
+	A string `json:"a,omitempty"`
+	B string `json:"b,omitempty"`
+	// All requests full relation matrices.
+	All bool `json:"all,omitempty"`
+	// IgnoreData drops the shared-data-dependence constraints (the
+	// Section 5.3 feasibility notion).
+	IgnoreData bool `json:"ignoreData,omitempty"`
+	// Budget bounds search nodes per query (0 = server default).
+	Budget int64 `json:"budget,omitempty"`
+	// TimeoutMs is the request deadline in milliseconds (0 = server
+	// default; capped by the server's maximum).
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// Async submits the work as a pollable job: the response carries a
+	// job id for GET /v1/jobs/{id} instead of the result.
+	Async bool `json:"async,omitempty"`
+}
+
+// RacesRequest is the body of POST /v1/races.
+type RacesRequest struct {
+	ExecutionSource
+	// IgnoreData, Budget, TimeoutMs, Async: as in AnalyzeRequest.
+	IgnoreData bool  `json:"ignoreData,omitempty"`
+	Budget     int64 `json:"budget,omitempty"`
+	TimeoutMs  int64 `json:"timeoutMs,omitempty"`
+	Async      bool  `json:"async,omitempty"`
+}
+
+// WitnessRequest is the body of POST /v1/witness.
+type WitnessRequest struct {
+	ExecutionSource
+	// Rel, A, B name the relation and event pair to demonstrate.
+	Rel string `json:"rel"`
+	A   string `json:"a"`
+	B   string `json:"b"`
+	// IgnoreData, Budget, TimeoutMs, Async: as in AnalyzeRequest.
+	IgnoreData bool  `json:"ignoreData,omitempty"`
+	Budget     int64 `json:"budget,omitempty"`
+	TimeoutMs  int64 `json:"timeoutMs,omitempty"`
+	Async      bool  `json:"async,omitempty"`
+}
+
+// Envelope wraps every synchronous analysis response.
+type Envelope struct {
+	// Cached reports whether the result was served from the result cache
+	// (no search ran for this request).
+	Cached bool `json:"cached"`
+	// ElapsedMs is wall time spent serving this request.
+	ElapsedMs float64 `json:"elapsedMs"`
+	// Result is the endpoint-specific payload (PairResult, MatrixResult,
+	// RacesResult, or WitnessResult).
+	Result json.RawMessage `json:"result"`
+}
+
+// PairResult answers a single-pair relation query.
+type PairResult struct {
+	// Rel, A, B echo the canonicalized query.
+	Rel string `json:"rel"`
+	A   string `json:"a"`
+	B   string `json:"b"`
+	// Holds is the verdict.
+	Holds bool `json:"holds"`
+	// Nodes is the search effort spent.
+	Nodes int64 `json:"nodes"`
+}
+
+// MatrixResult answers a full-matrix query.
+type MatrixResult struct {
+	// Events names every event, indexed by event id.
+	Events []string `json:"events"`
+	// Relations maps relation name to its ordered pairs (event id pairs).
+	Relations map[string][][2]int `json:"relations"`
+	// Nodes is the total search effort spent.
+	Nodes int64 `json:"nodes"`
+}
+
+// RacePair is one candidate or confirmed race in a RacesResult.
+type RacePair struct {
+	// A and B are the event ids; AName/BName their display names.
+	A     int    `json:"a"`
+	B     int    `json:"b"`
+	AName string `json:"aName"`
+	BName string `json:"bName"`
+	// Var is the shared variable witnessing the conflict.
+	Var string `json:"var"`
+}
+
+// RacesResult reports all three race detectors.
+type RacesResult struct {
+	// Candidates is the conflicting-pair universe; Exact the CCW-
+	// confirmed races; VC and PO the vector-clock and program-order
+	// apparent races.
+	Candidates []RacePair `json:"candidates"`
+	Exact      []RacePair `json:"exact"`
+	VC         []RacePair `json:"vc"`
+	PO         []RacePair `json:"po"`
+	// Nodes is the search effort the exact detector spent.
+	Nodes int64 `json:"nodes"`
+}
+
+// WitnessResult carries a demonstrating schedule for a relation verdict.
+type WitnessResult struct {
+	// Rel, A, B echo the query; Holds is the verdict.
+	Rel   string `json:"rel"`
+	A     string `json:"a"`
+	B     string `json:"b"`
+	Holds bool   `json:"holds"`
+	// Steps is the action-level schedule with event begin/end boundaries
+	// (empty when no schedule accompanies the verdict).
+	Steps []string `json:"steps,omitempty"`
+}
+
+// JobResponse is returned by async submissions and job polls.
+type JobResponse struct {
+	// ID is the pollable job id.
+	ID string `json:"id"`
+	// Status is the job lifecycle state.
+	Status JobState `json:"status"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Result is set for done jobs.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// errorResponse is the JSON error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handlers ------------------------------------------------------------------
+
+var latencyBounds = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting, latency observation,
+// and structured logging.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.Counter(MetricRequests + "_" + endpoint).Add(1)
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(sr, r)
+		elapsed := time.Since(start)
+		s.metrics.Histogram(MetricLatency+"_"+endpoint, latencyBounds).Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sr.status,
+			"durMs", float64(elapsed.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// statusFor maps a job computation error to an HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrBudget):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, errRejected):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// resolveExecution materializes the execution under analysis and its
+// canonical content digest.
+func (s *Server) resolveExecution(src *ExecutionSource) (*model.Execution, string, error) {
+	var x *model.Execution
+	switch {
+	case src.Program != "" && src.Execution != nil:
+		return nil, "", fmt.Errorf("service: give either program or execution, not both")
+	case src.Program != "":
+		prog, err := lang.Parse(src.Program)
+		if err != nil {
+			return nil, "", err
+		}
+		seed := src.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		tries := src.Tries
+		if tries <= 0 {
+			tries = 64
+		}
+		res, err := interp.RunAvoidingDeadlock(prog, tries, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		x = res.X
+	case src.Execution != nil:
+		var err error
+		x, err = traceio.LoadExecution(bytes.NewReader(src.Execution))
+		if err != nil {
+			return nil, "", err
+		}
+	default:
+		return nil, "", fmt.Errorf("service: request needs a program or an execution")
+	}
+	digest, err := executionDigest(x)
+	if err != nil {
+		return nil, "", err
+	}
+	return x, digest, nil
+}
+
+func (s *Server) timeout(ms int64) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if ms > 0 {
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Server) nodeBudget(b int64) int64 {
+	if b > 0 {
+		return b
+	}
+	return s.cfg.MaxNodes
+}
+
+// dispatch runs one analysis job through the queue: cache lookup, then
+// either synchronous submit-and-wait or async submit-and-return-id.
+// run must honor its context; its successful body is cached under key.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, async bool, timeoutMs int64, run func(ctx context.Context) ([]byte, error)) {
+	start := time.Now()
+	if body, ok := s.cache.get(key); ok {
+		writeJSON(w, http.StatusOK, Envelope{
+			Cached:    true,
+			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+			Result:    body,
+		})
+		return
+	}
+	timeout := s.timeout(timeoutMs)
+
+	if async {
+		sj := s.store.add()
+		ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
+		j := &job{
+			ctx:    ctx,
+			cancel: cancel,
+			run: func(ctx context.Context) ([]byte, error) {
+				sj.set(JobRunning, nil, "")
+				return run(ctx)
+			},
+			onDone: func(body []byte, err error) {
+				if err != nil {
+					sj.set(JobFailed, nil, err.Error())
+					return
+				}
+				s.cache.put(key, body)
+				sj.set(JobDone, body, "")
+			},
+			done: make(chan struct{}),
+		}
+		if err := s.submit(j); err != nil {
+			cancel()
+			sj.set(JobFailed, nil, err.Error())
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, JobResponse{ID: sj.id, Status: JobQueued})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	// Forced shutdown must also cancel in-flight synchronous jobs.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+	j := &job{
+		ctx:    ctx,
+		cancel: func() {}, // handler owns the sync job's context
+		run:    run,
+		onDone: func(body []byte, err error) {
+			if err == nil {
+				s.cache.put(key, body)
+			}
+		},
+		done: make(chan struct{}),
+	}
+	if err := s.submit(j); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	select {
+	case <-j.done:
+		if j.err != nil {
+			writeError(w, statusFor(j.err), j.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, Envelope{
+			Cached:    false,
+			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
+			Result:    j.body,
+		})
+	case <-ctx.Done():
+		// The job keeps draining on its worker (it aborts at the next
+		// cancellation poll); respond without waiting for it.
+		writeError(w, statusFor(ctx.Err()), fmt.Errorf("service: %w", ctx.Err()))
+	}
+}
+
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	x, digest, err := s.resolveExecution(&req.ExecutionSource)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	var kinds []core.RelKind
+	if req.Rel != "" {
+		kind, err := core.ParseRelKind(req.Rel)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		kinds = []core.RelKind{kind}
+	}
+
+	pairQuery := req.A != "" || req.B != ""
+	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget)}
+
+	if pairQuery {
+		if req.A == "" || req.B == "" || len(kinds) != 1 || req.All {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: a pair query needs rel, a, and b (and no all)"))
+			return
+		}
+		ea, ok := x.EventByLabel(req.A)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.A, x.Labels()))
+			return
+		}
+		eb, ok := x.EventByLabel(req.B)
+		if !ok {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.B, x.Labels()))
+			return
+		}
+		if ea == eb {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A))
+			return
+		}
+		kind := kinds[0]
+		key := cacheKey(digest, fmt.Sprintf("analyze|pair|rel=%s|a=%s|b=%s|ignoreData=%t", kind, req.A, req.B, req.IgnoreData))
+		s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
+			an, err := core.New(x, opts)
+			if err != nil {
+				return nil, err
+			}
+			holds, err := an.DecideCtx(ctx, kind, ea.ID, eb.ID)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(PairResult{
+				Rel: kind.String(), A: req.A, B: req.B,
+				Holds: holds, Nodes: an.Stats().Nodes,
+			})
+		})
+		return
+	}
+
+	// Matrix query: one relation, or all six when none was named.
+	relDesc := "*"
+	if len(kinds) == 1 {
+		relDesc = kinds[0].String()
+	} else {
+		kinds = core.AllRelKinds
+	}
+	key := cacheKey(digest, fmt.Sprintf("analyze|matrix|rel=%s|ignoreData=%t", relDesc, req.IgnoreData))
+	s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
+		an, err := core.New(x, opts)
+		if err != nil {
+			return nil, err
+		}
+		out := MatrixResult{Relations: map[string][][2]int{}}
+		for e := 0; e < x.NumEvents(); e++ {
+			out.Events = append(out.Events, x.EventName(model.EventID(e)))
+		}
+		for _, kind := range kinds {
+			rel, err := an.RelationCtx(ctx, kind)
+			if err != nil {
+				return nil, err
+			}
+			pairs := [][2]int{}
+			for _, p := range rel.Pairs() {
+				pairs = append(pairs, [2]int{int(p[0]), int(p[1])})
+			}
+			out.Relations[kind.String()] = pairs
+		}
+		out.Nodes = an.Stats().Nodes
+		return json.Marshal(out)
+	})
+}
+
+func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
+	var req RacesRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	x, digest, err := s.resolveExecution(&req.ExecutionSource)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget)}
+	key := cacheKey(digest, fmt.Sprintf("races|ignoreData=%t", req.IgnoreData))
+	s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
+		rep, err := race.DetectCtx(ctx, x, opts)
+		if err != nil {
+			return nil, err
+		}
+		conv := func(pairs []race.Pair) []RacePair {
+			out := []RacePair{}
+			for _, p := range pairs {
+				out = append(out, RacePair{
+					A: int(p.A), B: int(p.B),
+					AName: x.EventName(p.A), BName: x.EventName(p.B),
+					Var: p.Var,
+				})
+			}
+			return out
+		}
+		return json.Marshal(RacesResult{
+			Candidates: conv(rep.Candidates),
+			Exact:      conv(rep.Exact),
+			VC:         conv(rep.VC),
+			PO:         conv(rep.PO),
+			Nodes:      rep.Nodes,
+		})
+	})
+}
+
+func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
+	var req WitnessRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	x, digest, err := s.resolveExecution(&req.ExecutionSource)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	kind, err := core.ParseRelKind(req.Rel)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ea, ok := x.EventByLabel(req.A)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.A, x.Labels()))
+		return
+	}
+	eb, ok := x.EventByLabel(req.B)
+	if !ok {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.B, x.Labels()))
+		return
+	}
+	if ea == eb {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A))
+		return
+	}
+	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget)}
+	key := cacheKey(digest, fmt.Sprintf("witness|rel=%s|a=%s|b=%s|ignoreData=%t", kind, req.A, req.B, req.IgnoreData))
+	s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
+		an, err := core.New(x, opts)
+		if err != nil {
+			return nil, err
+		}
+		wit, err := an.WitnessScheduleCtx(ctx, kind, ea.ID, eb.ID)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(WitnessResult{
+			Rel: kind.String(), A: req.A, B: req.B,
+			Holds: wit.Holds,
+			Steps: core.FormatSteps(x, wit.Steps),
+		})
+	})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sj, ok := s.store.get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", id))
+		return
+	}
+	state, body, errs := sj.snapshot()
+	writeJSON(w, http.StatusOK, JobResponse{ID: id, Status: state, Error: errs, Result: body})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.shutdownMu.Lock()
+	draining := s.closed
+	s.shutdownMu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":     status,
+		"workers":    s.cfg.Workers,
+		"queueDepth": s.queueDepth.Value(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}

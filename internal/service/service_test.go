@@ -1,0 +1,595 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"eventorder/internal/core"
+	"eventorder/internal/gen"
+	"eventorder/internal/interp"
+	"eventorder/internal/lang"
+	"eventorder/internal/model"
+	"eventorder/internal/traceio"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		ts.Close()
+	})
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string, into any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if into != nil {
+		if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func figure1Program(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("../../testdata/figure1.evo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+func executionJSON(t *testing.T, x *model.Execution) json.RawMessage {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := traceio.SaveExecution(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func decodeEnvelope(t *testing.T, body []byte) Envelope {
+	t.Helper()
+	var env Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("bad envelope %s: %v", body, err)
+	}
+	return env
+}
+
+// TestAnalyzeFigure1Pair covers the acceptance path: posting the paper's
+// Figure 1 program yields MHB(lp, rp) = true — the shared-data dependence
+// orders the two posts — and the identical repeat is served from cache.
+func TestAnalyzeFigure1Pair(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2})
+	req := map[string]any{"program": figure1Program(t), "rel": "mhb", "a": "lp", "b": "rp"}
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	env := decodeEnvelope(t, body)
+	if env.Cached {
+		t.Error("first request claims cached")
+	}
+	var pair PairResult
+	if err := json.Unmarshal(env.Result, &pair); err != nil {
+		t.Fatal(err)
+	}
+	if !pair.Holds || pair.Rel != "MHB" {
+		t.Errorf("lp MHB rp = %v (rel %q), want true", pair.Holds, pair.Rel)
+	}
+	if pair.Nodes <= 0 {
+		t.Errorf("no search effort reported: %+v", pair)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status %d: %s", resp.StatusCode, body)
+	}
+	env2 := decodeEnvelope(t, body)
+	if !env2.Cached {
+		t.Error("identical repeat not served from cache")
+	}
+	if !bytes.Equal(env.Result, env2.Result) {
+		t.Errorf("cached result differs:\nfirst:  %s\nsecond: %s", env.Result, env2.Result)
+	}
+	if hits := srv.Metrics().Counter(MetricCacheHits).Value(); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+}
+
+// TestCacheContentAddressing submits the same execution twice in different
+// representations — once as a program (run to a trace under the default
+// seed) and once as that exact serialized trace — and requires the second
+// to hit the cache: the key is the execution's content, not the request
+// bytes.
+func TestCacheContentAddressing(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	prog := figure1Program(t)
+	parsed, err := lang.Parse(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.RunAvoidingDeadlock(parsed, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"program": prog, "rel": "MHB", "a": "lp", "b": "rp"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("program submit: status %d: %s", resp.StatusCode, body)
+	}
+	if decodeEnvelope(t, body).Cached {
+		t.Fatal("first submission cached")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"execution": executionJSON(t, res.X), "rel": "MHB", "a": "lp", "b": "rp",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace submit: status %d: %s", resp.StatusCode, body)
+	}
+	if !decodeEnvelope(t, body).Cached {
+		t.Error("trace submission of the same execution missed the cache")
+	}
+}
+
+// matrixFromResponse normalizes a MatrixResult's pairs for comparison.
+func matrixFromResponse(m MatrixResult, rel string) [][2]int {
+	pairs := append([][2]int(nil), m.Relations[rel]...)
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	return pairs
+}
+
+// TestMatrixMatchesDirectCore requires the served full six-relation matrix
+// to equal a direct core computation on the same execution.
+func TestMatrixMatchesDirectCore(t *testing.T) {
+	x, err := gen.Mutex(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"execution": executionJSON(t, x), "all": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var m MatrixResult
+	if err := json.Unmarshal(decodeEnvelope(t, body).Result, &m); err != nil {
+		t.Fatal(err)
+	}
+
+	an, err := core.New(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := an.AllRelations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Relations) != len(core.AllRelKinds) {
+		t.Fatalf("served %d relations, want %d", len(m.Relations), len(core.AllRelKinds))
+	}
+	for kind, rel := range want {
+		wantPairs := [][2]int{}
+		for _, p := range rel.Pairs() {
+			wantPairs = append(wantPairs, [2]int{int(p[0]), int(p[1])})
+		}
+		sort.Slice(wantPairs, func(i, j int) bool {
+			if wantPairs[i][0] != wantPairs[j][0] {
+				return wantPairs[i][0] < wantPairs[j][0]
+			}
+			return wantPairs[i][1] < wantPairs[j][1]
+		})
+		got := matrixFromResponse(m, kind.String())
+		if fmt.Sprint(got) != fmt.Sprint(wantPairs) {
+			t.Errorf("%v: served %v, direct core %v", kind, got, wantPairs)
+		}
+	}
+	for i := 0; i < x.NumEvents(); i++ {
+		if m.Events[i] != x.EventName(model.EventID(i)) {
+			t.Errorf("event %d named %q, want %q", i, m.Events[i], x.EventName(model.EventID(i)))
+		}
+	}
+}
+
+// TestAsyncSubmitPoll exercises the job queue's async path: submit,
+// poll until done, and check the matrix against direct computation.
+func TestAsyncSubmitPoll(t *testing.T) {
+	x, err := gen.Pipeline(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"execution": executionJSON(t, x), "rel": "MHB", "all": true, "async": true,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: status %d: %s", resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatal(err)
+	}
+	if jr.ID == "" {
+		t.Fatalf("no job id in %s", body)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/v1/jobs/"+jr.ID, &jr)
+		if jr.Status == JobDone || jr.Status == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", jr.ID, jr.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if jr.Status != JobDone {
+		t.Fatalf("job failed: %s", jr.Error)
+	}
+	var m MatrixResult
+	if err := json.Unmarshal(jr.Result, &m); err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.New(x, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := an.Relation(core.RelMHB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := matrixFromResponse(m, "MHB")
+	if len(got) != len(want.Pairs()) {
+		t.Errorf("async MHB matrix has %d pairs, direct core %d", len(got), len(want.Pairs()))
+	}
+
+	// The async result must now satisfy synchronous requests from cache.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"execution": executionJSON(t, x), "rel": "MHB", "all": true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !decodeEnvelope(t, body).Cached {
+		t.Error("sync request after async completion missed the cache")
+	}
+}
+
+// waitForIdle polls until no job is queued or running.
+func waitForIdle(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if srv.Metrics().Gauge(MetricQueueDepth).Value() == 0 &&
+			srv.Metrics().Gauge(MetricJobsRunning).Value() == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never went idle: depth=%d running=%d",
+				srv.Metrics().Gauge(MetricQueueDepth).Value(),
+				srv.Metrics().Gauge(MetricJobsRunning).Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDeadlineExceededFreesWorker posts a large instance with a 1ms
+// deadline: the request must fail with 504, the abandoned search must
+// actually stop (queue depth and running gauges return to 0), and the
+// freed worker must serve the next request.
+func TestDeadlineExceededFreesWorker(t *testing.T) {
+	big, err := gen.Mutex(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"execution": executionJSON(t, big), "all": true, "timeoutMs": 1,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+	waitForIdle(t, srv)
+	if n := srv.Metrics().Counter(MetricJobsDeadline).Value(); n < 1 {
+		t.Errorf("jobs_deadline_exceeded = %d, want ≥ 1", n)
+	}
+
+	// The single worker must be free for new work.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"program": figure1Program(t), "rel": "MHB", "a": "lp", "b": "rp",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-deadline request: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestGracefulShutdownDrain starts a slow job, begins shutdown, and checks
+// that (1) new submissions are rejected with 503, (2) the in-flight job
+// completes with 200, (3) Shutdown returns once drained.
+func TestGracefulShutdownDrain(t *testing.T) {
+	slow, err := gen.Mutex(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Config{Workers: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status int
+		body   []byte
+	}
+	inflight := make(chan result, 1)
+	go func() {
+		b, _ := json.Marshal(map[string]any{"execution": executionJSON(t, slow), "all": true})
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(b))
+		if err != nil {
+			inflight <- result{status: -1}
+			return
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		inflight <- result{status: resp.StatusCode, body: buf.Bytes()}
+	}()
+
+	// Wait until the job is actually running.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Metrics().Gauge(MetricJobsRunning).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// New submissions during the drain must be rejected with 503.
+	rejected := false
+	for i := 0; i < 100; i++ {
+		resp, _ := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+			"program": figure1Program(t), "rel": "MHB", "a": "lp", "b": "rp",
+		})
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			rejected = true
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !rejected {
+		t.Error("no 503 for submissions during drain")
+	}
+
+	res := <-inflight
+	if res.status != http.StatusOK {
+		t.Errorf("in-flight job during drain: status %d: %s", res.status, res.body)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if n := srv.Metrics().Counter(MetricJobsRejected).Value(); n < 1 {
+		t.Errorf("jobs_rejected = %d, want ≥ 1", n)
+	}
+}
+
+// TestQueueFullRejects fills the single-slot queue behind a busy worker
+// and requires load shedding with 503.
+func TestQueueFullRejects(t *testing.T) {
+	slow, err := gen.Mutex(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	slowReq := func(seed int) map[string]any {
+		return map[string]any{
+			"execution": executionJSON(t, slow), "all": true, "async": true,
+			"timeoutMs": 2000, "ignoreData": seed%2 == 1, // vary the key to dodge the cache
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", slowReq(0))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d: %s", resp.StatusCode, body)
+	}
+	// Wait for the worker to pick it up so the queue slot is free again.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Metrics().Gauge(MetricJobsRunning).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", slowReq(1))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: %d: %s", resp.StatusCode, body)
+	}
+	// Worker busy + queue slot taken → the third submission must shed.
+	resp, body = postJSON(t, ts.URL+"/v1/races", map[string]any{
+		"execution": executionJSON(t, slow), "async": true, "timeoutMs": 2000,
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("third submit: %d, want 503: %s", resp.StatusCode, body)
+	}
+	if n := srv.Metrics().Counter(MetricJobsRejected).Value(); n < 1 {
+		t.Errorf("jobs_rejected = %d, want ≥ 1", n)
+	}
+}
+
+// TestRacesEndpoint checks the exact detector's verdict against a direct
+// race.Detect call by way of known seeded-race structure.
+func TestRacesEndpoint(t *testing.T) {
+	x, _, err := gen.SeededRaces(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, body := postJSON(t, ts.URL+"/v1/races", map[string]any{"execution": executionJSON(t, x)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr RacesResult
+	if err := json.Unmarshal(decodeEnvelope(t, body).Result, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Candidates) == 0 {
+		t.Fatal("no candidates on a seeded-race workload")
+	}
+	if len(rr.Exact) == 0 {
+		t.Error("seeded unguarded race not confirmed by exact detector")
+	}
+	for _, p := range rr.Exact {
+		if p.Var == "" || p.AName == "" || p.BName == "" {
+			t.Errorf("race pair missing names: %+v", p)
+		}
+	}
+}
+
+// TestWitnessEndpoint requires a CCW witness schedule whose steps
+// interleave the two events' begin/end boundaries.
+func TestWitnessEndpoint(t *testing.T) {
+	x, _, err := gen.SeededRaces(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find any exact race to demonstrate.
+	labels := x.Labels()
+	if len(labels) < 2 {
+		t.Fatalf("expected labeled events, have %v", labels)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/witness", map[string]any{
+		"execution": executionJSON(t, x), "rel": "CCW", "a": labels[0], "b": labels[1],
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wr WitnessResult
+	if err := json.Unmarshal(decodeEnvelope(t, body).Result, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Holds && len(wr.Steps) == 0 {
+		t.Error("holding could-relation came without a schedule")
+	}
+}
+
+// TestBadRequests covers input validation statuses.
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	cases := []struct {
+		name string
+		path string
+		body any
+		want int
+	}{
+		{"no source", "/v1/analyze", map[string]any{"rel": "MHB"}, http.StatusBadRequest},
+		{"both sources", "/v1/analyze", map[string]any{"program": "proc main { }", "execution": map[string]any{}}, http.StatusBadRequest},
+		{"bad relation", "/v1/analyze", map[string]any{"program": figure1Program(t), "rel": "XXX", "a": "lp", "b": "rp"}, http.StatusBadRequest},
+		{"unknown label", "/v1/analyze", map[string]any{"program": figure1Program(t), "rel": "MHB", "a": "lp", "b": "nope"}, http.StatusBadRequest},
+		{"pair without b", "/v1/analyze", map[string]any{"program": figure1Program(t), "rel": "MHB", "a": "lp"}, http.StatusBadRequest},
+		{"same event twice", "/v1/analyze", map[string]any{"program": figure1Program(t), "rel": "MHB", "a": "lp", "b": "lp"}, http.StatusBadRequest},
+		{"parse error", "/v1/analyze", map[string]any{"program": "proc {{{"}, http.StatusBadRequest},
+		{"corrupt trace", "/v1/analyze", map[string]any{"execution": map[string]any{"version": 99}}, http.StatusBadRequest},
+		{"unknown field", "/v1/analyze", map[string]any{"programme": "x"}, http.StatusBadRequest},
+		{"witness needs rel", "/v1/witness", map[string]any{"program": figure1Program(t), "rel": "", "a": "lp", "b": "rp"}, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		resp, body := postJSON(t, ts.URL+c.path, c.body)
+		if resp.StatusCode != c.want {
+			t.Errorf("%s: status %d, want %d: %s", c.name, resp.StatusCode, c.want, body)
+		}
+	}
+	if resp := getJSON(t, ts.URL+"/v1/jobs/j999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestBudgetExceeded maps core.ErrBudget to 422.
+func TestBudgetExceeded(t *testing.T) {
+	big, err := gen.Mutex(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"execution": executionJSON(t, big), "all": true, "budget": 10,
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+	}
+}
+
+// TestHealthzAndMetricsShape sanity-checks the operational endpoints.
+func TestHealthzAndMetricsShape(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3})
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if health.Status != "ok" || health.Workers != 3 {
+		t.Errorf("healthz = %+v", health)
+	}
+	postJSON(t, ts.URL+"/v1/analyze", map[string]any{"program": figure1Program(t), "rel": "MHB", "a": "lp", "b": "rp"})
+	var snap Snapshot
+	if resp := getJSON(t, ts.URL+"/metrics", &snap); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if snap.Counters[MetricRequests+"_analyze"] < 1 {
+		t.Errorf("no analyze requests counted: %+v", snap.Counters)
+	}
+	if snap.Counters[MetricCacheMisses] < 1 {
+		t.Errorf("no cache misses counted: %+v", snap.Counters)
+	}
+	h, ok := snap.Histograms[MetricLatency+"_analyze"]
+	if !ok || h.Count < 1 {
+		t.Errorf("latency histogram missing or empty: %+v", snap.Histograms)
+	}
+}

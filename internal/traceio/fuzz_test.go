@@ -1,0 +1,127 @@
+package traceio
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"eventorder/internal/gen"
+	"eventorder/internal/model"
+)
+
+// saveBytes serializes x, failing the test on error.
+func saveBytes(t testing.TB, x *model.Execution) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveExecution(&buf, x); err != nil {
+		t.Fatalf("SaveExecution: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// corpus builds a deterministic spread of generated executions covering
+// semaphores, event variables, fork/join, and shared-variable accesses.
+func corpus(t testing.TB) []*model.Execution {
+	t.Helper()
+	var xs []*model.Execution
+	add := func(x *model.Execution, err error) {
+		if err != nil {
+			t.Fatalf("generator: %v", err)
+		}
+		xs = append(xs, x)
+	}
+	add(gen.Mutex(2, 2))
+	add(gen.ProducerConsumer(2, 2, 2))
+	add(gen.Pipeline(3))
+	add(gen.ForkJoinTree(3))
+	add(gen.Barrier(3))
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		add(gen.Random(rng, gen.RandomOptions{
+			Procs: 3, OpsPerProc: 4, Sems: 2, SemInit: 1, Events: 2, Vars: 2,
+		}))
+	}
+	return xs
+}
+
+// TestRoundTripGenerated checks Save→Load→Save byte-for-byte stability on
+// every corpus execution (the serialization is canonical: sorted semaphore
+// names, dense ids, deterministic map encoding).
+func TestRoundTripGenerated(t *testing.T) {
+	for i, x := range corpus(t) {
+		first := saveBytes(t, x)
+		loaded, err := LoadExecution(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("corpus %d: LoadExecution: %v", i, err)
+		}
+		second := saveBytes(t, loaded)
+		if !bytes.Equal(first, second) {
+			t.Errorf("corpus %d: round trip not canonical:\nfirst:  %s\nsecond: %s", i, first, second)
+		}
+	}
+}
+
+// FuzzRoundTrip generates an execution from fuzzed generator parameters and
+// requires Save→Load→Save to be the identity on bytes.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(3), uint8(1), uint8(1), uint8(2))
+	f.Add(int64(7), uint8(3), uint8(5), uint8(2), uint8(2), uint8(0))
+	f.Add(int64(42), uint8(4), uint8(2), uint8(0), uint8(1), uint8(3))
+	f.Fuzz(func(t *testing.T, seed int64, procs, ops, sems, events, vars uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		x, err := gen.Random(rng, gen.RandomOptions{
+			Procs:      2 + int(procs%4),
+			OpsPerProc: 1 + int(ops%5),
+			Sems:       int(sems % 3),
+			SemInit:    1,
+			Events:     int(events % 3),
+			Vars:       int(vars % 3),
+			MaxTries:   16,
+		})
+		if err != nil {
+			t.Skip("no completable execution for these parameters")
+		}
+		first := saveBytes(t, x)
+		loaded, err := LoadExecution(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("LoadExecution rejected its own output: %v\n%s", err, first)
+		}
+		second := saveBytes(t, loaded)
+		if !bytes.Equal(first, second) {
+			t.Fatalf("round trip not canonical:\nfirst:  %s\nsecond: %s", first, second)
+		}
+	})
+}
+
+// FuzzLoadExecution feeds arbitrary (truncated, bit-flipped, hostile) bytes
+// to LoadExecution: it must return a descriptive error or a valid
+// execution, never panic. Accepted inputs must re-serialize and re-load.
+func FuzzLoadExecution(f *testing.F) {
+	for _, x := range corpus(f) {
+		b := saveBytes(f, x)
+		f.Add(b)
+		f.Add(b[:len(b)/2])           // truncated
+		f.Add(bytes.TrimSpace(b[1:])) // decapitated
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"procs":[{"name":"p","ops":[0],"parent":-1,"forkOp":-1}],` +
+		`"events":[{"proc":9,"kind":"nop","ops":[0]}],"ops":[{"proc":0,"event":0,"kind":"nop"}],"order":[0]}`))
+	f.Add([]byte(`{"version":1,"procs":[{"name":"p","ops":[0],"parent":-1,"forkOp":-1}],` +
+		`"events":[{"proc":0,"kind":"nop","ops":[99]}],"ops":[{"proc":0,"event":0,"kind":"nop"}],"order":[0]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		x, err := LoadExecution(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "traceio:") && !strings.Contains(err.Error(), "model:") {
+				t.Errorf("error lacks package context: %v", err)
+			}
+			return
+		}
+		// Anything Load accepts must survive a save/load cycle.
+		b := saveBytes(t, x)
+		if _, err := LoadExecution(bytes.NewReader(b)); err != nil {
+			t.Fatalf("re-load of accepted input failed: %v", err)
+		}
+	})
+}

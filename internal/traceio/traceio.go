@@ -158,11 +158,17 @@ func LoadExecution(r io.Reader) (*model.Execution, error) {
 		if !ok {
 			return nil, fmt.Errorf("traceio: event %d: unknown kind %q", i, ej.Kind)
 		}
+		if ej.Proc < 0 || ej.Proc >= len(in.Procs) {
+			return nil, fmt.Errorf("traceio: event %d references proc %d out of range", i, ej.Proc)
+		}
 		e := model.Event{
 			ID: model.EventID(i), Proc: model.ProcID(ej.Proc),
 			Kind: kind, Obj: ej.Obj, Label: ej.Label,
 		}
 		for _, id := range ej.Ops {
+			if id < 0 || id >= len(in.Ops) {
+				return nil, fmt.Errorf("traceio: event %d references op %d out of range", i, id)
+			}
 			e.Ops = append(e.Ops, model.OpID(id))
 		}
 		x.Events = append(x.Events, e)

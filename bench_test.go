@@ -13,6 +13,7 @@
 package eventorder
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -91,7 +92,7 @@ func BenchmarkE1_RelationEngine(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				a.DropMemo()
-				if _, err := a.Decide(kind, w0, w1); err != nil {
+				if _, err := a.Decide(context.Background(), kind, w0, w1); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -279,7 +280,7 @@ func BenchmarkE6_ExactMHBFullRelation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := mustAnalyzer(b, x, core.Options{})
-		if _, err := a.Relation(core.RelMHB); err != nil {
+		if _, err := a.Relation(context.Background(), core.RelMHB); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -548,7 +549,7 @@ func BenchmarkWitnessExtraction(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.DropMemo()
-		w, err := a.WitnessSchedule(core.RelCCW, w0, w1)
+		w, err := a.WitnessSchedule(context.Background(), core.RelCCW, w0, w1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -647,7 +648,7 @@ func BenchmarkAblation_MHBFullRelation(b *testing.B) {
 	b.Run("naive", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			a := mustAnalyzer(b, x, core.Options{})
-			if _, err := a.Relation(core.RelMHB); err != nil {
+			if _, err := a.Relation(context.Background(), core.RelMHB); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -655,7 +656,7 @@ func BenchmarkAblation_MHBFullRelation(b *testing.B) {
 	b.Run("pruned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			a := mustAnalyzer(b, x, core.Options{})
-			if _, err := a.MHBRelation(); err != nil {
+			if _, err := a.MHBRelation(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -677,4 +678,76 @@ func BenchmarkAblation_SATSolver(b *testing.B) {
 			sat.SolveBrute(f)
 		}
 	})
+}
+
+// --- E13: batch matrix engine amortization -------------------------------
+
+// matrixBenchWorkload returns the instance the matrix benchmarks share: a
+// semaphore barrier, whose matrix forces the engine through a state space
+// that per-pair search re-explores from scratch for every pair.
+func matrixBenchWorkload(b *testing.B) *model.Execution {
+	b.Helper()
+	x, err := gen.Barrier(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return x
+}
+
+// BenchmarkMatrix_PerPairSequential is the baseline: one Decide per ordered
+// pair, memo dropped between iterations so each sample pays the full cost.
+func BenchmarkMatrix_PerPairSequential(b *testing.B) {
+	x := matrixBenchWorkload(b)
+	a := mustAnalyzer(b, x, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.DropMemo()
+		if _, err := a.Relation(context.Background(), core.RelCCW); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatrix_RelationParallel is the old fan-out: per-pair decisions
+// sharded over goroutines with no shared exploration.
+func BenchmarkMatrix_RelationParallel(b *testing.B) {
+	x := matrixBenchWorkload(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RelationParallel(x, core.Options{}, core.RelCCW, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatrix_Batch is the shared-memo batch engine: one exploration of
+// the feasibility space answers every pair (and all six kinds) at once.
+func BenchmarkMatrix_Batch(b *testing.B) {
+	x := matrixBenchWorkload(b)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				a := mustAnalyzer(b, x, core.Options{})
+				if _, err := a.Matrix(context.Background(), []core.RelKind{core.RelCCW}, core.MatrixOpts{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatrix_BatchAllKinds computes all six relation matrices from the
+// single shared exploration — the marginal cost over one kind is assembly
+// only.
+func BenchmarkMatrix_BatchAllKinds(b *testing.B) {
+	x := matrixBenchWorkload(b)
+	for i := 0; i < b.N; i++ {
+		a := mustAnalyzer(b, x, core.Options{})
+		if _, err := a.Matrix(context.Background(), nil, core.MatrixOpts{Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

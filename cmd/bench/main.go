@@ -1,0 +1,257 @@
+// Command bench measures the batch matrix engine (Analyzer.Matrix) against
+// the per-pair baselines and writes the comparison as JSON (BENCH_matrix.json
+// at the repo root is the committed artifact).
+//
+// Three strategies compute the same full CCW matrix on each workload:
+//
+//	sequential — one Decide per ordered pair on a single goroutine, the
+//	             engine's original full-matrix path (Analyzer.Relation)
+//	parallel   — RelationParallel: per-pair decisions sharded over worker
+//	             goroutines, each pair still a from-scratch search
+//	matrix     — Analyzer.Matrix: one shared exploration of the feasibility
+//	             state space answers every pair at once, fanned out over
+//	             workers on a striped memo table
+//
+// Usage:
+//
+//	go run ./cmd/bench [-o BENCH_matrix.json] [-reps 3] [-workers 1,2,4,8]
+//
+// Median-of-reps wall-clock per strategy is reported, plus the speedup of
+// matrix over parallel at each worker count.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"eventorder/internal/core"
+	"eventorder/internal/gen"
+	"eventorder/internal/model"
+)
+
+type benchCase struct {
+	name string
+	x    *model.Execution
+}
+
+type caseResult struct {
+	Name   string `json:"name"`
+	Procs  int    `json:"procs"`
+	Events int    `json:"events"`
+	Pairs  int    `json:"ordered_pairs"`
+
+	SequentialMS float64            `json:"sequential_ms"`
+	ParallelMS   map[string]float64 `json:"relation_parallel_ms"`
+	MatrixMS     map[string]float64 `json:"matrix_ms"`
+
+	// SpeedupVsParallel is parallel/matrix wall-clock at the same width.
+	SpeedupVsParallel map[string]float64 `json:"speedup_vs_parallel"`
+	// MatrixNodes is the distinct states the batch engine expanded (the
+	// shared exploration's size; per-pair strategies re-pay search per pair).
+	MatrixNodes int64 `json:"matrix_nodes"`
+}
+
+type report struct {
+	Kind       string       `json:"kind"`
+	Workers    []int        `json:"workers"`
+	Reps       int          `json:"reps"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	NumCPU     int          `json:"numcpu"`
+	Cases      []caseResult `json:"cases"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_matrix.json", "output path")
+	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+	flag.Parse()
+
+	workers, err := parseWorkers(*workersFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cases, err := workloads()
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := report{
+		Kind:       core.RelCCW.String(),
+		Workers:    workers,
+		Reps:       *reps,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, c := range cases {
+		fmt.Fprintf(os.Stderr, "== %s (%d procs, %d events)\n", c.name, len(c.x.Procs), len(c.x.Events))
+		res, err := runCase(c, workers, *reps)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", c.name, err))
+		}
+		rep.Cases = append(rep.Cases, res)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// workloads returns the benchmark instances. Barrier instances are the
+// interesting ones: their matrices force every strategy through a state
+// space that per-pair search re-explores from scratch for each of the
+// O(n²) pairs, which is exactly the redundancy the batch engine removes.
+// The mutex instance shows the other regime — a nearly serialized space
+// where even per-pair search is fast and the batch win is modest.
+func workloads() ([]benchCase, error) {
+	var cases []benchCase
+	add := func(name string, x *model.Execution, err error) error {
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		cases = append(cases, benchCase{name: name, x: x})
+		return nil
+	}
+	x, err := gen.Mutex(4, 3)
+	if err := add("mutex4x3", x, err); err != nil {
+		return nil, err
+	}
+	x, err = gen.Barrier(4)
+	if err := add("barrier4", x, err); err != nil {
+		return nil, err
+	}
+	x, err = gen.Barrier(5)
+	if err := add("barrier5", x, err); err != nil {
+		return nil, err
+	}
+	return cases, nil
+}
+
+func runCase(c benchCase, workers []int, reps int) (caseResult, error) {
+	n := len(c.x.Events)
+	res := caseResult{
+		Name:              c.name,
+		Procs:             len(c.x.Procs),
+		Events:            n,
+		Pairs:             n * (n - 1),
+		ParallelMS:        map[string]float64{},
+		MatrixMS:          map[string]float64{},
+		SpeedupVsParallel: map[string]float64{},
+	}
+
+	seq, err := measure(reps, func() error {
+		a, err := core.New(c.x, core.Options{})
+		if err != nil {
+			return err
+		}
+		_, err = a.Relation(context.Background(), core.RelCCW)
+		return err
+	})
+	if err != nil {
+		return res, err
+	}
+	res.SequentialMS = seq
+	fmt.Fprintf(os.Stderr, "  sequential            %10.2f ms\n", seq)
+
+	for _, w := range workers {
+		key := strconv.Itoa(w)
+		par, err := measure(reps, func() error {
+			_, err := core.RelationParallel(c.x, core.Options{}, core.RelCCW, w)
+			return err
+		})
+		if err != nil {
+			return res, err
+		}
+		res.ParallelMS[key] = par
+		fmt.Fprintf(os.Stderr, "  parallel   workers=%-2d %10.2f ms\n", w, par)
+	}
+
+	for _, w := range workers {
+		key := strconv.Itoa(w)
+		var nodes int64
+		mat, err := measure(reps, func() error {
+			a, err := core.New(c.x, core.Options{})
+			if err != nil {
+				return err
+			}
+			if _, err := a.Matrix(context.Background(), []core.RelKind{core.RelCCW}, core.MatrixOpts{Workers: w}); err != nil {
+				return err
+			}
+			nodes = a.Stats().Nodes
+			return nil
+		})
+		if err != nil {
+			return res, err
+		}
+		res.MatrixMS[key] = mat
+		res.MatrixNodes = nodes
+		if par := res.ParallelMS[key]; mat > 0 {
+			res.SpeedupVsParallel[key] = round2(par / mat)
+		}
+		fmt.Fprintf(os.Stderr, "  matrix     workers=%-2d %10.2f ms  (%.1fx vs parallel)\n",
+			w, mat, res.SpeedupVsParallel[key])
+	}
+	return res, nil
+}
+
+// measure runs fn reps times and returns the median wall-clock in ms.
+func measure(reps int, fn func() error) (float64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	samples := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		samples = append(samples, float64(time.Since(start).Microseconds())/1000)
+	}
+	sort.Float64s(samples)
+	return round2(samples[len(samples)/2]), nil
+}
+
+func round2(v float64) float64 {
+	s, err := strconv.ParseFloat(strconv.FormatFloat(v, 'f', 2, 64), 64)
+	if err != nil {
+		return v
+	}
+	return s
+}
+
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -workers element %q", part)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers is empty")
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
+}

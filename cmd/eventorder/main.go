@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -170,6 +171,7 @@ func cmdAnalyze(args []string) error {
 	witness := fs.Bool("witness", false, "with -a/-b: print the demonstrating schedule (could-witness or must-counterexample)")
 	ignoreData := fs.Bool("ignore-data", false, "drop shared-data-dependence constraints (Section 5.3 feasibility)")
 	budget := fs.Int64("budget", 0, "search node budget per query (0 = unlimited)")
+	workers := fs.Int("workers", 0, "with -all: batch matrix engine fan-out (0 = GOMAXPROCS)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("analyze: want exactly one trace file")
@@ -187,10 +189,13 @@ func cmdAnalyze(args []string) error {
 		return err
 	}
 	if *all {
-		r, err := a.Relation(kind)
+		// Full matrices go through the batch engine: one shared
+		// exploration answers every pair at once.
+		rels, err := a.Matrix(context.Background(), []core.RelKind{kind}, core.MatrixOpts{Workers: *workers})
 		if err != nil {
 			return err
 		}
+		r := rels[kind]
 		if *dot {
 			fmt.Print(r.DOT(x, true))
 			return nil
@@ -212,7 +217,7 @@ func cmdAnalyze(args []string) error {
 		return fmt.Errorf("no event labeled %q (have %v)", *lb, x.Labels())
 	}
 	if *witness {
-		w, err := a.WitnessSchedule(kind, ea.ID, eb.ID)
+		w, err := a.WitnessSchedule(context.Background(), kind, ea.ID, eb.ID)
 		if err != nil {
 			return err
 		}
@@ -229,7 +234,7 @@ func cmdAnalyze(args []string) error {
 		}
 		return nil
 	}
-	verdict, err := a.Decide(kind, ea.ID, eb.ID)
+	verdict, err := a.Decide(context.Background(), kind, ea.ID, eb.ID)
 	if err != nil {
 		return err
 	}
@@ -489,7 +494,7 @@ func cmdCompare(args []string) error {
 	if err != nil {
 		return err
 	}
-	exact, err := a.MHBRelation()
+	exact, err := a.MHBRelation(context.Background())
 	if err != nil {
 		return err
 	}

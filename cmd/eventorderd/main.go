@@ -46,18 +46,22 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline")
 	maxTimeout := flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested deadlines")
 	budget := flag.Int64("budget", 0, "default search node budget per query (0 = unlimited)")
+	maxBudget := flag.Int64("max-budget", 0, "cap on client-requested node budgets (0 = uncapped)")
+	maxMatrixWorkers := flag.Int("max-matrix-workers", 0, "cap on client-requested matrix fan-out (0 = GOMAXPROCS)")
 	selfcheck := flag.Bool("selfcheck", false, "run an end-to-end smoke test against a loopback instance and exit")
 	flag.Parse()
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	cfg := service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheBytes:     *cacheBytes,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxNodes:       *budget,
-		Logger:         logger,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheBytes:       *cacheBytes,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		MaxNodes:         *budget,
+		MaxBudget:        *maxBudget,
+		MaxMatrixWorkers: *maxMatrixWorkers,
+		Logger:           logger,
 	}
 
 	if *selfcheck {

@@ -139,7 +139,10 @@ func runSelfcheck(cfg service.Config) error {
 	}
 
 	// A 1ms deadline on a large instance must 504 and free its worker.
-	big, err := gen.Mutex(4, 4)
+	// The batch matrix engine answers mutex-style instances in microseconds,
+	// so the slow workload must be state-space-heavy: a semaphore barrier's
+	// matrix takes hundreds of milliseconds, far past the 1ms deadline.
+	big, err := gen.Barrier(6)
 	if err != nil {
 		return err
 	}

@@ -125,8 +125,18 @@ func FormatWitnessSteps(x *Execution, steps []WitnessStep) []string {
 // Analyze prepares an execution for relation queries.
 func Analyze(x *Execution, opts Options) (*Analyzer, error) { return core.New(x, opts) }
 
+// MatrixOpts configures Analyzer.Matrix, the batch matrix engine: Workers
+// fans one shared exploration of the feasibility space out over goroutines
+// that share a striped memo table, and Budget bounds the total number of
+// distinct states expanded.
+type MatrixOpts = core.MatrixOpts
+
 // ComputeRelationParallel computes a full relation matrix with the per-pair
 // decisions fanned out over worker goroutines (0 = GOMAXPROCS).
+//
+// Deprecated: Analyzer.Matrix computes the same matrix (and all six at
+// once, if asked) from one shared exploration and is strictly faster on
+// full-matrix workloads; use Matrix with MatrixOpts.Workers instead.
 func ComputeRelationParallel(x *Execution, opts Options, kind RelKind, workers int) (*Relation, error) {
 	return core.RelationParallel(x, opts, kind, workers)
 }

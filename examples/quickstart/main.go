@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ func main() {
 	other := x.MustEventByLabel("other").ID
 
 	ask := func(what string, kind eventorder.RelKind, a, b eventorder.EventID) {
-		ok, err := an.Decide(kind, a, b)
+		ok, err := an.Decide(context.Background(), kind, a, b)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func main() {
 	ask("other must-have-been-ordered-with fill?", eventorder.MOW, other, fill)
 
 	fmt.Println("\nfull must-have-happened-before matrix:")
-	mhb, err := an.Relation(eventorder.MHB)
+	mhb, err := an.Relation(context.Background(), eventorder.MHB)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,7 +59,7 @@ proc withdraw {
 
 	// 1. The balance updates are mutex-protected: MOW holds, no witness of
 	// overlap exists.
-	wit, err := an.WitnessSchedule(eventorder.MOW, d, w)
+	wit, err := an.WitnessSchedule(context.Background(), eventorder.MOW, d, w)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +70,7 @@ proc withdraw {
 	// read it) must be preserved by every feasible re-execution (the
 	// paper's condition F3). Dropping the dependence constraint (the
 	// related-work notion, Section 5.3) makes the reversal feasible.
-	wit, err = an.WitnessSchedule(eventorder.CHB, w, d)
+	wit, err = an.WitnessSchedule(context.Background(), eventorder.CHB, w, d)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +79,7 @@ proc withdraw {
 	if err != nil {
 		log.Fatal(err)
 	}
-	witNoD, err := anNoD.WitnessSchedule(eventorder.CHB, w, d)
+	witNoD, err := anNoD.WitnessSchedule(context.Background(), eventorder.CHB, w, d)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -96,7 +97,7 @@ proc withdraw {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nexact races found: %d\n", len(rep.Exact))
-	wit, err = an.WitnessSchedule(eventorder.CCW, da, wa)
+	wit, err = an.WitnessSchedule(context.Background(), eventorder.CCW, da, wa)
 	if err != nil {
 		log.Fatal(err)
 	}

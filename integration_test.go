@@ -2,6 +2,7 @@ package eventorder
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -68,7 +69,7 @@ func checkExpectations(t *testing.T, name string, x *Execution, opts Options, ex
 			t.Errorf("%s: no event %q (labels %v)", name, e.b, x.Labels())
 			continue
 		}
-		got, err := an.Decide(e.kind, ea.ID, eb.ID)
+		got, err := an.Decide(context.Background(), e.kind, ea.ID, eb.ID)
 		if err != nil {
 			t.Fatalf("%s: %v(%s,%s): %v", name, e.kind, e.a, e.b, err)
 		}

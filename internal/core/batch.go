@@ -1,0 +1,680 @@
+package core
+
+import (
+	"context"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"eventorder/internal/model"
+)
+
+// Batch matrix engine. The per-pair decision procedures answer one
+// (co-)NP-hard query each, so a full six-relation matrix over n events runs
+// O(n²) independent exponential searches — and RelationParallel makes the
+// loss explicit: its private per-worker analyzers cannot share completion
+// memos at all. This engine inverts the amortization: it explores the
+// feasibility state space ONCE and reads every pair's verdict out of two
+// reachability facts, because in any complete valid interleaving exactly
+// one of three things happens to a pair (a, b):
+//
+//	a T b      ⇔ some moment has a ended and b not yet begun
+//	b T a      ⇔ some moment has b ended and a not yet begun
+//	overlap    ⇔ some moment has both begun and neither ended
+//
+// so with canOrder[a][b] = "some feasible complete interleaving passes
+// through a state with a ended and b unbegun" and canOverlap[a][b] likewise
+// for simultaneous in-progress states, Table 1 collapses to:
+//
+//	CHB(a,b) = canOrder[a][b]            MHB(a,b) = ¬canOrder[b][a] ∧ ¬canOverlap[a][b]
+//	CCW(a,b) = canOverlap[a][b]          MOW(a,b) = ¬canOverlap[a][b]
+//	COW(a,b) = canOrder in either dir    MCW(a,b) = ¬COW(a,b)
+//
+// (the same derivation BruteRelations applies to enumerated interleavings,
+// here applied to the memoized state DAG instead of the schedule tree).
+//
+// One wrinkle: an atomic synchronization event occupies no state — it is
+// never "in progress" at a state boundary — yet it overlaps a computation
+// event whenever its action fires inside that event's interval. Those
+// overlaps are facts of DAG edges, not states: when a sync action leads
+// from a completable state to a completable state, its event overlaps
+// every event in progress there. The backward sweep folds this edge rule
+// alongside the state rules. (Two atomic events can never overlap.)
+//
+// The engine runs two level-synchronous sweeps over the state DAG — states
+// at level L have executed exactly L actions, so levels form a topological
+// order — a forward reachability pass and a backward completability pass,
+// then folds facts from every reachable-and-completable state into the two
+// matrices. All passes fan out over workers that SHARE one striped
+// concurrent state table, fixing the trade parallel.go punts on.
+
+// MatrixOpts configures Analyzer.Matrix.
+type MatrixOpts struct {
+	// Workers is the number of goroutines sharing the batch exploration
+	// (≤ 0 selects GOMAXPROCS). Unlike RelationParallel's private
+	// analyzers, all workers share one striped memo table.
+	Workers int
+	// Budget bounds the number of distinct states expanded by the whole
+	// batch; 0 inherits Options.MaxNodes as the total-batch budget. The
+	// batch expands each reachable state once, so a total budget (not a
+	// per-query one) is the natural unit. Exceeding it fails with
+	// ErrBudget.
+	Budget int64
+}
+
+// Matrix computes full relation matrices for kinds (nil or empty = all six)
+// from one shared exploration of the feasibility state space. Verdicts are
+// bit-identical to per-pair Relation calls; only the work differs: the
+// exponential space is walked a constant number of times instead of O(n²)
+// times. Options.DisableMemo is ignored (the exploration IS the memo).
+//
+// On success the batch's completion facts are folded into the analyzer's
+// persistent completion memo, so later per-pair queries on the same
+// analyzer start warm.
+//
+// Matrix parallelizes internally but, like every other Analyzer method, it
+// must not be called concurrently with other methods on the same Analyzer.
+func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts) (map[RelKind]*model.Relation, error) {
+	if len(kinds) == 0 {
+		kinds = AllRelKinds
+	}
+	for _, k := range kinds {
+		if _, _, err := relAccept(k); err != nil {
+			return nil, err
+		}
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	budget := opts.Budget
+	if budget == 0 {
+		budget = a.opts.MaxNodes
+	}
+
+	run := newBatchRun(a, ctx, workers, budget)
+	if err := run.explore(); err != nil {
+		return nil, err
+	}
+	a.stats.Nodes += run.expanded.Load()
+	run.mergeCompletionMemo()
+
+	n := len(a.x.Events)
+	out := make(map[RelKind]*model.Relation, len(kinds))
+	for _, kind := range kinds {
+		r := model.NewRelation(kind.String(), n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				ordIJ := run.fact(run.canOrder, i, j)
+				ordJI := run.fact(run.canOrder, j, i)
+				ovl := run.fact(run.canOverlap, i, j)
+				var holds bool
+				switch kind {
+				case RelCHB:
+					holds = ordIJ
+				case RelMHB:
+					holds = !ordJI && !ovl
+				case RelCCW:
+					holds = ovl
+				case RelMCW:
+					holds = !ordIJ && !ordJI
+				case RelCOW:
+					holds = ordIJ || ordJI
+				case RelMOW:
+					holds = !ovl
+				}
+				if holds {
+					r.Set(model.EventID(i), model.EventID(j))
+				}
+			}
+		}
+		out[kind] = r
+	}
+	return out, nil
+}
+
+// batchKeyExtra is the state-key discriminator byte the batch engine uses.
+// It deliberately equals the canComplete discriminator so batch table
+// entries can be merged verbatim into the analyzer's completion memo.
+const batchKeyExtra = 0xff
+
+// batchNode is one reachable state in the shared table.
+type batchNode struct {
+	// completable is written exactly once during the backward sweep's
+	// level phase and read only by later (earlier-level) phases, which are
+	// separated by a WaitGroup barrier.
+	completable bool
+}
+
+// tableStripes is the stripe count of the shared state table (power of
+// two; bounds lock contention between workers).
+const tableStripes = 64
+
+// tableStripe is one lock-guarded shard of a stripedTable.
+type tableStripe struct {
+	mu sync.Mutex
+	m  map[string]*batchNode
+}
+
+// stripedTable is a concurrent map from state key to node, sharded by a
+// key hash so parallel workers rarely contend. It is the memo the batch
+// workers share.
+type stripedTable struct {
+	stripes [tableStripes]tableStripe
+}
+
+func newStripedTable() *stripedTable {
+	t := &stripedTable{}
+	for i := range t.stripes {
+		t.stripes[i].m = make(map[string]*batchNode)
+	}
+	return t
+}
+
+// stripeOf hashes key (FNV-1a) onto a stripe index.
+func stripeOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h & (tableStripes - 1)
+}
+
+// intern returns the node for key, creating it if absent; fresh reports
+// whether this call created it.
+func (t *stripedTable) intern(key string) (n *batchNode, fresh bool) {
+	s := &t.stripes[stripeOf(key)]
+	s.mu.Lock()
+	n, ok := s.m[key]
+	if !ok {
+		n = &batchNode{}
+		s.m[key] = n
+		fresh = true
+	}
+	s.mu.Unlock()
+	return n, fresh
+}
+
+// get returns the node for key, or nil.
+func (t *stripedTable) get(key string) *batchNode {
+	s := &t.stripes[stripeOf(key)]
+	s.mu.Lock()
+	n := s.m[key]
+	s.mu.Unlock()
+	return n
+}
+
+// markOnce records key and reports whether it was new (used to dedupe
+// per-pc fact derivation).
+func (t *stripedTable) markOnce(key string) bool {
+	s := &t.stripes[stripeOf(key)]
+	s.mu.Lock()
+	_, seen := s.m[key]
+	if !seen {
+		s.m[key] = nil
+	}
+	s.mu.Unlock()
+	return !seen
+}
+
+// batchRun carries one Matrix invocation's shared exploration state.
+type batchRun struct {
+	a       *Analyzer
+	ctx     context.Context
+	workers int
+
+	table  *stripedTable // state key → node, shared across workers
+	pcSeen *stripedTable // pc signatures whose facts are already folded
+	levels [][]string    // reachable state keys by number of executed actions
+
+	// shadows are per-worker cursors over the analyzer's immutable tables
+	// with private mutable pc/sem/ev state.
+	shadows []*Analyzer
+
+	// Per-event interval facts, master and per-worker accumulators:
+	// canOrder[i] has bit j set iff some feasible complete interleaving
+	// passes a state with i ended and j not begun; canOverlap[i] bit j iff
+	// one passes a state with both in progress.
+	canOrder    [][]uint64
+	canOverlap  [][]uint64
+	wOrder      [][][]uint64
+	wOverlap    [][][]uint64
+	factWords   int
+	endedBits   [][][]uint64 // [proc][pc] events of proc already ended
+	begunBits   [][][]uint64 // [proc][pc] events of proc already begun
+	inProgEvent [][]int32    // [proc][pc] the one in-progress event, or -1
+	semPfx      [][][]int32  // [proc][pc] cumulative semaphore deltas
+
+	budget    int64 // total state budget; ≤ 0 means unlimited
+	expanded  atomic.Int64
+	remaining atomic.Int64
+	stop      atomic.Bool
+	errMu     sync.Mutex
+	firstErr  error
+}
+
+func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64) *batchRun {
+	n := len(a.x.Events)
+	r := &batchRun{
+		a:         a,
+		ctx:       ctx,
+		workers:   workers,
+		table:     newStripedTable(),
+		pcSeen:    newStripedTable(),
+		factWords: (n + 63) / 64,
+		budget:    budget,
+	}
+	r.remaining.Store(budget)
+	newFacts := func() [][]uint64 {
+		m := make([][]uint64, n)
+		for i := range m {
+			m[i] = make([]uint64, r.factWords)
+		}
+		return m
+	}
+	r.canOrder = newFacts()
+	r.canOverlap = newFacts()
+	r.shadows = make([]*Analyzer, workers)
+	r.wOrder = make([][][]uint64, workers)
+	r.wOverlap = make([][][]uint64, workers)
+	for w := 0; w < workers; w++ {
+		r.shadows[w] = a.shadow()
+		r.wOrder[w] = newFacts()
+		r.wOverlap[w] = newFacts()
+	}
+	r.precomputeIntervalTables()
+	return r
+}
+
+// shadow returns a cursor over the analyzer's immutable preprocessed
+// tables with private mutable search state, so batch workers can step the
+// interleaving machine concurrently. Shadows must not run queries that
+// touch the parent's memo tables.
+func (a *Analyzer) shadow() *Analyzer {
+	s := &Analyzer{}
+	*s = *a
+	s.pc = make([]int32, len(a.pc))
+	s.sem = make([]int32, len(a.sem))
+	s.ev = make([]uint64, len(a.ev))
+	s.keyBuf = make([]byte, 0, cap(a.keyBuf))
+	s.stats = Stats{}
+	s.memoComplete = nil
+	s.ctx = nil
+	return s
+}
+
+// decodeState loads the state encoded in a batch key (pc vector + event
+// variable words) into shadow s; semaphore counters are recomputed from the
+// precomputed per-prefix deltas (they are a pure function of pc and
+// deliberately not part of the key).
+func (r *batchRun) decodeState(s *Analyzer, key string) {
+	off := 0
+	if s.pcBytes == 1 {
+		for p := range s.pc {
+			s.pc[p] = int32(key[off])
+			off++
+		}
+	} else {
+		for p := range s.pc {
+			s.pc[p] = int32(key[off]) | int32(key[off+1])<<8
+			off += 2
+		}
+	}
+	for i := range s.ev {
+		s.ev[i] = uint64(key[off]) | uint64(key[off+1])<<8 | uint64(key[off+2])<<16 |
+			uint64(key[off+3])<<24 | uint64(key[off+4])<<32 | uint64(key[off+5])<<40 |
+			uint64(key[off+6])<<48 | uint64(key[off+7])<<56
+		off += 8
+	}
+	copy(s.sem, s.semInit)
+	if len(s.sem) > 0 {
+		for p := range s.procActs {
+			for i, d := range r.semPfx[p][s.pc[p]] {
+				s.sem[i] += d
+			}
+		}
+	}
+}
+
+// pcSig extracts the pc-vector prefix of a batch key. Interval facts
+// depend only on program counters, so states differing only in event
+// variables share one fact derivation.
+func (r *batchRun) pcSig(key string) string {
+	return key[:r.a.pcBytes*len(r.a.pc)]
+}
+
+// precomputeIntervalTables builds, for every process p and program counter
+// value k: the set of p's events already ended, already begun, the (at most
+// one, by program order) event in progress, and the cumulative semaphore
+// deltas of p's first k actions.
+func (r *batchRun) precomputeIntervalTables() {
+	a := r.a
+	r.endedBits = make([][][]uint64, len(a.procActs))
+	r.begunBits = make([][][]uint64, len(a.procActs))
+	r.inProgEvent = make([][]int32, len(a.procActs))
+	r.semPfx = make([][][]int32, len(a.procActs))
+	for p := range a.procActs {
+		steps := len(a.procActs[p])
+		ended := make([][]uint64, steps+1)
+		begun := make([][]uint64, steps+1)
+		inProg := make([]int32, steps+1)
+		semPfx := make([][]int32, steps+1)
+		endedRun := make([]uint64, r.factWords)
+		begunRun := make([]uint64, r.factWords)
+		semRun := make([]int32, len(a.semInit))
+		cur := int32(-1)
+		for k := 0; k <= steps; k++ {
+			ended[k] = append([]uint64(nil), endedRun...)
+			begun[k] = append([]uint64(nil), begunRun...)
+			inProg[k] = cur
+			semPfx[k] = append([]int32(nil), semRun...)
+			if k == steps {
+				break
+			}
+			act := &a.acts[a.procActs[p][k]]
+			ev := act.event
+			switch act.kind {
+			case actBegin:
+				begunRun[ev/64] |= 1 << uint(ev%64)
+				cur = ev
+			case actEnd:
+				endedRun[ev/64] |= 1 << uint(ev%64)
+				cur = -1
+			case actSync:
+				begunRun[ev/64] |= 1 << uint(ev%64)
+				endedRun[ev/64] |= 1 << uint(ev%64)
+				cur = -1
+				switch act.opKind {
+				case model.OpAcquire:
+					semRun[act.obj]--
+				case model.OpRelease:
+					semRun[act.obj]++
+				}
+			}
+		}
+		r.endedBits[p] = ended
+		r.begunBits[p] = begun
+		r.inProgEvent[p] = inProg
+		r.semPfx[p] = semPfx
+	}
+}
+
+// fail records the first error and stops all workers.
+func (r *batchRun) fail(err error) {
+	r.errMu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+		r.stop.Store(true)
+	}
+	r.errMu.Unlock()
+}
+
+// chargeState counts one expanded state against the batch budget.
+func (r *batchRun) chargeState() error {
+	r.expanded.Add(1)
+	if r.budget > 0 && r.remaining.Add(-1) < 0 {
+		return ErrBudget
+	}
+	return nil
+}
+
+// runPhase fans items out over the run's workers; each worker claims
+// chunks of the item slice and processes them with its private shadow.
+// The per-level WaitGroup is the barrier that makes node writes of one
+// level visible to the next.
+func (r *batchRun) runPhase(items []string, fn func(w int, s *Analyzer, key string) error) error {
+	workers := r.workers
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		s := r.shadows[0]
+		for i, key := range items {
+			if i%64 == 0 {
+				if err := r.ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if r.stop.Load() {
+				break
+			}
+			if err := fn(0, s, key); err != nil {
+				r.fail(err)
+				break
+			}
+		}
+		return r.firstErr
+	}
+	var next atomic.Int64
+	const chunk = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := r.shadows[w]
+			for !r.stop.Load() {
+				if err := r.ctx.Err(); err != nil {
+					r.fail(err)
+					return
+				}
+				lo := int(next.Add(chunk)) - chunk
+				if lo >= len(items) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(items) {
+					hi = len(items)
+				}
+				for _, key := range items[lo:hi] {
+					if r.stop.Load() {
+						return
+					}
+					if err := fn(w, s, key); err != nil {
+						r.fail(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.errMu.Lock()
+	err := r.firstErr
+	r.errMu.Unlock()
+	return err
+}
+
+// explore runs the two level-synchronous sweeps: forward reachability and
+// backward completability with fact folding fused in.
+func (r *batchRun) explore() error {
+	a := r.a
+	// Initial state. stateKey's string conversion copies keyBuf, so keys
+	// are owned by whoever holds them.
+	s := r.shadows[0]
+	s.resetState()
+	r.levels = append(r.levels, []string{s.stateKey(batchKeyExtra)})
+	r.table.intern(r.levels[0][0])
+
+	// Forward: expand each level's states, deduping successors in the
+	// shared table. Levels are a topological order of the state DAG (each
+	// step executes exactly one action).
+	for lvl := 0; lvl < len(a.acts); lvl++ {
+		frontier := r.levels[lvl]
+		if len(frontier) == 0 {
+			break
+		}
+		nextLevel := make([][]string, r.workers)
+		err := r.runPhase(frontier, func(w int, s *Analyzer, key string) error {
+			if err := r.chargeState(); err != nil {
+				return err
+			}
+			r.decodeState(s, key)
+			enabled := s.appendEnabled(nil)
+			for _, id := range enabled {
+				undo := s.step(id)
+				child := s.stateKey(batchKeyExtra)
+				if _, fresh := r.table.intern(child); fresh {
+					nextLevel[w] = append(nextLevel[w], child)
+				}
+				s.unstep(id, undo)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		var merged []string
+		for _, part := range nextLevel {
+			merged = append(merged, part...)
+		}
+		r.levels = append(r.levels, merged)
+	}
+
+	// Backward: completability per level, last to first; fold state facts
+	// for every completable state as its verdict lands, and edge facts for
+	// every sync action connecting two completable states.
+	for lvl := len(r.levels) - 1; lvl >= 0; lvl-- {
+		err := r.runPhase(r.levels[lvl], func(w int, s *Analyzer, key string) error {
+			r.decodeState(s, key)
+			node := r.table.get(key)
+			if s.allDone() {
+				node.completable = true
+			} else {
+				enabled := s.appendEnabled(nil)
+				for _, id := range enabled {
+					undo := s.step(id)
+					child := s.stateKey(batchKeyExtra)
+					cn := r.table.get(child)
+					s.unstep(id, undo)
+					if cn == nil || !cn.completable {
+						continue
+					}
+					node.completable = true
+					if s.acts[id].kind == actSync {
+						// Edge rule: the atomic event fires here, inside
+						// the interval of every in-progress event.
+						r.foldSyncOverlap(w, s, s.acts[id].event)
+					}
+				}
+			}
+			if node.completable && r.pcSeen.markOnce(r.pcSig(key)) {
+				r.foldStateFacts(w, s)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Merge worker-local fact accumulators into the master matrices.
+	for w := 0; w < r.workers; w++ {
+		for i := range r.canOrder {
+			for j := range r.canOrder[i] {
+				r.canOrder[i][j] |= r.wOrder[w][i][j]
+				r.canOverlap[i][j] |= r.wOverlap[w][i][j]
+			}
+		}
+	}
+	return nil
+}
+
+// foldStateFacts derives the interval facts visible at shadow s's current
+// state (which is reachable and completable) into worker w's accumulators:
+// every ended event can-order every not-yet-begun event, and every pair of
+// in-progress events can overlap.
+func (r *batchRun) foldStateFacts(w int, s *Analyzer) {
+	n := len(s.x.Events)
+	ended := make([]uint64, r.factWords)
+	notBegun := make([]uint64, r.factWords)
+	var inProg []int32
+	for p := range s.procActs {
+		pcp := s.pc[p]
+		eb := r.endedBits[p][pcp]
+		bb := r.begunBits[p][pcp]
+		for i := 0; i < r.factWords; i++ {
+			ended[i] |= eb[i]
+			notBegun[i] |= bb[i] // accumulate begun; complement below
+		}
+		if ev := r.inProgEvent[p][pcp]; ev >= 0 {
+			inProg = append(inProg, ev)
+		}
+	}
+	// notBegun currently holds begun; complement within n bits.
+	for i := 0; i < r.factWords; i++ {
+		notBegun[i] = ^notBegun[i]
+	}
+	if n%64 != 0 {
+		notBegun[r.factWords-1] &= (1 << uint(n%64)) - 1
+	}
+	order := r.wOrder[w]
+	for wi := 0; wi < r.factWords; wi++ {
+		word := ended[wi]
+		for word != 0 {
+			i := wi*64 + bits.TrailingZeros64(word)
+			row := order[i]
+			for j := 0; j < r.factWords; j++ {
+				row[j] |= notBegun[j]
+			}
+			word &= word - 1
+		}
+	}
+	overlap := r.wOverlap[w]
+	for x := 0; x < len(inProg); x++ {
+		for y := x + 1; y < len(inProg); y++ {
+			e, f := inProg[x], inProg[y]
+			overlap[e][f/64] |= 1 << uint(f%64)
+			overlap[f][e/64] |= 1 << uint(e%64)
+		}
+	}
+}
+
+// foldSyncOverlap records that atomic event ev, firing from shadow s's
+// current state on a path to completion, overlaps every event in progress
+// there (in-progress events belong to other processes by construction: a
+// sync action is enabled only when it is its own process's next action).
+func (r *batchRun) foldSyncOverlap(w int, s *Analyzer, ev int32) {
+	overlap := r.wOverlap[w]
+	for p := range s.procActs {
+		if f := r.inProgEvent[p][s.pc[p]]; f >= 0 {
+			overlap[ev][f/64] |= 1 << uint(f%64)
+			overlap[f][ev/64] |= 1 << uint(ev%64)
+		}
+	}
+}
+
+// fact reads bit j of facts[i].
+func (r *batchRun) fact(facts [][]uint64, i, j int) bool {
+	return facts[i][j/64]&(1<<uint(j%64)) != 0
+}
+
+// mergeCompletionMemo folds the batch's completability verdicts into the
+// analyzer's persistent completion memo (batch keys use the canComplete
+// discriminator byte, so they merge verbatim): per-pair queries issued
+// after a Matrix call start with the whole reachable space memoized.
+func (r *batchRun) mergeCompletionMemo() {
+	if r.a.opts.DisableMemo {
+		return
+	}
+	for _, level := range r.levels {
+		for _, key := range level {
+			if node := r.table.get(key); node != nil {
+				r.a.memoComplete[key] = node.completable
+			}
+		}
+	}
+}
+
+

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eventorder/internal/interp"
+	"eventorder/internal/lang"
+	"eventorder/internal/model"
+)
+
+// matrixWorkerCounts are the fan-out widths the differential tests sweep:
+// the sequential degenerate case, a small parallel case, and an
+// oversubscribed one.
+var matrixWorkerCounts = []int{1, 2, 4, 9}
+
+// requireMatrixEqualsSequential asserts that Matrix at every worker count
+// produces matrices bit-identical to independent per-pair Relation calls
+// on a fresh analyzer.
+func requireMatrixEqualsSequential(t *testing.T, tag string, x *model.Execution, opts Options) {
+	t.Helper()
+	want := map[RelKind]*model.Relation{}
+	seq := mustAnalyzer(t, x, opts)
+	for _, kind := range AllRelKinds {
+		r, err := seq.Relation(context.Background(), kind)
+		if err != nil {
+			t.Fatalf("%s: sequential %s: %v", tag, kind, err)
+		}
+		want[kind] = r
+	}
+	for _, workers := range matrixWorkerCounts {
+		a := mustAnalyzer(t, x, opts)
+		got, err := a.Matrix(context.Background(), nil, MatrixOpts{Workers: workers})
+		if err != nil {
+			t.Fatalf("%s: Matrix(workers=%d): %v", tag, workers, err)
+		}
+		for _, kind := range AllRelKinds {
+			if !got[kind].Equal(want[kind]) {
+				t.Errorf("%s: Matrix(workers=%d) %s differs from per-pair:\nbatch:\n%s\nsequential:\n%s",
+					tag, workers, kind, got[kind].FormatMatrix(x), want[kind].FormatMatrix(x))
+			}
+		}
+	}
+}
+
+// TestMatrixMatchesSequentialRandom is the batch engine's differential
+// gate on randomized executions, in both data modes and across worker
+// counts.
+func TestMatrixMatchesSequentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1990))
+	const trials = 25
+	for trial := 0; trial < trials; trial++ {
+		x := randomExecution(rng)
+		for _, ignore := range []bool{false, true} {
+			requireMatrixEqualsSequential(t, fmt.Sprintf("trial %d ignore=%v", trial, ignore), x, Options{IgnoreData: ignore})
+		}
+	}
+}
+
+// TestMatrixMatchesBruteForce pins the batch derivation directly against
+// exhaustive enumeration of Table 1's definitions (not just against the
+// per-pair engine, whose acceptance logic the batch partly shares).
+func TestMatrixMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(908))
+	const trials = 15
+	for trial := 0; trial < trials; trial++ {
+		x := randomExecution(rng)
+		brute, err := BruteRelations(x, Options{}, 2_000_000)
+		if err != nil {
+			t.Fatalf("trial %d: brute: %v", trial, err)
+		}
+		a := mustAnalyzer(t, x, Options{})
+		got, err := a.Matrix(context.Background(), nil, MatrixOpts{Workers: 4})
+		if err != nil {
+			t.Fatalf("trial %d: Matrix: %v", trial, err)
+		}
+		for _, kind := range AllRelKinds {
+			if !got[kind].Equal(brute.Relations[kind]) {
+				t.Errorf("trial %d: Matrix %s differs from brute force:\nbatch:\n%s\nbrute:\n%s",
+					trial, kind, got[kind].FormatMatrix(x), brute.Relations[kind].FormatMatrix(x))
+			}
+		}
+	}
+}
+
+// loadTrace runs one testdata program under a seeded scheduler and returns
+// its observed execution.
+func loadTrace(t *testing.T, name string) *model.Execution {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	res, err := interp.RunAvoidingDeadlock(prog, 64, 1)
+	if err != nil {
+		t.Fatalf("%s: run: %v", name, err)
+	}
+	return res.X
+}
+
+// TestMatrixMatchesSequentialTestdata runs the differential gate on every
+// committed example trace.
+func TestMatrixMatchesSequentialTestdata(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".evo" {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			x := loadTrace(t, name)
+			requireMatrixEqualsSequential(t, name, x, Options{})
+		})
+	}
+}
+
+// TestMatrixSubsetKinds: asking for fewer kinds returns exactly those, with
+// the same verdicts.
+func TestMatrixSubsetKinds(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := randomExecution(rng)
+	a := mustAnalyzer(t, x, Options{})
+	all, err := a.Matrix(context.Background(), nil, MatrixOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	some, err := a.Matrix(context.Background(), []RelKind{RelMHB, RelCCW}, MatrixOpts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 {
+		t.Fatalf("got %d kinds, want 2", len(some))
+	}
+	for _, kind := range []RelKind{RelMHB, RelCCW} {
+		if !some[kind].Equal(all[kind]) {
+			t.Errorf("%s differs between subset and full call", kind)
+		}
+	}
+	if _, err := a.Matrix(context.Background(), []RelKind{RelKind(42)}, MatrixOpts{}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+// TestMatrixBudget: a tiny state budget must fail with ErrBudget at every
+// worker count, not hang or succeed.
+func TestMatrixBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := randomExecution(rng)
+	for _, workers := range matrixWorkerCounts {
+		a := mustAnalyzer(t, x, Options{})
+		_, err := a.Matrix(context.Background(), nil, MatrixOpts{Workers: workers, Budget: 1})
+		if !errors.Is(err, ErrBudget) {
+			t.Errorf("workers=%d: got %v, want ErrBudget", workers, err)
+		}
+	}
+}
+
+// TestMatrixCancel: an already-canceled context aborts before exploring.
+func TestMatrixCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := randomExecution(rng)
+	a := mustAnalyzer(t, x, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Matrix(ctx, nil, MatrixOpts{Workers: 4}); !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestMatrixWarmStartsCompletionMemo: a Matrix call must leave the
+// analyzer's persistent completion memo populated so subsequent per-pair
+// queries reuse it.
+func TestMatrixWarmStartsCompletionMemo(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x := randomExecution(rng)
+	a := mustAnalyzer(t, x, Options{})
+	if _, err := a.Matrix(context.Background(), nil, MatrixOpts{Workers: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().CompleteMemo; got == 0 {
+		t.Fatal("completion memo empty after Matrix")
+	}
+	a.ResetStats()
+	if _, err := a.Decide(context.Background(), RelCHB, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().MemoHits == 0 {
+		t.Error("per-pair query after Matrix reused no memoized completion facts")
+	}
+}
+
+// TestMatrixNodesAccounted: Matrix folds its expanded-state count into the
+// analyzer's cumulative stats.
+func TestMatrixNodesAccounted(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	x := randomExecution(rng)
+	a := mustAnalyzer(t, x, Options{})
+	a.ResetStats()
+	if _, err := a.Matrix(context.Background(), nil, MatrixOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().Nodes == 0 {
+		t.Error("Matrix charged no nodes to Stats")
+	}
+}

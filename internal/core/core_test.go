@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -25,7 +26,7 @@ func decide(t *testing.T, a *Analyzer, kind RelKind, la, lb string) bool {
 	x := a.Execution()
 	ea := x.MustEventByLabel(la).ID
 	eb := x.MustEventByLabel(lb).ID
-	ok, err := a.Decide(kind, ea, eb)
+	ok, err := a.Decide(context.Background(), kind, ea, eb)
 	if err != nil {
 		t.Fatalf("%s(%s,%s): %v", kind, la, lb, err)
 	}
@@ -356,7 +357,7 @@ func TestQueryValidation(t *testing.T) {
 	if _, err := a.MHB(0, model.EventID(99)); err == nil {
 		t.Error("out-of-range query should fail")
 	}
-	if _, err := a.Decide(RelKind(42), 0, 1); err == nil {
+	if _, err := a.Decide(context.Background(), RelKind(42), 0, 1); err == nil {
 		t.Error("unknown relation kind should fail")
 	}
 }
@@ -364,7 +365,7 @@ func TestQueryValidation(t *testing.T) {
 func TestStatsAccumulate(t *testing.T) {
 	x := semOrdered(t)
 	a := mustAnalyzer(t, x, Options{})
-	if _, err := a.Relation(RelMHB); err != nil {
+	if _, err := a.Relation(context.Background(), RelMHB); err != nil {
 		t.Fatal(err)
 	}
 	st := a.Stats()
@@ -452,7 +453,7 @@ func TestEngineMatchesBruteForce(t *testing.T) {
 			}
 			a := mustAnalyzer(t, x, opts)
 			for _, kind := range AllRelKinds {
-				got, err := a.Relation(kind)
+				got, err := a.Relation(context.Background(), kind)
 				if err != nil {
 					t.Fatalf("trial %d: %s: %v", trial, kind, err)
 				}
@@ -473,7 +474,7 @@ func TestRelationIdentities(t *testing.T) {
 	for trial := 0; trial < 15; trial++ {
 		x := randomExecution(rng)
 		a := mustAnalyzer(t, x, Options{})
-		rels, err := a.AllRelations()
+		rels, err := a.AllRelations(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -511,11 +512,11 @@ func TestMHBRelationFastPathAgrees(t *testing.T) {
 	for trial := 0; trial < 12; trial++ {
 		x := randomExecution(rng)
 		a := mustAnalyzer(t, x, Options{})
-		naive, err := a.Relation(RelMHB)
+		naive, err := a.Relation(context.Background(), RelMHB)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fast, err := a.MHBRelation()
+		fast, err := a.MHBRelation(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -534,7 +535,7 @@ func TestMHBStructuralProperties(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		x := randomExecution(rng)
 		a := mustAnalyzer(t, x, Options{})
-		mhb, err := a.Relation(RelMHB)
+		mhb, err := a.Relation(context.Background(), RelMHB)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -560,11 +561,11 @@ func TestDisableMemoSameAnswers(t *testing.T) {
 		withMemo := mustAnalyzer(t, x, Options{})
 		without := mustAnalyzer(t, x, Options{DisableMemo: true})
 		for _, kind := range AllRelKinds {
-			r1, err := withMemo.Relation(kind)
+			r1, err := withMemo.Relation(context.Background(), kind)
 			if err != nil {
 				t.Fatal(err)
 			}
-			r2, err := without.Relation(kind)
+			r2, err := without.Relation(context.Background(), kind)
 			if err != nil {
 				t.Fatal(err)
 			}

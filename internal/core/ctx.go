@@ -6,18 +6,19 @@ import (
 	"eventorder/internal/model"
 )
 
-// Context-aware query entry points. The relation searches are exponential
-// in the worst case (that is the paper's point), so long-running callers —
-// notably the eventorderd analysis service — need a way to abandon a query
-// whose client has gone away or whose deadline has passed. Each *Ctx
-// method installs ctx on the analyzer for the duration of the call; the
-// search loops poll it every ctxPollInterval nodes via budgetCharge and
-// abort with ctx.Err() (context.Canceled or context.DeadlineExceeded,
-// checkable with errors.Is). The context-free APIs are unchanged and pay
-// no polling cost.
+// Context plumbing and legacy *Ctx aliases. The relation searches are
+// exponential in the worst case (that is the paper's point), so long-running
+// callers — notably the eventorderd analysis service — need a way to abandon
+// a query whose client has gone away or whose deadline has passed. The
+// primary query surface (Decide, Relation, AllRelations, MHBRelation,
+// WitnessSchedule, Matrix) takes a context directly; the search loops poll
+// it every ctxPollInterval nodes via budgetCharge and abort with ctx.Err()
+// (context.Canceled or context.DeadlineExceeded, checkable with errors.Is).
+// A Background context is never installed, so ctx-free convenience callers
+// pay no polling cost.
 //
-// The *Ctx methods share the analyzer's mutable search state, so like all
-// other Analyzer methods they must not be called concurrently.
+// The *Ctx names below predate the context-first redesign and forward to
+// the primary methods unchanged.
 
 // withCtx installs ctx for the duration of f. A nil or Background context
 // is not installed, keeping the fast path poll-free.
@@ -32,62 +33,39 @@ func (a *Analyzer) withCtx(ctx context.Context, f func() error) error {
 	return f()
 }
 
-// DecideCtx answers one relation query like Decide, aborting with ctx's
-// error if ctx is canceled or its deadline passes mid-search.
+// DecideCtx answers one relation query like Decide.
+//
+// Deprecated: Decide takes the context directly; call it instead.
 func (a *Analyzer) DecideCtx(ctx context.Context, kind RelKind, ea, eb model.EventID) (bool, error) {
-	var verdict bool
-	err := a.withCtx(ctx, func() error {
-		var err error
-		verdict, err = a.Decide(kind, ea, eb)
-		return err
-	})
-	return verdict, err
+	return a.Decide(ctx, kind, ea, eb)
 }
 
-// RelationCtx computes the full relation matrix like Relation, aborting
-// with ctx's error if ctx is canceled mid-computation.
+// RelationCtx computes the full relation matrix like Relation.
+//
+// Deprecated: Relation takes the context directly; call it instead.
 func (a *Analyzer) RelationCtx(ctx context.Context, kind RelKind) (*model.Relation, error) {
-	var r *model.Relation
-	err := a.withCtx(ctx, func() error {
-		var err error
-		r, err = a.Relation(kind)
-		return err
-	})
-	return r, err
+	return a.Relation(ctx, kind)
 }
 
 // MHBRelationCtx computes the transitivity-pruned MHB matrix like
-// MHBRelation, aborting with ctx's error if ctx is canceled mid-computation.
+// MHBRelation.
+//
+// Deprecated: MHBRelation takes the context directly; call it instead.
 func (a *Analyzer) MHBRelationCtx(ctx context.Context) (*model.Relation, error) {
-	var r *model.Relation
-	err := a.withCtx(ctx, func() error {
-		var err error
-		r, err = a.MHBRelation()
-		return err
-	})
-	return r, err
+	return a.MHBRelation(ctx)
 }
 
-// AllRelationsCtx computes all six relations like AllRelations, aborting
-// with ctx's error if ctx is canceled mid-computation.
+// AllRelationsCtx computes all six relations like AllRelations.
+//
+// Deprecated: AllRelations takes the context directly; call it instead.
 func (a *Analyzer) AllRelationsCtx(ctx context.Context) (map[RelKind]*model.Relation, error) {
-	var out map[RelKind]*model.Relation
-	err := a.withCtx(ctx, func() error {
-		var err error
-		out, err = a.AllRelations()
-		return err
-	})
-	return out, err
+	return a.AllRelations(ctx)
 }
 
 // WitnessScheduleCtx extracts a demonstrating interleaving like
-// WitnessSchedule, aborting with ctx's error if ctx is canceled mid-search.
+// WitnessSchedule.
+//
+// Deprecated: WitnessSchedule takes the context directly; call it instead.
 func (a *Analyzer) WitnessScheduleCtx(ctx context.Context, kind RelKind, ea, eb model.EventID) (Witness, error) {
-	var w Witness
-	err := a.withCtx(ctx, func() error {
-		var err error
-		w, err = a.WitnessSchedule(kind, ea, eb)
-		return err
-	})
-	return w, err
+	return a.WitnessSchedule(ctx, kind, ea, eb)
 }

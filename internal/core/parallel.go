@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"eventorder/internal/model"
 )
@@ -11,10 +14,18 @@ import (
 // RelationParallel computes the full relation matrix like
 // Analyzer.Relation, fanning the per-pair decisions out over worker
 // goroutines. Each worker owns a private Analyzer (the search engine keeps
-// mutable state and memo tables, so analyzers are not shared); the pair
-// queries are independent, which makes this embarrassingly parallel apart
-// from losing cross-query completion-memo reuse — the ablation benchmark
-// measures that trade. workers ≤ 0 selects GOMAXPROCS.
+// mutable state and memo tables, so analyzers are not shared), which makes
+// this embarrassingly parallel at the cost of losing ALL cross-query memo
+// reuse — each worker re-proves completion facts the others already know.
+// The first worker error cancels the remaining workers' in-flight searches
+// (via an internal context polled by the search loops), so a budget blowout
+// on one pair does not keep the others burning exponential search effort.
+// workers ≤ 0 selects GOMAXPROCS.
+//
+// Deprecated: Analyzer.Matrix computes the same matrices from one shared
+// exploration of the feasibility space (MatrixOpts.Workers fans it out
+// WITH memo sharing) and is strictly faster on full-matrix workloads; this
+// function is kept as the per-pair baseline the benchmarks compare against.
 func RelationParallel(x *model.Execution, opts Options, kind RelKind, workers int) (*model.Relation, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -41,22 +52,23 @@ func RelationParallel(x *model.Execution, opts Options, kind RelKind, workers in
 		return r, nil
 	}
 
+	// ctx is canceled on the first worker error: the other workers' searches
+	// abort at their next cancellation poll instead of running to completion.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var (
 		mu       sync.Mutex // guards r and firstErr
 		firstErr error
 		wg       sync.WaitGroup
-		next     int
-		nextMu   sync.Mutex
+		next     atomic.Int64
 	)
-	take := func() (pair, bool) {
-		nextMu.Lock()
-		defer nextMu.Unlock()
-		if next >= len(pairs) {
-			return pair{}, false
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
 		}
-		p := pairs[next]
-		next++
-		return p, true
+		mu.Unlock()
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -64,37 +76,33 @@ func RelationParallel(x *model.Execution, opts Options, kind RelKind, workers in
 			defer wg.Done()
 			a, err := New(x, opts)
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
+				fail(err)
 				return
 			}
-			for {
-				mu.Lock()
-				stop := firstErr != nil
-				mu.Unlock()
-				if stop {
+			for ctx.Err() == nil {
+				k := int(next.Add(1)) - 1
+				if k >= len(pairs) {
 					return
 				}
-				p, ok := take()
-				if !ok {
-					return
-				}
-				verdict, err := a.Decide(kind, model.EventID(p.i), model.EventID(p.j))
-				mu.Lock()
+				p := pairs[k]
+				verdict, err := a.Decide(ctx, kind, model.EventID(p.i), model.EventID(p.j))
 				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("core: pair (%d,%d): %w", p.i, p.j, err)
+					// A cancellation caused by another worker's failure is
+					// not itself a result; keep the first real error.
+					if !errors.Is(err, context.Canceled) {
+						err = fmt.Errorf("core: pair (%d,%d): %w", p.i, p.j, err)
 					}
-				} else if verdict {
+					fail(err)
+					return
+				}
+				if verdict {
+					mu.Lock()
 					r.Set(model.EventID(p.i), model.EventID(p.j))
 					if kind.Symmetric() {
 						r.Set(model.EventID(p.j), model.EventID(p.i))
 					}
+					mu.Unlock()
 				}
-				mu.Unlock()
 			}
 		}()
 	}

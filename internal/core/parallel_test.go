@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestRelationParallelAgrees(t *testing.T) {
 		x := randomExecution(rng)
 		seq := mustAnalyzer(t, x, Options{})
 		for _, kind := range AllRelKinds {
-			want, err := seq.Relation(kind)
+			want, err := seq.Relation(context.Background(), kind)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -204,78 +205,114 @@ func (a *Analyzer) exists(ea, eb model.EventID, accept func(flags byte) bool) (b
 	return a.existsAccepted(q, 0, memo, &budget)
 }
 
+// relAccept returns the interval-flag acceptance predicate for kind's
+// existential primitive, and whether the verdict negates it (must-relations
+// search for a violating interleaving and negate the answer).
+func relAccept(kind RelKind) (accept func(flags byte) bool, negate bool, err error) {
+	switch kind {
+	case RelCHB:
+		return func(f byte) bool { return f&flagBA == 0 }, false, nil
+	case RelMHB:
+		return func(f byte) bool { return f&flagBA != 0 }, true, nil
+	case RelCCW:
+		return func(f byte) bool { return f&(flagBA|flagAB) == flagBA|flagAB }, false, nil
+	case RelMOW:
+		return func(f byte) bool { return f&(flagBA|flagAB) == flagBA|flagAB }, true, nil
+	case RelCOW:
+		return func(f byte) bool { return f&(flagBA|flagAB) != flagBA|flagAB }, false, nil
+	case RelMCW:
+		return func(f byte) bool { return f&(flagBA|flagAB) != flagBA|flagAB }, true, nil
+	}
+	return nil, false, fmt.Errorf("core: unknown relation kind %d", kind)
+}
+
+// decide answers one relation query with whatever context is currently
+// installed on the analyzer. All public query surfaces funnel here.
+func (a *Analyzer) decide(kind RelKind, ea, eb model.EventID) (bool, error) {
+	accept, negate, err := relAccept(kind)
+	if err != nil {
+		return false, err
+	}
+	v, err := a.exists(ea, eb, accept)
+	if err != nil {
+		return false, err
+	}
+	return v != negate, nil
+}
+
+// Decide answers one relation query by kind. It aborts with ctx's error if
+// ctx is canceled or its deadline passes mid-search; pass
+// context.Background() (or use the named convenience methods MHB, CHB, …)
+// when cancellation is not needed.
+func (a *Analyzer) Decide(ctx context.Context, kind RelKind, ea, eb model.EventID) (bool, error) {
+	var verdict bool
+	err := a.withCtx(ctx, func() error {
+		var err error
+		verdict, err = a.decide(kind, ea, eb)
+		return err
+	})
+	return verdict, err
+}
+
 // CHB reports whether a could-have-happened-before b: some feasible
-// execution has a T b.
+// execution has a T b. It is a thin context.Background() wrapper over
+// Decide.
 func (a *Analyzer) CHB(ea, eb model.EventID) (bool, error) {
-	return a.exists(ea, eb, func(f byte) bool { return f&flagBA == 0 })
+	return a.Decide(context.Background(), RelCHB, ea, eb)
 }
 
 // MHB reports whether a must-have-happened-before b: every feasible
-// execution has a T b.
+// execution has a T b. It is a thin context.Background() wrapper over
+// Decide.
 func (a *Analyzer) MHB(ea, eb model.EventID) (bool, error) {
-	viol, err := a.exists(ea, eb, func(f byte) bool { return f&flagBA != 0 })
-	if err != nil {
-		return false, err
-	}
-	return !viol, nil
+	return a.Decide(context.Background(), RelMHB, ea, eb)
 }
 
 // CCW reports whether a could-have-executed-concurrently-with b: some
-// feasible execution overlaps them.
+// feasible execution overlaps them. It is a thin context.Background()
+// wrapper over Decide.
 func (a *Analyzer) CCW(ea, eb model.EventID) (bool, error) {
-	return a.exists(ea, eb, func(f byte) bool { return f&(flagBA|flagAB) == flagBA|flagAB })
+	return a.Decide(context.Background(), RelCCW, ea, eb)
 }
 
 // MCW reports whether a must-have-executed-concurrently-with b: every
-// feasible execution overlaps them.
+// feasible execution overlaps them. It is a thin context.Background()
+// wrapper over Decide.
 func (a *Analyzer) MCW(ea, eb model.EventID) (bool, error) {
-	viol, err := a.exists(ea, eb, func(f byte) bool { return f&(flagBA|flagAB) != flagBA|flagAB })
-	if err != nil {
-		return false, err
-	}
-	return !viol, nil
+	return a.Decide(context.Background(), RelMCW, ea, eb)
 }
 
 // COW reports whether a could-have-been-ordered-with b: some feasible
-// execution runs them without overlap (in either order).
+// execution runs them without overlap (in either order). It is a thin
+// context.Background() wrapper over Decide.
 func (a *Analyzer) COW(ea, eb model.EventID) (bool, error) {
-	return a.exists(ea, eb, func(f byte) bool { return f&(flagBA|flagAB) != flagBA|flagAB })
+	return a.Decide(context.Background(), RelCOW, ea, eb)
 }
 
 // MOW reports whether a must-have-been-ordered-with b: no feasible
-// execution overlaps them.
+// execution overlaps them. It is a thin context.Background() wrapper over
+// Decide.
 func (a *Analyzer) MOW(ea, eb model.EventID) (bool, error) {
-	viol, err := a.exists(ea, eb, func(f byte) bool { return f&(flagBA|flagAB) == flagBA|flagAB })
-	if err != nil {
-		return false, err
-	}
-	return !viol, nil
+	return a.Decide(context.Background(), RelMOW, ea, eb)
 }
 
-// Decide answers one relation query by kind.
-func (a *Analyzer) Decide(kind RelKind, ea, eb model.EventID) (bool, error) {
-	switch kind {
-	case RelMHB:
-		return a.MHB(ea, eb)
-	case RelCHB:
-		return a.CHB(ea, eb)
-	case RelMCW:
-		return a.MCW(ea, eb)
-	case RelCCW:
-		return a.CCW(ea, eb)
-	case RelMOW:
-		return a.MOW(ea, eb)
-	case RelCOW:
-		return a.COW(ea, eb)
-	}
-	return false, fmt.Errorf("core: unknown relation kind %d", kind)
+// Relation computes the full relation matrix over all event pairs with
+// independent per-pair searches. For symmetric relations only the upper
+// triangle is searched. Note that each entry is a (co-)NP-hard decision;
+// expect exponential time on adversarial executions — that is the paper's
+// point. For full matrices prefer Matrix, which amortizes one exploration
+// of the feasibility space across every pair (and every relation kind).
+func (a *Analyzer) Relation(ctx context.Context, kind RelKind) (*model.Relation, error) {
+	var r *model.Relation
+	err := a.withCtx(ctx, func() error {
+		var err error
+		r, err = a.relation(kind)
+		return err
+	})
+	return r, err
 }
 
-// Relation computes the full relation matrix over all event pairs. For
-// symmetric relations only the upper triangle is searched. Note that each
-// entry is a (co-)NP-hard decision; expect exponential time on adversarial
-// executions — that is the paper's point.
-func (a *Analyzer) Relation(kind RelKind) (*model.Relation, error) {
+func (a *Analyzer) relation(kind RelKind) (*model.Relation, error) {
 	n := len(a.x.Events)
 	r := model.NewRelation(kind.String(), n)
 	for i := 0; i < n; i++ {
@@ -287,7 +324,7 @@ func (a *Analyzer) Relation(kind RelKind) (*model.Relation, error) {
 			if i == j {
 				continue
 			}
-			ok, err := a.Decide(kind, model.EventID(i), model.EventID(j))
+			ok, err := a.decide(kind, model.EventID(i), model.EventID(j))
 			if err != nil {
 				return nil, err
 			}
@@ -303,12 +340,22 @@ func (a *Analyzer) Relation(kind RelKind) (*model.Relation, error) {
 }
 
 // MHBRelation computes the full must-have-happened-before matrix like
-// Relation(RelMHB), but exploits two proven structural facts to skip
+// Relation(ctx, RelMHB), but exploits two proven structural facts to skip
 // queries: program order (with fork/join) is always contained in MHB, and
 // MHB is transitive, so pairs implied by the closure of already-confirmed
-// pairs need no search. Verdicts are identical to Relation(RelMHB); only
-// the number of searches differs (measured by the ablation benchmark).
-func (a *Analyzer) MHBRelation() (*model.Relation, error) {
+// pairs need no search. Verdicts are identical to Relation(ctx, RelMHB);
+// only the number of searches differs (measured by the ablation benchmark).
+func (a *Analyzer) MHBRelation(ctx context.Context) (*model.Relation, error) {
+	var r *model.Relation
+	err := a.withCtx(ctx, func() error {
+		var err error
+		r, err = a.mhbRelation()
+		return err
+	})
+	return r, err
+}
+
+func (a *Analyzer) mhbRelation() (*model.Relation, error) {
 	n := len(a.x.Events)
 	r := model.ProgramOrder(a.x)
 	r.Name = "MHB"
@@ -318,7 +365,7 @@ func (a *Analyzer) MHBRelation() (*model.Relation, error) {
 			if i == j || r.Has(model.EventID(i), model.EventID(j)) {
 				continue
 			}
-			ok, err := a.MHB(model.EventID(i), model.EventID(j))
+			ok, err := a.decide(RelMHB, model.EventID(i), model.EventID(j))
 			if err != nil {
 				return nil, err
 			}
@@ -331,15 +378,23 @@ func (a *Analyzer) MHBRelation() (*model.Relation, error) {
 	return r, nil
 }
 
-// AllRelations computes all six relations.
-func (a *Analyzer) AllRelations() (map[RelKind]*model.Relation, error) {
-	out := make(map[RelKind]*model.Relation, 6)
-	for _, kind := range AllRelKinds {
-		r, err := a.Relation(kind)
-		if err != nil {
-			return nil, err
+// AllRelations computes all six relations with independent per-pair
+// searches. Prefer Matrix for the same result with shared exploration work.
+func (a *Analyzer) AllRelations(ctx context.Context) (map[RelKind]*model.Relation, error) {
+	var out map[RelKind]*model.Relation
+	err := a.withCtx(ctx, func() error {
+		out = make(map[RelKind]*model.Relation, 6)
+		for _, kind := range AllRelKinds {
+			r, err := a.relation(kind)
+			if err != nil {
+				return err
+			}
+			out[kind] = r
 		}
-		out[kind] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -111,7 +111,7 @@ func procName(p int) string { return string(rune('a'+p)) + "proc" }
 func TestDecideCtxMatchesDecide(t *testing.T) {
 	a := mutexAnalyzer(t, 3, 2)
 	for _, kind := range AllRelKinds {
-		want, err := a.Decide(kind, 0, 5)
+		want, err := a.Decide(context.Background(), kind, 0, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -157,7 +157,7 @@ func TestRelationCtxDeadlineAborts(t *testing.T) {
 		t.Errorf("deadline abort took %v, cancellation not effective", elapsed)
 	}
 	// The analyzer must remain usable after an aborted query.
-	if _, err := a.Decide(RelCHB, 0, 1); err != nil {
+	if _, err := a.Decide(context.Background(), RelCHB, 0, 1); err != nil {
 		t.Fatalf("analyzer unusable after canceled query: %v", err)
 	}
 }

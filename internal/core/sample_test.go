@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestSampleOneSided(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exact, err := a.AllRelations()
+		exact, err := a.AllRelations(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func TestSampleConvergesOnTinyExecution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := a.AllRelations()
+	exact, err := a.AllRelations(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

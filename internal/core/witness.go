@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"eventorder/internal/model"
@@ -55,25 +56,27 @@ type WitnessStep struct {
 //
 // When no order accompanies the verdict (could-relation false, or
 // must-relation true), Witness.Order is nil.
-func (a *Analyzer) WitnessSchedule(kind RelKind, ea, eb model.EventID) (Witness, error) {
-	var accept func(flags byte) bool
-	mustHave := kind.MustHave()
-	switch kind {
-	case RelCHB:
-		accept = func(f byte) bool { return f&flagBA == 0 }
-	case RelMHB:
-		accept = func(f byte) bool { return f&flagBA != 0 } // violation
-	case RelCCW:
-		accept = func(f byte) bool { return f&(flagBA|flagAB) == flagBA|flagAB }
-	case RelMOW:
-		accept = func(f byte) bool { return f&(flagBA|flagAB) == flagBA|flagAB } // violation
-	case RelCOW:
-		accept = func(f byte) bool { return f&(flagBA|flagAB) != flagBA|flagAB }
-	case RelMCW:
-		accept = func(f byte) bool { return f&(flagBA|flagAB) != flagBA|flagAB } // violation
-	default:
-		return Witness{}, fmt.Errorf("core: unknown relation kind %d", kind)
+//
+// The search aborts with ctx's error if ctx is canceled or its deadline
+// passes; pass context.Background() when cancellation is not needed.
+func (a *Analyzer) WitnessSchedule(ctx context.Context, kind RelKind, ea, eb model.EventID) (Witness, error) {
+	var w Witness
+	err := a.withCtx(ctx, func() error {
+		var err error
+		w, err = a.witnessSchedule(kind, ea, eb)
+		return err
+	})
+	return w, err
+}
+
+func (a *Analyzer) witnessSchedule(kind RelKind, ea, eb model.EventID) (Witness, error) {
+	// The violation predicate of a must-relation doubles as the witness
+	// acceptance: a found interleaving is then a counterexample.
+	accept, _, err := relAccept(kind)
+	if err != nil {
+		return Witness{}, err
 	}
+	mustHave := kind.MustHave()
 
 	if ea == eb {
 		return Witness{}, fmt.Errorf("core: query requires distinct events, got %d twice", ea)

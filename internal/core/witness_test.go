@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -27,7 +28,7 @@ func verifyWitness(t *testing.T, x *model.Execution, kind RelKind, ea, eb model.
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := a.Decide(kind, ea, eb)
+	got, err := a.Decide(context.Background(), kind, ea, eb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestWitnessCHB(t *testing.T) {
 	ea := x.MustEventByLabel("a").ID
 	eb := x.MustEventByLabel("b").ID
 
-	w, err := a.WitnessSchedule(RelCHB, ea, eb)
+	w, err := a.WitnessSchedule(context.Background(), RelCHB, ea, eb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestWitnessMHBCounterexample(t *testing.T) {
 	ea := x.MustEventByLabel("a").ID
 	eb := x.MustEventByLabel("b").ID
 
-	w, err := a.WitnessSchedule(RelMHB, ea, eb)
+	w, err := a.WitnessSchedule(context.Background(), RelMHB, ea, eb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestWitnessMHBHolds(t *testing.T) {
 	a := mustAnalyzer(t, x, Options{})
 	ea := x.MustEventByLabel("a").ID
 	eb := x.MustEventByLabel("b").ID
-	w, err := a.WitnessSchedule(RelMHB, ea, eb)
+	w, err := a.WitnessSchedule(context.Background(), RelMHB, ea, eb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestWitnessMHBHolds(t *testing.T) {
 		t.Fatalf("MHB holds: want Holds=true with no order, got %+v", w)
 	}
 	// And CHB(b,a) correctly yields no witness.
-	w, err = a.WitnessSchedule(RelCHB, eb, ea)
+	w, err = a.WitnessSchedule(context.Background(), RelCHB, eb, ea)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestWitnessCCWOverlap(t *testing.T) {
 	a := mustAnalyzer(t, x, Options{})
 	ea := x.MustEventByLabel("a").ID
 	eb := x.MustEventByLabel("b").ID
-	w, err := a.WitnessSchedule(RelCCW, ea, eb)
+	w, err := a.WitnessSchedule(context.Background(), RelCCW, ea, eb)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,11 +173,11 @@ func TestWitnessAgreesWithDecide(t *testing.T) {
 				}
 				ea, eb := model.EventID(i), model.EventID(j)
 				for _, kind := range AllRelKinds {
-					want, err := a.Decide(kind, ea, eb)
+					want, err := a.Decide(context.Background(), kind, ea, eb)
 					if err != nil {
 						t.Fatal(err)
 					}
-					w, err := a.WitnessSchedule(kind, ea, eb)
+					w, err := a.WitnessSchedule(context.Background(), kind, ea, eb)
 					if err != nil {
 						t.Fatal(err)
 					}

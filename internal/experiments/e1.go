@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"eventorder/internal/core"
@@ -36,7 +37,7 @@ func runE1(cfg Config) error {
 		}
 		agree := true
 		for _, kind := range core.AllRelKinds {
-			r, err := a.Relation(kind)
+			r, err := a.Relation(context.Background(), kind)
 			if err != nil {
 				return err
 			}
@@ -72,11 +73,11 @@ func runE1(cfg Config) error {
 		core.RelCOW: "serializable in some feasible execution",
 	}
 	for _, kind := range core.AllRelKinds {
-		ab, err := a.Decide(kind, cs1, cs2)
+		ab, err := a.Decide(context.Background(), kind, cs1, cs2)
 		if err != nil {
 			return err
 		}
-		ba, err := a.Decide(kind, cs2, cs1)
+		ba, err := a.Decide(context.Background(), kind, cs2, cs1)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -36,7 +37,7 @@ func runE11(cfg Config) error {
 			return err
 		}
 		startExact := time.Now()
-		exact, err := a.AllRelations()
+		exact, err := a.AllRelations(context.Background())
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -40,7 +41,7 @@ func runE6(cfg Config) error {
 			return err
 		}
 		startExact := time.Now()
-		exact, err := a.Relation(core.RelMHB)
+		exact, err := a.Relation(context.Background(), core.RelMHB)
 		if err != nil {
 			return err
 		}

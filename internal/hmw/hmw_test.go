@@ -1,6 +1,7 @@
 package hmw
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -275,7 +276,7 @@ func TestRecallAgainstExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := a.Relation(core.RelMHB)
+	exact, err := a.Relation(context.Background(), core.RelMHB)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,7 +78,7 @@ func DetectCtx(ctx context.Context, x *model.Execution, opts core.Options) (*Rep
 		if !po.Has(c.A, c.B) && !po.Has(c.B, c.A) {
 			rep.PO = append(rep.PO, c)
 		}
-		ccw, err := an.DecideCtx(ctx, core.RelCCW, c.A, c.B)
+		ccw, err := an.Decide(ctx, core.RelCCW, c.A, c.B)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -240,7 +240,7 @@ func WitnessFor(x *model.Execution, opts core.Options, p Pair) (order []model.Op
 	if err != nil {
 		return nil, false, err
 	}
-	w, err := an.WitnessSchedule(core.RelCCW, p.A, p.B)
+	w, err := an.WitnessSchedule(context.Background(), core.RelCCW, p.A, p.B)
 	if err != nil {
 		return nil, false, err
 	}

@@ -60,6 +60,14 @@ type Config struct {
 	// MaxNodes is the default per-query search node budget when a request
 	// sets none; 0 means unbounded.
 	MaxNodes int64
+	// MaxMatrixWorkers caps the per-request workers knob of matrix
+	// queries (default GOMAXPROCS). Requests asking for more are clamped,
+	// not rejected: the knob is a resource hint, not a semantic one —
+	// matrix verdicts are identical at every worker count.
+	MaxMatrixWorkers int
+	// MaxBudget caps client-requested search budgets (0 = no cap).
+	// Requests exceeding it are clamped to it.
+	MaxBudget int64
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
 	// MaxJobs bounds retained async jobs for polling (default 1024).
@@ -89,6 +97,9 @@ func (c *Config) withDefaults() {
 	}
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
+	}
+	if c.MaxMatrixWorkers <= 0 {
+		c.MaxMatrixWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.Logger == nil {
 		c.Logger = slog.New(slog.NewJSONHandler(io.Discard, nil))
@@ -212,8 +223,14 @@ type AnalyzeRequest struct {
 	// IgnoreData drops the shared-data-dependence constraints (the
 	// Section 5.3 feasibility notion).
 	IgnoreData bool `json:"ignoreData,omitempty"`
-	// Budget bounds search nodes per query (0 = server default).
+	// Budget bounds search nodes per query (0 = server default; capped by
+	// the server's maximum). For matrix queries it bounds the batch
+	// engine's total distinct states expanded.
 	Budget int64 `json:"budget,omitempty"`
+	// Workers is the matrix-query fan-out width (0 = server default;
+	// capped by the server's maximum; ignored for pair queries). Verdicts
+	// do not depend on it, so cached results are shared across widths.
+	Workers int `json:"workers,omitempty"`
 	// TimeoutMs is the request deadline in milliseconds (0 = server
 	// default; capped by the server's maximum).
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
@@ -457,10 +474,21 @@ func (s *Server) timeout(ms int64) time.Duration {
 }
 
 func (s *Server) nodeBudget(b int64) int64 {
-	if b > 0 {
-		return b
+	if b <= 0 {
+		b = s.cfg.MaxNodes
 	}
-	return s.cfg.MaxNodes
+	if s.cfg.MaxBudget > 0 && (b <= 0 || b > s.cfg.MaxBudget) {
+		b = s.cfg.MaxBudget
+	}
+	return b
+}
+
+// matrixWorkers clamps a request's matrix fan-out to the server cap.
+func (s *Server) matrixWorkers(workers int) int {
+	if workers <= 0 || workers > s.cfg.MaxMatrixWorkers {
+		return s.cfg.MaxMatrixWorkers
+	}
+	return workers
 }
 
 // dispatch runs one analysis job through the queue: cache lookup, then
@@ -567,6 +595,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		kinds = []core.RelKind{kind}
 	}
 
+	if req.Budget < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: budget must be non-negative, got %d", req.Budget))
+		return
+	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: workers must be non-negative, got %d", req.Workers))
+		return
+	}
+
 	pairQuery := req.A != "" || req.B != ""
 	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget)}
 
@@ -596,7 +633,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
-			holds, err := an.DecideCtx(ctx, kind, ea.ID, eb.ID)
+			holds, err := an.Decide(ctx, kind, ea.ID, eb.ID)
 			if err != nil {
 				return nil, err
 			}
@@ -615,9 +652,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	} else {
 		kinds = core.AllRelKinds
 	}
+	// The cache key deliberately omits workers: the batch engine's
+	// verdicts are identical at every fan-out width, so results are
+	// shared across requests that differ only in that knob.
+	workers := s.matrixWorkers(req.Workers)
 	key := cacheKey(digest, fmt.Sprintf("analyze|matrix|rel=%s|ignoreData=%t", relDesc, req.IgnoreData))
 	s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
 		an, err := core.New(x, opts)
+		if err != nil {
+			return nil, err
+		}
+		rels, err := an.Matrix(ctx, kinds, core.MatrixOpts{Workers: workers})
 		if err != nil {
 			return nil, err
 		}
@@ -626,12 +671,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			out.Events = append(out.Events, x.EventName(model.EventID(e)))
 		}
 		for _, kind := range kinds {
-			rel, err := an.RelationCtx(ctx, kind)
-			if err != nil {
-				return nil, err
-			}
 			pairs := [][2]int{}
-			for _, p := range rel.Pairs() {
+			for _, p := range rels[kind].Pairs() {
 				pairs = append(pairs, [2]int{int(p[0]), int(p[1])})
 			}
 			out.Relations[kind.String()] = pairs
@@ -715,7 +756,7 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
-		wit, err := an.WitnessScheduleCtx(ctx, kind, ea.ID, eb.ID)
+		wit, err := an.WitnessSchedule(ctx, kind, ea.ID, eb.ID)
 		if err != nil {
 			return nil, err
 		}

@@ -202,7 +202,7 @@ func TestMatrixMatchesDirectCore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := an.AllRelations()
+	want, err := an.AllRelations(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,6 +230,61 @@ func TestMatrixMatchesDirectCore(t *testing.T) {
 			t.Errorf("event %d named %q, want %q", i, m.Events[i], x.EventName(model.EventID(i)))
 		}
 	}
+}
+
+// TestAnalyzeWorkersAndBudgetKnobs covers the matrix-path request knobs:
+// negative values are rejected with 400, a large workers ask is clamped
+// (not rejected) and returns verdicts identical to the default, and the
+// cache is shared across worker counts (the knob is not part of the key).
+func TestAnalyzeWorkersAndBudgetKnobs(t *testing.T) {
+	x, err := gen.Mutex(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Workers: 1, MaxMatrixWorkers: 2})
+	exec := executionJSON(t, x)
+
+	for _, bad := range []map[string]any{
+		{"execution": exec, "all": true, "workers": -1},
+		{"execution": exec, "all": true, "budget": -5},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%v: status %d, want 400: %s", bad, resp.StatusCode, body)
+		}
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"execution": exec, "all": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("default: status %d: %s", resp.StatusCode, body)
+	}
+	base := decodeEnvelope(t, body)
+
+	// 1000 workers is clamped to MaxMatrixWorkers, and the result comes
+	// from the cache: the fan-out width is not part of the cache key.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"execution": exec, "all": true, "workers": 1000,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("workers=1000: status %d: %s", resp.StatusCode, body)
+	}
+	env := decodeEnvelope(t, body)
+	if !env.Cached {
+		t.Error("workers-only variation missed the cache")
+	}
+	if !bytes.Equal(base.Result, env.Result) {
+		t.Errorf("workers=1000 result differs from default:\n%s\nvs\n%s", env.Result, base.Result)
+	}
+
+	// A tiny budget on an uncached query must fail with the budget error
+	// mapped to 422 (unprocessable), like per-pair budget exhaustion.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"execution": exec, "all": true, "budget": 1, "ignoreData": true,
+	})
+	if resp.StatusCode == http.StatusOK {
+		t.Errorf("budget=1 matrix succeeded unexpectedly: %s", body)
+	}
+	_ = srv
 }
 
 // TestAsyncSubmitPoll exercises the job queue's async path: submit,
@@ -276,7 +331,7 @@ func TestAsyncSubmitPoll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := an.Relation(core.RelMHB)
+	want, err := an.Relation(context.Background(), core.RelMHB)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +375,10 @@ func waitForIdle(t *testing.T, srv *Server) {
 // actually stop (queue depth and running gauges return to 0), and the
 // freed worker must serve the next request.
 func TestDeadlineExceededFreesWorker(t *testing.T) {
-	big, err := gen.Mutex(4, 4)
+	// Barrier has a genuinely large reachable state space, so even the
+	// batch matrix engine needs hundreds of milliseconds — the per-pair
+	// engine's hard mutex instances complete in microseconds there.
+	big, err := gen.Barrier(7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +407,7 @@ func TestDeadlineExceededFreesWorker(t *testing.T) {
 // that (1) new submissions are rejected with 503, (2) the in-flight job
 // completes with 200, (3) Shutdown returns once drained.
 func TestGracefulShutdownDrain(t *testing.T) {
-	slow, err := gen.Mutex(4, 3)
+	slow, err := gen.Barrier(6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -422,7 +480,7 @@ func TestGracefulShutdownDrain(t *testing.T) {
 // TestQueueFullRejects fills the single-slot queue behind a busy worker
 // and requires load shedding with 503.
 func TestQueueFullRejects(t *testing.T) {
-	slow, err := gen.Mutex(4, 4)
+	slow, err := gen.Barrier(6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +488,7 @@ func TestQueueFullRejects(t *testing.T) {
 	slowReq := func(seed int) map[string]any {
 		return map[string]any{
 			"execution": executionJSON(t, slow), "all": true, "async": true,
-			"timeoutMs": 2000, "ignoreData": seed%2 == 1, // vary the key to dodge the cache
+			"timeoutMs": 10000, "ignoreData": seed%2 == 1, // vary the key to dodge the cache
 		}
 	}
 	resp, body := postJSON(t, ts.URL+"/v1/analyze", slowReq(0))
@@ -451,7 +509,7 @@ func TestQueueFullRejects(t *testing.T) {
 	}
 	// Worker busy + queue slot taken → the third submission must shed.
 	resp, body = postJSON(t, ts.URL+"/v1/races", map[string]any{
-		"execution": executionJSON(t, slow), "async": true, "timeoutMs": 2000,
+		"execution": executionJSON(t, slow), "async": true, "timeoutMs": 10000,
 	})
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("third submit: %d, want 503: %s", resp.StatusCode, body)

@@ -15,9 +15,15 @@
 // Usage:
 //
 //	go run ./cmd/bench [-o BENCH_matrix.json] [-reps 3] [-workers 1,2,4,8]
+//	                   [-baseline old.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Median-of-reps wall-clock per strategy is reported, plus the speedup of
-// matrix over parallel at each worker count.
+// matrix over parallel at each worker count, node throughput
+// (states/second through the batch engine), and heap allocations per
+// expanded state. -baseline points at a previous report (same schema);
+// its per-case matrix timings are embedded alongside the fresh ones as
+// before/after columns with the resulting throughput gain. -cpuprofile
+// and -memprofile write pprof profiles of the run for flame-graph work.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -57,6 +64,21 @@ type caseResult struct {
 	// MatrixNodes is the distinct states the batch engine expanded (the
 	// shared exploration's size; per-pair strategies re-pay search per pair).
 	MatrixNodes int64 `json:"matrix_nodes"`
+	// MatrixNodesPerSec is batch node throughput (MatrixNodes over matrix
+	// wall-clock) per worker count — the honest cross-version comparison
+	// axis, since the exploration visits the same states either way.
+	MatrixNodesPerSec map[string]float64 `json:"matrix_nodes_per_sec"`
+	// MatrixAllocsPerNode is heap allocations per expanded state during a
+	// single-worker Matrix run (measured with runtime.MemStats around a
+	// dedicated run, not the timed reps).
+	MatrixAllocsPerNode float64 `json:"matrix_allocs_per_node"`
+
+	// Baseline columns, present only when -baseline was given and had this
+	// case: the old matrix wall-clock and node throughput, and the
+	// new-over-old throughput ratio at each worker count.
+	BaselineMatrixMS    map[string]float64 `json:"baseline_matrix_ms,omitempty"`
+	BaselineNodesPerSec map[string]float64 `json:"baseline_nodes_per_sec,omitempty"`
+	ThroughputGain      map[string]float64 `json:"throughput_gain_vs_baseline,omitempty"`
 }
 
 type report struct {
@@ -65,6 +87,7 @@ type report struct {
 	Reps       int          `json:"reps"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	NumCPU     int          `json:"numcpu"`
+	Baseline   string       `json:"baseline,omitempty"`
 	Cases      []caseResult `json:"cases"`
 }
 
@@ -72,6 +95,9 @@ func main() {
 	out := flag.String("o", "BENCH_matrix.json", "output path")
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+	baselinePath := flag.String("baseline", "", "previous report to embed as before/after columns")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
 	workers, err := parseWorkers(*workersFlag)
@@ -82,6 +108,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var baseline *report
+	if *baselinePath != "" {
+		baseline, err = loadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	rep := report{
 		Kind:       core.RelCCW.String(),
@@ -89,10 +135,11 @@ func main() {
 		Reps:       *reps,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Baseline:   *baselinePath,
 	}
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "== %s (%d procs, %d events)\n", c.name, len(c.x.Procs), len(c.x.Events))
-		res, err := runCase(c, workers, *reps)
+		res, err := runCase(c, workers, *reps, baseline)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", c.name, err))
 		}
@@ -108,6 +155,30 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+	}
+}
+
+// loadBaseline parses a previous bench report for before/after columns.
+func loadBaseline(path string) (*report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
 }
 
 // workloads returns the benchmark instances. Barrier instances are the
@@ -140,7 +211,7 @@ func workloads() ([]benchCase, error) {
 	return cases, nil
 }
 
-func runCase(c benchCase, workers []int, reps int) (caseResult, error) {
+func runCase(c benchCase, workers []int, reps int, baseline *report) (caseResult, error) {
 	n := len(c.x.Events)
 	res := caseResult{
 		Name:              c.name,
@@ -150,6 +221,7 @@ func runCase(c benchCase, workers []int, reps int) (caseResult, error) {
 		ParallelMS:        map[string]float64{},
 		MatrixMS:          map[string]float64{},
 		SpeedupVsParallel: map[string]float64{},
+		MatrixNodesPerSec: map[string]float64{},
 	}
 
 	seq, err := measure(reps, func() error {
@@ -201,10 +273,72 @@ func runCase(c benchCase, workers []int, reps int) (caseResult, error) {
 		if par := res.ParallelMS[key]; mat > 0 {
 			res.SpeedupVsParallel[key] = round2(par / mat)
 		}
-		fmt.Fprintf(os.Stderr, "  matrix     workers=%-2d %10.2f ms  (%.1fx vs parallel)\n",
-			w, mat, res.SpeedupVsParallel[key])
+		if mat > 0 {
+			res.MatrixNodesPerSec[key] = round2(float64(nodes) / (mat / 1000))
+		}
+		fmt.Fprintf(os.Stderr, "  matrix     workers=%-2d %10.2f ms  (%.1fx vs parallel, %.0f nodes/s)\n",
+			w, mat, res.SpeedupVsParallel[key], res.MatrixNodesPerSec[key])
+	}
+
+	allocs, err := measureMatrixAllocs(c)
+	if err != nil {
+		return res, err
+	}
+	if res.MatrixNodes > 0 {
+		res.MatrixAllocsPerNode = round2(allocs / float64(res.MatrixNodes))
+	}
+	fmt.Fprintf(os.Stderr, "  allocs/node           %10.2f\n", res.MatrixAllocsPerNode)
+
+	if baseline != nil {
+		attachBaseline(&res, baseline)
 	}
 	return res, nil
+}
+
+// measureMatrixAllocs runs one single-worker Matrix and returns the heap
+// allocation count it incurred (Mallocs delta; single-goroutine, so the
+// delta is attributable to the run).
+func measureMatrixAllocs(c benchCase) (float64, error) {
+	a, err := core.New(c.x, core.Options{})
+	if err != nil {
+		return 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	if _, err := a.Matrix(context.Background(), []core.RelKind{core.RelCCW}, core.MatrixOpts{Workers: 1}); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs - before.Mallocs), nil
+}
+
+// attachBaseline embeds a previous report's matrix timings for this case
+// as before columns and derives the throughput gain at each worker count.
+func attachBaseline(res *caseResult, baseline *report) {
+	for _, old := range baseline.Cases {
+		if old.Name != res.Name {
+			continue
+		}
+		res.BaselineMatrixMS = map[string]float64{}
+		res.BaselineNodesPerSec = map[string]float64{}
+		res.ThroughputGain = map[string]float64{}
+		for key, oldMS := range old.MatrixMS {
+			if _, ran := res.MatrixMS[key]; !ran {
+				continue // worker count not exercised in this run
+			}
+			res.BaselineMatrixMS[key] = oldMS
+			if oldMS > 0 && old.MatrixNodes > 0 {
+				res.BaselineNodesPerSec[key] = round2(float64(old.MatrixNodes) / (oldMS / 1000))
+			}
+			if newNPS, oldNPS := res.MatrixNodesPerSec[key], res.BaselineNodesPerSec[key]; oldNPS > 0 {
+				res.ThroughputGain[key] = round2(newNPS / oldNPS)
+				fmt.Fprintf(os.Stderr, "  vs baseline workers=%-2s %8.2f ms -> %.2f ms  (%.2fx throughput)\n",
+					key, oldMS, res.MatrixMS[key], res.ThroughputGain[key])
+			}
+		}
+		return
+	}
 }
 
 // measure runs fn reps times and returns the median wall-clock in ms.

@@ -7,6 +7,7 @@
 //
 //	eventorderd [-addr :8080] [-workers N] [-queue N] [-cache-bytes N]
 //	            [-timeout 30s] [-max-timeout 5m] [-budget N]
+//	            [-pprof-addr 127.0.0.1:6060]
 //	eventorderd -selfcheck
 //
 // Endpoints:
@@ -17,6 +18,10 @@
 //	GET  /v1/jobs/{id} poll an async submission
 //	GET  /healthz      liveness and queue depth
 //	GET  /metrics      JSON metrics registry
+//
+// -pprof-addr serves net/http/pprof profiles (CPU, heap, goroutine, ...)
+// on a SEPARATE listener, off by default: profiling endpoints expose
+// internals and eat CPU, so they never share the public service address.
 //
 // -selfcheck starts the server on a loopback port, exercises the analyze,
 // cache, deadline, and metrics paths end-to-end, and exits 0 on success
@@ -30,6 +35,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -37,6 +43,20 @@ import (
 
 	"eventorder/internal/service"
 )
+
+// pprofMux builds an explicit profiling mux (the service's own handler
+// never touches http.DefaultServeMux, so the pprof side-effect
+// registrations there are not exposed by accident — profiles are only
+// served on the dedicated listener).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -48,6 +68,7 @@ func main() {
 	budget := flag.Int64("budget", 0, "default search node budget per query (0 = unlimited)")
 	maxBudget := flag.Int64("max-budget", 0, "cap on client-requested node budgets (0 = uncapped)")
 	maxMatrixWorkers := flag.Int("max-matrix-workers", 0, "cap on client-requested matrix fan-out (0 = GOMAXPROCS)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	selfcheck := flag.Bool("selfcheck", false, "run an end-to-end smoke test against a loopback instance and exit")
 	flag.Parse()
 
@@ -71,6 +92,15 @@ func main() {
 		}
 		fmt.Println("eventorderd: selfcheck ok")
 		return
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux()); err != nil {
+				logger.Error("pprof serve failed", "err", err)
+			}
+		}()
 	}
 
 	srv := service.New(cfg)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"eventorder/internal/model"
+	"eventorder/internal/statetab"
 )
 
 // Batch matrix engine. The per-pair decision procedures answer one
@@ -143,100 +144,48 @@ func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts)
 	return out, nil
 }
 
-// batchKeyExtra is the state-key discriminator byte the batch engine uses.
-// It deliberately equals the canComplete discriminator so batch table
-// entries can be merged verbatim into the analyzer's completion memo.
-const batchKeyExtra = 0xff
+// The batch engine uses keyExtraComplete as its state-key discriminator
+// byte — the same byte canComplete uses — so batch table entries can be
+// merged verbatim into the analyzer's completion memo.
 
-// batchNode is one reachable state in the shared table.
-type batchNode struct {
-	// completable is written exactly once during the backward sweep's
-	// level phase and read only by later (earlier-level) phases, which are
-	// separated by a WaitGroup barrier.
-	completable bool
+// batchTable is the slice of the statetab API the batch sweeps need;
+// satisfied by both *statetab.Table (single worker, no locks) and
+// *statetab.Concurrent (lock-striped, any fan-out).
+type batchTable interface {
+	Intern(key []uint64) (fresh bool)
+	Lookup(key []uint64) (value, ok bool)
+	Store(key []uint64, value bool)
+	Range(fn func(key []uint64, value bool) bool)
 }
 
-// tableStripes is the stripe count of the shared state table (power of
-// two; bounds lock contention between workers).
-const tableStripes = 64
-
-// tableStripe is one lock-guarded shard of a stripedTable.
-type tableStripe struct {
-	mu sync.Mutex
-	m  map[string]*batchNode
-}
-
-// stripedTable is a concurrent map from state key to node, sharded by a
-// key hash so parallel workers rarely contend. It is the memo the batch
-// workers share.
-type stripedTable struct {
-	stripes [tableStripes]tableStripe
-}
-
-func newStripedTable() *stripedTable {
-	t := &stripedTable{}
-	for i := range t.stripes {
-		t.stripes[i].m = make(map[string]*batchNode)
-	}
-	return t
-}
-
-// stripeOf hashes key (FNV-1a) onto a stripe index.
-func stripeOf(key string) uint32 {
-	h := uint32(2166136261)
-	for i := 0; i < len(key); i++ {
-		h ^= uint32(key[i])
-		h *= 16777619
-	}
-	return h & (tableStripes - 1)
-}
-
-// intern returns the node for key, creating it if absent; fresh reports
-// whether this call created it.
-func (t *stripedTable) intern(key string) (n *batchNode, fresh bool) {
-	s := &t.stripes[stripeOf(key)]
-	s.mu.Lock()
-	n, ok := s.m[key]
-	if !ok {
-		n = &batchNode{}
-		s.m[key] = n
-		fresh = true
-	}
-	s.mu.Unlock()
-	return n, fresh
-}
-
-// get returns the node for key, or nil.
-func (t *stripedTable) get(key string) *batchNode {
-	s := &t.stripes[stripeOf(key)]
-	s.mu.Lock()
-	n := s.m[key]
-	s.mu.Unlock()
-	return n
-}
-
-// markOnce records key and reports whether it was new (used to dedupe
-// per-pc fact derivation).
-func (t *stripedTable) markOnce(key string) bool {
-	s := &t.stripes[stripeOf(key)]
-	s.mu.Lock()
-	_, seen := s.m[key]
-	if !seen {
-		s.m[key] = nil
-	}
-	s.mu.Unlock()
-	return !seen
-}
-
-// batchRun carries one Matrix invocation's shared exploration state.
+// batchRun carries one Matrix invocation's shared exploration state. The
+// shared memo is a lock-striped statetab holding each reachable state's
+// completability verdict inline: keys are the analyzer's packed []uint64
+// state words, the value bit is "completable" (false while only interned
+// by the forward pass, flipped true by the backward sweep, whose level
+// phases are separated by WaitGroup barriers).
 type batchRun struct {
 	a       *Analyzer
 	ctx     context.Context
 	workers int
 
-	table  *stripedTable // state key → node, shared across workers
-	pcSeen *stripedTable // pc signatures whose facts are already folded
-	levels [][]string    // reachable state keys by number of executed actions
+	table  batchTable // packed state key → completable, shared
+	pcSeen batchTable // pc signatures whose facts are already folded
+	levels [][]uint64 // reachable packed keys by executed-action count, keyWords stride
+
+	// pcSigWords/pcSigMask delimit the pc-counter prefix of a packed key
+	// (pc bits come first in packKey's layout); sigBufs are per-worker
+	// scratch for extracting signatures without allocating.
+	pcSigWords int
+	pcSigMask  uint64
+	sigBufs    [][]uint64
+
+	// Per-worker fact-folding scratch (ended set, not-begun set, in-
+	// progress list), reused across every foldStateFacts call so the
+	// backward sweep does not allocate per pc signature.
+	foldEnded    [][]uint64
+	foldNotBegun [][]uint64
+	foldInProg   [][]int32
 
 	// shadows are per-worker cursors over the analyzer's immutable tables
 	// with private mutable pc/sem/ev state.
@@ -270,10 +219,38 @@ func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64) *b
 		a:         a,
 		ctx:       ctx,
 		workers:   workers,
-		table:     newStripedTable(),
-		pcSeen:    newStripedTable(),
 		factWords: (n + 63) / 64,
 		budget:    budget,
+	}
+	pcBitsTotal := len(a.pc) * int(a.pcBits)
+	r.pcSigWords = (pcBitsTotal + 63) / 64
+	if rem := uint(pcBitsTotal - (r.pcSigWords-1)*64); rem == 64 {
+		r.pcSigMask = ^uint64(0)
+	} else {
+		r.pcSigMask = 1<<rem - 1
+	}
+	// The tables start empty and grow on demand: pre-sizing from the
+	// product of per-process position counts was tried and regresses tiny
+	// state spaces (the zeroing cost of a misjudged capacity dwarfs a
+	// 100-node sweep) without measurably helping large ones.
+	// A single-worker run stays on one goroutine end to end, so it gets
+	// unlocked tables; any wider fan-out shares the lock-striped variant.
+	if workers <= 1 {
+		r.table = statetab.New(a.keyWords, 0)
+		r.pcSeen = statetab.New(r.pcSigWords, 0)
+	} else {
+		r.table = statetab.NewConcurrent(a.keyWords, 0)
+		r.pcSeen = statetab.NewConcurrent(r.pcSigWords, 0)
+	}
+	r.sigBufs = make([][]uint64, workers)
+	r.foldEnded = make([][]uint64, workers)
+	r.foldNotBegun = make([][]uint64, workers)
+	r.foldInProg = make([][]int32, workers)
+	for w := 0; w < workers; w++ {
+		r.sigBufs[w] = make([]uint64, r.pcSigWords)
+		r.foldEnded[w] = make([]uint64, r.factWords)
+		r.foldNotBegun[w] = make([]uint64, r.factWords)
+		r.foldInProg[w] = make([]int32, 0, len(a.procActs))
 	}
 	r.remaining.Store(budget)
 	newFacts := func() [][]uint64 {
@@ -307,36 +284,19 @@ func (a *Analyzer) shadow() *Analyzer {
 	s.pc = make([]int32, len(a.pc))
 	s.sem = make([]int32, len(a.sem))
 	s.ev = make([]uint64, len(a.ev))
-	s.keyBuf = make([]byte, 0, cap(a.keyBuf))
+	s.allocScratch()
 	s.stats = Stats{}
 	s.memoComplete = nil
 	s.ctx = nil
 	return s
 }
 
-// decodeState loads the state encoded in a batch key (pc vector + event
-// variable words) into shadow s; semaphore counters are recomputed from the
-// precomputed per-prefix deltas (they are a pure function of pc and
-// deliberately not part of the key).
-func (r *batchRun) decodeState(s *Analyzer, key string) {
-	off := 0
-	if s.pcBytes == 1 {
-		for p := range s.pc {
-			s.pc[p] = int32(key[off])
-			off++
-		}
-	} else {
-		for p := range s.pc {
-			s.pc[p] = int32(key[off]) | int32(key[off+1])<<8
-			off += 2
-		}
-	}
-	for i := range s.ev {
-		s.ev[i] = uint64(key[off]) | uint64(key[off+1])<<8 | uint64(key[off+2])<<16 |
-			uint64(key[off+3])<<24 | uint64(key[off+4])<<32 | uint64(key[off+5])<<40 |
-			uint64(key[off+6])<<48 | uint64(key[off+7])<<56
-		off += 8
-	}
+// decodeState loads the state encoded in a packed batch key (pc counters +
+// event variable bits) into shadow s; semaphore counters are recomputed
+// from the precomputed per-prefix deltas (they are a pure function of pc
+// and deliberately not part of the key).
+func (r *batchRun) decodeState(s *Analyzer, key []uint64) {
+	s.unpackKey(key)
 	copy(s.sem, s.semInit)
 	if len(s.sem) > 0 {
 		for p := range s.procActs {
@@ -347,11 +307,16 @@ func (r *batchRun) decodeState(s *Analyzer, key string) {
 	}
 }
 
-// pcSig extracts the pc-vector prefix of a batch key. Interval facts
-// depend only on program counters, so states differing only in event
-// variables share one fact derivation.
-func (r *batchRun) pcSig(key string) string {
-	return key[:r.a.pcBytes*len(r.a.pc)]
+// pcSig extracts the pc-counter prefix of a packed key into worker w's
+// signature buffer (packKey lays the pc bit-fields out first, so the
+// prefix is a word copy plus a final-word mask). Interval facts depend
+// only on program counters, so states differing only in event variables
+// share one fact derivation.
+func (r *batchRun) pcSig(w int, key []uint64) []uint64 {
+	sig := r.sigBufs[w]
+	copy(sig, key[:r.pcSigWords])
+	sig[r.pcSigWords-1] &= r.pcSigMask
+	return sig
 }
 
 // precomputeIntervalTables builds, for every process p and program counter
@@ -429,18 +394,18 @@ func (r *batchRun) chargeState() error {
 	return nil
 }
 
-// runPhase fans items out over the run's workers; each worker claims
-// chunks of the item slice and processes them with its private shadow.
-// The per-level WaitGroup is the barrier that makes node writes of one
-// level visible to the next.
-func (r *batchRun) runPhase(items []string, fn func(w int, s *Analyzer, key string) error) error {
+// runPhase fans n items out over the run's workers; each worker claims
+// index chunks and processes them with its private shadow (callers index
+// their flat key slice by i). The per-level WaitGroup is the barrier that
+// makes completability writes of one level visible to the next.
+func (r *batchRun) runPhase(n int, fn func(w int, s *Analyzer, i int) error) error {
 	workers := r.workers
-	if workers > len(items) {
-		workers = len(items)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
 		s := r.shadows[0]
-		for i, key := range items {
+		for i := 0; i < n; i++ {
 			if i%64 == 0 {
 				if err := r.ctx.Err(); err != nil {
 					return err
@@ -449,7 +414,7 @@ func (r *batchRun) runPhase(items []string, fn func(w int, s *Analyzer, key stri
 			if r.stop.Load() {
 				break
 			}
-			if err := fn(0, s, key); err != nil {
+			if err := fn(0, s, i); err != nil {
 				r.fail(err)
 				break
 			}
@@ -470,18 +435,18 @@ func (r *batchRun) runPhase(items []string, fn func(w int, s *Analyzer, key stri
 					return
 				}
 				lo := int(next.Add(chunk)) - chunk
-				if lo >= len(items) {
+				if lo >= n {
 					return
 				}
 				hi := lo + chunk
-				if hi > len(items) {
-					hi = len(items)
+				if hi > n {
+					hi = n
 				}
-				for _, key := range items[lo:hi] {
+				for i := lo; i < hi; i++ {
 					if r.stop.Load() {
 						return
 					}
-					if err := fn(w, s, key); err != nil {
+					if err := fn(w, s, i); err != nil {
 						r.fail(err)
 						return
 					}
@@ -500,12 +465,15 @@ func (r *batchRun) runPhase(items []string, fn func(w int, s *Analyzer, key stri
 // backward completability with fact folding fused in.
 func (r *batchRun) explore() error {
 	a := r.a
-	// Initial state. stateKey's string conversion copies keyBuf, so keys
-	// are owned by whoever holds them.
+	kw := a.keyWords
+	// Initial state. Levels hold packed keys inline (keyWords stride), so
+	// appending a key copies its words — keys are owned by the level slice.
 	s := r.shadows[0]
 	s.resetState()
-	r.levels = append(r.levels, []string{s.stateKey(batchKeyExtra)})
-	r.table.intern(r.levels[0][0])
+	root := make([]uint64, kw)
+	s.packKey(keyExtraComplete, root)
+	r.levels = append(r.levels, root)
+	r.table.Intern(root)
 
 	// Forward: expand each level's states, deduping successors in the
 	// shared table. Levels are a topological order of the state DAG (each
@@ -515,27 +483,27 @@ func (r *batchRun) explore() error {
 		if len(frontier) == 0 {
 			break
 		}
-		nextLevel := make([][]string, r.workers)
-		err := r.runPhase(frontier, func(w int, s *Analyzer, key string) error {
+		nextLevel := make([][]uint64, r.workers)
+		err := r.runPhase(len(frontier)/kw, func(w int, s *Analyzer, i int) error {
 			if err := r.chargeState(); err != nil {
 				return err
 			}
+			key := frontier[i*kw : (i+1)*kw]
 			r.decodeState(s, key)
-			enabled := s.appendEnabled(nil)
+			enabled := s.appendEnabled(s.enabledSlot(0))
+			child := s.keySlot(0)
 			for _, id := range enabled {
-				undo := s.step(id)
-				child := s.stateKey(batchKeyExtra)
-				if _, fresh := r.table.intern(child); fresh {
-					nextLevel[w] = append(nextLevel[w], child)
+				s.patchChildKey(id, key, child)
+				if r.table.Intern(child) {
+					nextLevel[w] = append(nextLevel[w], child...)
 				}
-				s.unstep(id, undo)
 			}
 			return nil
 		})
 		if err != nil {
 			return err
 		}
-		var merged []string
+		var merged []uint64
 		for _, part := range nextLevel {
 			merged = append(merged, part...)
 		}
@@ -544,24 +512,28 @@ func (r *batchRun) explore() error {
 
 	// Backward: completability per level, last to first; fold state facts
 	// for every completable state as its verdict lands, and edge facts for
-	// every sync action connecting two completable states.
+	// every sync action connecting two completable states. Every state and
+	// child key was interned by the forward pass, so the backward writes
+	// only flip existing value bits — the shared table's layout is stable
+	// throughout this phase.
 	for lvl := len(r.levels) - 1; lvl >= 0; lvl-- {
-		err := r.runPhase(r.levels[lvl], func(w int, s *Analyzer, key string) error {
+		level := r.levels[lvl]
+		err := r.runPhase(len(level)/kw, func(w int, s *Analyzer, i int) error {
+			key := level[i*kw : (i+1)*kw]
 			r.decodeState(s, key)
-			node := r.table.get(key)
+			completable := false
 			if s.allDone() {
-				node.completable = true
+				completable = true
 			} else {
-				enabled := s.appendEnabled(nil)
+				enabled := s.appendEnabled(s.enabledSlot(0))
+				child := s.keySlot(0)
 				for _, id := range enabled {
-					undo := s.step(id)
-					child := s.stateKey(batchKeyExtra)
-					cn := r.table.get(child)
-					s.unstep(id, undo)
-					if cn == nil || !cn.completable {
+					s.patchChildKey(id, key, child)
+					childOK, _ := r.table.Lookup(child)
+					if !childOK {
 						continue
 					}
-					node.completable = true
+					completable = true
 					if s.acts[id].kind == actSync {
 						// Edge rule: the atomic event fires here, inside
 						// the interval of every in-progress event.
@@ -569,8 +541,11 @@ func (r *batchRun) explore() error {
 					}
 				}
 			}
-			if node.completable && r.pcSeen.markOnce(r.pcSig(key)) {
-				r.foldStateFacts(w, s)
+			if completable {
+				r.table.Store(key, true)
+				if r.pcSeen.Intern(r.pcSig(w, key)) {
+					r.foldStateFacts(w, s)
+				}
 			}
 			return nil
 		})
@@ -597,9 +572,11 @@ func (r *batchRun) explore() error {
 // in-progress events can overlap.
 func (r *batchRun) foldStateFacts(w int, s *Analyzer) {
 	n := len(s.x.Events)
-	ended := make([]uint64, r.factWords)
-	notBegun := make([]uint64, r.factWords)
-	var inProg []int32
+	ended, notBegun := r.foldEnded[w], r.foldNotBegun[w]
+	for i := 0; i < r.factWords; i++ {
+		ended[i], notBegun[i] = 0, 0
+	}
+	inProg := r.foldInProg[w][:0]
 	for p := range s.procActs {
 		pcp := s.pc[p]
 		eb := r.endedBits[p][pcp]
@@ -668,13 +645,10 @@ func (r *batchRun) mergeCompletionMemo() {
 	if r.a.opts.DisableMemo {
 		return
 	}
-	for _, level := range r.levels {
-		for _, key := range level {
-			if node := r.table.get(key); node != nil {
-				r.a.memoComplete[key] = node.completable
-			}
-		}
-	}
+	r.table.Range(func(key []uint64, completable bool) bool {
+		r.a.memoComplete.Store(key, completable)
+		return true
+	})
 }
 
 

@@ -90,7 +90,7 @@ func TestMatrixMatchesBruteForce(t *testing.T) {
 
 // loadTrace runs one testdata program under a seeded scheduler and returns
 // its observed execution.
-func loadTrace(t *testing.T, name string) *model.Execution {
+func loadTrace(t testing.TB, name string) *model.Execution {
 	t.Helper()
 	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
 	if err != nil {

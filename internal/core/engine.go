@@ -37,9 +37,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"eventorder/internal/model"
+	"eventorder/internal/statetab"
 )
 
 // ErrBudget is returned when a query exceeds Options.MaxNodes search nodes.
@@ -62,11 +64,18 @@ type Options struct {
 	DisableMemo bool
 }
 
-// Stats reports search effort accumulated by an Analyzer.
+// Stats reports search effort accumulated by an Analyzer, plus the
+// occupancy of the persistent completion memo (the one table that lives as
+// long as the analyzer — per-query monitor memos are created and dropped
+// per query). The occupancy fields make memo-table pressure observable in
+// production: the eventorderd service exports them on /metrics.
 type Stats struct {
-	Nodes        int64 // search nodes expanded across all queries
-	MemoHits     int64 // memoized answers reused
-	CompleteMemo int   // entries in the persistent completion memo
+	Nodes        int64   // search nodes expanded across all queries
+	MemoHits     int64   // memoized answers reused
+	CompleteMemo int     // entries in the persistent completion memo
+	MemoBytes    int64   // heap bytes held by the completion memo's arrays
+	MemoLoad     float64 // completion memo load factor (entries/capacity)
+	MemoGrows    int64   // capacity doublings since creation or DropMemo
 }
 
 type actKind uint8
@@ -123,11 +132,29 @@ type Analyzer struct {
 	stats Stats
 
 	// memoComplete caches "a complete valid interleaving exists from this
-	// state"; it is query-independent and persists across queries.
-	memoComplete map[string]bool
+	// state"; it is query-independent and persists across queries. Keys are
+	// the packed state keys below.
+	memoComplete *statetab.Table
 
-	pcBytes int // bytes per program counter in state keys (1 or 2)
-	keyBuf  []byte
+	// Packed state keys: the search state (pc, ev, extra) bit-packed into
+	// keyWords uint64 words — pcBits bits per program counter, one bit per
+	// event variable, then the 8-bit extra discriminator. Semaphore
+	// counters are a pure function of the program counters and are omitted.
+	pcBits   uint // bits per program counter field
+	evBits   int  // event-variable bits (== number of event variables)
+	keyWords int  // uint64 words per packed key
+
+	// Per-depth scratch arenas, indexed by recursion depth so a frame's key
+	// and enabled list survive recursion into child frames (deriving the
+	// key once per node) without any per-node allocation. Slot d of
+	// keyArena is keyWords words; slot d of enabledArena is len(procActs)
+	// int32s.
+	keyArena     []uint64
+	enabledArena []int32
+	// walkEnabled is the enabled-action scratch of the non-recursive walk
+	// loops (FindSchedule, completePath, sampleWalk), which probe
+	// canComplete — and thus the arenas — while iterating it.
+	walkEnabled []int32
 
 	// ctx, when non-nil, is polled inside the search so an abandoned query
 	// (canceled request, expired deadline) stops burning CPU. Set and
@@ -186,7 +213,7 @@ func newAnalyzer(x *model.Execution, opts Options, needOrder bool) (*Analyzer, e
 		}
 		opts.IgnoreData = true // no observed order → no data constraints yet
 	}
-	a := &Analyzer{x: x, opts: opts, memoComplete: map[string]bool{}}
+	a := &Analyzer{x: x, opts: opts}
 
 	// Dense semaphore and event-variable indices.
 	semIdx := map[string]int32{}
@@ -301,14 +328,46 @@ func newAnalyzer(x *model.Execution, opts Options, needOrder bool) (*Analyzer, e
 	a.pc = make([]int32, len(x.Procs))
 	a.sem = make([]int32, len(a.semNames))
 	a.ev = make([]uint64, len(a.evInit))
-	a.pcBytes = 1
+
+	// Packed-key geometry: one fixed width for every pc field (enough bits
+	// for the longest process's final counter), the event-variable bits,
+	// and the extra byte. Fixed widths make bit concatenation injective.
+	maxActs := 0
 	for p := range a.procActs {
-		if len(a.procActs[p]) > 0xfe {
-			a.pcBytes = 2
+		if len(a.procActs[p]) > maxActs {
+			maxActs = len(a.procActs[p])
 		}
 	}
-	a.keyBuf = make([]byte, 0, a.pcBytes*len(x.Procs)+8*len(a.evInit)+1)
+	a.pcBits = uint(bits.Len(uint(maxActs)))
+	if a.pcBits == 0 {
+		a.pcBits = 1
+	}
+	a.evBits = len(a.evNames)
+	a.keyWords = (len(x.Procs)*int(a.pcBits) + a.evBits + 8 + 63) / 64
+	a.allocScratch()
+	a.memoComplete = statetab.New(a.keyWords, 0)
 	return a, nil
+}
+
+// allocScratch sizes the per-depth arenas: recursion depth is bounded by
+// the number of unexecuted actions, so len(acts)+2 slots always suffice.
+func (a *Analyzer) allocScratch() {
+	depths := len(a.acts) + 2
+	a.keyArena = make([]uint64, depths*a.keyWords)
+	a.enabledArena = make([]int32, depths*len(a.procActs))
+	a.walkEnabled = make([]int32, 0, len(a.procActs))
+}
+
+// keySlot returns depth's packed-key scratch slot.
+func (a *Analyzer) keySlot(depth int) []uint64 {
+	return a.keyArena[depth*a.keyWords : (depth+1)*a.keyWords]
+}
+
+// enabledSlot returns depth's empty enabled-action scratch slot (capacity
+// one action per process; appendEnabled can never overflow it).
+func (a *Analyzer) enabledSlot(depth int) []int32 {
+	base := depth * len(a.procActs)
+	return a.enabledArena[base:base : base+len(a.procActs)]
 }
 
 // Execution returns the execution under analysis.
@@ -317,10 +376,15 @@ func (a *Analyzer) Execution() *model.Execution { return a.x }
 // NumActions returns the number of atomic actions in the interleaving space.
 func (a *Analyzer) NumActions() int { return len(a.acts) }
 
-// Stats returns cumulative search statistics.
+// Stats returns cumulative search statistics, including the completion
+// memo's current occupancy.
 func (a *Analyzer) Stats() Stats {
 	s := a.stats
-	s.CompleteMemo = len(a.memoComplete)
+	ts := a.memoComplete.Stats()
+	s.CompleteMemo = ts.Entries
+	s.MemoBytes = ts.Bytes
+	s.MemoLoad = ts.Load
+	s.MemoGrows = ts.Grows
 	return s
 }
 
@@ -330,7 +394,7 @@ func (a *Analyzer) ResetStats() { a.stats = Stats{} }
 
 // DropMemo discards the persistent completion memo (used by benchmarks to
 // measure cold-start cost).
-func (a *Analyzer) DropMemo() { a.memoComplete = map[string]bool{} }
+func (a *Analyzer) DropMemo() { a.memoComplete.Reset() }
 
 // resetState rewinds the mutable search state to the initial configuration.
 func (a *Analyzer) resetState() {
@@ -452,26 +516,116 @@ func (a *Analyzer) allDone() bool {
 	return true
 }
 
-// stateKey encodes (pc, ev, extra) as a map key. Semaphore counters are a
-// pure function of the program counters and are omitted.
-func (a *Analyzer) stateKey(extra byte) string {
-	buf := a.keyBuf[:0]
-	if a.pcBytes == 1 {
-		for _, c := range a.pc {
-			buf = append(buf, byte(c))
+// keyExtraComplete is the extra discriminator byte packed into completion-
+// memo keys; the per-query monitor memos pack the interval-monitor flags
+// (always < 0x04) there instead, so the two key families never collide.
+const keyExtraComplete = 0xff
+
+// packKey bit-packs the current state (pc, ev, extra) into dst, which must
+// be exactly keyWords long. Fields are fixed-width (pcBits per counter,
+// one bit per event variable, 8 extra bits), so the packing is injective.
+// Semaphore counters are a pure function of the program counters and are
+// omitted.
+func (a *Analyzer) packKey(extra byte, dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	bit := uint(0)
+	pb := a.pcBits
+	for _, c := range a.pc {
+		w, off := bit>>6, bit&63
+		dst[w] |= uint64(uint32(c)) << off
+		if off+pb > 64 {
+			dst[w+1] |= uint64(uint32(c)) >> (64 - off)
 		}
-	} else {
-		for _, c := range a.pc {
-			buf = append(buf, byte(c), byte(c>>8))
+		bit += pb
+	}
+	left := a.evBits
+	for _, ew := range a.ev {
+		nb := uint(64)
+		if uint(left) < nb {
+			nb = uint(left)
+		}
+		w, off := bit>>6, bit&63
+		dst[w] |= ew << off
+		if off+nb > 64 {
+			dst[w+1] |= ew >> (64 - off)
+		}
+		bit += nb
+		left -= int(nb)
+	}
+	w, off := bit>>6, bit&63
+	dst[w] |= uint64(extra) << off
+	if off+8 > 64 {
+		dst[w+1] |= uint64(extra) >> (64 - off)
+	}
+}
+
+// patchChildKey writes into dst the packed key of the state reached by
+// executing action id from the state whose packed key is src, preserving
+// the extra byte. It is equivalent to step(id) + packKey + unstep(id) but
+// touches only the words holding the changed fields: the acting process's
+// pc field is incremented with a wide add (the field cannot overflow —
+// pcBits covers the maximal counter, so the carry never escapes it), and a
+// post/clear flips its single event bit. Semaphore ops leave everything
+// but the pc untouched because semaphore counters are derived state and
+// not part of the key. src and dst must not overlap.
+func (a *Analyzer) patchChildKey(id int32, src, dst []uint64) {
+	copy(dst, src)
+	act := &a.acts[id]
+	bit := uint(act.proc) * a.pcBits
+	w, off := bit>>6, bit&63
+	old := dst[w]
+	dst[w] = old + 1<<off
+	if off+a.pcBits > 64 && dst[w] < old {
+		dst[w+1]++
+	}
+	if act.kind == actSync {
+		switch act.opKind {
+		case model.OpPost:
+			b := uint(len(a.pc))*a.pcBits + uint(act.obj)
+			dst[b>>6] |= 1 << (b & 63)
+		case model.OpClear:
+			b := uint(len(a.pc))*a.pcBits + uint(act.obj)
+			dst[b>>6] &^= 1 << (b & 63)
 		}
 	}
-	for _, w := range a.ev {
-		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
-			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+}
+
+// readBits extracts width bits (1..64) starting at bit offset bit from the
+// packed key.
+func readBits(key []uint64, bit, width uint) uint64 {
+	w, off := bit>>6, bit&63
+	v := key[w] >> off
+	if off+width > 64 {
+		v |= key[w+1] << (64 - off)
 	}
-	buf = append(buf, extra)
-	a.keyBuf = buf
-	return string(buf)
+	if width == 64 {
+		return v
+	}
+	return v & (1<<width - 1)
+}
+
+// unpackKey loads the pc and ev fields of a packed key into the analyzer's
+// mutable state (the inverse of packKey; the extra byte is ignored).
+// Semaphore counters are NOT restored — they are derived state; see the
+// batch engine's decodeState.
+func (a *Analyzer) unpackKey(key []uint64) {
+	bit := uint(0)
+	for p := range a.pc {
+		a.pc[p] = int32(readBits(key, bit, a.pcBits))
+		bit += a.pcBits
+	}
+	left := a.evBits
+	for i := range a.ev {
+		nb := uint(64)
+		if uint(left) < nb {
+			nb = uint(left)
+		}
+		a.ev[i] = readBits(key, bit, nb)
+		bit += nb
+		left -= int(nb)
+	}
 }
 
 // ctxPollInterval is how many search nodes pass between cancellation
@@ -502,12 +656,20 @@ func (a *Analyzer) budgetCharge(remaining *int64) error {
 
 // canComplete reports whether some complete valid interleaving exists from
 // the current state. Answers are memoized persistently across queries.
-func (a *Analyzer) canComplete(budget *int64) (bool, error) {
+// depth indexes the per-depth scratch arenas; callers at a fresh search
+// root pass 0, recursive callers their own depth+1. The node's key is
+// derived exactly once — recursion only touches deeper arena slots, so the
+// slot survives for the memo store — and neither the key nor the enabled
+// list allocates.
+func (a *Analyzer) canComplete(budget *int64, depth int) (bool, error) {
 	if a.allDone() {
 		return true, nil
 	}
+	var key []uint64
 	if !a.opts.DisableMemo {
-		if v, ok := a.memoComplete[a.stateKey(0xff)]; ok {
+		key = a.keySlot(depth)
+		a.packKey(keyExtraComplete, key)
+		if v, ok := a.memoComplete.Lookup(key); ok {
 			a.stats.MemoHits++
 			return v, nil
 		}
@@ -515,12 +677,12 @@ func (a *Analyzer) canComplete(budget *int64) (bool, error) {
 	if err := a.budgetCharge(budget); err != nil {
 		return false, err
 	}
-	enabled := a.appendEnabled(nil)
+	enabled := a.appendEnabled(a.enabledSlot(depth))
 	result := false
 	var searchErr error
 	for _, id := range enabled {
 		undo := a.step(id)
-		ok, err := a.canComplete(budget)
+		ok, err := a.canComplete(budget, depth+1)
 		a.unstep(id, undo)
 		if err != nil {
 			searchErr = err
@@ -535,8 +697,7 @@ func (a *Analyzer) canComplete(budget *int64) (bool, error) {
 		return false, searchErr
 	}
 	if !a.opts.DisableMemo {
-		// Re-derive the key: keyBuf was clobbered by recursion.
-		a.memoComplete[a.stateKey(0xff)] = result
+		a.memoComplete.Store(key, result)
 	}
 	return result, nil
 }

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// legacyStateKey reimplements the pre-packed-key string encoding (pc
+// counters as 1 or 2 little-endian bytes each, ev words as 8 bytes each,
+// extra byte last) as a test-only injectivity oracle: two states collide
+// under packKey iff they collide under this byte encoding.
+func legacyStateKey(a *Analyzer, extra byte) string {
+	pcBytes := 1
+	for p := range a.procActs {
+		if len(a.procActs[p]) > 0xfe {
+			pcBytes = 2
+		}
+	}
+	buf := make([]byte, 0, pcBytes*len(a.pc)+8*len(a.ev)+1)
+	if pcBytes == 1 {
+		for _, c := range a.pc {
+			buf = append(buf, byte(c))
+		}
+	} else {
+		for _, c := range a.pc {
+			buf = append(buf, byte(c), byte(c>>8))
+		}
+	}
+	for _, w := range a.ev {
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	buf = append(buf, extra)
+	return string(buf)
+}
+
+// setSyntheticState drives the analyzer's mutable pc/ev state from a byte
+// stream: every pc lands in its valid range [0, len(procActs[p])], and ev
+// words are masked to the declared event-variable bits (bits beyond evBits
+// are never set in real states, so the oracle must not see them either).
+func setSyntheticState(a *Analyzer, data []byte) (extra byte) {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	for p := range a.pc {
+		span := int32(len(a.procActs[p])) + 1
+		v := int32(next()) | int32(next())<<8
+		a.pc[p] = v % span
+	}
+	for i := range a.ev {
+		var w uint64
+		for b := 0; b < 8; b++ {
+			w |= uint64(next()) << uint(b*8)
+		}
+		if rem := a.evBits - i*64; rem < 64 {
+			w &= 1<<uint(rem) - 1
+		}
+		a.ev[i] = w
+	}
+	return next()
+}
+
+// packedOf returns a copy of the current state's packed key.
+func packedOf(a *Analyzer, extra byte) []uint64 {
+	key := make([]uint64, a.keyWords)
+	a.packKey(extra, key)
+	return key
+}
+
+func keysEqual(x, y []uint64) bool {
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzPackKeyMatchesLegacy feeds arbitrary state pairs to packKey and the
+// legacy string encoding and requires them to agree on equality: packed
+// keys collide exactly when the byte-per-field oracle does, i.e. the
+// bit-packing is injective over the whole representable state space.
+func FuzzPackKeyMatchesLegacy(f *testing.F) {
+	rng := rand.New(rand.NewSource(42))
+	analyzers := make([]*Analyzer, 0, 4)
+	for i := 0; i < 4; i++ {
+		x := randomExecution(rng)
+		a, err := New(x, Options{})
+		if err != nil {
+			f.Fatal(err)
+		}
+		analyzers = append(analyzers, a)
+	}
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 1, 2, 3}, []byte{0, 1, 2, 3})
+	f.Add([]byte{1}, []byte{2})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}, []byte{0})
+	f.Fuzz(func(t *testing.T, s1, s2 []byte) {
+		for _, a := range analyzers {
+			e1 := setSyntheticState(a, s1)
+			p1, l1 := packedOf(a, e1), legacyStateKey(a, e1)
+			e2 := setSyntheticState(a, s2)
+			p2, l2 := packedOf(a, e2), legacyStateKey(a, e2)
+			if keysEqual(p1, p2) != (l1 == l2) {
+				t.Fatalf("injectivity mismatch: packed %v/%v equal=%v, legacy %q/%q equal=%v (pc=%v ev=%v)",
+					p1, p2, keysEqual(p1, p2), l1, l2, l1 == l2, a.pc, a.ev)
+			}
+		}
+	})
+}
+
+// TestPackKeyMatchesLegacyOnReachableStates checks the packed/legacy
+// correspondence on real reachable states: random walks over testdata
+// traces and randomized executions, with both discriminator families
+// (completion 0xff, monitor flags < 0x04) mixed in. The two encodings must
+// induce the same partition of the visited (state, extra) set.
+func TestPackKeyMatchesLegacyOnReachableStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(tag string, a *Analyzer) {
+		packedToLegacy := map[string]string{}
+		legacyToPacked := map[string]string{}
+		extras := []byte{keyExtraComplete, 0, 1, 2, 3}
+		record := func() {
+			for _, ex := range extras {
+				pk := fmt.Sprint(packedOf(a, ex))
+				lk := legacyStateKey(a, ex)
+				if prev, ok := packedToLegacy[pk]; ok && prev != lk {
+					t.Fatalf("%s: packed key %s maps to two legacy keys %q and %q", tag, pk, prev, lk)
+				}
+				if prev, ok := legacyToPacked[lk]; ok && prev != pk {
+					t.Fatalf("%s: legacy key %q maps to two packed keys %s and %s", tag, lk, prev, pk)
+				}
+				packedToLegacy[pk] = lk
+				legacyToPacked[lk] = pk
+			}
+		}
+		for walk := 0; walk < 20; walk++ {
+			a.resetState()
+			record()
+			var enabled []int32
+			for {
+				enabled = a.appendEnabled(enabled[:0])
+				if len(enabled) == 0 {
+					break
+				}
+				a.step(enabled[rng.Intn(len(enabled))])
+				record()
+			}
+		}
+		a.resetState()
+	}
+	for _, name := range []string{"barrier.evo", "handshake.evo", "dining2.evo"} {
+		check(name, mustAnalyzer(t, loadTrace(t, name), Options{}))
+	}
+	for trial := 0; trial < 10; trial++ {
+		x := randomExecution(rng)
+		check(fmt.Sprintf("random %d", trial), mustAnalyzer(t, x, Options{}))
+	}
+}
+
+// TestUnpackKeyRoundTrip pins unpackKey as packKey's inverse on reachable
+// states (the batch engine decodes every frontier state through it).
+func TestUnpackKeyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		a := mustAnalyzer(t, randomExecution(rng), Options{})
+		for walk := 0; walk < 10; walk++ {
+			a.resetState()
+			var enabled []int32
+			for {
+				key := packedOf(a, keyExtraComplete)
+				pc := append([]int32(nil), a.pc...)
+				ev := append([]uint64(nil), a.ev...)
+				a.unpackKey(key)
+				for p := range pc {
+					if a.pc[p] != pc[p] {
+						t.Fatalf("trial %d: unpackKey pc[%d] = %d, want %d", trial, p, a.pc[p], pc[p])
+					}
+				}
+				for i := range ev {
+					if a.ev[i] != ev[i] {
+						t.Fatalf("trial %d: unpackKey ev[%d] = %#x, want %#x", trial, i, a.ev[i], ev[i])
+					}
+				}
+				enabled = a.appendEnabled(enabled[:0])
+				if len(enabled) == 0 {
+					break
+				}
+				a.step(enabled[rng.Intn(len(enabled))])
+			}
+		}
+	}
+}
+
+// TestPatchChildKeyMatchesRepack pins patchChildKey (the batch engine's
+// incremental successor-key derivation) against the reference
+// step + packKey + unstep sequence on every edge of random walks through
+// testdata traces and random executions.
+func TestPatchChildKeyMatchesRepack(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	check := func(tag string, a *Analyzer) {
+		parent := make([]uint64, a.keyWords)
+		patched := make([]uint64, a.keyWords)
+		repacked := make([]uint64, a.keyWords)
+		for walk := 0; walk < 20; walk++ {
+			a.resetState()
+			var enabled []int32
+			for {
+				enabled = a.appendEnabled(enabled[:0])
+				if len(enabled) == 0 {
+					break
+				}
+				a.packKey(keyExtraComplete, parent)
+				for _, id := range enabled {
+					a.patchChildKey(id, parent, patched)
+					undo := a.step(id)
+					a.packKey(keyExtraComplete, repacked)
+					a.unstep(id, undo)
+					if !keysEqual(patched, repacked) {
+						t.Fatalf("%s: patchChildKey(%d) = %v, step+packKey = %v (parent %v)",
+							tag, id, patched, repacked, parent)
+					}
+				}
+				a.step(enabled[rng.Intn(len(enabled))])
+			}
+		}
+		a.resetState()
+	}
+	for _, name := range []string{"barrier.evo", "handshake.evo", "dining2.evo"} {
+		check(name, mustAnalyzer(t, loadTrace(t, name), Options{}))
+	}
+	for trial := 0; trial < 10; trial++ {
+		check(fmt.Sprintf("random %d", trial), mustAnalyzer(t, randomExecution(rng), Options{}))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"eventorder/internal/model"
+	"eventorder/internal/statetab"
 )
 
 // RelKind names one of the six ordering relations of the paper's Table 1.
@@ -137,10 +138,13 @@ func (a *Analyzer) updateFlags(q *pairQuery, flags byte, id int32) byte {
 
 // existsAccepted reports whether some complete valid interleaving from the
 // current state, with the given monitor flags, ends with accepted flags.
-func (a *Analyzer) existsAccepted(q *pairQuery, flags byte, memo map[string]bool, budget *int64) (bool, error) {
+// depth indexes the per-depth scratch arenas (see canComplete): the node's
+// key — with the monitor flags as the extra discriminator — is derived
+// once into this frame's slot and survives recursion for the memo store.
+func (a *Analyzer) existsAccepted(q *pairQuery, flags byte, memo *statetab.Table, budget *int64, depth int) (bool, error) {
 	switch classifyFlags(q, flags, a.settableMask(q)) {
 	case +1:
-		return a.canComplete(budget)
+		return a.canComplete(budget, depth)
 	case -1:
 		return false, nil
 	}
@@ -149,8 +153,11 @@ func (a *Analyzer) existsAccepted(q *pairQuery, flags byte, memo map[string]bool
 		// and classifyFlags decides. Kept for safety.
 		return q.accept(flags), nil
 	}
+	var key []uint64
 	if !a.opts.DisableMemo {
-		if v, ok := memo[a.stateKey(flags)]; ok {
+		key = a.keySlot(depth)
+		a.packKey(flags, key)
+		if v, ok := memo.Lookup(key); ok {
 			a.stats.MemoHits++
 			return v, nil
 		}
@@ -158,13 +165,13 @@ func (a *Analyzer) existsAccepted(q *pairQuery, flags byte, memo map[string]bool
 	if err := a.budgetCharge(budget); err != nil {
 		return false, err
 	}
-	enabled := a.appendEnabled(nil)
+	enabled := a.appendEnabled(a.enabledSlot(depth))
 	result := false
 	var searchErr error
 	for _, id := range enabled {
 		nf := a.updateFlags(q, flags, id)
 		undo := a.step(id)
-		ok, err := a.existsAccepted(q, nf, memo, budget)
+		ok, err := a.existsAccepted(q, nf, memo, budget, depth+1)
 		a.unstep(id, undo)
 		if err != nil {
 			searchErr = err
@@ -179,7 +186,7 @@ func (a *Analyzer) existsAccepted(q *pairQuery, flags byte, memo map[string]bool
 		return false, searchErr
 	}
 	if !a.opts.DisableMemo {
-		memo[a.stateKey(flags)] = result
+		memo.Store(key, result)
 	}
 	return result, nil
 }
@@ -201,8 +208,8 @@ func (a *Analyzer) exists(ea, eb model.EventID, accept func(flags byte) bool) (b
 	}
 	a.resetState()
 	budget := a.opts.MaxNodes
-	memo := map[string]bool{}
-	return a.existsAccepted(q, 0, memo, &budget)
+	memo := statetab.New(a.keyWords, 0)
+	return a.existsAccepted(q, 0, memo, &budget, 0)
 }
 
 // relAccept returns the interval-flag acceptance predicate for kind's

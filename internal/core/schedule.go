@@ -17,7 +17,7 @@ var ErrTruncated = errors.New("core: schedule enumeration truncated at limit")
 func (a *Analyzer) CanComplete() (bool, error) {
 	a.resetState()
 	budget := a.opts.MaxNodes
-	return a.canComplete(&budget)
+	return a.canComplete(&budget, 0)
 }
 
 // FindSchedule returns one complete valid interleaving as an op-level order
@@ -28,7 +28,7 @@ func (a *Analyzer) CanComplete() (bool, error) {
 func (a *Analyzer) FindSchedule() (order []model.OpID, ok bool, err error) {
 	a.resetState()
 	budget := a.opts.MaxNodes
-	can, err := a.canComplete(&budget)
+	can, err := a.canComplete(&budget, 0)
 	if err != nil {
 		return nil, false, err
 	}
@@ -37,11 +37,13 @@ func (a *Analyzer) FindSchedule() (order []model.OpID, ok bool, err error) {
 	}
 	order = make([]model.OpID, 0, len(a.x.Ops))
 	for !a.allDone() {
-		enabled := a.appendEnabled(nil)
+		// The walk iterates an enabled list while canComplete recurses, so
+		// it uses the dedicated walk buffer, not a depth slot.
+		a.walkEnabled = a.appendEnabled(a.walkEnabled[:0])
 		advanced := false
-		for _, id := range enabled {
+		for _, id := range a.walkEnabled {
 			undo := a.step(id)
-			can, err := a.canComplete(&budget)
+			can, err := a.canComplete(&budget, 0)
 			if err != nil {
 				a.unstep(id, undo)
 				return nil, false, err
@@ -90,7 +92,7 @@ func (a *Analyzer) enumerateActions(limit int, fn func(acts []int32) bool) (int,
 			}
 			return
 		}
-		enabled := a.appendEnabled(nil)
+		enabled := a.appendEnabled(a.enabledSlot(len(seq)))
 		for _, id := range enabled {
 			undo := a.step(id)
 			seq = append(seq, id)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"eventorder/internal/model"
+	"eventorder/internal/statetab"
 )
 
 // Witness is a feasible interleaving demonstrating a relation verdict.
@@ -92,7 +93,7 @@ func (a *Analyzer) witnessSchedule(kind RelKind, ea, eb model.EventID) (Witness,
 	}
 	a.resetState()
 	budget := a.opts.MaxNodes
-	memo := map[string]bool{}
+	memo := statetab.New(a.keyWords, 0)
 	path := make([]int32, 0, len(a.acts))
 	found, err := a.witnessSearch(q, 0, memo, &budget, &path)
 	if err != nil {
@@ -146,22 +147,27 @@ func FormatSteps(x *model.Execution, steps []WitnessStep) []string {
 // witnessSearch mirrors existsAccepted but records the successful path.
 // The per-query memo is consulted only for negative entries (a positive
 // entry promises a path exists below, so the search just descends — it
-// will succeed without re-proving).
-func (a *Analyzer) witnessSearch(q *pairQuery, flags byte, memo map[string]bool, budget *int64, path *[]int32) (bool, error) {
+// will succeed without re-proving). The recursion depth equals len(*path),
+// which indexes the per-depth scratch arenas: the frame's key is derived
+// once and survives recursion for the negative memo store.
+func (a *Analyzer) witnessSearch(q *pairQuery, flags byte, memo *statetab.Table, budget *int64, path *[]int32) (bool, error) {
+	depth := len(*path)
 	switch classifyFlags(q, flags, a.settableMask(q)) {
 	case +1:
 		return a.completePath(budget, path)
 	case -1:
 		return false, nil
 	}
-	if v, ok := memo[a.stateKey(flags)]; ok && !v {
+	key := a.keySlot(depth)
+	a.packKey(flags, key)
+	if v, ok := memo.Lookup(key); ok && !v {
 		a.stats.MemoHits++
 		return false, nil
 	}
 	if err := a.budgetCharge(budget); err != nil {
 		return false, err
 	}
-	enabled := a.appendEnabled(nil)
+	enabled := a.appendEnabled(a.enabledSlot(depth))
 	for _, id := range enabled {
 		nf := a.updateFlags(q, flags, id)
 		undo := a.step(id)
@@ -176,26 +182,31 @@ func (a *Analyzer) witnessSearch(q *pairQuery, flags byte, memo map[string]bool,
 		*path = (*path)[:len(*path)-1]
 		a.unstep(id, undo)
 	}
-	memo[a.stateKey(flags)] = false
+	memo.Store(key, false)
 	return false, nil
 }
 
 // completePath extends path with any completing suffix from the current
 // state (guided by the persistent completion memo).
 func (a *Analyzer) completePath(budget *int64, path *[]int32) (bool, error) {
-	can, err := a.canComplete(budget)
+	// canComplete is rooted at len(*path): the witnessSearch frames below
+	// this depth keep their arena slots intact for their negative-memo
+	// stores on the failure path.
+	can, err := a.canComplete(budget, len(*path))
 	if err != nil || !can {
 		return false, err
 	}
 	// Walk forward greedily: some enabled action always preserves
-	// completability when the state can complete.
+	// completability when the state can complete. The walk iterates an
+	// enabled list while canComplete recurses, so it uses the dedicated
+	// walk buffer rather than a depth slot canComplete would clobber.
 	start := len(*path)
 	for !a.allDone() {
-		enabled := a.appendEnabled(nil)
+		a.walkEnabled = a.appendEnabled(a.walkEnabled[:0])
 		advanced := false
-		for _, id := range enabled {
+		for _, id := range a.walkEnabled {
 			undo := a.step(id)
-			can, err := a.canComplete(budget)
+			can, err := a.canComplete(budget, len(*path)+1)
 			if err != nil {
 				a.unstep(id, undo)
 				return false, err

@@ -44,6 +44,19 @@ const (
 	// MetricLatency is the request latency histogram, in seconds, as
 	// "latency_seconds_<endpoint>".
 	MetricLatency = "latency_seconds"
+	// MetricMemoEntries gauges the completion-memo entries of the most
+	// recently finished search job (each job builds a private analyzer, so
+	// this is a per-job sample, not a global sum).
+	MetricMemoEntries = "memo_entries"
+	// MetricMemoBytes gauges the heap bytes held by that job's completion
+	// memo arrays.
+	MetricMemoBytes = "memo_bytes"
+	// MetricMemoLoadPermille gauges the memo table's load factor ×1000
+	// (gauges are integral).
+	MetricMemoLoadPermille = "memo_load_permille"
+	// MetricMemoGrows counts memo-table capacity doublings across all
+	// finished jobs.
+	MetricMemoGrows = "memo_grow_total"
 )
 
 // Counter is a monotonically increasing metric.

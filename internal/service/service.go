@@ -637,6 +637,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return nil, err
 			}
+			s.observeMemo(an)
 			return json.Marshal(PairResult{
 				Rel: kind.String(), A: req.A, B: req.B,
 				Holds: holds, Nodes: an.Stats().Nodes,
@@ -666,6 +667,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		s.observeMemo(an)
 		out := MatrixResult{Relations: map[string][][2]int{}}
 		for e := 0; e < x.NumEvents(); e++ {
 			out.Events = append(out.Events, x.EventName(model.EventID(e)))
@@ -760,12 +762,26 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			return nil, err
 		}
+		s.observeMemo(an)
 		return json.Marshal(WitnessResult{
 			Rel: kind.String(), A: req.A, B: req.B,
 			Holds: wit.Holds,
 			Steps: core.FormatSteps(x, wit.Steps),
 		})
 	})
+}
+
+// observeMemo exports a finished search job's completion-memo occupancy:
+// the gauges sample the most recent job's table (each job owns a private
+// analyzer), the grow counter accumulates across jobs. Together with the
+// cache and queue metrics this makes memo-table pressure — the dominant
+// memory consumer of a hard query — visible on /metrics.
+func (s *Server) observeMemo(an *core.Analyzer) {
+	st := an.Stats()
+	s.metrics.Gauge(MetricMemoEntries).Set(int64(st.CompleteMemo))
+	s.metrics.Gauge(MetricMemoBytes).Set(st.MemoBytes)
+	s.metrics.Gauge(MetricMemoLoadPermille).Set(int64(st.MemoLoad * 1000))
+	s.metrics.Counter(MetricMemoGrows).Add(st.MemoGrows)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

@@ -636,6 +636,9 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 		t.Errorf("healthz = %+v", health)
 	}
 	postJSON(t, ts.URL+"/v1/analyze", map[string]any{"program": figure1Program(t), "rel": "MHB", "a": "lp", "b": "rp"})
+	// A matrix query folds the whole reachable state space into the
+	// analyzer's completion memo, so the occupancy gauges must be nonzero.
+	postJSON(t, ts.URL+"/v1/analyze", map[string]any{"program": figure1Program(t), "all": true})
 	var snap Snapshot
 	if resp := getJSON(t, ts.URL+"/metrics", &snap); resp.StatusCode != http.StatusOK {
 		t.Fatalf("metrics status %d", resp.StatusCode)
@@ -649,5 +652,18 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 	h, ok := snap.Histograms[MetricLatency+"_analyze"]
 	if !ok || h.Count < 1 {
 		t.Errorf("latency histogram missing or empty: %+v", snap.Histograms)
+	}
+	// The pair query above ran a real search, so its completion-memo
+	// occupancy must have been exported.
+	if snap.Gauges[MetricMemoEntries] <= 0 || snap.Gauges[MetricMemoBytes] <= 0 {
+		t.Errorf("memo occupancy gauges not exported: %+v", snap.Gauges)
+	}
+	if load := snap.Gauges[MetricMemoLoadPermille]; load <= 0 || load > 750 {
+		t.Errorf("memo load permille %d outside (0, 750]", load)
+	}
+	// A small query may never double its table, so only presence (the
+	// counter registered at observe time) is guaranteed.
+	if _, ok := snap.Counters[MetricMemoGrows]; !ok {
+		t.Errorf("memo grow counter not exported: %+v", snap.Counters)
 	}
 }

@@ -1,0 +1,383 @@
+// Package statetab provides open-addressing hash tables specialized for the
+// search core's packed state keys: fixed-width []uint64 words mapping to one
+// boolean verdict ("a complete valid interleaving exists from this state",
+// "this monitored search state reaches an accepted completion").
+//
+// The exact relation engine expands millions of states per query in the
+// worst case — the paper's hardness theorems guarantee it — so the memo
+// table IS the hot path. Go's builtin map[string]bool costs a string key
+// allocation per insert, hashes byte-wise, and boxes every entry in a
+// bucket; this table stores keys inline in one flat []uint64 array, hashes
+// word-wise, probes linearly in a power-of-two capacity, and never
+// allocates on lookup or on insert into existing capacity. Growth doubles
+// the arrays and reinserts (amortized O(1) per insert, incremental in the
+// sense that capacity tracks occupancy instead of being preallocated).
+//
+// Two variants share the layout: Table for single-goroutine searches, and
+// Concurrent — 64 lock-striped Tables — for the batch matrix engine's
+// shared exploration. Both expose occupancy statistics (entries, bytes,
+// load factor, grow count) so callers can surface cache pressure.
+package statetab
+
+import "sync"
+
+// minCapacity is the smallest non-empty table capacity (power of two).
+const minCapacity = 16
+
+// maxLoadNum/maxLoadDen: grow when entries exceed 3/4 of capacity. Linear
+// probing degrades sharply past that point.
+const (
+	maxLoadNum = 3
+	maxLoadDen = 4
+)
+
+// Stats reports a table's occupancy at one instant.
+type Stats struct {
+	// Entries is the number of stored keys.
+	Entries int
+	// Capacity is the number of slots (power of two, 0 for a fresh table).
+	Capacity int
+	// Bytes is the heap footprint of the key and value arrays.
+	Bytes int64
+	// Load is Entries/Capacity (0 for a fresh table).
+	Load float64
+	// Grows counts capacity doublings since creation (or the last Reset).
+	Grows int64
+}
+
+// Table is an open-addressing hash map from fixed-width packed state keys
+// to a boolean, with inline key storage and no per-entry allocation.
+// It is not safe for concurrent use; see Concurrent.
+type Table struct {
+	words int      // uint64 words per key (fixed at creation)
+	mask  uint64   // capacity-1; capacity is a power of two
+	keys  []uint64 // capacity*words, keys stored inline
+	vals  []uint8  // capacity; 0 = empty slot, else slotUsed|value bits
+	n     int      // stored entries
+	grows int64
+}
+
+// Slot-value encoding: a zero byte marks an empty slot, so presence and
+// value share the array and occupancy needs no separate bitmap.
+const (
+	slotUsed  = 1 << 0
+	slotValue = 1 << 1
+)
+
+// New returns a table for keys of the given word width, sized for about
+// hint entries (0 starts empty and grows on first insert).
+func New(words, hint int) *Table {
+	if words < 1 {
+		words = 1
+	}
+	t := &Table{words: words}
+	if hint > 0 {
+		t.rehash(capacityFor(hint))
+	}
+	return t
+}
+
+// capacityFor returns the smallest power-of-two capacity that holds n
+// entries under the load-factor bound.
+func capacityFor(n int) int {
+	c := minCapacity
+	for c*maxLoadNum/maxLoadDen <= n {
+		c <<= 1
+	}
+	return c
+}
+
+// Hash mixes the key words into a 64-bit hash (xorshift-multiply per word,
+// murmur-style finalizer). Exported so the striped variant and tests can
+// reuse the exact function.
+func Hash(key []uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, w := range key {
+		h ^= w
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 29
+	}
+	h ^= h >> 32
+	return h
+}
+
+// Words returns the fixed key width in uint64 words.
+func (t *Table) Words() int { return t.words }
+
+// Len returns the number of stored entries.
+func (t *Table) Len() int { return t.n }
+
+// Stats returns the table's current occupancy.
+func (t *Table) Stats() Stats {
+	s := Stats{
+		Entries:  t.n,
+		Capacity: len(t.vals),
+		Bytes:    int64(len(t.keys))*8 + int64(len(t.vals)),
+		Grows:    t.grows,
+	}
+	if s.Capacity > 0 {
+		s.Load = float64(s.Entries) / float64(s.Capacity)
+	}
+	return s
+}
+
+// Lookup returns the value stored for key and whether it is present.
+// It never allocates.
+func (t *Table) Lookup(key []uint64) (value, ok bool) {
+	if t.n == 0 {
+		return false, false
+	}
+	i := Hash(key) & t.mask
+	for {
+		v := t.vals[i]
+		if v == 0 {
+			return false, false
+		}
+		if t.keyEqual(i, key) {
+			return v&slotValue != 0, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Store sets key's value, inserting it if absent. It allocates only when
+// the insert crosses the load-factor bound and the table must grow.
+func (t *Table) Store(key []uint64, value bool) {
+	i, found := t.probe(key)
+	var v uint8 = slotUsed
+	if value {
+		v |= slotValue
+	}
+	if found {
+		t.vals[i] = v
+		return
+	}
+	t.insertAt(i, key, v)
+}
+
+// Intern inserts key with value false if absent and reports whether this
+// call inserted it. Present keys (and their values) are left untouched.
+func (t *Table) Intern(key []uint64) (fresh bool) {
+	i, found := t.probe(key)
+	if found {
+		return false
+	}
+	t.insertAt(i, key, slotUsed)
+	return true
+}
+
+// probe finds key's slot (found=true) or the empty slot where it belongs
+// (found=false), growing the table first if it is missing capacity.
+func (t *Table) probe(key []uint64) (slot uint64, found bool) {
+	if len(t.vals) == 0 {
+		t.rehash(minCapacity)
+	}
+	i := Hash(key) & t.mask
+	for {
+		v := t.vals[i]
+		if v == 0 {
+			return i, false
+		}
+		if t.keyEqual(i, key) {
+			return i, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// insertAt writes a new entry into the empty slot probe returned, growing
+// and re-probing when the insert would cross the load-factor bound.
+func (t *Table) insertAt(slot uint64, key []uint64, v uint8) {
+	if (t.n+1)*maxLoadDen > len(t.vals)*maxLoadNum {
+		t.rehash(len(t.vals) * 2)
+		slot, _ = t.probe(key)
+	}
+	copy(t.keys[int(slot)*t.words:], key)
+	t.vals[slot] = v
+	t.n++
+}
+
+// rehash resizes to capacity slots (a power of two) and reinserts every
+// entry.
+func (t *Table) rehash(capacity int) {
+	oldKeys, oldVals := t.keys, t.vals
+	t.keys = make([]uint64, capacity*t.words)
+	t.vals = make([]uint8, capacity)
+	t.mask = uint64(capacity - 1)
+	if len(oldVals) > 0 {
+		t.grows++
+	}
+	for i, v := range oldVals {
+		if v == 0 {
+			continue
+		}
+		key := oldKeys[i*t.words : (i+1)*t.words]
+		j := Hash(key) & t.mask
+		for t.vals[j] != 0 {
+			j = (j + 1) & t.mask
+		}
+		copy(t.keys[int(j)*t.words:], key)
+		t.vals[j] = v
+	}
+}
+
+// keyEqual reports whether slot i holds key.
+func (t *Table) keyEqual(i uint64, key []uint64) bool {
+	stored := t.keys[int(i)*t.words : int(i)*t.words+t.words]
+	for w := range key {
+		if stored[w] != key[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset drops every entry and releases the arrays, returning the table to
+// its fresh (cold) state.
+func (t *Table) Reset() {
+	t.keys, t.vals = nil, nil
+	t.mask, t.n, t.grows = 0, 0, 0
+}
+
+// Range calls fn for every entry until fn returns false. The key slice is
+// reused between calls; copy it to retain. Mutating the table during Range
+// is undefined.
+func (t *Table) Range(fn func(key []uint64, value bool) bool) {
+	for i, v := range t.vals {
+		if v == 0 {
+			continue
+		}
+		if !fn(t.keys[i*t.words:(i+1)*t.words], v&slotValue != 0) {
+			return
+		}
+	}
+}
+
+// stripeCount is the fixed stripe fan-out of Concurrent (a power of two).
+// 64 stripes keep worker collisions rare at realistic worker counts while
+// bounding per-table fixed cost.
+const stripeCount = 64
+
+// stripe pads each lock+table pair to its own cache lines so stripe locks
+// on adjacent indices do not false-share.
+type stripe struct {
+	mu sync.Mutex
+	t  Table
+	_  [24]byte
+}
+
+// Concurrent is a lock-striped Table safe for concurrent use: keys hash
+// onto one of 64 stripes (by the high hash bits, independent of the
+// in-stripe probe sequence) and each stripe is a private Table under its
+// own mutex.
+type Concurrent struct {
+	words   int
+	stripes [stripeCount]stripe
+}
+
+// NewConcurrent returns a striped table for keys of the given word width,
+// sized for about hint entries spread across the stripes.
+func NewConcurrent(words, hint int) *Concurrent {
+	if words < 1 {
+		words = 1
+	}
+	c := &Concurrent{words: words}
+	for i := range c.stripes {
+		st := &c.stripes[i].t
+		st.words = words
+		if hint > 0 {
+			st.rehash(capacityFor(hint / stripeCount))
+		}
+	}
+	return c
+}
+
+// stripeFor selects a stripe by the hash's high bits (the in-stripe probe
+// index uses the low bits, so the two are independent).
+func (c *Concurrent) stripeFor(key []uint64) *stripe {
+	return &c.stripes[Hash(key)>>(64-6)]
+}
+
+// Words returns the fixed key width in uint64 words.
+func (c *Concurrent) Words() int { return c.words }
+
+// Lookup returns the value stored for key and whether it is present.
+func (c *Concurrent) Lookup(key []uint64) (value, ok bool) {
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	value, ok = s.t.Lookup(key)
+	s.mu.Unlock()
+	return value, ok
+}
+
+// Store sets key's value, inserting it if absent.
+func (c *Concurrent) Store(key []uint64, value bool) {
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	s.t.Store(key, value)
+	s.mu.Unlock()
+}
+
+// Intern inserts key with value false if absent and reports whether this
+// call inserted it.
+func (c *Concurrent) Intern(key []uint64) (fresh bool) {
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	fresh = s.t.Intern(key)
+	s.mu.Unlock()
+	return fresh
+}
+
+// Len returns the total entries across all stripes.
+func (c *Concurrent) Len() int {
+	n := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		n += s.t.n
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats aggregates occupancy across all stripes (Load is entries over
+// total capacity).
+func (c *Concurrent) Stats() Stats {
+	var agg Stats
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		st := s.t.Stats()
+		s.mu.Unlock()
+		agg.Entries += st.Entries
+		agg.Capacity += st.Capacity
+		agg.Bytes += st.Bytes
+		agg.Grows += st.Grows
+	}
+	if agg.Capacity > 0 {
+		agg.Load = float64(agg.Entries) / float64(agg.Capacity)
+	}
+	return agg
+}
+
+// Range calls fn for every entry across all stripes until fn returns
+// false. It locks one stripe at a time; concurrent mutation is undefined
+// (call it only after the workers have quiesced).
+func (c *Concurrent) Range(fn func(key []uint64, value bool) bool) {
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		stop := false
+		s.t.Range(func(key []uint64, value bool) bool {
+			if !fn(key, value) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		s.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package statetab
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randKey draws a key whose words are biased toward small values and
+// shared prefixes, the shape real packed state keys have (few processes
+// advanced, most words sparse) and the worst case for a weak hash.
+func randKey(rng *rand.Rand, words int) []uint64 {
+	key := make([]uint64, words)
+	for w := range key {
+		switch rng.Intn(3) {
+		case 0:
+			key[w] = uint64(rng.Intn(4))
+		case 1:
+			key[w] = uint64(rng.Intn(1 << 16))
+		default:
+			key[w] = rng.Uint64()
+		}
+	}
+	return key
+}
+
+func mapKey(key []uint64) string {
+	return fmt.Sprint(key)
+}
+
+// TestTableMatchesBuiltinMap drives a Table and a builtin map through the
+// same randomized operation sequence — stores, interns, lookups of present
+// and absent keys — and requires identical observable behavior at every
+// step, across enough inserts to force several growths.
+func TestTableMatchesBuiltinMap(t *testing.T) {
+	for _, words := range []int{1, 2, 3, 7} {
+		t.Run(fmt.Sprintf("words=%d", words), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(words) * 7919))
+			tab := New(words, 0)
+			ref := map[string]bool{}
+			var keys [][]uint64 // pool of keys, revisited to hit updates
+
+			for op := 0; op < 20000; op++ {
+				var key []uint64
+				if len(keys) > 0 && rng.Intn(3) == 0 {
+					key = keys[rng.Intn(len(keys))]
+				} else {
+					key = randKey(rng, words)
+					keys = append(keys, key)
+				}
+				sk := mapKey(key)
+				switch rng.Intn(3) {
+				case 0:
+					v := rng.Intn(2) == 0
+					tab.Store(key, v)
+					ref[sk] = v
+				case 1:
+					fresh := tab.Intern(key)
+					_, had := ref[sk]
+					if fresh == had {
+						t.Fatalf("op %d: Intern(%v) fresh=%v, map had=%v", op, key, fresh, had)
+					}
+					if !had {
+						ref[sk] = false
+					}
+				default:
+					got, ok := tab.Lookup(key)
+					want, had := ref[sk]
+					if ok != had || (ok && got != want) {
+						t.Fatalf("op %d: Lookup(%v) = (%v,%v), map = (%v,%v)", op, key, got, ok, want, had)
+					}
+				}
+				if tab.Len() != len(ref) {
+					t.Fatalf("op %d: Len=%d, map len=%d", op, tab.Len(), len(ref))
+				}
+			}
+
+			// Full sweep: every map entry present with its value, and Range
+			// yields exactly the map's contents.
+			for _, key := range keys {
+				want, had := ref[mapKey(key)]
+				got, ok := tab.Lookup(key)
+				if ok != had || (ok && got != want) {
+					t.Fatalf("sweep: Lookup(%v) = (%v,%v), map = (%v,%v)", key, got, ok, want, had)
+				}
+			}
+			seen := map[string]bool{}
+			tab.Range(func(key []uint64, v bool) bool {
+				sk := mapKey(key)
+				if _, dup := seen[sk]; dup {
+					t.Fatalf("Range yielded %v twice", key)
+				}
+				seen[sk] = v
+				return true
+			})
+			if len(seen) != len(ref) {
+				t.Fatalf("Range yielded %d entries, map has %d", len(seen), len(ref))
+			}
+			for sk, v := range seen {
+				if ref[sk] != v {
+					t.Fatalf("Range value mismatch at %s: got %v want %v", sk, v, ref[sk])
+				}
+			}
+			if st := tab.Stats(); st.Grows == 0 || st.Load > float64(maxLoadNum)/float64(maxLoadDen) {
+				t.Fatalf("stats after heavy load: %+v (want growth and load <= %d/%d)", st, maxLoadNum, maxLoadDen)
+			}
+		})
+	}
+}
+
+// TestConcurrentMatchesBuiltinMap hammers a Concurrent table from several
+// goroutines with deterministic disjoint-and-overlapping key sets, then
+// verifies the merged contents against a sequentially computed reference.
+// Run under -race this also checks the striping for data races.
+func TestConcurrentMatchesBuiltinMap(t *testing.T) {
+	const words, workers, perWorker = 3, 8, 4000
+	c := NewConcurrent(words, 0)
+
+	// Pre-generate per-worker op sequences so the reference is computable:
+	// Intern never overwrites, Store(true) is idempotent — both commute, so
+	// any interleaving yields the same final table.
+	type opRec struct {
+		key   []uint64
+		store bool // Store(key,true) vs Intern
+	}
+	ops := make([][]opRec, workers)
+	shared := rand.New(rand.NewSource(99))
+	sharedKeys := make([][]uint64, 512)
+	for i := range sharedKeys {
+		sharedKeys[i] = randKey(shared, words)
+	}
+	for w := range ops {
+		rng := rand.New(rand.NewSource(int64(w) + 1))
+		for i := 0; i < perWorker; i++ {
+			var key []uint64
+			if rng.Intn(2) == 0 {
+				key = sharedKeys[rng.Intn(len(sharedKeys))]
+			} else {
+				key = randKey(rng, words)
+			}
+			ops[w] = append(ops[w], opRec{key: key, store: rng.Intn(3) == 0})
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, op := range ops[w] {
+				if op.store {
+					c.Store(op.key, true)
+				} else {
+					c.Intern(op.key)
+					c.Lookup(op.key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ref := map[string]bool{}
+	for w := range ops {
+		for _, op := range ops[w] {
+			sk := mapKey(op.key)
+			if op.store {
+				ref[sk] = true
+			} else if _, ok := ref[sk]; !ok {
+				ref[sk] = false
+			}
+		}
+	}
+	if c.Len() != len(ref) {
+		t.Fatalf("Len=%d, reference has %d", c.Len(), len(ref))
+	}
+	got := map[string]bool{}
+	c.Range(func(key []uint64, v bool) bool {
+		got[mapKey(key)] = v
+		return true
+	})
+	if len(got) != len(ref) {
+		t.Fatalf("Range yielded %d entries, reference has %d", len(got), len(ref))
+	}
+	for sk, want := range ref {
+		if v, ok := got[sk]; !ok || v != want {
+			t.Fatalf("entry %s: got (%v,%v), want (%v,true)", sk, v, ok, want)
+		}
+	}
+	if st := c.Stats(); st.Entries != len(ref) || st.Bytes == 0 {
+		t.Fatalf("aggregate stats %+v inconsistent with %d entries", st, len(ref))
+	}
+}
+
+// TestReset verifies Reset returns a table to its cold state.
+func TestReset(t *testing.T) {
+	tab := New(2, 0)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		tab.Store(randKey(rng, 2), true)
+	}
+	if tab.Len() == 0 {
+		t.Fatal("setup stored nothing")
+	}
+	probe := randKey(rng, 2)
+	tab.Store(probe, true)
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len=%d after Reset", tab.Len())
+	}
+	if _, ok := tab.Lookup(probe); ok {
+		t.Fatal("Lookup found an entry after Reset")
+	}
+	if st := tab.Stats(); st.Entries != 0 || st.Capacity != 0 || st.Bytes != 0 || st.Grows != 0 {
+		t.Fatalf("stats not cold after Reset: %+v", st)
+	}
+	// The table must be usable again.
+	tab.Store(probe, false)
+	if v, ok := tab.Lookup(probe); !ok || v {
+		t.Fatalf("post-Reset Store/Lookup = (%v,%v), want (false,true)", v, ok)
+	}
+}
+
+// TestZeroAllocOperations proves the steady-state operations are
+// allocation-free: lookups always, stores and interns once capacity
+// exists.
+func TestZeroAllocOperations(t *testing.T) {
+	tab := New(2, 4096)
+	rng := rand.New(rand.NewSource(7))
+	keys := make([][]uint64, 1024)
+	for i := range keys {
+		keys[i] = randKey(rng, 2)
+		tab.Store(keys[i], true)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		tab.Lookup(keys[i%len(keys)])
+		i++
+	}); avg != 0 {
+		t.Fatalf("Lookup allocates %v/op", avg)
+	}
+	if avg := testing.AllocsPerRun(1000, func() {
+		tab.Store(keys[i%len(keys)], i%2 == 0)
+		i++
+	}); avg != 0 {
+		t.Fatalf("Store of existing keys allocates %v/op", avg)
+	}
+}
+
+func BenchmarkTableStoreLookup(b *testing.B) {
+	for _, words := range []int{2, 4} {
+		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			keys := make([][]uint64, 8192)
+			for i := range keys {
+				keys[i] = randKey(rng, words)
+			}
+			tab := New(words, len(keys))
+			for _, k := range keys {
+				tab.Store(k, true)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tab.Lookup(keys[i%len(keys)])
+			}
+		})
+	}
+}

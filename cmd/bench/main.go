@@ -15,15 +15,20 @@
 // Usage:
 //
 //	go run ./cmd/bench [-o BENCH_matrix.json] [-reps 3] [-workers 1,2,4,8]
-//	                   [-baseline old.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	                   [-baseline old.json] [-no-por]
+//	                   [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Median-of-reps wall-clock per strategy is reported, plus the speedup of
 // matrix over parallel at each worker count, node throughput
-// (states/second through the batch engine), and heap allocations per
-// expanded state. -baseline points at a previous report (same schema);
-// its per-case matrix timings are embedded alongside the fresh ones as
-// before/after columns with the resulting throughput gain. -cpuprofile
-// and -memprofile write pprof profiles of the run for flame-graph work.
+// (states/second through the batch engine), explored node and edge counts
+// with the sleep-set reduction's on/off edge comparison (states are
+// identical either way; edges are what reduction prunes), and heap
+// allocations per expanded state. -no-por disables the reduction in every
+// strategy and drops the comparison columns. -baseline points at a
+// previous report (same schema); its per-case matrix timings and
+// node/edge counts are embedded alongside the fresh ones as before/after
+// columns with the resulting throughput gain. -cpuprofile and -memprofile
+// write pprof profiles of the run for flame-graph work.
 package main
 
 import (
@@ -64,6 +69,17 @@ type caseResult struct {
 	// MatrixNodes is the distinct states the batch engine expanded (the
 	// shared exploration's size; per-pair strategies re-pay search per pair).
 	MatrixNodes int64 `json:"matrix_nodes"`
+	// MatrixEdges is the successor transitions the batch engine explored —
+	// the quantity sleep-set partial-order reduction prunes. States are
+	// identical with reduction on or off; edges are not.
+	MatrixEdges int64 `json:"explored_edges"`
+	// MatrixEdgesNoPOR is MatrixEdges with reduction disabled, and
+	// MatrixNoPORMS the corresponding single-run wall-clock per worker
+	// count; EdgeReduction is their ratio (off/on). Omitted under -no-por,
+	// where the main columns already measure the unreduced engine.
+	MatrixEdgesNoPOR int64              `json:"explored_edges_nopor,omitempty"`
+	MatrixNoPORMS    map[string]float64 `json:"matrix_nopor_ms,omitempty"`
+	EdgeReduction    float64            `json:"edge_reduction,omitempty"`
 	// MatrixNodesPerSec is batch node throughput (MatrixNodes over matrix
 	// wall-clock) per worker count — the honest cross-version comparison
 	// axis, since the exploration visits the same states either way.
@@ -74,9 +90,12 @@ type caseResult struct {
 	MatrixAllocsPerNode float64 `json:"matrix_allocs_per_node"`
 
 	// Baseline columns, present only when -baseline was given and had this
-	// case: the old matrix wall-clock and node throughput, and the
-	// new-over-old throughput ratio at each worker count.
+	// case: the old matrix wall-clock, node/edge counts, and node
+	// throughput, and the new-over-old throughput ratio at each worker
+	// count.
 	BaselineMatrixMS    map[string]float64 `json:"baseline_matrix_ms,omitempty"`
+	BaselineNodes       int64              `json:"baseline_nodes,omitempty"`
+	BaselineEdges       int64              `json:"baseline_edges,omitempty"`
 	BaselineNodesPerSec map[string]float64 `json:"baseline_nodes_per_sec,omitempty"`
 	ThroughputGain      map[string]float64 `json:"throughput_gain_vs_baseline,omitempty"`
 }
@@ -87,6 +106,7 @@ type report struct {
 	Reps       int          `json:"reps"`
 	GoMaxProcs int          `json:"gomaxprocs"`
 	NumCPU     int          `json:"numcpu"`
+	DisablePOR bool         `json:"disable_por,omitempty"`
 	Baseline   string       `json:"baseline,omitempty"`
 	Cases      []caseResult `json:"cases"`
 }
@@ -96,6 +116,7 @@ func main() {
 	reps := flag.Int("reps", 3, "repetitions per measurement (median reported)")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	baselinePath := flag.String("baseline", "", "previous report to embed as before/after columns")
+	noPOR := flag.Bool("no-por", false, "disable sleep-set partial-order reduction in every strategy (drops the on/off comparison columns)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -135,11 +156,12 @@ func main() {
 		Reps:       *reps,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		DisablePOR: *noPOR,
 		Baseline:   *baselinePath,
 	}
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "== %s (%d procs, %d events)\n", c.name, len(c.x.Procs), len(c.x.Events))
-		res, err := runCase(c, workers, *reps, baseline)
+		res, err := runCase(c, workers, *reps, baseline, *noPOR)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", c.name, err))
 		}
@@ -181,12 +203,14 @@ func loadBaseline(path string) (*report, error) {
 	return &rep, nil
 }
 
-// workloads returns the benchmark instances. Barrier instances are the
-// interesting ones: their matrices force every strategy through a state
-// space that per-pair search re-explores from scratch for each of the
-// O(n²) pairs, which is exactly the redundancy the batch engine removes.
-// The mutex instance shows the other regime — a nearly serialized space
-// where even per-pair search is fast and the batch win is modest.
+// workloads returns the benchmark instances. Barrier and fork/join
+// instances are the interesting ones: their matrices force every strategy
+// through a state space that per-pair search re-explores from scratch for
+// each of the O(n²) pairs — the redundancy the batch engine removes — and
+// their concurrency gives sleep-set reduction commuting edges to prune.
+// The mutex and pipeline instances show the other regime: nearly (mutex)
+// or fully (pipeline) serialized spaces where per-pair search is fast and
+// reduction finds nothing to cut.
 func workloads() ([]benchCase, error) {
 	var cases []benchCase
 	add := func(name string, x *model.Execution, err error) error {
@@ -208,10 +232,18 @@ func workloads() ([]benchCase, error) {
 	if err := add("barrier5", x, err); err != nil {
 		return nil, err
 	}
+	x, err = gen.Pipeline(6)
+	if err := add("pipeline6", x, err); err != nil {
+		return nil, err
+	}
+	x, err = gen.ForkJoinTree(4)
+	if err := add("forkjoin4", x, err); err != nil {
+		return nil, err
+	}
 	return cases, nil
 }
 
-func runCase(c benchCase, workers []int, reps int, baseline *report) (caseResult, error) {
+func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool) (caseResult, error) {
 	n := len(c.x.Events)
 	res := caseResult{
 		Name:              c.name,
@@ -253,9 +285,9 @@ func runCase(c benchCase, workers []int, reps int, baseline *report) (caseResult
 
 	for _, w := range workers {
 		key := strconv.Itoa(w)
-		var nodes int64
+		var nodes, edges int64
 		mat, err := measure(reps, func() error {
-			a, err := core.New(c.x, core.Options{})
+			a, err := core.New(c.x, core.Options{DisablePOR: noPOR})
 			if err != nil {
 				return err
 			}
@@ -263,6 +295,7 @@ func runCase(c benchCase, workers []int, reps int, baseline *report) (caseResult
 				return err
 			}
 			nodes = a.Stats().Nodes
+			edges = a.Stats().Edges
 			return nil
 		})
 		if err != nil {
@@ -270,14 +303,45 @@ func runCase(c benchCase, workers []int, reps int, baseline *report) (caseResult
 		}
 		res.MatrixMS[key] = mat
 		res.MatrixNodes = nodes
+		res.MatrixEdges = edges
 		if par := res.ParallelMS[key]; mat > 0 {
 			res.SpeedupVsParallel[key] = round2(par / mat)
 		}
 		if mat > 0 {
 			res.MatrixNodesPerSec[key] = round2(float64(nodes) / (mat / 1000))
 		}
-		fmt.Fprintf(os.Stderr, "  matrix     workers=%-2d %10.2f ms  (%.1fx vs parallel, %.0f nodes/s)\n",
-			w, mat, res.SpeedupVsParallel[key], res.MatrixNodesPerSec[key])
+		fmt.Fprintf(os.Stderr, "  matrix     workers=%-2d %10.2f ms  (%.1fx vs parallel, %.0f nodes/s, %d nodes, %d edges)\n",
+			w, mat, res.SpeedupVsParallel[key], res.MatrixNodesPerSec[key], nodes, edges)
+	}
+
+	if !noPOR {
+		res.MatrixNoPORMS = map[string]float64{}
+		for _, w := range workers {
+			key := strconv.Itoa(w)
+			var edges int64
+			mat, err := measure(reps, func() error {
+				a, err := core.New(c.x, core.Options{})
+				if err != nil {
+					return err
+				}
+				if _, err := a.Matrix(context.Background(), []core.RelKind{core.RelCCW}, core.MatrixOpts{Workers: w, DisablePOR: true}); err != nil {
+					return err
+				}
+				edges = a.Stats().Edges
+				return nil
+			})
+			if err != nil {
+				return res, err
+			}
+			res.MatrixNoPORMS[key] = mat
+			res.MatrixEdgesNoPOR = edges
+			fmt.Fprintf(os.Stderr, "  matrix-off workers=%-2d %10.2f ms  (%d edges without reduction)\n", w, mat, edges)
+		}
+		if res.MatrixEdges > 0 {
+			res.EdgeReduction = round2(float64(res.MatrixEdgesNoPOR) / float64(res.MatrixEdges))
+			fmt.Fprintf(os.Stderr, "  edge reduction        %10.2fx (%d -> %d)\n",
+				res.EdgeReduction, res.MatrixEdgesNoPOR, res.MatrixEdges)
+		}
 	}
 
 	allocs, err := measureMatrixAllocs(c)
@@ -323,6 +387,8 @@ func attachBaseline(res *caseResult, baseline *report) {
 		res.BaselineMatrixMS = map[string]float64{}
 		res.BaselineNodesPerSec = map[string]float64{}
 		res.ThroughputGain = map[string]float64{}
+		res.BaselineNodes = old.MatrixNodes
+		res.BaselineEdges = old.MatrixEdges
 		for key, oldMS := range old.MatrixMS {
 			if _, ran := res.MatrixMS[key]; !ran {
 				continue // worker count not exercised in this run
@@ -333,8 +399,9 @@ func attachBaseline(res *caseResult, baseline *report) {
 			}
 			if newNPS, oldNPS := res.MatrixNodesPerSec[key], res.BaselineNodesPerSec[key]; oldNPS > 0 {
 				res.ThroughputGain[key] = round2(newNPS / oldNPS)
-				fmt.Fprintf(os.Stderr, "  vs baseline workers=%-2s %8.2f ms -> %.2f ms  (%.2fx throughput)\n",
-					key, oldMS, res.MatrixMS[key], res.ThroughputGain[key])
+				fmt.Fprintf(os.Stderr, "  vs baseline workers=%-2s %8.2f ms -> %.2f ms  (%.2fx throughput, nodes %d -> %d, edges %d -> %d)\n",
+					key, oldMS, res.MatrixMS[key], res.ThroughputGain[key],
+					old.MatrixNodes, res.MatrixNodes, old.MatrixEdges, res.MatrixEdges)
 			}
 		}
 		return

@@ -172,6 +172,7 @@ func cmdAnalyze(args []string) error {
 	ignoreData := fs.Bool("ignore-data", false, "drop shared-data-dependence constraints (Section 5.3 feasibility)")
 	budget := fs.Int64("budget", 0, "search node budget per query (0 = unlimited)")
 	workers := fs.Int("workers", 0, "with -all: batch matrix engine fan-out (0 = GOMAXPROCS)")
+	noPOR := fs.Bool("no-por", false, "disable sleep-set partial-order reduction (verdicts are identical; escape hatch for comparison and debugging)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("analyze: want exactly one trace file")
@@ -184,7 +185,7 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(x, core.Options{IgnoreData: *ignoreData, MaxNodes: *budget})
+	a, err := core.New(x, core.Options{IgnoreData: *ignoreData, MaxNodes: *budget, DisablePOR: *noPOR})
 	if err != nil {
 		return err
 	}

@@ -68,6 +68,7 @@ func main() {
 	budget := flag.Int64("budget", 0, "default search node budget per query (0 = unlimited)")
 	maxBudget := flag.Int64("max-budget", 0, "cap on client-requested node budgets (0 = uncapped)")
 	maxMatrixWorkers := flag.Int("max-matrix-workers", 0, "cap on client-requested matrix fan-out (0 = GOMAXPROCS)")
+	noPOR := flag.Bool("no-por", false, "disable sleep-set partial-order reduction in all analyses (identical verdicts; comparison/debugging escape hatch)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	selfcheck := flag.Bool("selfcheck", false, "run an end-to-end smoke test against a loopback instance and exit")
 	flag.Parse()
@@ -82,6 +83,7 @@ func main() {
 		MaxNodes:         *budget,
 		MaxBudget:        *maxBudget,
 		MaxMatrixWorkers: *maxMatrixWorkers,
+		DisablePOR:       *noPOR,
 		Logger:           logger,
 	}
 

@@ -62,6 +62,13 @@ type MatrixOpts struct {
 	// per-query one) is the natural unit. Exceeding it fails with
 	// ErrBudget.
 	Budget int64
+	// DisablePOR turns off sleep-set pruning for this batch's forward
+	// expansion (it is also off whenever the analyzer's Options.DisablePOR
+	// is set or the execution exceeds 64 processes). Matrices are
+	// bit-identical either way: sleep sets prune duplicate edges, never
+	// states, and the backward completability sweep always walks the full
+	// enabled set.
+	DisablePOR bool
 }
 
 // Matrix computes full relation matrices for kinds (nil or empty = all six)
@@ -100,11 +107,12 @@ func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts)
 		budget = a.opts.MaxNodes
 	}
 
-	run := newBatchRun(a, ctx, workers, budget)
+	run := newBatchRun(a, ctx, workers, budget, a.por && !opts.DisablePOR)
 	if err := run.explore(); err != nil {
 		return nil, err
 	}
 	a.stats.Nodes += run.expanded.Load()
+	a.stats.Edges += run.edges()
 	run.mergeCompletionMemo()
 
 	n := len(a.x.Events)
@@ -150,10 +158,17 @@ func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts)
 
 // batchTable is the slice of the statetab API the batch sweeps need;
 // satisfied by both *statetab.Table (single worker, no locks) and
-// *statetab.Concurrent (lock-striped, any fan-out).
+// *statetab.Concurrent (lock-striped, any fan-out). The aux word carries
+// each state's accumulated sleep mask during the POR forward sweep:
+// InternAux AND-merges the per-edge contributions, so a state reachable
+// along several paths sleeps only what every path permits — and because
+// levels are expanded with a barrier between them, every contribution has
+// landed before the state itself is expanded.
 type batchTable interface {
 	Intern(key []uint64) (fresh bool)
+	InternAux(key []uint64, aux uint64) (fresh bool)
 	Lookup(key []uint64) (value, ok bool)
+	LookupAux(key []uint64) (value bool, aux uint64, ok bool)
 	Store(key []uint64, value bool)
 	Range(fn func(key []uint64, value bool) bool)
 }
@@ -205,6 +220,12 @@ type batchRun struct {
 	inProgEvent [][]int32    // [proc][pc] the one in-progress event, or -1
 	semPfx      [][][]int32  // [proc][pc] cumulative semaphore deltas
 
+	// por enables sleep-set pruning of the forward expansion; edgeCnt
+	// counts explored forward edges per worker (stride-padded slots so the
+	// counters do not false-share a cache line).
+	por     bool
+	edgeCnt []int64
+
 	budget    int64 // total state budget; ≤ 0 means unlimited
 	expanded  atomic.Int64
 	remaining atomic.Int64
@@ -213,7 +234,10 @@ type batchRun struct {
 	firstErr  error
 }
 
-func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64) *batchRun {
+// edgeStride spaces per-worker edge counters one cache line apart.
+const edgeStride = 8
+
+func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, por bool) *batchRun {
 	n := len(a.x.Events)
 	r := &batchRun{
 		a:         a,
@@ -221,6 +245,8 @@ func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64) *b
 		workers:   workers,
 		factWords: (n + 63) / 64,
 		budget:    budget,
+		por:       por,
+		edgeCnt:   make([]int64, workers*edgeStride),
 	}
 	pcBitsTotal := len(a.pc) * int(a.pcBits)
 	r.pcSigWords = (pcBitsTotal + 63) / 64
@@ -490,11 +516,29 @@ func (r *batchRun) explore() error {
 			}
 			key := frontier[i*kw : (i+1)*kw]
 			r.decodeState(s, key)
+			var cand uint64
+			if r.por {
+				// The state's final sleep mask: the AND of every incoming
+				// edge's contribution, all of which landed in the previous
+				// level's phase (the barrier between levels orders them).
+				_, cand, _ = r.table.LookupAux(key)
+			}
+			sleep := cand
 			enabled := s.appendEnabled(s.enabledSlot(0))
 			child := s.keySlot(0)
 			for _, id := range enabled {
+				var childMask uint64
+				if r.por {
+					pbit := uint64(1) << uint(s.acts[id].proc)
+					if sleep&pbit != 0 {
+						continue // pruned: a commuted duplicate path
+					}
+					childMask = s.filterSleep(cand, id, nil)
+					cand |= pbit
+				}
+				r.edgeCnt[w*edgeStride]++
 				s.patchChildKey(id, key, child)
-				if r.table.Intern(child) {
+				if r.table.InternAux(child, childMask) {
 					nextLevel[w] = append(nextLevel[w], child...)
 				}
 			}
@@ -637,18 +681,29 @@ func (r *batchRun) fact(facts [][]uint64, i, j int) bool {
 	return facts[i][j/64]&(1<<uint(j%64)) != 0
 }
 
+// edges sums the per-worker forward-edge counters.
+func (r *batchRun) edges() int64 {
+	var total int64
+	for w := 0; w < r.workers; w++ {
+		total += r.edgeCnt[w*edgeStride]
+	}
+	return total
+}
+
 // mergeCompletionMemo folds the batch's completability verdicts into the
 // analyzer's persistent completion memo (batch keys use the canComplete
 // discriminator byte, so they merge verbatim): per-pair queries issued
-// after a Matrix call start with the whole reachable space memoized.
+// after a Matrix call start with the whole reachable space memoized. The
+// backward sweep decides completability over the FULL enabled set, so every
+// merged verdict is exact — stored with aux mask 0, reusable under any
+// sleep set (including overwriting a conditional false a prior POR query
+// left behind).
 func (r *batchRun) mergeCompletionMemo() {
 	if r.a.opts.DisableMemo {
 		return
 	}
 	r.table.Range(func(key []uint64, completable bool) bool {
-		r.a.memoComplete.Store(key, completable)
+		r.a.memoComplete.StoreAux(key, completable, 0)
 		return true
 	})
 }
-
-

@@ -62,6 +62,14 @@ type Options struct {
 	// use — without memoization the search revisits states and the running
 	// time explodes even on easy inputs.
 	DisableMemo bool
+	// DisablePOR turns off sleep-set partial-order reduction, restoring the
+	// unreduced search (every enabled action explored at every node).
+	// Verdicts, witness validity and relation matrices are identical either
+	// way — POR only prunes commuted duplicate edges — so this exists as an
+	// escape hatch and for the differential oracle and benchmarks. POR also
+	// disables itself automatically on executions with more than 64
+	// processes (sleep sets are process bitmasks).
+	DisablePOR bool
 }
 
 // Stats reports search effort accumulated by an Analyzer, plus the
@@ -71,6 +79,7 @@ type Options struct {
 // production: the eventorderd service exports them on /metrics.
 type Stats struct {
 	Nodes        int64   // search nodes expanded across all queries
+	Edges        int64   // successor transitions explored (what POR prunes)
 	MemoHits     int64   // memoized answers reused
 	CompleteMemo int     // entries in the persistent completion memo
 	MemoBytes    int64   // heap bytes held by the completion memo's arrays
@@ -161,6 +170,13 @@ type Analyzer struct {
 	// cleared by the *Ctx wrappers in ctx.go; nil means never cancel.
 	ctx     context.Context
 	ctxTick uint32 // node counter for amortized ctx polling
+
+	// Sleep-set partial-order reduction (por.go). por is true unless
+	// disabled by Options.DisablePOR or by a process count over 64; the
+	// dependence tables exist only while por is true.
+	por    bool
+	depAll []bool    // action id → dependent with every action (fork/join)
+	depAdj [][]int32 // action id → data-dependence neighbors, both directions
 }
 
 // New preprocesses x for relation queries. The execution must be
@@ -344,6 +360,10 @@ func newAnalyzer(x *model.Execution, opts Options, needOrder bool) (*Analyzer, e
 	}
 	a.evBits = len(a.evNames)
 	a.keyWords = (len(x.Procs)*int(a.pcBits) + a.evBits + 8 + 63) / 64
+	a.por = !opts.DisablePOR && len(x.Procs) <= 64
+	if a.por {
+		a.buildPOR()
+	}
 	a.allocScratch()
 	a.memoComplete = statetab.New(a.keyWords, 0)
 	return a, nil
@@ -367,7 +387,7 @@ func (a *Analyzer) keySlot(depth int) []uint64 {
 // one action per process; appendEnabled can never overflow it).
 func (a *Analyzer) enabledSlot(depth int) []int32 {
 	base := depth * len(a.procActs)
-	return a.enabledArena[base:base : base+len(a.procActs)]
+	return a.enabledArena[base : base : base+len(a.procActs)]
 }
 
 // Execution returns the execution under analysis.
@@ -661,28 +681,67 @@ func (a *Analyzer) budgetCharge(remaining *int64) error {
 // derived exactly once — recursion only touches deeper arena slots, so the
 // slot survives for the memo store — and neither the key nor the enabled
 // list allocates.
-func (a *Analyzer) canComplete(budget *int64, depth int) (bool, error) {
+//
+// sleep is the inherited sleep-set process mask (por.go); root callers pass
+// 0, which makes the verdict exact. Memo entries carry the mask of enabled
+// processes the stored search never explored (its aux word): a true verdict
+// or a false one whose unexplored mask is covered by the caller's sleep set
+// is reusable as-is; otherwise the node is partially re-explored — only the
+// transitions the stored pass slept and this caller must not. Re-explored
+// transitions skip the previously explored ones but do NOT sleep on them
+// (coverage obligations must point at earlier-explored siblings only, or
+// two visits could each sleep the other's transitions and jointly prune a
+// real completion).
+func (a *Analyzer) canComplete(budget *int64, depth int, sleep uint64) (bool, error) {
 	if a.allDone() {
 		return true, nil
 	}
 	var key []uint64
+	var oldMask uint64
+	reexplore := false
 	if !a.opts.DisableMemo {
 		key = a.keySlot(depth)
 		a.packKey(keyExtraComplete, key)
-		if v, ok := a.memoComplete.Lookup(key); ok {
-			a.stats.MemoHits++
-			return v, nil
+		if v, aux, ok := a.memoComplete.LookupAux(key); ok {
+			if v || aux&^sleep == 0 {
+				a.stats.MemoHits++
+				return v, nil
+			}
+			oldMask = aux
+			reexplore = true
 		}
 	}
 	if err := a.budgetCharge(budget); err != nil {
 		return false, err
 	}
 	enabled := a.appendEnabled(a.enabledSlot(depth))
+	var skip, cand, unexplored uint64
+	if a.por {
+		em := a.enabledProcMask(enabled)
+		skip = sleep & em
+		cand = skip
+		unexplored = skip
+		if reexplore {
+			// Obligations: enabled transitions the stored pass slept that the
+			// current sleep set does not cover. Everything else is skipped.
+			skip |= em &^ oldMask
+			unexplored &= oldMask
+		}
+	}
 	result := false
 	var searchErr error
 	for _, id := range enabled {
+		pbit := uint64(1) << uint(a.acts[id].proc)
+		if skip&pbit != 0 {
+			continue
+		}
+		a.stats.Edges++
+		var childSleep uint64
+		if a.por {
+			childSleep = a.filterSleep(cand, id, nil)
+		}
 		undo := a.step(id)
-		ok, err := a.canComplete(budget, depth+1)
+		ok, err := a.canComplete(budget, depth+1, childSleep)
 		a.unstep(id, undo)
 		if err != nil {
 			searchErr = err
@@ -692,12 +751,18 @@ func (a *Analyzer) canComplete(budget *int64, depth int) (bool, error) {
 			result = true
 			break
 		}
+		skip |= pbit
+		cand |= pbit
 	}
 	if searchErr != nil {
 		return false, searchErr
 	}
 	if !a.opts.DisableMemo {
-		a.memoComplete.Store(key, result)
+		mask := unexplored // sleeping processes no pass has ever explored
+		if result {
+			mask = 0 // an existence verdict holds regardless of sleep sets
+		}
+		a.memoComplete.StoreAux(key, result, mask)
 	}
 	return result, nil
 }

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"math/bits"
+
+	"eventorder/internal/model"
+)
+
+// Sleep-set partial-order reduction (Godefroid-style). Most interleavings
+// the explorer visits differ only by commuting adjacent independent
+// actions; with memoization the states are already deduped, so the
+// remaining redundancy is *edges* — a state with k pairwise-independent
+// enabled actions is re-derived along k! orderings but needs only one. A
+// sleep set carries, into each child, the sibling actions already explored
+// at an ancestor that are independent with everything executed since: any
+// completion beginning with a sleeping action is a commuted duplicate of a
+// path the search has already tried (or that a pending obligation of an
+// ancestor covers), so the child never explores it.
+//
+// Representation: at any state a process has at most one next action, so a
+// sleep set is a uint64 bitmask of process ids (analyses with more than 64
+// processes fall back to the unreduced search — por stays false). Two
+// invariants make the mask meaningful everywhere it flows:
+//
+//   - every sleeping process's next action is enabled (independence
+//     preserves enabledness, so set bits never go stale down a path);
+//   - a bit enters a sleep set only as an explored earlier sibling or by
+//     inheritance from the parent — never as a "will be explored later"
+//     promise. Two siblings each sleeping the other would jointly prune a
+//     completion both of their subtrees need; ordering the coverage
+//     obligation (earlier siblings only) breaks the cycle. The memo
+//     re-exploration path in canComplete preserves exactly this direction:
+//     previously explored transitions are skipped but NOT offered as sleep
+//     candidates to the newly explored ones.
+//
+// Sleep sets prune edges, never states — every state reachable in the full
+// graph is still reached along some unpruned path. The batch engine's
+// backward sweep and fact folding rely on that: its forward expansion
+// prunes slept successors, yet every reachable state is still interned, so
+// completability and the relation matrices stay bit-identical to the
+// unreduced run by construction.
+//
+// The static independence relation is deliberately conservative: two
+// actions commute unless they belong to the same process, either is a
+// fork/join (dependent with everything — join's enabledness reads another
+// process's progress, fork starts one), both operate on the same semaphore,
+// both operate on the same event variable, or a data-dependence edge
+// (observed conflict orientation, condition F3) connects them. Begin/end
+// and access actions are pure program-counter increments under this state
+// encoding, so they commute with everything their constraint edges allow.
+
+// buildPOR precomputes the static dependence tables consulted by
+// filterSleep: depAll marks actions dependent with every other action
+// (fork/join), depAdj holds each action's data-dependence neighbors in both
+// directions. Called only when por is enabled.
+func (a *Analyzer) buildPOR() {
+	a.depAll = make([]bool, len(a.acts))
+	a.depAdj = make([][]int32, len(a.acts))
+	for id := range a.acts {
+		act := &a.acts[id]
+		if act.kind == actSync && (act.opKind == model.OpFork || act.opKind == model.OpJoin) {
+			a.depAll[id] = true
+		}
+		for _, u := range act.prereqs {
+			a.depAdj[id] = append(a.depAdj[id], u)
+			a.depAdj[u] = append(a.depAdj[u], int32(id))
+		}
+	}
+}
+
+// syncClass buckets synchronization op kinds by the object namespace they
+// act on, so an Acquire and a Post with coincidentally equal dense indices
+// are not mistaken for a conflict.
+func syncClass(k model.OpKind) int {
+	switch k {
+	case model.OpAcquire, model.OpRelease:
+		return 0
+	case model.OpPost, model.OpWait, model.OpClear:
+		return 1
+	}
+	return 2
+}
+
+// indepActs reports whether actions u and v are independent: executing one
+// neither disables nor changes the effect of the other, so adjacent
+// occurrences commute to the same state.
+func (a *Analyzer) indepActs(u, v int32) bool {
+	au, av := &a.acts[u], &a.acts[v]
+	if au.proc == av.proc || a.depAll[u] || a.depAll[v] {
+		return false
+	}
+	if au.kind == actSync && av.kind == actSync &&
+		au.obj == av.obj && syncClass(au.opKind) == syncClass(av.opKind) {
+		return false
+	}
+	for _, w := range a.depAdj[u] {
+		if w == v {
+			return false
+		}
+	}
+	return true
+}
+
+// visibleAct reports whether action id is one of query q's interval
+// boundary markers. Visible actions are dependent with everything for the
+// monitored search: the flag updates read "has a ended" / "has b ended", so
+// commuting a boundary past another action can change the recorded flags
+// even when the states commute. Both begins AND ends are visible — the
+// overlap-window relations (MCW/CCW/MOW/COW) hinge on end-vs-begin order.
+func (a *Analyzer) visibleAct(q *pairQuery, id int32) bool {
+	return id == q.aBegin || id == q.aEnd || id == q.bBegin || id == q.bEnd
+}
+
+// filterSleep derives the sleep set inherited by the child reached via
+// action id: the candidate processes in cand whose pending action is
+// independent with id — and, when a pair query q is monitored, invisible to
+// it (as is id itself; a visible edge kills the whole set). Must be called
+// before step(id) so every candidate's program counter still addresses its
+// pending action.
+func (a *Analyzer) filterSleep(cand uint64, id int32, q *pairQuery) uint64 {
+	if cand == 0 {
+		return 0
+	}
+	if q != nil && a.visibleAct(q, id) {
+		return 0
+	}
+	out := cand
+	for m := cand; m != 0; m &= m - 1 {
+		p := bits.TrailingZeros64(m)
+		np := a.procActs[p][a.pc[p]]
+		if !a.indepActs(np, id) || (q != nil && a.visibleAct(q, np)) {
+			out &^= 1 << uint(p)
+		}
+	}
+	return out
+}
+
+// enabledProcMask folds the enabled action list into a process bitmask.
+func (a *Analyzer) enabledProcMask(enabled []int32) uint64 {
+	var m uint64
+	for _, id := range enabled {
+		m |= 1 << uint(a.acts[id].proc)
+	}
+	return m
+}

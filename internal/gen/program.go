@@ -1,0 +1,163 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"eventorder/internal/interp"
+	"eventorder/internal/lang"
+	"eventorder/internal/model"
+)
+
+// RandomProgramOptions bounds RandomProgramSource. The generator emits
+// mini-language source rather than a prebuilt execution so control flow
+// (if/else, bounded while) and the label/branch machinery of lang+interp
+// are exercised end to end; straight-line random *executions* come from
+// Random.
+type RandomProgramOptions struct {
+	Procs        int  // processes (≥ 2)
+	StmtsPerProc int  // maximum top-level statements per process (≥ 1)
+	Sems         int  // counting semaphores
+	Events       int  // event variables (Post/Wait/Clear)
+	Vars         int  // shared integer variables
+	SemInit      int  // maximum initial semaphore value
+	Branches     bool // emit if/else and counter-bounded while statements
+	MaxTries     int  // attempts to find a completing run (default 64)
+}
+
+// progGen carries the mutable state of one source-generation attempt.
+type progGen struct {
+	rng      *rand.Rand
+	opts     RandomProgramOptions
+	counters []string // while-loop counter variables, declared up front
+	labels   int      // program-wide unique label counter
+}
+
+// RandomProgramSource emits a seeded random mini-language program as source
+// text. Semaphore P/V and event post/wait/clear are mixed per statement;
+// with Branches set, processes also get if/else statements over shared
+// variables and while loops bounded by a dedicated counter variable (each
+// loop's counter is written only inside that loop, so termination is
+// structural, not scheduling-dependent). The text always parses; whether a
+// given run completes depends on scheduling, which RandomProgramExecution
+// handles by retrying.
+func RandomProgramSource(rng *rand.Rand, opts RandomProgramOptions) string {
+	if opts.Procs < 2 {
+		opts.Procs = 2
+	}
+	if opts.StmtsPerProc < 1 {
+		opts.StmtsPerProc = 1
+	}
+	g := &progGen{rng: rng, opts: opts}
+
+	var procs strings.Builder
+	for p := 0; p < opts.Procs; p++ {
+		fmt.Fprintf(&procs, "proc p%d {\n", p)
+		nstmts := 1 + rng.Intn(opts.StmtsPerProc)
+		for s := 0; s < nstmts; s++ {
+			g.stmt(&procs, p, 1, opts.Branches)
+		}
+		procs.WriteString("}\n")
+	}
+
+	var src strings.Builder
+	for s := 0; s < opts.Sems; s++ {
+		init := 0
+		if opts.SemInit > 0 {
+			init = rng.Intn(opts.SemInit + 1)
+		}
+		fmt.Fprintf(&src, "sem s%d = %d\n", s, init)
+	}
+	for e := 0; e < opts.Events; e++ {
+		fmt.Fprintf(&src, "event e%d\n", e)
+	}
+	for v := 0; v < opts.Vars; v++ {
+		fmt.Fprintf(&src, "var x%d\n", v)
+	}
+	for _, c := range g.counters {
+		fmt.Fprintf(&src, "var %s\n", c)
+	}
+	src.WriteString(procs.String())
+	return src.String()
+}
+
+// stmt emits one random statement at the given nesting depth. Branching
+// statements are only emitted at depth 1 (loop bodies and branch arms stay
+// straight-line) so generated programs terminate by construction.
+func (g *progGen) stmt(w *strings.Builder, proc, depth int, branches bool) {
+	indent := strings.Repeat("    ", depth)
+	rolls := 6
+	if branches && depth == 1 {
+		rolls = 8
+	}
+	switch roll := g.rng.Intn(rolls); {
+	case roll == 1 && g.opts.Vars > 0:
+		v := g.rng.Intn(g.opts.Vars)
+		fmt.Fprintf(w, "%s%sx%d := x%d + 1\n", indent, g.label(), v, g.rng.Intn(g.opts.Vars))
+	case roll == 2 && g.opts.Vars > 0:
+		fmt.Fprintf(w, "%s%sx%d := %d\n", indent, g.label(), g.rng.Intn(g.opts.Vars), g.rng.Intn(3))
+	case roll == 3 && g.opts.Sems > 0:
+		op := "P"
+		if g.rng.Intn(2) == 0 {
+			op = "V"
+		}
+		fmt.Fprintf(w, "%s%s%s(s%d)\n", indent, g.label(), op, g.rng.Intn(g.opts.Sems))
+	case roll == 4 && g.opts.Events > 0:
+		op := [...]string{"post", "wait", "clear"}[g.rng.Intn(3)]
+		fmt.Fprintf(w, "%s%s%s(e%d)\n", indent, g.label(), op, g.rng.Intn(g.opts.Events))
+	case roll == 6 && g.opts.Vars > 0: // if/else over a shared variable
+		fmt.Fprintf(w, "%sif x%d %s %d {\n", indent, g.rng.Intn(g.opts.Vars),
+			[...]string{"==", "!=", "<"}[g.rng.Intn(3)], g.rng.Intn(2))
+		g.stmt(w, proc, depth+1, false)
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(w, "%s} else {\n", indent)
+			g.stmt(w, proc, depth+1, false)
+		}
+		fmt.Fprintf(w, "%s}\n", indent)
+	case roll == 7: // counter-bounded while loop
+		c := fmt.Sprintf("c%d_%d", proc, len(g.counters))
+		g.counters = append(g.counters, c)
+		fmt.Fprintf(w, "%swhile %s < %d {\n", indent, c, 1+g.rng.Intn(2))
+		g.stmt(w, proc, depth+1, false)
+		fmt.Fprintf(w, "%s    %s := %s + 1\n", indent, c, c)
+		fmt.Fprintf(w, "%s}\n", indent)
+	default:
+		fmt.Fprintf(w, "%s%sskip\n", indent, g.label())
+	}
+}
+
+// label emits a unique statement label roughly every third statement, so
+// generated executions carry both labeled and anonymous events (loop bodies
+// exercise the interpreter's "#k" instance suffixing).
+func (g *progGen) label() string {
+	if g.rng.Intn(3) != 0 {
+		return ""
+	}
+	g.labels++
+	return fmt.Sprintf("L%d: ", g.labels)
+}
+
+// RandomProgramExecution generates random branching programs until one
+// parses and completes under a random schedule, and returns the observed
+// execution. Deadlocks (random P/V and wait nesting can block) are retried
+// with fresh program structure, mirroring Random's retry contract.
+func RandomProgramExecution(rng *rand.Rand, opts RandomProgramOptions) (*model.Execution, error) {
+	tries := opts.MaxTries
+	if tries <= 0 {
+		tries = 64
+	}
+	for t := 0; t < tries; t++ {
+		src := RandomProgramSource(rng, opts)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("gen: generated program does not parse: %w\n%s", err, src)
+		}
+		res, err := interp.RunAvoidingDeadlock(prog, 16, rng.Int63())
+		if err != nil {
+			continue // deadlock-prone structure; regenerate
+		}
+		return res.X, nil
+	}
+	return nil, fmt.Errorf("gen: no completing random program in %d tries", tries)
+}

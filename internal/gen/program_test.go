@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"eventorder/internal/lang"
+	"eventorder/internal/model"
+)
+
+func TestRandomProgramSourceParses(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sawWhile, sawIf, sawEvent := false, false, false
+	for i := 0; i < 50; i++ {
+		src := RandomProgramSource(rng, RandomProgramOptions{
+			Procs: 3, StmtsPerProc: 5, Sems: 1, Events: 1, Vars: 2, SemInit: 1, Branches: true,
+		})
+		if _, err := lang.Parse(src); err != nil {
+			t.Fatalf("generated source does not parse: %v\n%s", err, src)
+		}
+		sawWhile = sawWhile || strings.Contains(src, "while ")
+		sawIf = sawIf || strings.Contains(src, "if ")
+		sawEvent = sawEvent || strings.Contains(src, "post(") ||
+			strings.Contains(src, "wait(") || strings.Contains(src, "clear(")
+	}
+	if !sawWhile || !sawIf || !sawEvent {
+		t.Errorf("feature coverage across 50 programs: while=%v if=%v event-sync=%v, want all true",
+			sawWhile, sawIf, sawEvent)
+	}
+}
+
+func TestRandomProgramSourceStraightLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 30; i++ {
+		src := RandomProgramSource(rng, RandomProgramOptions{
+			Procs: 2, StmtsPerProc: 6, Sems: 1, Events: 1, Vars: 2, Branches: false,
+		})
+		if strings.Contains(src, "while ") || strings.Contains(src, "if ") {
+			t.Fatalf("Branches=false emitted control flow:\n%s", src)
+		}
+	}
+}
+
+func TestRandomProgramExecution(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 10; i++ {
+		x, err := RandomProgramExecution(rng, RandomProgramOptions{
+			Procs: 3, StmtsPerProc: 4, Sems: 1, Events: 1, Vars: 2, SemInit: 1, Branches: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := model.Validate(x); err != nil {
+			t.Fatal(err)
+		}
+		if len(x.Events) == 0 {
+			t.Fatal("execution has no events")
+		}
+	}
+}

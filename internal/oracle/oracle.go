@@ -1,0 +1,380 @@
+// Package oracle is the differential test harness that cross-validates
+// every engine the repository ships for the same question: brute-force
+// enumeration of all feasible interleavings, the per-pair memoized search
+// (with and without sleep-set reduction), and the batch matrix engine (with
+// and without reduction, at several worker widths) must produce identical
+// relation verdicts on every execution, and every witness schedule the
+// engines emit must replay and exhibit its claim. Check runs the
+// comparison; Verify additionally minimizes a failing execution with a
+// seeded shrinker (greedily dropping processes and events while the
+// disagreement persists) so a randomized-test failure arrives as a small
+// reproducing trace rather than a 40-event haystack.
+package oracle
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"eventorder/internal/core"
+	"eventorder/internal/model"
+	"eventorder/internal/traceio"
+)
+
+// Config bounds one differential check.
+type Config struct {
+	// IgnoreData drops shared-data dependence edges (condition F3) from
+	// every engine symmetrically.
+	IgnoreData bool
+	// BruteLimit caps the brute-force enumeration; when an execution has
+	// more feasible interleavings the brute engine is skipped (the
+	// remaining engines still cross-check each other). 0 means the default
+	// of 50000; negative disables brute entirely.
+	BruteLimit int
+	// Workers lists the batch-engine worker widths to exercise. Empty
+	// means {1, 4}.
+	Workers []int
+	// MaxWitnessEvents caps the witness-validation phase: executions with
+	// more events skip it (6·n·(n-1) witness searches). 0 means 20.
+	MaxWitnessEvents int
+	// MaxNodes is the per-search node budget handed to the engines; 0
+	// uses the engine default.
+	MaxNodes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.BruteLimit == 0 {
+		c.BruteLimit = 50_000
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 4}
+	}
+	if c.MaxWitnessEvents == 0 {
+		c.MaxWitnessEvents = 20
+	}
+	return c
+}
+
+// Check runs every engine over x and returns nil if all verdicts agree and
+// all witnesses validate, or an error naming the first divergence.
+func Check(x *model.Execution, cfg Config) error {
+	cfg = cfg.withDefaults()
+	opts := core.Options{IgnoreData: cfg.IgnoreData, MaxNodes: cfg.MaxNodes}
+
+	// Reference: the per-pair search with reduction disabled — the oldest,
+	// most directly paper-shaped decision procedure.
+	refOpts := opts
+	refOpts.DisablePOR = true
+	ref, err := allRelations(x, refOpts)
+	if err != nil {
+		return fmt.Errorf("oracle: reference per-pair engine: %w", err)
+	}
+
+	if cfg.BruteLimit > 0 {
+		brute, err := core.BruteRelations(x, opts, cfg.BruteLimit)
+		switch {
+		case errors.Is(err, core.ErrTruncated):
+			// State space too large for enumeration; skip this engine.
+		case err != nil:
+			return fmt.Errorf("oracle: brute enumeration: %w", err)
+		default:
+			if err := compare("brute enumeration", x, brute.Relations, ref); err != nil {
+				return err
+			}
+		}
+	}
+
+	por, err := allRelations(x, opts)
+	if err != nil {
+		return fmt.Errorf("oracle: per-pair POR engine: %w", err)
+	}
+	if err := compare("per-pair POR", x, por, ref); err != nil {
+		return err
+	}
+
+	for _, w := range cfg.Workers {
+		for _, disable := range []bool{false, true} {
+			a, err := core.New(x, opts)
+			if err != nil {
+				return fmt.Errorf("oracle: analyzer: %w", err)
+			}
+			m, err := a.Matrix(context.Background(), nil, core.MatrixOpts{Workers: w, DisablePOR: disable})
+			if err != nil {
+				return fmt.Errorf("oracle: Matrix(workers=%d, disablePOR=%v): %w", w, disable, err)
+			}
+			tag := fmt.Sprintf("Matrix(workers=%d, disablePOR=%v)", w, disable)
+			if err := compare(tag, x, m, ref); err != nil {
+				return err
+			}
+		}
+	}
+
+	if len(x.Events) <= cfg.MaxWitnessEvents {
+		if err := checkWitnesses(x, opts, ref); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allRelations answers all six relations per-pair on a fresh analyzer.
+func allRelations(x *model.Execution, opts core.Options) (map[core.RelKind]*model.Relation, error) {
+	a, err := core.New(x, opts)
+	if err != nil {
+		return nil, err
+	}
+	return a.AllRelations(context.Background())
+}
+
+// compare diffs an engine's six matrices against the reference.
+func compare(tag string, x *model.Execution, got, want map[core.RelKind]*model.Relation) error {
+	for _, kind := range core.AllRelKinds {
+		g, w := got[kind], want[kind]
+		if g.Equal(w) {
+			continue
+		}
+		for i := range x.Events {
+			for j := range x.Events {
+				ea, eb := model.EventID(i), model.EventID(j)
+				if g.Has(ea, eb) != w.Has(ea, eb) {
+					return fmt.Errorf("oracle: %s disagrees with reference on %s(%s, %s): got %v, want %v",
+						tag, kind, x.EventName(ea), x.EventName(eb), g.Has(ea, eb), w.Has(ea, eb))
+				}
+			}
+		}
+		return fmt.Errorf("oracle: %s disagrees with reference on %s (no differing pair?)", tag, kind)
+	}
+	return nil
+}
+
+// checkWitnesses validates every witness schedule against the reference
+// verdicts: the verdict must match, an order must accompany exactly the
+// demonstrable verdicts, and the order must replay under the exploration
+// constraints and exhibit (or violate) the relation it claims to.
+func checkWitnesses(x *model.Execution, opts core.Options, ref map[core.RelKind]*model.Relation) error {
+	a, err := core.New(x, opts)
+	if err != nil {
+		return fmt.Errorf("oracle: witness analyzer: %w", err)
+	}
+	constraints := model.OpConstraintsForExploration(x, opts.IgnoreData)
+	for _, kind := range core.AllRelKinds {
+		for i := range x.Events {
+			for j := range x.Events {
+				if i == j {
+					continue
+				}
+				ea, eb := model.EventID(i), model.EventID(j)
+				w, err := a.WitnessSchedule(context.Background(), kind, ea, eb)
+				if err != nil {
+					return fmt.Errorf("oracle: WitnessSchedule(%s, %d, %d): %w", kind, ea, eb, err)
+				}
+				tag := fmt.Sprintf("%s(%s, %s)", kind, x.EventName(ea), x.EventName(eb))
+				if want := ref[kind].Has(ea, eb); w.Holds != want {
+					return fmt.Errorf("oracle: witness verdict for %s = %v, reference says %v", tag, w.Holds, want)
+				}
+				wantOrder := w.Holds != kind.MustHave() // could+true or must+false
+				if (w.Order != nil) != wantOrder {
+					return fmt.Errorf("oracle: witness for %s: order present=%v, want %v", tag, w.Order != nil, wantOrder)
+				}
+				if w.Order == nil {
+					continue
+				}
+				if err := model.Replay(x, w.Order, constraints); err != nil {
+					return fmt.Errorf("oracle: witness for %s does not replay: %w", tag, err)
+				}
+				if !witnessExhibits(kind, w, ea, eb) {
+					return fmt.Errorf("oracle: witness schedule for %s does not exhibit its claim", tag)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// eventSpan returns the first and last step indices touching event e.
+func eventSpan(steps []core.WitnessStep, e model.EventID) (begin, end int) {
+	begin, end = -1, -1
+	for i, s := range steps {
+		if s.Event != e {
+			continue
+		}
+		if begin < 0 {
+			begin = i
+		}
+		end = i
+	}
+	return begin, end
+}
+
+// witnessExhibits checks the claim a witness order makes: for a could-
+// relation the schedule exhibits the property; for a must-relation it is a
+// counterexample violating it.
+func witnessExhibits(kind core.RelKind, w core.Witness, ea, eb model.EventID) bool {
+	aBegin, aEnd := eventSpan(w.Steps, ea)
+	bBegin, bEnd := eventSpan(w.Steps, eb)
+	if aBegin < 0 || bBegin < 0 {
+		return false
+	}
+	aFirst := aEnd < bBegin // a wholly before b
+	bFirst := bEnd < aBegin // b wholly before a
+	overlap := !aFirst && !bFirst
+	switch kind {
+	case core.RelCHB:
+		return aFirst
+	case core.RelCCW:
+		return overlap
+	case core.RelCOW:
+		return aFirst || bFirst
+	case core.RelMHB: // counterexample: an interleaving where a is not before b
+		return !aFirst
+	case core.RelMCW: // counterexample: an interleaving ordering the two
+		return aFirst || bFirst
+	case core.RelMOW: // counterexample: an interleaving overlapping the two
+		return overlap
+	}
+	return false
+}
+
+// Shrink greedily minimizes a Check-failing execution: it tries dropping
+// whole processes, then single events, accepting any candidate that still
+// fails, until a fixpoint. Candidate order is drawn from rng so distinct
+// seeds explore different minima. Executions using fork/join are returned
+// unshrunk (dropping events around fork edges changes process structure in
+// ways the rebuild does not model).
+func Shrink(x *model.Execution, cfg Config, rng *rand.Rand) *model.Execution {
+	return shrink(x, func(cand *model.Execution) bool { return Check(cand, cfg) != nil }, rng)
+}
+
+// shrink is Shrink against an arbitrary failure predicate: it returns the
+// smallest execution it can reach (by dropping processes, then events) on
+// which fails still reports true.
+func shrink(x *model.Execution, fails func(*model.Execution) bool, rng *rand.Rand) *model.Execution {
+	if hasForkJoin(x) {
+		return x
+	}
+	cur := x
+	for {
+		improved := false
+		for _, p := range rng.Perm(len(cur.Procs)) {
+			if len(cur.Procs) < 2 {
+				break
+			}
+			if cand := rebuildWithout(cur, model.ProcID(p), model.EventID(model.NoID)); cand != nil && fails(cand) {
+				cur, improved = cand, true
+				break
+			}
+		}
+		if improved {
+			continue
+		}
+		for _, e := range rng.Perm(len(cur.Events)) {
+			if len(cur.Events) < 2 {
+				break
+			}
+			if cand := rebuildWithout(cur, model.ProcID(model.NoID), model.EventID(e)); cand != nil && fails(cand) {
+				cur, improved = cand, true
+				break
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// hasForkJoin reports whether any op forks or joins a process.
+func hasForkJoin(x *model.Execution) bool {
+	for i := range x.Ops {
+		if k := x.Ops[i].Kind; k == model.OpFork || k == model.OpJoin {
+			return true
+		}
+	}
+	return false
+}
+
+// rebuildWithout reconstructs x minus one process (dropProc) or one event
+// (dropEvent), re-scheduling the result with the exhaustive scheduler.
+// Returns nil when the candidate is empty or cannot complete.
+func rebuildWithout(x *model.Execution, dropProc model.ProcID, dropEvent model.EventID) *model.Execution {
+	b := model.NewBuilder()
+	for _, s := range x.Sems {
+		b.Sem(s.Name, s.Init, s.Kind)
+	}
+	for name, posted := range x.EvInit {
+		b.EventVar(name, posted)
+	}
+	events := 0
+	for pi := range x.Procs {
+		proc := &x.Procs[pi]
+		if proc.ID == dropProc {
+			continue
+		}
+		pb := b.Proc(proc.Name)
+		for _, opID := range proc.Ops {
+			op := &x.Ops[opID]
+			if op.Event == dropEvent {
+				continue
+			}
+			ev := &x.Events[op.Event]
+			if ev.Label != "" && opID == ev.First() {
+				pb.Label(ev.Label)
+			}
+			switch op.Kind {
+			case model.OpNop:
+				pb.Nop()
+			case model.OpRead:
+				pb.Read(op.Obj)
+			case model.OpWrite:
+				pb.Write(op.Obj)
+			case model.OpAcquire:
+				pb.P(op.Obj)
+			case model.OpRelease:
+				pb.V(op.Obj)
+			case model.OpPost:
+				pb.Post(op.Obj)
+			case model.OpWait:
+				pb.Wait(op.Obj)
+			case model.OpClear:
+				pb.Clear(op.Obj)
+			default:
+				return nil // fork/join: caller filtered these out
+			}
+			events++
+		}
+	}
+	if events == 0 {
+		return nil
+	}
+	cand, err := b.BuildDeferred()
+	if err != nil {
+		return nil
+	}
+	if err := core.Schedule(cand, core.Options{MaxNodes: 500_000}); err != nil {
+		return nil
+	}
+	return cand
+}
+
+// Verify is Check plus failure minimization: on disagreement it shrinks the
+// execution with the seeded shrinker and returns an error carrying both the
+// original divergence and the minimized trace as serialized JSON, ready to
+// replay.
+func Verify(x *model.Execution, cfg Config, rng *rand.Rand) error {
+	err := Check(x, cfg)
+	if err == nil {
+		return nil
+	}
+	min := Shrink(x, cfg, rng)
+	minErr := Check(min, cfg)
+	if minErr == nil { // shouldn't happen: Shrink only accepts failing candidates
+		minErr = err
+	}
+	var buf bytes.Buffer
+	if serr := traceio.SaveExecution(&buf, min); serr != nil {
+		return fmt.Errorf("%w (minimized repro could not be serialized: %v)", minErr, serr)
+	}
+	return fmt.Errorf("%w\nminimized repro (%d procs, %d events, originally %d events):\n%s",
+		minErr, len(min.Procs), len(min.Events), len(x.Events), buf.String())
+}

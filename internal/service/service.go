@@ -68,6 +68,10 @@ type Config struct {
 	// MaxBudget caps client-requested search budgets (0 = no cap).
 	// Requests exceeding it are clamped to it.
 	MaxBudget int64
+	// DisablePOR turns off sleep-set partial-order reduction in every
+	// analysis this server runs. Verdicts, witnesses, and matrices are
+	// identical either way; the knob exists for comparison and debugging.
+	DisablePOR bool
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
 	// MaxJobs bounds retained async jobs for polling (default 1024).
@@ -605,7 +609,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	pairQuery := req.A != "" || req.B != ""
-	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget)}
+	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR}
 
 	if pairQuery {
 		if req.A == "" || req.B == "" || len(kinds) != 1 || req.All {
@@ -694,7 +698,7 @@ func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget)}
+	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR}
 	key := cacheKey(digest, fmt.Sprintf("races|ignoreData=%t", req.IgnoreData))
 	s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
 		rep, err := race.DetectCtx(ctx, x, opts)
@@ -751,7 +755,7 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A))
 		return
 	}
-	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget)}
+	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR}
 	key := cacheKey(digest, fmt.Sprintf("witness|rel=%s|a=%s|b=%s|ignoreData=%t", kind, req.A, req.B, req.IgnoreData))
 	s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
 		an, err := core.New(x, opts)

@@ -53,6 +53,7 @@ type Table struct {
 	mask  uint64   // capacity-1; capacity is a power of two
 	keys  []uint64 // capacity*words, keys stored inline
 	vals  []uint8  // capacity; 0 = empty slot, else slotUsed|value bits
+	aux   []uint64 // capacity, or nil while every entry's aux word is zero
 	n     int      // stored entries
 	grows int64
 }
@@ -112,7 +113,7 @@ func (t *Table) Stats() Stats {
 	s := Stats{
 		Entries:  t.n,
 		Capacity: len(t.vals),
-		Bytes:    int64(len(t.keys))*8 + int64(len(t.vals)),
+		Bytes:    int64(len(t.keys))*8 + int64(len(t.vals)) + int64(len(t.aux))*8,
 		Grows:    t.grows,
 	}
 	if s.Capacity > 0 {
@@ -166,6 +167,75 @@ func (t *Table) Intern(key []uint64) (fresh bool) {
 	return true
 }
 
+// LookupAux returns the value and auxiliary word stored for key, and whether
+// the key is present. Entries written without an aux word read as aux 0.
+// It never allocates.
+func (t *Table) LookupAux(key []uint64) (value bool, aux uint64, ok bool) {
+	if t.n == 0 {
+		return false, 0, false
+	}
+	i := Hash(key) & t.mask
+	for {
+		v := t.vals[i]
+		if v == 0 {
+			return false, 0, false
+		}
+		if t.keyEqual(i, key) {
+			if t.aux != nil {
+				aux = t.aux[i]
+			}
+			return v&slotValue != 0, aux, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// StoreAux sets key's value and auxiliary word, inserting the key if
+// absent. The aux array is allocated lazily on the first nonzero aux, so
+// tables that never store one pay nothing for it.
+func (t *Table) StoreAux(key []uint64, value bool, aux uint64) {
+	i, found := t.probe(key)
+	var v uint8 = slotUsed
+	if value {
+		v |= slotValue
+	}
+	if !found {
+		i = t.insertAt(i, key, v)
+	} else {
+		t.vals[i] = v
+	}
+	t.setAux(i, aux)
+}
+
+// InternAux inserts key with value false and the given auxiliary word if
+// absent (reporting fresh=true), or AND-merges aux into the existing
+// entry's word. The AND is the natural combine for sleep-set masks: a state
+// reachable along several paths may only sleep what every path permits.
+func (t *Table) InternAux(key []uint64, aux uint64) (fresh bool) {
+	i, found := t.probe(key)
+	if found {
+		if t.aux != nil {
+			t.aux[i] &= aux
+		}
+		return false
+	}
+	i = t.insertAt(i, key, slotUsed)
+	t.setAux(i, aux)
+	return true
+}
+
+// setAux writes slot i's auxiliary word, allocating the aux array on the
+// first nonzero write (a nil array reads as all-zero).
+func (t *Table) setAux(i uint64, aux uint64) {
+	if t.aux == nil {
+		if aux == 0 {
+			return
+		}
+		t.aux = make([]uint64, len(t.vals))
+	}
+	t.aux[i] = aux
+}
+
 // probe finds key's slot (found=true) or the empty slot where it belongs
 // (found=false), growing the table first if it is missing capacity.
 func (t *Table) probe(key []uint64) (slot uint64, found bool) {
@@ -186,8 +256,9 @@ func (t *Table) probe(key []uint64) (slot uint64, found bool) {
 }
 
 // insertAt writes a new entry into the empty slot probe returned, growing
-// and re-probing when the insert would cross the load-factor bound.
-func (t *Table) insertAt(slot uint64, key []uint64, v uint8) {
+// and re-probing when the insert would cross the load-factor bound, and
+// returns the slot the entry finally landed in.
+func (t *Table) insertAt(slot uint64, key []uint64, v uint8) uint64 {
 	if (t.n+1)*maxLoadDen > len(t.vals)*maxLoadNum {
 		t.rehash(len(t.vals) * 2)
 		slot, _ = t.probe(key)
@@ -195,14 +266,18 @@ func (t *Table) insertAt(slot uint64, key []uint64, v uint8) {
 	copy(t.keys[int(slot)*t.words:], key)
 	t.vals[slot] = v
 	t.n++
+	return slot
 }
 
 // rehash resizes to capacity slots (a power of two) and reinserts every
-// entry.
+// entry, carrying auxiliary words along when present.
 func (t *Table) rehash(capacity int) {
-	oldKeys, oldVals := t.keys, t.vals
+	oldKeys, oldVals, oldAux := t.keys, t.vals, t.aux
 	t.keys = make([]uint64, capacity*t.words)
 	t.vals = make([]uint8, capacity)
+	if oldAux != nil {
+		t.aux = make([]uint64, capacity)
+	}
 	t.mask = uint64(capacity - 1)
 	if len(oldVals) > 0 {
 		t.grows++
@@ -218,6 +293,9 @@ func (t *Table) rehash(capacity int) {
 		}
 		copy(t.keys[int(j)*t.words:], key)
 		t.vals[j] = v
+		if oldAux != nil {
+			t.aux[j] = oldAux[i]
+		}
 	}
 }
 
@@ -235,7 +313,7 @@ func (t *Table) keyEqual(i uint64, key []uint64) bool {
 // Reset drops every entry and releases the arrays, returning the table to
 // its fresh (cold) state.
 func (t *Table) Reset() {
-	t.keys, t.vals = nil, nil
+	t.keys, t.vals, t.aux = nil, nil, nil
 	t.mask, t.n, t.grows = 0, 0, 0
 }
 
@@ -324,6 +402,37 @@ func (c *Concurrent) Intern(key []uint64) (fresh bool) {
 	s := c.stripeFor(key)
 	s.mu.Lock()
 	fresh = s.t.Intern(key)
+	s.mu.Unlock()
+	return fresh
+}
+
+// LookupAux returns the value and auxiliary word stored for key, and
+// whether the key is present.
+func (c *Concurrent) LookupAux(key []uint64) (value bool, aux uint64, ok bool) {
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	value, aux, ok = s.t.LookupAux(key)
+	s.mu.Unlock()
+	return value, aux, ok
+}
+
+// StoreAux sets key's value and auxiliary word, inserting the key if
+// absent.
+func (c *Concurrent) StoreAux(key []uint64, value bool, aux uint64) {
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	s.t.StoreAux(key, value, aux)
+	s.mu.Unlock()
+}
+
+// InternAux inserts key with value false and the given auxiliary word if
+// absent, or AND-merges aux into the existing entry's word under the
+// stripe lock (so concurrent inserts of one key combine deterministically
+// regardless of arrival order).
+func (c *Concurrent) InternAux(key []uint64, aux uint64) (fresh bool) {
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	fresh = s.t.InternAux(key, aux)
 	s.mu.Unlock()
 	return fresh
 }

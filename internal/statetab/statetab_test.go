@@ -247,6 +247,170 @@ func TestZeroAllocOperations(t *testing.T) {
 	}
 }
 
+// TestAuxMatchesBuiltinMap drives the aux-word API and a reference map of
+// (value, aux) pairs through the same randomized sequence — StoreAux,
+// InternAux (AND-merge), plain Store/Intern interleaved — and requires
+// identical observable state throughout, across several growths so aux
+// words provably survive rehashing.
+func TestAuxMatchesBuiltinMap(t *testing.T) {
+	type entry struct {
+		val bool
+		aux uint64
+	}
+	for _, words := range []int{1, 3} {
+		t.Run(fmt.Sprintf("words=%d", words), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(words) * 104729))
+			tab := New(words, 0)
+			ref := map[string]entry{}
+			var keys [][]uint64
+			for op := 0; op < 20000; op++ {
+				var key []uint64
+				if len(keys) > 0 && rng.Intn(3) == 0 {
+					key = keys[rng.Intn(len(keys))]
+				} else {
+					key = randKey(rng, words)
+					keys = append(keys, key)
+				}
+				sk := mapKey(key)
+				switch rng.Intn(4) {
+				case 0:
+					v, aux := rng.Intn(2) == 0, rng.Uint64()
+					tab.StoreAux(key, v, aux)
+					ref[sk] = entry{v, aux}
+				case 1:
+					aux := rng.Uint64()
+					fresh := tab.InternAux(key, aux)
+					e, had := ref[sk]
+					if fresh == had {
+						t.Fatalf("op %d: InternAux fresh=%v, map had=%v", op, fresh, had)
+					}
+					if had {
+						ref[sk] = entry{e.val, e.aux & aux}
+					} else {
+						ref[sk] = entry{false, aux}
+					}
+				case 2:
+					// Plain Store must preserve the aux word.
+					v := rng.Intn(2) == 0
+					tab.Store(key, v)
+					e := ref[sk] // zero value for fresh keys: aux 0
+					ref[sk] = entry{v, e.aux}
+				default:
+					v, aux, ok := tab.LookupAux(key)
+					e, had := ref[sk]
+					if ok != had || (ok && (v != e.val || aux != e.aux)) {
+						t.Fatalf("op %d: LookupAux(%v) = (%v,%#x,%v), map = (%v,%#x,%v)",
+							op, key, v, aux, ok, e.val, e.aux, had)
+					}
+				}
+			}
+			for _, key := range keys {
+				e, had := ref[mapKey(key)]
+				v, aux, ok := tab.LookupAux(key)
+				if ok != had || (ok && (v != e.val || aux != e.aux)) {
+					t.Fatalf("sweep: LookupAux(%v) = (%v,%#x,%v), map = (%v,%#x,%v)",
+						key, v, aux, ok, e.val, e.aux, had)
+				}
+			}
+			if st := tab.Stats(); st.Grows == 0 {
+				t.Fatalf("aux sweep never grew the table: %+v", st)
+			}
+		})
+	}
+}
+
+// TestAuxLazyAllocation pins the cost model: a table whose aux words are
+// all zero must never allocate the aux array (its Bytes stay those of a
+// plain table), and LookupAux on such a table reads aux 0.
+func TestAuxLazyAllocation(t *testing.T) {
+	tab := New(2, 0)
+	plain := New(2, 0)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 4000; i++ {
+		k := randKey(rng, 2)
+		tab.InternAux(k, 0)
+		tab.StoreAux(k, true, 0)
+		plain.Store(k, true)
+	}
+	if tb, pb := tab.Stats().Bytes, plain.Stats().Bytes; tb != pb {
+		t.Fatalf("all-zero aux table holds %d bytes, plain table %d; aux array should not exist", tb, pb)
+	}
+	probe := randKey(rng, 2)
+	tab.Store(probe, false)
+	if _, aux, ok := tab.LookupAux(probe); !ok || aux != 0 {
+		t.Fatalf("LookupAux without aux array = (_, %#x, %v), want (_, 0, true)", aux, ok)
+	}
+}
+
+// TestConcurrentInternAuxMerges checks that racing InternAux calls on the
+// same keys converge to the AND of every contribution regardless of
+// interleaving (AND is commutative and associative, so the reference is
+// order-independent), and that value bits written by Store survive. Run
+// under -race this exercises the stripe locking of the aux path.
+func TestConcurrentInternAuxMerges(t *testing.T) {
+	const words, workers, nKeys, rounds = 2, 8, 256, 50
+	c := NewConcurrent(words, 0)
+	shared := rand.New(rand.NewSource(42))
+	keys := make([][]uint64, nKeys)
+	want := make([]uint64, nKeys)
+	contrib := make([][]uint64, workers)
+	seen := map[string]bool{} // the biased generator repeats keys; dedupe so per-key expectations hold
+	for i := range keys {
+		for keys[i] == nil || seen[mapKey(keys[i])] {
+			keys[i] = randKey(shared, words)
+		}
+		seen[mapKey(keys[i])] = true
+		want[i] = ^uint64(0)
+	}
+	for w := range contrib {
+		contrib[w] = make([]uint64, nKeys)
+		rng := rand.New(rand.NewSource(int64(w) * 31))
+		for i := range contrib[w] {
+			contrib[w][i] = rng.Uint64()
+			want[i] &= contrib[w][i]
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				for i := range keys {
+					c.InternAux(keys[i], contrib[w][i])
+					c.LookupAux(keys[i])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range keys {
+		_, aux, ok := c.LookupAux(keys[i])
+		if !ok || aux != want[i] {
+			t.Fatalf("key %d: aux=%#x ok=%v, want %#x", i, aux, ok, want[i])
+		}
+	}
+}
+
+// TestLookupAuxZeroAlloc gates the POR memo's hot path: LookupAux must be
+// allocation-free exactly like Lookup.
+func TestLookupAuxZeroAlloc(t *testing.T) {
+	tab := New(2, 1024)
+	rng := rand.New(rand.NewSource(13))
+	keys := make([][]uint64, 512)
+	for i := range keys {
+		keys[i] = randKey(rng, 2)
+		tab.StoreAux(keys[i], true, rng.Uint64())
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(1000, func() {
+		tab.LookupAux(keys[i%len(keys)])
+		i++
+	}); avg != 0 {
+		t.Fatalf("LookupAux allocates %v/op", avg)
+	}
+}
+
 func BenchmarkTableStoreLookup(b *testing.B) {
 	for _, words := range []int{2, 4} {
 		b.Run(fmt.Sprintf("words=%d", words), func(b *testing.B) {

@@ -29,6 +29,13 @@
 // node/edge counts are embedded alongside the fresh ones as before/after
 // columns with the resulting throughput gain. -cpuprofile and -memprofile
 // write pprof profiles of the run for flame-graph work.
+//
+// Each case also carries tiered-planner bracket columns: the fraction of
+// ordered pairs each polynomial tier (static / observed / dag) decided
+// for the benched relation, the residue the exact engine had to settle,
+// and planner-on vs planner-off matrix wall-clock. -testdata points at a
+// directory of .evo programs to bench alongside the generated workloads
+// (each is executed once and its trace analyzed; "" skips them).
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -46,7 +54,10 @@ import (
 
 	"eventorder/internal/core"
 	"eventorder/internal/gen"
+	"eventorder/internal/interp"
+	"eventorder/internal/lang"
 	"eventorder/internal/model"
+	"eventorder/internal/plan"
 )
 
 type benchCase struct {
@@ -89,6 +100,19 @@ type caseResult struct {
 	// dedicated run, not the timed reps).
 	MatrixAllocsPerNode float64 `json:"matrix_allocs_per_node"`
 
+	// Planner bracket columns. PlanTierFrac is the fraction of ordered
+	// pairs each polynomial tier decided for the benched relation (keys
+	// "static", "observed", "dag"); PlanPolyFrac is their sum and
+	// PlanResiduePairs the pairs only the exact engine could settle.
+	// PlanOnMS / PlanOffMS are single-worker matrix wall-clock with the
+	// cascade enabled and disabled (the verdicts are identical — the
+	// planner is a work-avoidance bracket, not an approximation).
+	PlanTierFrac     map[string]float64 `json:"plan_tier_frac"`
+	PlanPolyFrac     float64            `json:"plan_poly_frac"`
+	PlanResiduePairs int                `json:"plan_residue_pairs"`
+	PlanOnMS         float64            `json:"plan_on_ms"`
+	PlanOffMS        float64            `json:"plan_off_ms"`
+
 	// Baseline columns, present only when -baseline was given and had this
 	// case: the old matrix wall-clock, node/edge counts, and node
 	// throughput, and the new-over-old throughput ratio at each worker
@@ -117,6 +141,7 @@ func main() {
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	baselinePath := flag.String("baseline", "", "previous report to embed as before/after columns")
 	noPOR := flag.Bool("no-por", false, "disable sleep-set partial-order reduction in every strategy (drops the on/off comparison columns)")
+	testdata := flag.String("testdata", "testdata", "directory of .evo programs to bench as additional workloads (\"\" = generated cases only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -125,7 +150,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cases, err := workloads()
+	cases, err := workloads(*testdata)
 	if err != nil {
 		fatal(err)
 	}
@@ -210,8 +235,11 @@ func loadBaseline(path string) (*report, error) {
 // their concurrency gives sleep-set reduction commuting edges to prune.
 // The mutex and pipeline instances show the other regime: nearly (mutex)
 // or fully (pipeline) serialized spaces where per-pair search is fast and
-// reduction finds nothing to cut.
-func workloads() ([]benchCase, error) {
+// reduction finds nothing to cut. When testdataDir is non-empty, every
+// .evo program there is executed once (deadlock-avoiding, seed 1) and
+// benched as "testdata/<name>" — these are the workloads the planner
+// bracket columns are judged on.
+func workloads(testdataDir string) ([]benchCase, error) {
 	var cases []benchCase
 	add := func(name string, x *model.Execution, err error) error {
 		if err != nil {
@@ -239,6 +267,41 @@ func workloads() ([]benchCase, error) {
 	x, err = gen.ForkJoinTree(4)
 	if err := add("forkjoin4", x, err); err != nil {
 		return nil, err
+	}
+	if testdataDir != "" {
+		td, err := testdataWorkloads(testdataDir)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, td...)
+	}
+	return cases, nil
+}
+
+// testdataWorkloads executes every .evo program under dir into a trace,
+// in sorted filename order for a stable report.
+func testdataWorkloads(dir string) ([]benchCase, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.evo"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var cases []benchCase
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		res, err := interp.RunAvoidingDeadlock(prog, 64, 1)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".evo")
+		cases = append(cases, benchCase{name: "testdata/" + name, x: res.X})
 	}
 	return cases, nil
 }
@@ -344,6 +407,10 @@ func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool)
 		}
 	}
 
+	if err := measurePlan(c, &res, reps, noPOR); err != nil {
+		return res, err
+	}
+
 	allocs, err := measureMatrixAllocs(c)
 	if err != nil {
 		return res, err
@@ -357,6 +424,47 @@ func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool)
 		attachBaseline(&res, baseline)
 	}
 	return res, nil
+}
+
+// measurePlan fills the tiered-planner bracket columns: per-tier decided
+// fractions from one Build, then planner-on vs planner-off single-worker
+// matrix wall-clock through plan.Analyze (same engine options as the main
+// matrix columns).
+func measurePlan(c benchCase, res *caseResult, reps int, noPOR bool) error {
+	kinds := []core.RelKind{core.RelCCW}
+	p, err := plan.Build(c.x, kinds, plan.Options{})
+	if err != nil {
+		return err
+	}
+	res.PlanTierFrac = map[string]float64{}
+	for _, ts := range p.Tiers {
+		res.PlanTierFrac[ts.Tier.String()] = round4(p.TierFraction(ts.Tier))
+	}
+	res.PlanPolyFrac = round4(p.PolyFraction())
+	res.PlanResiduePairs = p.Residue
+	copts := core.Options{DisablePOR: noPOR}
+	for _, tiers := range []int{0, -1} {
+		ms, err := measure(reps, func() error {
+			_, err := plan.Analyze(context.Background(), c.x, kinds, copts,
+				core.MatrixOpts{Workers: 1}, plan.Options{Tiers: tiers})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if tiers < 0 {
+			res.PlanOffMS = ms
+		} else {
+			res.PlanOnMS = ms
+		}
+	}
+	fmt.Fprintf(os.Stderr, "  planner               %10.2f ms on / %.2f ms off  (%.0f%% decided polynomially: static %.0f%%, observed %.0f%%, dag %.0f%%; residue %d pairs)\n",
+		res.PlanOnMS, res.PlanOffMS, res.PlanPolyFrac*100,
+		res.PlanTierFrac[plan.TierStatic.String()]*100,
+		res.PlanTierFrac[plan.TierObserved.String()]*100,
+		res.PlanTierFrac[plan.TierDAG.String()]*100,
+		res.PlanResiduePairs)
+	return nil
 }
 
 // measureMatrixAllocs runs one single-worker Matrix and returns the heap
@@ -427,6 +535,14 @@ func measure(reps int, fn func() error) (float64, error) {
 
 func round2(v float64) float64 {
 	s, err := strconv.ParseFloat(strconv.FormatFloat(v, 'f', 2, 64), 64)
+	if err != nil {
+		return v
+	}
+	return s
+}
+
+func round4(v float64) float64 {
+	s, err := strconv.ParseFloat(strconv.FormatFloat(v, 'f', 4, 64), 64)
 	if err != nil {
 		return v
 	}

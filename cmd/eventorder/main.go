@@ -5,7 +5,7 @@
 // Usage:
 //
 //	eventorder run [-seed N] [-tries N] [-o trace.json] prog.evo
-//	eventorder analyze [-rel MHB] [-a label -b label | -all] [-ignore-data] [-budget N] trace.json
+//	eventorder analyze [-rel MHB] [-a label -b label | -all] [-ignore-data] [-budget N] [-no-plan] trace.json
 //	eventorder races [-budget N] trace.json
 //	eventorder taskgraph [-dot] trace.json
 //	eventorder hmw trace.json
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 
 	"eventorder/internal/core"
@@ -25,6 +26,7 @@ import (
 	"eventorder/internal/interp"
 	"eventorder/internal/lang"
 	"eventorder/internal/model"
+	"eventorder/internal/plan"
 	"eventorder/internal/race"
 	"eventorder/internal/staticorder"
 	"eventorder/internal/taskgraph"
@@ -173,6 +175,7 @@ func cmdAnalyze(args []string) error {
 	budget := fs.Int64("budget", 0, "search node budget per query (0 = unlimited)")
 	workers := fs.Int("workers", 0, "with -all: batch matrix engine fan-out (0 = GOMAXPROCS)")
 	noPOR := fs.Bool("no-por", false, "disable sleep-set partial-order reduction (verdicts are identical; escape hatch for comparison and debugging)")
+	noPlan := fs.Bool("no-plan", false, "with -all: skip the polynomial planner tiers and let the exact engine settle every pair (verdicts are identical)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("analyze: want exactly one trace file")
@@ -185,26 +188,51 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	a, err := core.New(x, core.Options{IgnoreData: *ignoreData, MaxNodes: *budget, DisablePOR: *noPOR})
-	if err != nil {
-		return err
-	}
+	copts := core.Options{IgnoreData: *ignoreData, MaxNodes: *budget, DisablePOR: *noPOR}
 	if *all {
-		// Full matrices go through the batch engine: one shared
-		// exploration answers every pair at once.
-		rels, err := a.Matrix(context.Background(), []core.RelKind{kind}, core.MatrixOpts{Workers: *workers})
+		// Full matrices go through the tiered planner: polynomial
+		// pre-solvers decide what they can, then one shared exact
+		// exploration settles the residue. Output is deterministic at
+		// any -workers setting: the matrix is a fixed grid and the
+		// provenance rows follow the relation's sorted pair order.
+		popts := plan.Options{}
+		if *noPlan {
+			popts.Tiers = -1
+		}
+		res, err := plan.Analyze(context.Background(), x, []core.RelKind{kind},
+			copts, core.MatrixOpts{Workers: *workers}, popts)
 		if err != nil {
 			return err
 		}
-		r := rels[kind]
+		r := res.Relations[kind]
 		if *dot {
 			fmt.Print(r.DOT(x, true))
 			return nil
 		}
 		fmt.Print(r.FormatMatrix(x))
-		st := a.Stats()
-		fmt.Printf("search: %d nodes, %d memo hits\n", st.Nodes, st.MemoHits)
+		if !*noPlan {
+			// Provenance: which tier of the cascade decided each related
+			// pair (static / observed / dag, or exact for pairs only the
+			// full search could settle).
+			fmt.Println("provenance (tier that decided each related pair):")
+			for _, p := range r.Pairs() {
+				fmt.Printf("  %s → %s\t%s\n", x.EventName(p[0]), x.EventName(p[1]), res.Plan.DecidedTier(p[0], p[1]))
+			}
+			var parts []string
+			poly := 0
+			for _, ts := range res.Plan.Tiers {
+				poly += ts.PairsDecided
+				parts = append(parts, fmt.Sprintf("%s %d", ts.Tier, ts.PairsDecided))
+			}
+			fmt.Printf("plan: %d/%d pairs decided polynomially (%s); exact residue %d\n",
+				poly, res.Plan.TotalPairs, strings.Join(parts, ", "), res.Plan.Residue)
+		}
+		fmt.Printf("search: %d nodes, %d memo hits\n", res.Stats.Nodes, res.Stats.MemoHits)
 		return nil
+	}
+	a, err := core.New(x, copts)
+	if err != nil {
+		return err
 	}
 	if *la == "" || *lb == "" {
 		return fmt.Errorf("analyze: need -a and -b labels (or -all)")

@@ -69,6 +69,16 @@ type MatrixOpts struct {
 	// states, and the backward completability sweep always walks the full
 	// enabled set.
 	DisablePOR bool
+	// Seed carries primitive interval facts proven by a polynomial
+	// pre-analysis (internal/plan builds one): a lower bound (facts proven
+	// true) and an upper bound (facts proven false) on the canOrder /
+	// canOverlap matrices the exploration would otherwise derive. Facts
+	// the seed decides are excluded from fold work and restored from the
+	// seed afterwards, and when the bracket decides every requested
+	// verdict the exploration is skipped entirely. A sound seed leaves
+	// every verdict bit-identical to an unseeded run; an inconsistent one
+	// is rejected. Nil runs unseeded.
+	Seed *FactSeed
 }
 
 // Matrix computes full relation matrices for kinds (nil or empty = all six)
@@ -107,15 +117,43 @@ func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts)
 		budget = a.opts.MaxNodes
 	}
 
-	run := newBatchRun(a, ctx, workers, budget, a.por && !opts.DisablePOR)
+	n := len(a.x.Events)
+	if opts.Seed != nil {
+		if err := opts.Seed.Validate(n); err != nil {
+			return nil, err
+		}
+		// Fully bracketed: every requested verdict follows from the seed,
+		// so the exponential exploration is unnecessary. Nothing is
+		// explored or memoized on this path (Stats stay untouched).
+		if opts.Seed.DecidesAll(kinds, n) {
+			out := make(map[RelKind]*model.Relation, len(kinds))
+			for _, kind := range kinds {
+				r := model.NewRelation(kind.String(), n)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						if i == j {
+							continue
+						}
+						if holds, _ := opts.Seed.Verdict(kind, model.EventID(i), model.EventID(j)); holds {
+							r.Set(model.EventID(i), model.EventID(j))
+						}
+					}
+				}
+				out[kind] = r
+			}
+			return out, nil
+		}
+	}
+
+	run := newBatchRun(a, ctx, workers, budget, a.por && !opts.DisablePOR, opts.Seed)
 	if err := run.explore(); err != nil {
 		return nil, err
 	}
 	a.stats.Nodes += run.expanded.Load()
 	a.stats.Edges += run.edges()
 	run.mergeCompletionMemo()
+	run.applySeedFacts()
 
-	n := len(a.x.Events)
 	out := make(map[RelKind]*model.Relation, len(kinds))
 	for _, kind := range kinds {
 		r := model.NewRelation(kind.String(), n)
@@ -210,10 +248,17 @@ type batchRun struct {
 	// canOrder[i] has bit j set iff some feasible complete interleaving
 	// passes a state with i ended and j not begun; canOverlap[i] bit j iff
 	// one passes a state with both in progress.
-	canOrder    [][]uint64
-	canOverlap  [][]uint64
-	wOrder      [][][]uint64
-	wOverlap    [][][]uint64
+	canOrder   [][]uint64
+	canOverlap [][]uint64
+	wOrder     [][][]uint64
+	wOverlap   [][][]uint64
+	// seed is the optional fact bracket from MatrixOpts.Seed; needOrder /
+	// needOverlap (nil when unseeded) mask fact folding down to the facts
+	// the seed leaves undecided — decided facts are restored from the
+	// seed's lower bounds by applySeedFacts after the sweeps.
+	seed        *FactSeed
+	needOrder   [][]uint64
+	needOverlap [][]uint64
 	factWords   int
 	endedBits   [][][]uint64 // [proc][pc] events of proc already ended
 	begunBits   [][][]uint64 // [proc][pc] events of proc already begun
@@ -237,7 +282,7 @@ type batchRun struct {
 // edgeStride spaces per-worker edge counters one cache line apart.
 const edgeStride = 8
 
-func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, por bool) *batchRun {
+func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, por bool, seed *FactSeed) *batchRun {
 	n := len(a.x.Events)
 	r := &batchRun{
 		a:         a,
@@ -246,6 +291,7 @@ func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, po
 		factWords: (n + 63) / 64,
 		budget:    budget,
 		por:       por,
+		seed:      seed,
 		edgeCnt:   make([]int64, workers*edgeStride),
 	}
 	pcBitsTotal := len(a.pc) * int(a.pcBits)
@@ -288,6 +334,29 @@ func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, po
 	}
 	r.canOrder = newFacts()
 	r.canOverlap = newFacts()
+	if seed != nil {
+		// Need-masks: bit j of needOrder[i] is set iff canOrder(i, j) is
+		// still undecided after the seed. The fold loops AND against
+		// these, so work already bracketed by the polynomial tiers is not
+		// re-derived (and refuted facts, which the exploration would
+		// never find anyway, cost nothing).
+		r.needOrder = newFacts()
+		r.needOverlap = newFacts()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				ei, ej := model.EventID(i), model.EventID(j)
+				if !seed.orderDecided(ei, ej) {
+					r.needOrder[i][j/64] |= 1 << uint(j%64)
+				}
+				if !seed.overlapDecided(ei, ej) {
+					r.needOverlap[i][j/64] |= 1 << uint(j%64)
+				}
+			}
+		}
+	}
 	r.shadows = make([]*Analyzer, workers)
 	r.wOrder = make([][][]uint64, workers)
 	r.wOverlap = make([][][]uint64, workers)
@@ -646,8 +715,15 @@ func (r *batchRun) foldStateFacts(w int, s *Analyzer) {
 		for word != 0 {
 			i := wi*64 + bits.TrailingZeros64(word)
 			row := order[i]
-			for j := 0; j < r.factWords; j++ {
-				row[j] |= notBegun[j]
+			if need := r.needOrder; need != nil {
+				ni := need[i]
+				for j := 0; j < r.factWords; j++ {
+					row[j] |= notBegun[j] & ni[j]
+				}
+			} else {
+				for j := 0; j < r.factWords; j++ {
+					row[j] |= notBegun[j]
+				}
 			}
 			word &= word - 1
 		}
@@ -656,10 +732,19 @@ func (r *batchRun) foldStateFacts(w int, s *Analyzer) {
 	for x := 0; x < len(inProg); x++ {
 		for y := x + 1; y < len(inProg); y++ {
 			e, f := inProg[x], inProg[y]
-			overlap[e][f/64] |= 1 << uint(f%64)
-			overlap[f][e/64] |= 1 << uint(e%64)
+			r.setOverlap(overlap, e, f)
+			r.setOverlap(overlap, f, e)
 		}
 	}
+}
+
+// setOverlap records canOverlap(e, f) in acc unless the seed already
+// decided that fact.
+func (r *batchRun) setOverlap(acc [][]uint64, e, f int32) {
+	if r.needOverlap != nil && r.needOverlap[e][f/64]&(1<<uint(f%64)) == 0 {
+		return
+	}
+	acc[e][f/64] |= 1 << uint(f%64)
 }
 
 // foldSyncOverlap records that atomic event ev, firing from shadow s's
@@ -670,10 +755,32 @@ func (r *batchRun) foldSyncOverlap(w int, s *Analyzer, ev int32) {
 	overlap := r.wOverlap[w]
 	for p := range s.procActs {
 		if f := r.inProgEvent[p][s.pc[p]]; f >= 0 {
-			overlap[ev][f/64] |= 1 << uint(f%64)
-			overlap[f][ev/64] |= 1 << uint(ev%64)
+			r.setOverlap(overlap, ev, f)
+			r.setOverlap(overlap, f, ev)
 		}
 	}
+}
+
+// applySeedFacts restores the seed's lower-bound facts into the master
+// matrices after the sweeps: the fold masks excluded seed-decided facts
+// from derivation, so proven-true facts re-enter here and proven-false
+// facts stay clear (a sound exploration could never have set them). The
+// union is exactly the unseeded exploration's matrices — the seeded run
+// only skipped re-deriving what the polynomial tiers already knew.
+func (r *batchRun) applySeedFacts() {
+	if r.seed == nil {
+		return
+	}
+	restore := func(rel *model.Relation, facts [][]uint64) {
+		if rel == nil {
+			return
+		}
+		for _, p := range rel.Pairs() {
+			facts[p[0]][p[1]/64] |= 1 << uint(p[1]%64)
+		}
+	}
+	restore(r.seed.Order, r.canOrder)
+	restore(r.seed.Overlap, r.canOverlap)
 }
 
 // fact reads bit j of facts[i].

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"eventorder/internal/model"
+)
+
+// FactSeed carries externally proven primitive interval facts into
+// Analyzer.Matrix. The batch engine reduces every relation verdict to two
+// primitive facts per ordered pair — canOrder(a, b) ("some feasible
+// complete interleaving runs a wholly before b") and canOverlap(a, b)
+// ("some feasible complete interleaving passes a state with both in
+// progress") — so a polynomial pre-analysis (internal/plan) can bracket
+// the exact search by proving individual facts true (lower bounds) or
+// false (upper bounds) ahead of it:
+//
+//	Order     a,b ⇒ canOrder(a, b) is true   (a witness interleaving exists)
+//	NoOrder   a,b ⇒ canOrder(a, b) is false  (no feasible interleaving has it)
+//	Overlap   a,b ⇒ canOverlap(a, b) is true
+//	NoOverlap a,b ⇒ canOverlap(a, b) is false
+//
+// Matrix consults the seed two ways: facts the seed decides are excluded
+// from fact folding during exploration and restored from the seed
+// afterwards, and when the seed decides every verdict the requested kinds
+// ask for, the exponential exploration is skipped entirely. A SOUND seed
+// (every claimed fact actually holds) therefore leaves all verdicts
+// bit-identical to an unseeded run; an inconsistent seed (a fact both
+// proven and refuted) is rejected by Validate. Soundness itself cannot be
+// checked locally — it is the seed producer's obligation, differential-
+// tested in internal/oracle.
+//
+// Nil sub-relations are treated as empty (nothing proven on that side).
+type FactSeed struct {
+	Order     *model.Relation
+	NoOrder   *model.Relation
+	Overlap   *model.Relation
+	NoOverlap *model.Relation
+}
+
+// Validate checks the seed is well-formed over n events: every non-nil
+// relation ranges over exactly n events and no primitive fact is claimed
+// both true and false.
+func (s *FactSeed) Validate(n int) error {
+	for _, r := range []struct {
+		name string
+		rel  *model.Relation
+	}{
+		{"Order", s.Order}, {"NoOrder", s.NoOrder},
+		{"Overlap", s.Overlap}, {"NoOverlap", s.NoOverlap},
+	} {
+		if r.rel != nil && r.rel.N() != n {
+			return fmt.Errorf("core: seed relation %s ranges over %d events, execution has %d", r.name, r.rel.N(), n)
+		}
+	}
+	checkDisjoint := func(name string, lo, hi *model.Relation) error {
+		if lo == nil || hi == nil {
+			return nil
+		}
+		for _, p := range lo.Pairs() {
+			if hi.Has(p[0], p[1]) {
+				return fmt.Errorf("core: inconsistent seed: %s fact (%d, %d) claimed both true and false", name, p[0], p[1])
+			}
+		}
+		return nil
+	}
+	if err := checkDisjoint("order", s.Order, s.NoOrder); err != nil {
+		return err
+	}
+	return checkDisjoint("overlap", s.Overlap, s.NoOverlap)
+}
+
+// tri is a three-valued fact: proven true, proven false, or undecided.
+type tri int8
+
+const (
+	triUnknown tri = iota
+	triFalse
+	triTrue
+)
+
+func seedHas(r *model.Relation, a, b model.EventID) bool {
+	return r != nil && r.Has(a, b)
+}
+
+// orderFact reads the seed's knowledge of canOrder(a, b).
+func (s *FactSeed) orderFact(a, b model.EventID) tri {
+	switch {
+	case seedHas(s.Order, a, b):
+		return triTrue
+	case seedHas(s.NoOrder, a, b):
+		return triFalse
+	}
+	return triUnknown
+}
+
+// overlapFact reads the seed's knowledge of canOverlap(a, b).
+func (s *FactSeed) overlapFact(a, b model.EventID) tri {
+	switch {
+	case seedHas(s.Overlap, a, b):
+		return triTrue
+	case seedHas(s.NoOverlap, a, b):
+		return triFalse
+	}
+	return triUnknown
+}
+
+// orderDecided reports whether the seed decides canOrder(a, b) either way.
+func (s *FactSeed) orderDecided(a, b model.EventID) bool {
+	return s.orderFact(a, b) != triUnknown
+}
+
+// overlapDecided reports whether the seed decides canOverlap(a, b).
+func (s *FactSeed) overlapDecided(a, b model.EventID) bool {
+	return s.overlapFact(a, b) != triUnknown
+}
+
+// not3, and3, or3 are Kleene three-valued connectives over tri.
+func not3(v tri) tri {
+	switch v {
+	case triTrue:
+		return triFalse
+	case triFalse:
+		return triTrue
+	}
+	return triUnknown
+}
+
+func and3(u, v tri) tri {
+	switch {
+	case u == triFalse || v == triFalse:
+		return triFalse
+	case u == triTrue && v == triTrue:
+		return triTrue
+	}
+	return triUnknown
+}
+
+func or3(u, v tri) tri {
+	switch {
+	case u == triTrue || v == triTrue:
+		return triTrue
+	case u == triFalse && v == triFalse:
+		return triFalse
+	}
+	return triUnknown
+}
+
+// Verdict derives the relation verdict kind(a, b) from the seed's fact
+// bracket when the bracket pins it down, using the same Table 1 formulas
+// the batch engine applies to explored facts (three-valued, so a verdict
+// can be decided even when one of its facts is still open — COW(a, b) is
+// true as soon as either direction's canOrder is proven). decided=false
+// means the bracket leaves the verdict to the exact engine; holds is then
+// meaningless.
+func (s *FactSeed) Verdict(kind RelKind, a, b model.EventID) (holds, decided bool) {
+	var v tri
+	switch kind {
+	case RelCHB:
+		v = s.orderFact(a, b)
+	case RelCCW:
+		v = s.overlapFact(a, b)
+	case RelCOW:
+		v = or3(s.orderFact(a, b), s.orderFact(b, a))
+	case RelMHB:
+		v = and3(not3(s.orderFact(b, a)), not3(s.overlapFact(a, b)))
+	case RelMCW:
+		v = and3(not3(s.orderFact(a, b)), not3(s.orderFact(b, a)))
+	case RelMOW:
+		v = not3(s.overlapFact(a, b))
+	default:
+		return false, false
+	}
+	return v == triTrue, v != triUnknown
+}
+
+// DecidesAll reports whether the seed's bracket decides every requested
+// verdict over n events — the condition under which Matrix can skip the
+// exponential exploration entirely.
+func (s *FactSeed) DecidesAll(kinds []RelKind, n int) bool {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			for _, kind := range kinds {
+				if _, decided := s.Verdict(kind, model.EventID(i), model.EventID(j)); !decided {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

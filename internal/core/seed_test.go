@@ -1,0 +1,154 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"eventorder/internal/model"
+)
+
+// truthSeed derives the complete, exactly-true fact bracket from an
+// unseeded matrix run: canOrder is CHB, canOverlap is CCW, and the
+// complements are their negations.
+func truthSeed(x *model.Execution, rels map[RelKind]*model.Relation) *FactSeed {
+	n := len(x.Events)
+	s := &FactSeed{
+		Order:     model.NewRelation("Order", n),
+		NoOrder:   model.NewRelation("NoOrder", n),
+		Overlap:   model.NewRelation("Overlap", n),
+		NoOverlap: model.NewRelation("NoOverlap", n),
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			a, b := model.EventID(i), model.EventID(j)
+			if rels[RelCHB].Has(a, b) {
+				s.Order.Set(a, b)
+			} else {
+				s.NoOrder.Set(a, b)
+			}
+			if rels[RelCCW].Has(a, b) {
+				s.Overlap.Set(a, b)
+			} else {
+				s.NoOverlap.Set(a, b)
+			}
+		}
+	}
+	return s
+}
+
+// sparsify keeps each pair of r with probability keep, dropping the rest
+// (a sound seed stays sound under deletion).
+func sparsify(r *model.Relation, keep float64, rng *rand.Rand) *model.Relation {
+	out := model.NewRelation(r.Name, r.N())
+	for _, p := range r.Pairs() {
+		if rng.Float64() < keep {
+			out.Set(p[0], p[1])
+		}
+	}
+	return out
+}
+
+// TestSeededMatrixIdentity is the core contract of MatrixOpts.Seed: for
+// any SOUND seed — here random sub-brackets of the exact truth, from
+// empty through complete — the seeded run's matrices are bit-identical to
+// the unseeded run's, whether the seed leaves residue to explore or
+// decides everything and skips the exploration.
+func TestSeededMatrixIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		x := randomExecution(rng)
+		a := mustAnalyzer(t, x, Options{})
+		want, err := a.Matrix(context.Background(), AllRelKinds, MatrixOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := truthSeed(x, want)
+		seeds := []*FactSeed{
+			full,                // decides everything: exploration skipped
+			{Order: full.Order}, // lower bounds only
+			{NoOrder: full.NoOrder, NoOverlap: full.NoOverlap}, // upper bounds only
+			{
+				Order:     sparsify(full.Order, 0.5, rng),
+				NoOrder:   sparsify(full.NoOrder, 0.5, rng),
+				Overlap:   sparsify(full.Overlap, 0.5, rng),
+				NoOverlap: sparsify(full.NoOverlap, 0.5, rng),
+			},
+			{}, // empty seed: plain run through the seeded code path
+		}
+		for si, seed := range seeds {
+			for _, workers := range []int{1, 4} {
+				got, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(),
+					AllRelKinds, MatrixOpts{Seed: seed, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, kind := range AllRelKinds {
+					if !got[kind].Equal(want[kind]) {
+						t.Errorf("trial %d seed %d workers %d: %s differs from unseeded:\nseeded:\n%s\nunseeded:\n%s",
+							trial, si, workers, kind, got[kind].FormatMatrix(x), want[kind].FormatMatrix(x))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSeedValidateRejects pins the malformed-seed errors: wrong relation
+// size and contradictory facts.
+func TestSeedValidateRejects(t *testing.T) {
+	wrong := &FactSeed{Order: model.NewRelation("Order", 3)}
+	if err := wrong.Validate(5); err == nil {
+		t.Error("size-mismatched seed accepted")
+	}
+	contra := &FactSeed{
+		Order:   model.NewRelation("Order", 3),
+		NoOrder: model.NewRelation("NoOrder", 3),
+	}
+	contra.Order.Set(0, 1)
+	contra.NoOrder.Set(0, 1)
+	if err := contra.Validate(3); err == nil {
+		t.Error("contradictory order facts accepted")
+	}
+	rng := rand.New(rand.NewSource(7))
+	x := randomExecution(rng)
+	a := mustAnalyzer(t, x, Options{})
+	bad := &FactSeed{Order: model.NewRelation("Order", len(x.Events)+1)}
+	if _, err := a.Matrix(context.Background(), AllRelKinds, MatrixOpts{Seed: bad}); err == nil {
+		t.Error("Matrix accepted a seed over the wrong event count")
+	}
+}
+
+// TestSeedVerdictThreeValued checks the Kleene shortcuts: a verdict can
+// be decided before both of its facts are.
+func TestSeedVerdictThreeValued(t *testing.T) {
+	s := &FactSeed{
+		Order:     model.NewRelation("Order", 2),
+		NoOrder:   model.NewRelation("NoOrder", 2),
+		Overlap:   model.NewRelation("Overlap", 2),
+		NoOverlap: model.NewRelation("NoOverlap", 2),
+	}
+	// Only canOrder(0, 1) is known.
+	s.Order.Set(0, 1)
+	if holds, ok := s.Verdict(RelCOW, 0, 1); !ok || !holds {
+		t.Error("COW(0,1) should be decided true from one direction alone")
+	}
+	if holds, ok := s.Verdict(RelCHB, 0, 1); !ok || !holds {
+		t.Error("CHB(0,1) should be decided true")
+	}
+	if _, ok := s.Verdict(RelMHB, 0, 1); ok {
+		t.Error("MHB(0,1) should be undecided (overlap fact open)")
+	}
+	if _, ok := s.Verdict(RelCCW, 0, 1); ok {
+		t.Error("CCW(0,1) should be undecided")
+	}
+	// canOrder(1, 0) true makes MHB(0,1) false regardless of overlap.
+	s2 := &FactSeed{Order: model.NewRelation("Order", 2)}
+	s2.Order.Set(1, 0)
+	if holds, ok := s2.Verdict(RelMHB, 0, 1); !ok || holds {
+		t.Error("MHB(0,1) should be decided false once canOrder(1,0) is proven")
+	}
+}

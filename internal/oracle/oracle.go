@@ -1,10 +1,12 @@
 // Package oracle is the differential test harness that cross-validates
 // every engine the repository ships for the same question: brute-force
 // enumeration of all feasible interleavings, the per-pair memoized search
-// (with and without sleep-set reduction), and the batch matrix engine (with
-// and without reduction, at several worker widths) must produce identical
-// relation verdicts on every execution, and every witness schedule the
-// engines emit must replay and exhibit its claim. Check runs the
+// (with and without sleep-set reduction), the batch matrix engine (with
+// and without reduction, at several worker widths), and the tiered
+// polynomial planner (every cascade depth's fact bracket, plus the fully
+// planned matrix) must produce identical relation verdicts on every
+// execution, and every witness schedule the engines emit must replay and
+// exhibit its claim. Check runs the
 // comparison; Verify additionally minimizes a failing execution with a
 // seeded shrinker (greedily dropping processes and events while the
 // disagreement persists) so a randomized-test failure arrives as a small
@@ -20,6 +22,7 @@ import (
 
 	"eventorder/internal/core"
 	"eventorder/internal/model"
+	"eventorder/internal/plan"
 	"eventorder/internal/traceio"
 )
 
@@ -111,12 +114,68 @@ func Check(x *model.Execution, cfg Config) error {
 		}
 	}
 
+	if err := checkPlanner(x, opts, ref); err != nil {
+		return err
+	}
+
 	if len(x.Events) <= cfg.MaxWitnessEvents {
 		if err := checkWitnesses(x, opts, ref); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// checkPlanner cross-validates the tiered polynomial planner against the
+// reference: at every cascade depth the plan's fact bracket may claim
+// only verdicts the reference confirms, its provenance must account for
+// every ordered pair (no undecided pair silently attributed to a
+// polynomial tier, none dropped between decided and residue), and the
+// fully planned Matrix must be bit-identical to the reference.
+func checkPlanner(x *model.Execution, opts core.Options, ref map[core.RelKind]*model.Relation) error {
+	n := len(x.Events)
+	for tiers := 1; tiers <= plan.NumPolyTiers; tiers++ {
+		p, err := plan.Build(x, nil, plan.Options{IgnoreData: opts.IgnoreData, Tiers: tiers})
+		if err != nil {
+			return fmt.Errorf("oracle: plan.Build(tiers=%d): %w", tiers, err)
+		}
+		if p.TotalPairs != n*(n-1) {
+			return fmt.Errorf("oracle: plan(tiers=%d) counts %d total pairs, want %d", tiers, p.TotalPairs, n*(n-1))
+		}
+		decided := 0
+		for _, st := range p.Tiers {
+			decided += st.PairsDecided
+		}
+		if decided+p.Residue != p.TotalPairs {
+			return fmt.Errorf("oracle: plan(tiers=%d) accounting: %d decided + %d residue != %d pairs",
+				tiers, decided, p.Residue, p.TotalPairs)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				ea, eb := model.EventID(i), model.EventID(j)
+				tier := p.DecidedTier(ea, eb)
+				for _, kind := range core.AllRelKinds {
+					holds, ok := p.Seed.Verdict(kind, ea, eb)
+					if ok && holds != ref[kind].Has(ea, eb) {
+						return fmt.Errorf("oracle: plan(tiers=%d) claims %s(%s, %s) = %v, reference says %v",
+							tiers, kind, x.EventName(ea), x.EventName(eb), holds, ref[kind].Has(ea, eb))
+					}
+					if tier != plan.TierExact && !ok {
+						return fmt.Errorf("oracle: plan(tiers=%d) attributes (%s, %s) to tier %s with %s undecided",
+							tiers, x.EventName(ea), x.EventName(eb), tier, kind)
+					}
+				}
+			}
+		}
+	}
+	res, err := plan.Analyze(context.Background(), x, nil, opts, core.MatrixOpts{}, plan.Options{})
+	if err != nil {
+		return fmt.Errorf("oracle: plan.Analyze: %w", err)
+	}
+	return compare("planned Matrix", x, res.Relations, ref)
 }
 
 // allRelations answers all six relations per-pair on a fresh analyzer.

@@ -1,0 +1,255 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"eventorder/internal/core"
+	"eventorder/internal/gen"
+	"eventorder/internal/interp"
+	"eventorder/internal/lang"
+	"eventorder/internal/model"
+)
+
+// loadTrace parses and runs a testdata program, returning its observed
+// execution.
+func loadTrace(t testing.TB, name string) *model.Execution {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "..", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := interp.RunAvoidingDeadlock(prog, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.X
+}
+
+// exactMatrix computes the unplanned reference matrices.
+func exactMatrix(t testing.TB, x *model.Execution, ignoreData bool) map[core.RelKind]*model.Relation {
+	t.Helper()
+	an, err := core.New(x, core.Options{IgnoreData: ignoreData})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels, err := an.Matrix(context.Background(), core.AllRelKinds, core.MatrixOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rels
+}
+
+// checkPlanned verifies, against the unplanned reference, everything the
+// planner promises for one execution: bit-identical matrices, seed
+// soundness fact by fact, verdict-correct provenance, and accounting
+// (every pair attributed to exactly one tier or the residue).
+func checkPlanned(t *testing.T, x *model.Execution, opts Options) {
+	t.Helper()
+	want := exactMatrix(t, x, opts.IgnoreData)
+	res, err := Analyze(context.Background(), x, nil,
+		core.Options{IgnoreData: opts.IgnoreData}, core.MatrixOpts{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range core.AllRelKinds {
+		if !res.Relations[kind].Equal(want[kind]) {
+			t.Errorf("%s: planned matrix differs from exact\nplanned:\n%s\nexact:\n%s",
+				kind, res.Relations[kind].FormatMatrix(x), want[kind].FormatMatrix(x))
+		}
+	}
+	p := res.Plan
+	n := x.NumEvents()
+	if p.TotalPairs != n*(n-1) {
+		t.Errorf("TotalPairs = %d, want %d", p.TotalPairs, n*(n-1))
+	}
+	decided := 0
+	for _, st := range p.Tiers {
+		decided += st.PairsDecided
+	}
+	if decided+p.Residue != p.TotalPairs {
+		t.Errorf("tier accounting: decided %d + residue %d != total %d",
+			decided, p.Residue, p.TotalPairs)
+	}
+	// Every polynomial fact must agree with exact truth (seed soundness),
+	// and every pair a tier claims must have all its verdicts both
+	// decided and correct; residue pairs must be attributed to TierExact.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			a, b := model.EventID(i), model.EventID(j)
+			tier := p.DecidedTier(a, b)
+			for _, kind := range core.AllRelKinds {
+				holds, ok := p.Seed.Verdict(kind, a, b)
+				if ok && holds != want[kind].Has(a, b) {
+					t.Errorf("seed verdict %s(%d,%d) = %v, exact says %v",
+						kind, a, b, holds, want[kind].Has(a, b))
+				}
+				if tier != TierExact && !ok {
+					t.Errorf("pair (%d,%d) attributed to tier %s but %s verdict undecided",
+						a, b, tier, kind)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanDifferential is the differential smoke suite CI runs: on every
+// committed example trace, in both data modes, the planned analysis must
+// be bit-identical to the exact-only engine and the plan's bookkeeping
+// must balance.
+func TestPlanDifferential(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("..", "..", "testdata"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".evo" {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			x := loadTrace(t, name)
+			for _, ignore := range []bool{false, true} {
+				checkPlanned(t, x, Options{IgnoreData: ignore})
+			}
+		})
+	}
+}
+
+// TestPlanRandomPrograms repeats the differential check over seeded random
+// mini-language programs with branching, both sync styles, and
+// Post/Wait/Clear in play.
+func TestPlanRandomPrograms(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	const shards = 6
+	for s := 0; s < shards; s++ {
+		s := s
+		t.Run(fmt.Sprintf("shard%d", s), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(7000 + s)))
+			for i := 0; i < trials/shards; i++ {
+				x, err := gen.RandomProgramExecution(rng, gen.RandomProgramOptions{
+					Procs: 3, StmtsPerProc: 4, Sems: 1, Events: 1, Vars: 2, SemInit: 1, Branches: true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkPlanned(t, x, Options{})
+			}
+		})
+	}
+}
+
+// TestPlanTiersKnob pins the Tiers cap semantics: negative disables the
+// cascade entirely, 1..3 run prefixes of it, and every setting still
+// yields exact verdicts.
+func TestPlanTiersKnob(t *testing.T) {
+	x := loadTrace(t, "pipeline.evo")
+	want := exactMatrix(t, x, false)
+	for _, tiers := range []int{-1, 1, 2, 3, 0} {
+		res, err := Analyze(context.Background(), x, nil,
+			core.Options{}, core.MatrixOpts{}, Options{Tiers: tiers})
+		if err != nil {
+			t.Fatalf("Tiers=%d: %v", tiers, err)
+		}
+		wantTiers := tiers
+		if tiers == 0 {
+			wantTiers = NumPolyTiers
+		}
+		if tiers < 0 {
+			wantTiers = 0
+		}
+		if len(res.Plan.Tiers) != wantTiers {
+			t.Errorf("Tiers=%d: ran %d tiers, want %d", tiers, len(res.Plan.Tiers), wantTiers)
+		}
+		if tiers < 0 && res.Plan.Residue != res.Plan.TotalPairs {
+			t.Errorf("Tiers=%d: residue %d, want all %d pairs", tiers, res.Plan.Residue, res.Plan.TotalPairs)
+		}
+		for _, kind := range core.AllRelKinds {
+			if !res.Relations[kind].Equal(want[kind]) {
+				t.Errorf("Tiers=%d: %s differs from exact", tiers, kind)
+			}
+		}
+	}
+}
+
+// TestPlanTierOrderMonotone checks the cascade only ever narrows the
+// residue: running more tiers never decides fewer pairs.
+func TestPlanTierOrderMonotone(t *testing.T) {
+	x := loadTrace(t, "barrier.evo")
+	prev := -1
+	for tiers := 1; tiers <= NumPolyTiers; tiers++ {
+		p, err := Build(x, nil, Options{Tiers: tiers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decided := p.TotalPairs - p.Residue
+		if decided < prev {
+			t.Errorf("tiers=%d decided %d pairs, fewer than %d with one tier less", tiers, decided, prev)
+		}
+		prev = decided
+	}
+}
+
+// TestPlanDecidesUsefully guards the planner's reason to exist: on the
+// structured example traces, the polynomial tiers must decide a
+// substantial share of the could-concurrent verdicts (the bench's bracket
+// metric). The 30% floor matches the acceptance threshold recorded in
+// BENCH_matrix.json.
+func TestPlanDecidesUsefully(t *testing.T) {
+	for _, name := range []string{"pipeline.evo", "barrier.evo"} {
+		x := loadTrace(t, name)
+		p, err := Build(x, []core.RelKind{core.RelCCW}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frac := p.PolyFraction(); frac < 0.30 {
+			t.Errorf("%s: polynomial tiers decided %.0f%% of CCW pairs, want >= 30%%", name, 100*frac)
+		}
+		t.Logf("%s: poly fraction %.2f (static %.2f, observed %.2f, dag %.2f), residue %d/%d",
+			name, p.PolyFraction(), p.TierFraction(TierStatic), p.TierFraction(TierObserved),
+			p.TierFraction(TierDAG), p.Residue, p.TotalPairs)
+	}
+}
+
+// TestPlanProvenanceStable checks provenance is a pure function of the
+// execution: two Builds agree pair for pair.
+func TestPlanProvenanceStable(t *testing.T) {
+	x := loadTrace(t, "handshake.evo")
+	p1, err := Build(x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(x, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := x.NumEvents()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			a, b := model.EventID(i), model.EventID(j)
+			if p1.DecidedTier(a, b) != p2.DecidedTier(a, b) {
+				t.Fatalf("provenance of (%d,%d) differs across runs: %s vs %s",
+					a, b, p1.DecidedTier(a, b), p2.DecidedTier(a, b))
+			}
+		}
+	}
+}

@@ -57,6 +57,12 @@ const (
 	// MetricMemoGrows counts memo-table capacity doublings across all
 	// finished jobs.
 	MetricMemoGrows = "memo_grow_total"
+	// MetricPlanPairs counts, per planner tier, the event pairs whose
+	// verdicts that tier decided across all matrix jobs, as
+	// "plan_pairs_<tier>" (plan_pairs_static, plan_pairs_observed,
+	// plan_pairs_dag, and plan_pairs_exact for the residue the
+	// exponential engine had to settle).
+	MetricPlanPairs = "plan_pairs"
 )
 
 // Counter is a monotonically increasing metric.

@@ -35,6 +35,7 @@ import (
 	"eventorder/internal/interp"
 	"eventorder/internal/lang"
 	"eventorder/internal/model"
+	"eventorder/internal/plan"
 	"eventorder/internal/race"
 	"eventorder/internal/traceio"
 )
@@ -72,6 +73,12 @@ type Config struct {
 	// analysis this server runs. Verdicts, witnesses, and matrices are
 	// identical either way; the knob exists for comparison and debugging.
 	DisablePOR bool
+	// DisablePlan turns off the tiered polynomial planner for matrix
+	// queries: every request runs exact-only, as if it asked for
+	// tiers=-1. Verdicts are identical either way (the planner is a
+	// work-avoidance bracket, not an approximation); the knob exists for
+	// comparison and debugging.
+	DisablePlan bool
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
 	// MaxJobs bounds retained async jobs for polling (default 1024).
@@ -235,6 +242,13 @@ type AnalyzeRequest struct {
 	// capped by the server's maximum; ignored for pair queries). Verdicts
 	// do not depend on it, so cached results are shared across widths.
 	Workers int `json:"workers,omitempty"`
+	// Tiers caps the planner cascade for matrix queries: 0 (default)
+	// runs every polynomial tier, 1..3 run only the first so many, and
+	// -1 disables the planner (exact-only, no bracket). Ignored for pair
+	// queries; forced to -1 when the server was started with planning
+	// disabled. Verdicts do not depend on it — only the work split and
+	// the plan summary do.
+	Tiers int `json:"tiers,omitempty"`
 	// TimeoutMs is the request deadline in milliseconds (0 = server
 	// default; capped by the server's maximum).
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
@@ -299,6 +313,37 @@ type MatrixResult struct {
 	Relations map[string][][2]int `json:"relations"`
 	// Nodes is the total search effort spent.
 	Nodes int64 `json:"nodes"`
+	// Plan summarizes the tiered planner's bracket for this query.
+	Plan *PlanSummary `json:"plan,omitempty"`
+}
+
+// PlanTier is one polynomial tier's row in a PlanSummary.
+type PlanTier struct {
+	// Tier names the tier ("static", "observed", "dag").
+	Tier string `json:"tier"`
+	// PairsDecided counts event pairs whose every requested verdict
+	// first became derivable at this tier.
+	PairsDecided int `json:"pairsDecided"`
+	// FactsDecided counts primitive interval facts the tier newly
+	// proved or refuted.
+	FactsDecided int `json:"factsDecided"`
+	// EventsScanned, Rounds, OrderedPairs report the tier's effort and
+	// the size of its underlying polynomial relation.
+	EventsScanned int `json:"eventsScanned"`
+	Rounds        int `json:"rounds"`
+	OrderedPairs  int `json:"orderedPairs"`
+}
+
+// PlanSummary reports how the polynomial pre-solver cascade bracketed a
+// matrix query before the exact engine ran.
+type PlanSummary struct {
+	// TotalPairs is the number of ordered event pairs, n·(n−1).
+	TotalPairs int `json:"totalPairs"`
+	// ResiduePairs is how many pairs were left to the exact engine.
+	ResiduePairs int `json:"residuePairs"`
+	// Tiers holds one row per executed polynomial tier, in cascade
+	// order (empty when the planner was disabled).
+	Tiers []PlanTier `json:"tiers,omitempty"`
 }
 
 // RacePair is one candidate or confirmed race in a RacesResult.
@@ -607,6 +652,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: workers must be non-negative, got %d", req.Workers))
 		return
 	}
+	if req.Tiers < -1 || req.Tiers > plan.NumPolyTiers {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("service: tiers must be between -1 and %d, got %d", plan.NumPolyTiers, req.Tiers))
+		return
+	}
 
 	pairQuery := req.A != "" || req.B != ""
 	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR}
@@ -659,33 +708,62 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	// The cache key deliberately omits workers: the batch engine's
 	// verdicts are identical at every fan-out width, so results are
-	// shared across requests that differ only in that knob.
+	// shared across requests that differ only in that knob. Tiers IS
+	// part of the key — verdicts match at every setting, but the plan
+	// summary in the payload does not.
 	workers := s.matrixWorkers(req.Workers)
-	key := cacheKey(digest, fmt.Sprintf("analyze|matrix|rel=%s|ignoreData=%t", relDesc, req.IgnoreData))
+	tiers := req.Tiers
+	if s.cfg.DisablePlan {
+		tiers = -1
+	}
+	key := cacheKey(digest, fmt.Sprintf("analyze|matrix|rel=%s|ignoreData=%t|tiers=%d", relDesc, req.IgnoreData, tiers))
 	s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
-		an, err := core.New(x, opts)
+		res, err := plan.Analyze(ctx, x, kinds, opts, core.MatrixOpts{Workers: workers}, plan.Options{Tiers: tiers})
 		if err != nil {
 			return nil, err
 		}
-		rels, err := an.Matrix(ctx, kinds, core.MatrixOpts{Workers: workers})
-		if err != nil {
-			return nil, err
-		}
-		s.observeMemo(an)
+		s.observeMemoStats(res.Stats)
+		s.observePlan(res.Plan)
 		out := MatrixResult{Relations: map[string][][2]int{}}
 		for e := 0; e < x.NumEvents(); e++ {
 			out.Events = append(out.Events, x.EventName(model.EventID(e)))
 		}
 		for _, kind := range kinds {
 			pairs := [][2]int{}
-			for _, p := range rels[kind].Pairs() {
+			for _, p := range res.Relations[kind].Pairs() {
 				pairs = append(pairs, [2]int{int(p[0]), int(p[1])})
 			}
 			out.Relations[kind.String()] = pairs
 		}
-		out.Nodes = an.Stats().Nodes
+		out.Nodes = res.Stats.Nodes
+		out.Plan = planSummary(res.Plan)
 		return json.Marshal(out)
 	})
+}
+
+// planSummary converts a plan into its wire form.
+func planSummary(p *plan.Plan) *PlanSummary {
+	out := &PlanSummary{TotalPairs: p.TotalPairs, ResiduePairs: p.Residue}
+	for _, st := range p.Tiers {
+		out.Tiers = append(out.Tiers, PlanTier{
+			Tier:          st.Tier.String(),
+			PairsDecided:  st.PairsDecided,
+			FactsDecided:  st.FactsDecided,
+			EventsScanned: st.EventsScanned,
+			Rounds:        st.Rounds,
+			OrderedPairs:  st.OrderedPairs,
+		})
+	}
+	return out
+}
+
+// observePlan accumulates per-tier decided-pair counters across matrix
+// jobs, making the planner's leverage visible on /metrics.
+func (s *Server) observePlan(p *plan.Plan) {
+	for _, st := range p.Tiers {
+		s.metrics.Counter(MetricPlanPairs + "_" + st.Tier.String()).Add(int64(st.PairsDecided))
+	}
+	s.metrics.Counter(MetricPlanPairs + "_" + plan.TierExact.String()).Add(int64(p.Residue))
 }
 
 func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
@@ -781,7 +859,12 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 // cache and queue metrics this makes memo-table pressure — the dominant
 // memory consumer of a hard query — visible on /metrics.
 func (s *Server) observeMemo(an *core.Analyzer) {
-	st := an.Stats()
+	s.observeMemoStats(an.Stats())
+}
+
+// observeMemoStats is observeMemo for callers that only hold the stats
+// (the planned matrix path runs its analyzer inside plan.Analyze).
+func (s *Server) observeMemoStats(st core.Stats) {
 	s.metrics.Gauge(MetricMemoEntries).Set(int64(st.CompleteMemo))
 	s.metrics.Gauge(MetricMemoBytes).Set(st.MemoBytes)
 	s.metrics.Gauge(MetricMemoLoadPermille).Set(int64(st.MemoLoad * 1000))

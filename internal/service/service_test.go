@@ -667,3 +667,88 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 		t.Errorf("memo grow counter not exported: %+v", snap.Counters)
 	}
 }
+
+// TestAnalyzeTiersKnob covers the planner knob on the matrix path:
+// out-of-range values are rejected with 400; every accepted setting
+// returns identical relation verdicts; the default runs the full cascade
+// (plan summary with tier rows and a residue that accounts for every
+// pair); tiers=-1 disables the planner (no tier rows, all pairs residue);
+// and results are NOT shared across tiers settings (the summary differs,
+// so tiers is part of the cache key).
+func TestAnalyzeTiersKnob(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 2})
+	prog := figure1Program(t)
+
+	for _, bad := range []int{-2, 4} {
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"program": prog, "all": true, "tiers": bad})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("tiers=%d: status %d, want 400: %s", bad, resp.StatusCode, body)
+		}
+	}
+
+	matrixFor := func(tiers int) MatrixResult {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"program": prog, "all": true, "tiers": tiers})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tiers=%d: status %d: %s", tiers, resp.StatusCode, body)
+		}
+		var m MatrixResult
+		if err := json.Unmarshal(decodeEnvelope(t, body).Result, &m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	full := matrixFor(0)
+	if full.Plan == nil {
+		t.Fatal("planned matrix has no plan summary")
+	}
+	if len(full.Plan.Tiers) == 0 {
+		t.Error("default tiers ran no polynomial tiers")
+	}
+	decided := 0
+	for _, tier := range full.Plan.Tiers {
+		decided += tier.PairsDecided
+	}
+	if decided+full.Plan.ResiduePairs != full.Plan.TotalPairs {
+		t.Errorf("plan accounting: %d decided + %d residue != %d total",
+			decided, full.Plan.ResiduePairs, full.Plan.TotalPairs)
+	}
+	if decided == 0 {
+		t.Error("polynomial tiers decided nothing on figure1")
+	}
+
+	off := matrixFor(-1)
+	if off.Plan == nil || len(off.Plan.Tiers) != 0 || off.Plan.ResiduePairs != off.Plan.TotalPairs {
+		t.Errorf("tiers=-1 plan summary = %+v, want no tiers and all pairs residue", off.Plan)
+	}
+	if fmt.Sprint(off.Relations) != fmt.Sprint(full.Relations) {
+		t.Errorf("verdicts differ between planner on and off:\non:  %v\noff: %v", full.Relations, off.Relations)
+	}
+
+	snap := srv.Metrics().Snapshot()
+	if snap.Counters[MetricPlanPairs+"_static"] <= 0 {
+		t.Errorf("no static-tier pairs counted: %+v", snap.Counters)
+	}
+	if _, ok := snap.Counters[MetricPlanPairs+"_exact"]; !ok {
+		t.Errorf("no exact residue counter registered: %+v", snap.Counters)
+	}
+}
+
+// TestDisablePlanConfig pins the server-wide kill switch: with
+// DisablePlan set, even a default (tiers=0) matrix request runs
+// exact-only and reports an empty cascade.
+func TestDisablePlanConfig(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, DisablePlan: true})
+	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"program": figure1Program(t), "all": true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var m MatrixResult
+	if err := json.Unmarshal(decodeEnvelope(t, body).Result, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Plan == nil || len(m.Plan.Tiers) != 0 || m.Plan.ResiduePairs != m.Plan.TotalPairs {
+		t.Errorf("DisablePlan plan summary = %+v, want empty cascade with all pairs residue", m.Plan)
+	}
+}

@@ -16,6 +16,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"eventorder/internal/core"
@@ -619,6 +621,69 @@ func BenchmarkAblation_WarmMemo(b *testing.B) {
 	})
 }
 
+// relationParallelBaseline reproduces the deleted core.RelationParallel
+// path for the ablations that measure it: ordered pairs sharded over
+// worker goroutines, each deciding its claims on a private analyzer —
+// every pair a from-scratch search, with no memo sharing across workers.
+func relationParallelBaseline(x *model.Execution, opts core.Options, kind core.RelKind, workers int) (*model.Relation, error) {
+	n := len(x.Events)
+	type pair struct{ a, b model.EventID }
+	pairs := make([]pair, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				pairs = append(pairs, pair{model.EventID(i), model.EventID(j)})
+			}
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rel := model.NewRelation(kind.String(), n)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := core.New(x, opts)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				holds, err := a.Decide(context.Background(), kind, pairs[i].a, pairs[i].b)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if holds {
+					mu.Lock()
+					rel.Set(pairs[i].a, pairs[i].b)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return rel, firstErr
+}
+
 // BenchmarkAblation_ParallelRelation: fan the per-pair decisions over
 // goroutines; the trade is private analyzers (no shared completion memo)
 // against multicore throughput.
@@ -630,7 +695,7 @@ func BenchmarkAblation_ParallelRelation(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.RelationParallel(x, core.Options{}, core.RelMHB, workers); err != nil {
+				if _, err := relationParallelBaseline(x, core.Options{}, core.RelMHB, workers); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -715,7 +780,7 @@ func BenchmarkMatrix_RelationParallel(b *testing.B) {
 	for _, workers := range []int{1, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.RelationParallel(x, core.Options{}, core.RelCCW, workers); err != nil {
+				if _, err := relationParallelBaseline(x, core.Options{}, core.RelCCW, workers); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,8 +6,9 @@
 //
 //	sequential — one Decide per ordered pair on a single goroutine, the
 //	             engine's original full-matrix path (Analyzer.Relation)
-//	parallel   — RelationParallel: per-pair decisions sharded over worker
-//	             goroutines, each pair still a from-scratch search
+//	parallel   — per-pair decisions sharded over worker goroutines, each
+//	             pair still a from-scratch search (an inline baseline
+//	             reproducing the deleted core.RelationParallel path)
 //	matrix     — Analyzer.Matrix: one shared exploration of the feasibility
 //	             state space answers every pair at once, fanned out over
 //	             workers on a striped memo table
@@ -50,6 +51,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"eventorder/internal/core"
@@ -112,6 +115,15 @@ type caseResult struct {
 	PlanResiduePairs int                `json:"plan_residue_pairs"`
 	PlanOnMS         float64            `json:"plan_on_ms"`
 	PlanOffMS        float64            `json:"plan_off_ms"`
+
+	// Anytime columns: the fraction of ordered pairs whose CCW verdict is
+	// already decided when the analysis is stopped at 1/4 and 1/2 of the
+	// full run's state budget (MatrixNodes), single worker, through the
+	// default planned path — the value curve of the partial-result API.
+	// The floor of the curve is the planner's polynomial fraction: those
+	// pairs are decided before the exponential engine expands anything.
+	AnytimeQuarterFrac float64 `json:"anytime_decided_frac_quarter"`
+	AnytimeHalfFrac    float64 `json:"anytime_decided_frac_half"`
 
 	// Baseline columns, present only when -baseline was given and had this
 	// case: the old matrix wall-clock, node/edge counts, and node
@@ -336,7 +348,7 @@ func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool)
 	for _, w := range workers {
 		key := strconv.Itoa(w)
 		par, err := measure(reps, func() error {
-			_, err := core.RelationParallel(c.x, core.Options{}, core.RelCCW, w)
+			_, err := relationParallel(c.x, core.Options{}, core.RelCCW, w)
 			return err
 		})
 		if err != nil {
@@ -411,6 +423,10 @@ func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool)
 		return res, err
 	}
 
+	if err := measureAnytime(c, &res, noPOR); err != nil {
+		return res, err
+	}
+
 	allocs, err := measureMatrixAllocs(c)
 	if err != nil {
 		return res, err
@@ -446,7 +462,7 @@ func measurePlan(c benchCase, res *caseResult, reps int, noPOR bool) error {
 	for _, tiers := range []int{0, -1} {
 		ms, err := measure(reps, func() error {
 			_, err := plan.Analyze(context.Background(), c.x, kinds, copts,
-				core.MatrixOpts{Workers: 1}, plan.Options{Tiers: tiers})
+				core.MatrixOpts{Workers: 1, Tiers: tiers})
 			return err
 		})
 		if err != nil {
@@ -464,6 +480,44 @@ func measurePlan(c benchCase, res *caseResult, reps int, noPOR bool) error {
 		res.PlanTierFrac[plan.TierObserved.String()]*100,
 		res.PlanTierFrac[plan.TierDAG.String()]*100,
 		res.PlanResiduePairs)
+	return nil
+}
+
+// measureAnytime fills the anytime columns: the default planned analysis
+// is run with a state budget of 1/4 and 1/2 of the full run's
+// expanded-state count, and the partial result's decided-pair fraction is
+// recorded (completed runs — possible on tiny state spaces where a
+// quarter budget still finishes the sweeps — record 1).
+func measureAnytime(c benchCase, res *caseResult, noPOR bool) error {
+	run := func(budget int64) (float64, error) {
+		if budget < 1 {
+			budget = 1
+		}
+		out, err := plan.Analyze(context.Background(), c.x, []core.RelKind{core.RelCCW},
+			core.Options{DisablePOR: noPOR},
+			core.MatrixOpts{Workers: 1, Budget: budget})
+		if err != nil {
+			return 0, err
+		}
+		m := out.Matrix
+		total := m.TotalPairs()
+		if total == 0 {
+			return 1, nil
+		}
+		return float64(m.DecidedPairs()) / float64(total), nil
+	}
+	quarter, err := run(res.MatrixNodes / 4)
+	if err != nil {
+		return err
+	}
+	half, err := run(res.MatrixNodes / 2)
+	if err != nil {
+		return err
+	}
+	res.AnytimeQuarterFrac = round4(quarter)
+	res.AnytimeHalfFrac = round4(half)
+	fmt.Fprintf(os.Stderr, "  anytime               %10.0f%% of pairs decided at 1/4 budget, %.0f%% at 1/2\n",
+		quarter*100, half*100)
 	return nil
 }
 
@@ -514,6 +568,70 @@ func attachBaseline(res *caseResult, baseline *report) {
 		}
 		return
 	}
+}
+
+// relationParallel is the per-pair fan-out baseline the engine once
+// shipped as core.RelationParallel (deleted in favor of Matrix): ordered
+// pairs are sharded over worker goroutines, each deciding its claims on a
+// private analyzer — every pair still a from-scratch search, with no memo
+// sharing across workers.
+func relationParallel(x *model.Execution, opts core.Options, kind core.RelKind, workers int) (*model.Relation, error) {
+	n := len(x.Events)
+	type pair struct{ a, b model.EventID }
+	pairs := make([]pair, 0, n*(n-1))
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				pairs = append(pairs, pair{model.EventID(i), model.EventID(j)})
+			}
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rel := model.NewRelation(kind.String(), n)
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a, err := core.New(x, opts)
+			if err != nil {
+				fail(err)
+				return
+			}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(pairs) {
+					return
+				}
+				holds, err := a.Decide(context.Background(), kind, pairs[i].a, pairs[i].b)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if holds {
+					mu.Lock()
+					rel.Set(pairs[i].a, pairs[i].b)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return rel, firstErr
 }
 
 // measure runs fn reps times and returns the median wall-clock in ms.

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	eventorder run [-seed N] [-tries N] [-o trace.json] prog.evo
-//	eventorder analyze [-rel MHB] [-a label -b label | -all] [-ignore-data] [-budget N] [-no-plan] trace.json
+//	eventorder analyze [-rel MHB] [-a label -b label | -all] [-ignore-data] [-budget N] [-no-plan] [-checkpoint f] [-resume f] trace.json
 //	eventorder races [-budget N] trace.json
 //	eventorder taskgraph [-dot] trace.json
 //	eventorder hmw trace.json
@@ -15,9 +15,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"text/tabwriter"
 
@@ -176,6 +178,8 @@ func cmdAnalyze(args []string) error {
 	workers := fs.Int("workers", 0, "with -all: batch matrix engine fan-out (0 = GOMAXPROCS)")
 	noPOR := fs.Bool("no-por", false, "disable sleep-set partial-order reduction (verdicts are identical; escape hatch for comparison and debugging)")
 	noPlan := fs.Bool("no-plan", false, "with -all: skip the polynomial planner tiers and let the exact engine settle every pair (verdicts are identical)")
+	ckptFile := fs.String("checkpoint", "", "with -all: when the analysis is interrupted (budget exhaustion or Ctrl-C), write a resumable checkpoint to this file")
+	resumeFile := fs.String("resume", "", "with -all: resume an interrupted analysis from a checkpoint file (budget counts cumulatively across attempts)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("analyze: want exactly one trace file")
@@ -195,22 +199,57 @@ func cmdAnalyze(args []string) error {
 		// exploration settles the residue. Output is deterministic at
 		// any -workers setting: the matrix is a fixed grid and the
 		// provenance rows follow the relation's sorted pair order.
-		popts := plan.Options{}
+		mopts := core.MatrixOpts{Workers: *workers, Budget: *budget}
 		if *noPlan {
-			popts.Tiers = -1
+			mopts.Tiers = -1
 		}
-		res, err := plan.Analyze(context.Background(), x, []core.RelKind{kind},
-			copts, core.MatrixOpts{Workers: *workers}, popts)
+		if *resumeFile != "" {
+			b, err := os.ReadFile(*resumeFile)
+			if err != nil {
+				return err
+			}
+			ckpt, err := core.DecodeCheckpointString(strings.TrimSpace(string(b)))
+			if err != nil {
+				return err
+			}
+			mopts.Resume = ckpt
+		}
+		// The analysis is anytime: Ctrl-C (or -budget exhaustion) stops
+		// it with every verdict decided so far plus a checkpoint.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stopSignals()
+		res, err := plan.Analyze(ctx, x, []core.RelKind{kind}, copts, mopts)
 		if err != nil {
 			return err
 		}
+		m := res.Matrix
 		r := res.Relations[kind]
-		if *dot {
+		if *dot && m.Complete {
 			fmt.Print(r.DOT(x, true))
 			return nil
 		}
 		fmt.Print(r.FormatMatrix(x))
-		if !*noPlan {
+		if !m.Complete {
+			und := m.Undecided[kind]
+			fmt.Printf("PARTIAL analysis (stopped: %s): %d/%d pairs decided, %d pairs open for %s, %d states expanded\n",
+				causeName(m.Cause), m.DecidedPairs(), m.TotalPairs(), len(und.Pairs()), kind, m.Expanded)
+			fmt.Println("(matrix shows proven-true pairs; absent pairs are proven false OR still open)")
+			if *ckptFile != "" {
+				enc, err := m.Checkpoint.EncodeString()
+				if err != nil {
+					return err
+				}
+				if err := os.WriteFile(*ckptFile, []byte(enc+"\n"), 0o644); err != nil {
+					return err
+				}
+				fmt.Printf("checkpoint written to %s; continue with: eventorder analyze -all -resume %s [-budget N] %s\n",
+					*ckptFile, *ckptFile, fs.Arg(0))
+			} else {
+				fmt.Println("(rerun with -checkpoint FILE to make interrupted work resumable)")
+			}
+			return nil
+		}
+		if !*noPlan && res.Plan != nil {
 			// Provenance: which tier of the cascade decided each related
 			// pair (static / observed / dag, or exact for pairs only the
 			// full search could settle).
@@ -271,6 +310,21 @@ func cmdAnalyze(args []string) error {
 	st := a.Stats()
 	fmt.Printf("search: %d nodes, %d memo hits\n", st.Nodes, st.MemoHits)
 	return nil
+}
+
+// causeName renders an anytime interrupt cause for the terminal.
+func causeName(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrBudget):
+		return "budget exhausted"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "interrupted"
+	}
+	return err.Error()
 }
 
 func cmdRaces(args []string) error {

@@ -115,8 +115,11 @@ func runSelfcheck(cfg service.Config) error {
 	if err := json.Unmarshal(env.Result, &pair); err != nil {
 		return err
 	}
-	if !pair.Holds {
-		return fmt.Errorf("figure 1: lp MHB rp = false, want true")
+	if pair.Verdict != service.VerdictTrue {
+		return fmt.Errorf("figure 1: lp MHB rp = %s, want true", pair.Verdict)
+	}
+	if env.SchemaVersion != service.SchemaVersion {
+		return fmt.Errorf("envelope schemaVersion = %d, want %d", env.SchemaVersion, service.SchemaVersion)
 	}
 	if env.Cached {
 		return fmt.Errorf("first figure-1 request claimed a cache hit")
@@ -138,10 +141,12 @@ func runSelfcheck(cfg service.Config) error {
 		return fmt.Errorf("metrics report %d cache hits after a cached response", snap.Counters[service.MetricCacheHits])
 	}
 
-	// A 1ms deadline on a large instance must 504 and free its worker.
-	// The batch matrix engine answers mutex-style instances in microseconds,
-	// so the slow workload must be state-space-heavy: a semaphore barrier's
-	// matrix takes hundreds of milliseconds, far past the 1ms deadline.
+	// A 1ms deadline on a large instance must return an anytime partial —
+	// 200 with "complete": false and a resumable checkpoint — and free its
+	// worker. The batch matrix engine answers mutex-style instances in
+	// microseconds, so the slow workload must be state-space-heavy: a
+	// semaphore barrier's matrix takes hundreds of milliseconds, far past
+	// the 1ms deadline.
 	big, err := gen.Barrier(6)
 	if err != nil {
 		return err
@@ -151,8 +156,19 @@ func runSelfcheck(cfg service.Config) error {
 		return err
 	}
 	slow := map[string]any{"execution": json.RawMessage(trace.Bytes()), "all": true, "timeoutMs": 1}
-	if err := post("/v1/analyze", slow, http.StatusGatewayTimeout, nil); err != nil {
+	env = service.Envelope{}
+	if err := post("/v1/analyze", slow, http.StatusOK, &env); err != nil {
 		return err
+	}
+	var partial service.MatrixResult
+	if err := json.Unmarshal(env.Result, &partial); err != nil {
+		return err
+	}
+	if partial.Complete {
+		return fmt.Errorf("1ms-deadline barrier matrix claims to be complete")
+	}
+	if partial.Checkpoint == nil {
+		return fmt.Errorf("partial matrix result carries no checkpoint")
 	}
 	deadline := time.Now().Add(10 * time.Second)
 	for {
@@ -168,8 +184,32 @@ func runSelfcheck(cfg service.Config) error {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if snap.Counters[service.MetricJobsDeadline] < 1 {
-		return fmt.Errorf("no deadline-exceeded job counted")
+	if snap.Counters[service.MetricAnalyzePartial] < 1 {
+		return fmt.Errorf("no partial anytime result counted")
+	}
+
+	// Resuming from the returned checkpoint with no deadline must finish
+	// the analysis and report every pair decided.
+	resume := map[string]any{
+		"execution": json.RawMessage(trace.Bytes()), "all": true,
+		"resume": partial.Checkpoint,
+	}
+	env = service.Envelope{}
+	if err := post("/v1/analyze", resume, http.StatusOK, &env); err != nil {
+		return err
+	}
+	var full service.MatrixResult
+	if err := json.Unmarshal(env.Result, &full); err != nil {
+		return err
+	}
+	if !full.Complete {
+		return fmt.Errorf("resumed barrier matrix still incomplete (%d/%d pairs)", full.DecidedPairs, full.TotalPairs)
+	}
+	if snapErr := get("/metrics", &snap); snapErr != nil {
+		return snapErr
+	}
+	if snap.Counters[service.MetricAnalyzeResumed] < 1 {
+		return fmt.Errorf("no resumed analysis counted")
 	}
 
 	// The freed worker must serve new requests.

@@ -38,6 +38,7 @@
 package eventorder
 
 import (
+	"context"
 	"math/rand"
 
 	"eventorder/internal/core"
@@ -45,6 +46,7 @@ import (
 	"eventorder/internal/interp"
 	"eventorder/internal/lang"
 	"eventorder/internal/model"
+	"eventorder/internal/plan"
 	"eventorder/internal/race"
 	"eventorder/internal/reduction"
 	"eventorder/internal/sat"
@@ -125,20 +127,49 @@ func FormatWitnessSteps(x *Execution, steps []WitnessStep) []string {
 // Analyze prepares an execution for relation queries.
 func Analyze(x *Execution, opts Options) (*Analyzer, error) { return core.New(x, opts) }
 
-// MatrixOpts configures Analyzer.Matrix, the batch matrix engine: Workers
-// fans one shared exploration of the feasibility space out over goroutines
-// that share a striped memo table, and Budget bounds the total number of
-// distinct states expanded.
-type MatrixOpts = core.MatrixOpts
+// Batch analysis types. AnalyzeMatrix is the primary entry point for
+// whole-matrix questions; these are the knobs and results it shares with
+// Analyzer.Matrix.
+type (
+	// MatrixOpts configures AnalyzeMatrix / Analyzer.Matrix: Workers fans
+	// one shared exploration of the feasibility space out over goroutines
+	// that share a striped memo table, Budget bounds the total number of
+	// distinct states expanded, Tiers caps the polynomial planning
+	// cascade, and Resume continues an interrupted analysis from a
+	// Checkpoint.
+	MatrixOpts = core.MatrixOpts
+	// MatrixLimits bounds what MatrixOpts.Normalize lets through.
+	MatrixLimits = core.MatrixLimits
+	// MatrixResult is a complete or partial batch analysis outcome with
+	// three-valued per-pair verdicts.
+	MatrixResult = core.MatrixResult
+	// Checkpoint resumes an interrupted analysis via MatrixOpts.Resume.
+	Checkpoint = core.Checkpoint
+	// Verdict is the three-valued answer type: true, false, or unknown.
+	Verdict = core.Verdict
+)
 
-// ComputeRelationParallel computes a full relation matrix with the per-pair
-// decisions fanned out over worker goroutines (0 = GOMAXPROCS).
-//
-// Deprecated: Analyzer.Matrix computes the same matrix (and all six at
-// once, if asked) from one shared exploration and is strictly faster on
-// full-matrix workloads; use Matrix with MatrixOpts.Workers instead.
-func ComputeRelationParallel(x *Execution, opts Options, kind RelKind, workers int) (*Relation, error) {
-	return core.RelationParallel(x, opts, kind, workers)
+// Verdict values.
+const (
+	VerdictUnknown = core.VerdictUnknown
+	VerdictFalse   = core.VerdictFalse
+	VerdictTrue    = core.VerdictTrue
+)
+
+// AnalyzeMatrix computes relation matrices for kinds (nil = all six) over
+// one shared exploration of the feasibility space, bracketed by the
+// polynomial planning cascade (opts.Tiers). It is an anytime analysis:
+// when ctx is canceled, its deadline passes, or opts.Budget runs out
+// mid-exploration, it returns a partial MatrixResult whose decided
+// verdicts are sound and whose Checkpoint resumes the work via
+// opts.Resume. Interrupted-then-resumed analyses are bit-identical to
+// one-shot runs.
+func AnalyzeMatrix(ctx context.Context, x *Execution, kinds []RelKind, copts Options, opts MatrixOpts) (*MatrixResult, error) {
+	res, err := plan.Analyze(ctx, x, kinds, copts, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Matrix, nil
 }
 
 // Schedule finds and installs an observed order for an execution built

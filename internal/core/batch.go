@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -13,12 +14,12 @@ import (
 
 // Batch matrix engine. The per-pair decision procedures answer one
 // (co-)NP-hard query each, so a full six-relation matrix over n events runs
-// O(n²) independent exponential searches — and RelationParallel makes the
-// loss explicit: its private per-worker analyzers cannot share completion
-// memos at all. This engine inverts the amortization: it explores the
-// feasibility state space ONCE and reads every pair's verdict out of two
-// reachability facts, because in any complete valid interleaving exactly
-// one of three things happens to a pair (a, b):
+// O(n²) independent exponential searches — and a per-pair fan-out cannot
+// share completion memos across its private workers at all. This engine
+// inverts the amortization: it explores the feasibility state space ONCE
+// and reads every pair's verdict out of two reachability facts, because in
+// any complete valid interleaving exactly one of three things happens to a
+// pair (a, b):
 //
 //	a T b      ⇔ some moment has a ended and b not yet begun
 //	b T a      ⇔ some moment has b ended and a not yet begun
@@ -50,24 +51,32 @@ import (
 // matrices. All passes fan out over workers that SHARE one striped
 // concurrent state table, fixing the trade parallel.go punts on.
 
-// MatrixOpts configures Analyzer.Matrix.
+// MatrixOpts configures Analyzer.Matrix (and the planning layers built on
+// it: plan.Analyze and the eventorder.AnalyzeMatrix facade).
 type MatrixOpts struct {
 	// Workers is the number of goroutines sharing the batch exploration
-	// (≤ 0 selects GOMAXPROCS). Unlike RelationParallel's private
-	// analyzers, all workers share one striped memo table.
+	// (≤ 0 selects GOMAXPROCS). All workers share one striped memo table.
 	Workers int
 	// Budget bounds the number of distinct states expanded by the whole
 	// batch; 0 inherits Options.MaxNodes as the total-batch budget. The
 	// batch expands each reachable state once, so a total budget (not a
-	// per-query one) is the natural unit. Exceeding it fails with
-	// ErrBudget.
+	// per-query one) is the natural unit. When the budget runs out the
+	// analysis returns a partial MatrixResult carrying a Checkpoint; a
+	// resumed run charges the budget cumulatively (a budget of B names B
+	// total states across all attempts, give or take the re-run of the
+	// level the interrupt landed in).
 	Budget int64
+	// Tiers caps the polynomial planning cascade for the layers above the
+	// exact engine (plan.Analyze, eventorder.AnalyzeMatrix): 0 runs every
+	// tier, 1..MaxPlanTiers a prefix, negative disables planning.
+	// Analyzer.Matrix itself ignores it — the plan arrives via Seed.
+	Tiers int
 	// DisablePOR turns off sleep-set pruning for this batch's forward
 	// expansion (it is also off whenever the analyzer's Options.DisablePOR
 	// is set or the execution exceeds 64 processes). Matrices are
 	// bit-identical either way: sleep sets prune duplicate edges, never
 	// states, and the backward completability sweep always walks the full
-	// enabled set.
+	// enabled set. A resumed run inherits the checkpoint's setting.
 	DisablePOR bool
 	// Seed carries primitive interval facts proven by a polynomial
 	// pre-analysis (internal/plan builds one): a lower bound (facts proven
@@ -77,23 +86,168 @@ type MatrixOpts struct {
 	// seed afterwards, and when the bracket decides every requested
 	// verdict the exploration is skipped entirely. A sound seed leaves
 	// every verdict bit-identical to an unseeded run; an inconsistent one
-	// is rejected. Nil runs unseeded.
+	// is rejected. Nil runs unseeded. Mutually exclusive with Resume (the
+	// seed travels inside the checkpoint).
 	Seed *FactSeed
+	// Resume continues an interrupted analysis from the checkpoint a
+	// partial MatrixResult carried. The resumed run must target the same
+	// execution and IgnoreData setting (enforced by fingerprint); workers
+	// may differ freely. Interrupted-then-resumed analyses produce
+	// matrices bit-identical to one-shot runs.
+	Resume *Checkpoint
 }
 
-// Matrix computes full relation matrices for kinds (nil or empty = all six)
-// from one shared exploration of the feasibility state space. Verdicts are
-// bit-identical to per-pair Relation calls; only the work differs: the
-// exponential space is walked a constant number of times instead of O(n²)
-// times. Options.DisableMemo is ignored (the exploration IS the memo).
+// MaxPlanTiers is the number of polynomial planning tiers the layers
+// above the exact engine implement (internal/plan.NumPolyTiers asserts
+// the two agree); Normalize clamps MatrixOpts.Tiers against it.
+const MaxPlanTiers = 3
+
+// MatrixLimits bounds what Normalize lets an opts carry — the server-side
+// clamp configuration. The zero value imposes no caps.
+type MatrixLimits struct {
+	// MaxWorkers, when positive, caps Workers.
+	MaxWorkers int
+	// MaxBudget, when positive, caps Budget and substitutes for an
+	// unlimited (zero) request.
+	MaxBudget int64
+}
+
+// Normalize applies the defaults and clamps every entry point shares, so
+// the service, CLIs, and bench do not each re-validate: non-positive
+// Workers resolves to GOMAXPROCS then clamps to lim.MaxWorkers; negative
+// Budget reads as unlimited (0) then clamps to lim.MaxBudget; Tiers
+// clamps to [-1, 0..MaxPlanTiers] (below -1 means "exact only", above
+// MaxPlanTiers means "all tiers"). Seed and Resume pass through.
+func (o MatrixOpts) Normalize(lim MatrixLimits) MatrixOpts {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if lim.MaxWorkers > 0 && o.Workers > lim.MaxWorkers {
+		o.Workers = lim.MaxWorkers
+	}
+	if o.Budget < 0 {
+		o.Budget = 0
+	}
+	if lim.MaxBudget > 0 && (o.Budget == 0 || o.Budget > lim.MaxBudget) {
+		o.Budget = lim.MaxBudget
+	}
+	if o.Tiers < 0 {
+		o.Tiers = -1
+	} else if o.Tiers > MaxPlanTiers {
+		o.Tiers = 0
+	}
+	return o
+}
+
+// MatrixResult is the (possibly partial) outcome of a batch analysis.
+// A complete result decides every requested verdict; a partial one —
+// produced when cancellation, a deadline, or budget exhaustion struck
+// mid-exploration — reports three-valued verdicts (everything decided so
+// far, never contradicting the full analysis) plus a Checkpoint that a
+// later call resumes via MatrixOpts.Resume.
+type MatrixResult struct {
+	// Complete reports whether every requested verdict is decided.
+	Complete bool
+	// Kinds echoes the requested relation kinds.
+	Kinds []RelKind
+	// Relations holds, per requested kind, the pairs proven to satisfy
+	// the relation. On a complete run absence means proven-false; on a
+	// partial run consult Undecided (or Verdict) to tell proven-false
+	// from still-open.
+	Relations map[RelKind]*model.Relation
+	// Undecided holds, per requested kind, the pairs the interrupted
+	// analysis left open. Nil when Complete.
+	Undecided map[RelKind]*model.Relation
+	// Checkpoint resumes the interrupted exploration. Nil when Complete.
+	Checkpoint *Checkpoint
+	// Cause records why the analysis stopped early (a context error or
+	// ErrBudget). Nil when Complete.
+	Cause error
+	// Expanded is the cumulative number of states charged against the
+	// budget, including resumed-from attempts.
+	Expanded int64
+}
+
+// Verdict returns the three-valued answer for kind(a, b): VerdictTrue or
+// VerdictFalse when decided, VerdictUnknown when the partial analysis
+// left the pair open (or the kind was not requested).
+func (m *MatrixResult) Verdict(kind RelKind, a, b model.EventID) Verdict {
+	rel, ok := m.Relations[kind]
+	if !ok {
+		return VerdictUnknown
+	}
+	if rel.Has(a, b) {
+		return VerdictTrue
+	}
+	if !m.Complete && m.Undecided[kind].Has(a, b) {
+		return VerdictUnknown
+	}
+	return VerdictFalse
+}
+
+// TotalPairs returns the number of ordered event pairs, n·(n−1).
+func (m *MatrixResult) TotalPairs() int {
+	for _, rel := range m.Relations {
+		n := rel.N()
+		return n * (n - 1)
+	}
+	return 0
+}
+
+// DecidedPairs counts the ordered pairs whose every requested verdict is
+// decided — the anytime progress measure (equals TotalPairs when
+// Complete).
+func (m *MatrixResult) DecidedPairs() int {
+	if m.Complete {
+		return m.TotalPairs()
+	}
+	var n int
+	for _, rel := range m.Relations {
+		n = rel.N()
+		break
+	}
+	decided := 0
+	for i := 0; i < n; i++ {
+	pairs:
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			for _, kind := range m.Kinds {
+				if m.Undecided[kind].Has(model.EventID(i), model.EventID(j)) {
+					continue pairs
+				}
+			}
+			decided++
+		}
+	}
+	return decided
+}
+
+// Matrix computes relation matrices for kinds (nil or empty = all six)
+// from one shared exploration of the feasibility state space. Complete
+// verdicts are bit-identical to per-pair Relation calls; only the work
+// differs: the exponential space is walked a constant number of times
+// instead of O(n²) times. Options.DisableMemo is ignored (the exploration
+// IS the memo).
 //
-// On success the batch's completion facts are folded into the analyzer's
-// persistent completion memo, so later per-pair queries on the same
-// analyzer start warm.
+// Matrix is an anytime analysis: when cancellation, a deadline, or budget
+// exhaustion strikes it returns (partial, nil) — a MatrixResult with
+// Complete=false carrying every verdict decided so far (sound: a partial
+// verdict never contradicts the full analysis) and a Checkpoint that
+// MatrixOpts.Resume continues from. A context that is already dead on
+// entry yields an empty-but-resumable partial, never an error, so a
+// deadline produces the same response shape no matter when it struck. The
+// error return is reserved for real failures (invalid kinds, inconsistent
+// seeds, mismatched checkpoints).
+//
+// On a complete run the batch's completion facts are folded into the
+// analyzer's persistent completion memo, so later per-pair queries on the
+// same analyzer start warm; an interrupted run leaves the memo untouched.
 //
 // Matrix parallelizes internally but, like every other Analyzer method, it
 // must not be called concurrently with other methods on the same Analyzer.
-func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts) (map[RelKind]*model.Relation, error) {
+func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts) (*MatrixResult, error) {
 	if len(kinds) == 0 {
 		kinds = AllRelKinds
 	}
@@ -105,27 +259,36 @@ func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	workers := opts.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	opts = opts.Normalize(MatrixLimits{})
 	budget := opts.Budget
 	if budget == 0 {
 		budget = a.opts.MaxNodes
 	}
 
 	n := len(a.x.Events)
-	if opts.Seed != nil {
-		if err := opts.Seed.Validate(n); err != nil {
+	seed := opts.Seed
+	por := a.por && !opts.DisablePOR
+	ckpt := opts.Resume
+	if ckpt != nil {
+		if opts.Seed != nil {
+			return nil, errors.New("core: MatrixOpts.Seed and Resume are mutually exclusive (the seed travels inside the checkpoint)")
+		}
+		if err := ckpt.validateFor(a); err != nil {
+			return nil, err
+		}
+		seed = ckpt.seed()
+		por = ckpt.POR
+	}
+	if seed != nil {
+		if err := seed.Validate(n); err != nil {
 			return nil, err
 		}
 		// Fully bracketed: every requested verdict follows from the seed,
 		// so the exponential exploration is unnecessary. Nothing is
-		// explored or memoized on this path (Stats stay untouched).
-		if opts.Seed.DecidesAll(kinds, n) {
+		// explored or memoized on this path (Stats stay untouched). A
+		// resume never lands here — a checkpoint exists only because the
+		// seed did not decide everything.
+		if ckpt == nil && seed.DecidesAll(kinds, n) {
 			out := make(map[RelKind]*model.Relation, len(kinds))
 			for _, kind := range kinds {
 				r := model.NewRelation(kind.String(), n)
@@ -134,60 +297,46 @@ func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts)
 						if i == j {
 							continue
 						}
-						if holds, _ := opts.Seed.Verdict(kind, model.EventID(i), model.EventID(j)); holds {
+						if seed.Verdict(kind, model.EventID(i), model.EventID(j)).Holds() {
 							r.Set(model.EventID(i), model.EventID(j))
 						}
 					}
 				}
 				out[kind] = r
 			}
-			return out, nil
+			return &MatrixResult{Complete: true, Kinds: append([]RelKind(nil), kinds...), Relations: out}, nil
 		}
 	}
 
-	run := newBatchRun(a, ctx, workers, budget, a.por && !opts.DisablePOR, opts.Seed)
-	if err := run.explore(); err != nil {
+	run, err := newBatchRun(a, ctx, opts.Workers, budget, por, seed, ckpt)
+	if err != nil {
 		return nil, err
 	}
-	a.stats.Nodes += run.expanded.Load()
-	a.stats.Edges += run.edges()
+	err = run.explore()
+	run.mergeWorkerFacts()
+	if err != nil {
+		if !isInterrupt(err) {
+			return nil, err
+		}
+		// Interrupted with value: fold what the sweeps proved so far (all
+		// of it sound — positive facts come only from states already
+		// proven reachable and completable) into a partial result, and
+		// leave the analyzer's persistent memo untouched so no partial
+		// verdict is ever served as complete.
+		run.applySeedFacts()
+		return run.partialResult(kinds, err), nil
+	}
+	a.stats.Nodes += run.expanded.Load() - run.baseExpanded
+	a.stats.Edges += run.edges() - run.baseEdges
 	run.mergeCompletionMemo()
 	run.applySeedFacts()
+	return run.completeResult(kinds), nil
+}
 
-	out := make(map[RelKind]*model.Relation, len(kinds))
-	for _, kind := range kinds {
-		r := model.NewRelation(kind.String(), n)
-		for i := 0; i < n; i++ {
-			for j := 0; j < n; j++ {
-				if i == j {
-					continue
-				}
-				ordIJ := run.fact(run.canOrder, i, j)
-				ordJI := run.fact(run.canOrder, j, i)
-				ovl := run.fact(run.canOverlap, i, j)
-				var holds bool
-				switch kind {
-				case RelCHB:
-					holds = ordIJ
-				case RelMHB:
-					holds = !ordJI && !ovl
-				case RelCCW:
-					holds = ovl
-				case RelMCW:
-					holds = !ordIJ && !ordJI
-				case RelCOW:
-					holds = ordIJ || ordJI
-				case RelMOW:
-					holds = !ovl
-				}
-				if holds {
-					r.Set(model.EventID(i), model.EventID(j))
-				}
-			}
-		}
-		out[kind] = r
-	}
-	return out, nil
+// isInterrupt reports whether err is an interruption that yields a
+// partial result (cancellation, deadline, budget) rather than a failure.
+func isInterrupt(err error) bool {
+	return errors.Is(err, ErrBudget) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // The batch engine uses keyExtraComplete as its state-key discriminator
@@ -271,6 +420,16 @@ type batchRun struct {
 	por     bool
 	edgeCnt []int64
 
+	// phase/phaseLvl track which sweep is running and the level it is
+	// processing, so an interrupt can checkpoint its exact position.
+	// baseExpanded/baseEdges carry the resumed-from checkpoint's counters
+	// (zero on a fresh run) — cumulative totals minus the base are this
+	// run's own effort.
+	phase        uint8
+	phaseLvl     int
+	baseExpanded int64
+	baseEdges    int64
+
 	budget    int64 // total state budget; ≤ 0 means unlimited
 	expanded  atomic.Int64
 	remaining atomic.Int64
@@ -282,7 +441,7 @@ type batchRun struct {
 // edgeStride spaces per-worker edge counters one cache line apart.
 const edgeStride = 8
 
-func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, por bool, seed *FactSeed) *batchRun {
+func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, por bool, seed *FactSeed, ckpt *Checkpoint) (*batchRun, error) {
 	n := len(a.x.Events)
 	r := &batchRun{
 		a:         a,
@@ -366,7 +525,96 @@ func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, po
 		r.wOverlap[w] = newFacts()
 	}
 	r.precomputeIntervalTables()
-	return r
+	if ckpt != nil {
+		if err := r.restore(ckpt); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// restore loads a validated checkpoint into the freshly built run: tables
+// and folded facts are imported, the level lists are rebuilt by bucketing
+// each key on its executed-action count (levels are a pure function of
+// the program counters, so no separate frontier encoding is needed), and
+// the budget counters resume cumulatively.
+func (r *batchRun) restore(ckpt *Checkpoint) error {
+	if err := importSnapshot(r.table, ckpt.States); err != nil {
+		return err
+	}
+	if err := importSnapshot(r.pcSeen, ckpt.PcSeen); err != nil {
+		return err
+	}
+	n := len(r.a.x.Events)
+	for i := 0; i < n; i++ {
+		copy(r.canOrder[i], ckpt.CanOrder[i*r.factWords:(i+1)*r.factWords])
+		copy(r.canOverlap[i], ckpt.CanOverlap[i*r.factWords:(i+1)*r.factWords])
+	}
+	// Rebuild the per-level key lists. The forward sweep reaches levels
+	// contiguously from 0, so bucketing by Σ pc reproduces them exactly
+	// (in a different within-level order, which no verdict depends on).
+	kw := r.a.keyWords
+	s := r.shadows[0]
+	maxLvl := 0
+	r.table.Range(func(key []uint64, _ bool) bool {
+		if lvl := r.keyLevel(s, key); lvl > maxLvl {
+			maxLvl = lvl
+		}
+		return true
+	})
+	if ckpt.NextLevel > maxLvl {
+		return errors.New("core: checkpoint frontier level exceeds its own state table")
+	}
+	r.levels = make([][]uint64, maxLvl+1)
+	r.table.Range(func(key []uint64, _ bool) bool {
+		lvl := r.keyLevel(s, key)
+		r.levels[lvl] = append(r.levels[lvl], key[:kw]...)
+		return true
+	})
+	r.phase = ckpt.Phase
+	r.phaseLvl = ckpt.NextLevel
+	r.baseExpanded = ckpt.Expanded
+	r.baseEdges = ckpt.Edges
+	r.expanded.Store(ckpt.Expanded)
+	if r.budget > 0 {
+		r.remaining.Store(r.budget - ckpt.Expanded)
+	}
+	return nil
+}
+
+// importSnapshot dispatches a snapshot import to the concrete table
+// variant behind the batchTable interface.
+func importSnapshot(t batchTable, snap *statetab.Snapshot) error {
+	switch tab := t.(type) {
+	case *statetab.Table:
+		return tab.Import(snap)
+	case *statetab.Concurrent:
+		return tab.Import(snap)
+	}
+	return errors.New("core: unknown batch table variant")
+}
+
+// exportSnapshot is importSnapshot's counterpart.
+func exportSnapshot(t batchTable) *statetab.Snapshot {
+	switch tab := t.(type) {
+	case *statetab.Table:
+		return tab.Export()
+	case *statetab.Concurrent:
+		return tab.Export()
+	}
+	return nil
+}
+
+// keyLevel computes the executed-action count of a packed key — the level
+// the forward sweep reached it at — from its program counters (shadow s
+// is used as unpack scratch).
+func (r *batchRun) keyLevel(s *Analyzer, key []uint64) int {
+	s.unpackKey(key)
+	lvl := 0
+	for _, pc := range s.pc {
+		lvl += int(pc)
+	}
+	return lvl
 }
 
 // shadow returns a cursor over the analyzer's immutable preprocessed
@@ -557,23 +805,40 @@ func (r *batchRun) runPhase(n int, fn func(w int, s *Analyzer, i int) error) err
 }
 
 // explore runs the two level-synchronous sweeps: forward reachability and
-// backward completability with fact folding fused in.
+// backward completability with fact folding fused in. On a resumed run
+// the sweeps pick up at the checkpoint's phase and level; the interrupted
+// level re-runs from scratch (every per-state step is deterministic and
+// idempotent, so the re-run is invisible in the verdicts).
 func (r *batchRun) explore() error {
+	if r.levels == nil {
+		// Fresh run: intern the initial state. Levels hold packed keys
+		// inline (keyWords stride), so appending a key copies its words —
+		// keys are owned by the level slice.
+		s := r.shadows[0]
+		s.resetState()
+		root := make([]uint64, r.a.keyWords)
+		s.packKey(keyExtraComplete, root)
+		r.levels = append(r.levels, root)
+		r.table.Intern(root)
+	}
+	if r.phase == ckPhaseForward {
+		if err := r.forward(); err != nil {
+			return err
+		}
+		r.phase = ckPhaseBackward
+		r.phaseLvl = len(r.levels) - 1
+	}
+	return r.backward()
+}
+
+// forward expands each level's states starting at phaseLvl, deduping
+// successors in the shared table. Levels are a topological order of the
+// state DAG (each step executes exactly one action).
+func (r *batchRun) forward() error {
 	a := r.a
 	kw := a.keyWords
-	// Initial state. Levels hold packed keys inline (keyWords stride), so
-	// appending a key copies its words — keys are owned by the level slice.
-	s := r.shadows[0]
-	s.resetState()
-	root := make([]uint64, kw)
-	s.packKey(keyExtraComplete, root)
-	r.levels = append(r.levels, root)
-	r.table.Intern(root)
-
-	// Forward: expand each level's states, deduping successors in the
-	// shared table. Levels are a topological order of the state DAG (each
-	// step executes exactly one action).
-	for lvl := 0; lvl < len(a.acts); lvl++ {
+	for lvl := r.phaseLvl; lvl < len(a.acts); lvl++ {
+		r.phaseLvl = lvl
 		frontier := r.levels[lvl]
 		if len(frontier) == 0 {
 			break
@@ -622,14 +887,19 @@ func (r *batchRun) explore() error {
 		}
 		r.levels = append(r.levels, merged)
 	}
+	return nil
+}
 
-	// Backward: completability per level, last to first; fold state facts
-	// for every completable state as its verdict lands, and edge facts for
-	// every sync action connecting two completable states. Every state and
-	// child key was interned by the forward pass, so the backward writes
-	// only flip existing value bits — the shared table's layout is stable
-	// throughout this phase.
-	for lvl := len(r.levels) - 1; lvl >= 0; lvl-- {
+// backward decides completability per level, phaseLvl down to first; it
+// folds state facts for every completable state as its verdict lands, and
+// edge facts for every sync action connecting two completable states.
+// Every state and child key was interned by the forward pass, so the
+// backward writes only flip existing value bits — the shared table's
+// layout is stable throughout this phase.
+func (r *batchRun) backward() error {
+	kw := r.a.keyWords
+	for lvl := r.phaseLvl; lvl >= 0; lvl-- {
+		r.phaseLvl = lvl
 		level := r.levels[lvl]
 		err := r.runPhase(len(level)/kw, func(w int, s *Analyzer, i int) error {
 			key := level[i*kw : (i+1)*kw]
@@ -666,8 +936,16 @@ func (r *batchRun) explore() error {
 			return err
 		}
 	}
+	return nil
+}
 
-	// Merge worker-local fact accumulators into the master matrices.
+// mergeWorkerFacts folds the worker-local fact accumulators into the
+// master matrices. It runs exactly once per Matrix call — after the
+// sweeps finish OR after an interrupt stops them — so a checkpoint and a
+// partial result see everything the workers proved before stopping
+// (positive facts are folded only from states already proven reachable
+// and completable, so every one of them is final).
+func (r *batchRun) mergeWorkerFacts() {
 	for w := 0; w < r.workers; w++ {
 		for i := range r.canOrder {
 			for j := range r.canOrder[i] {
@@ -676,7 +954,6 @@ func (r *batchRun) explore() error {
 			}
 		}
 	}
-	return nil
 }
 
 // foldStateFacts derives the interval facts visible at shadow s's current
@@ -788,13 +1065,176 @@ func (r *batchRun) fact(facts [][]uint64, i, j int) bool {
 	return facts[i][j/64]&(1<<uint(j%64)) != 0
 }
 
-// edges sums the per-worker forward-edge counters.
+// edges sums the per-worker forward-edge counters plus the resumed-from
+// checkpoint's cumulative count.
 func (r *batchRun) edges() int64 {
-	var total int64
+	total := r.baseEdges
 	for w := 0; w < r.workers; w++ {
 		total += r.edgeCnt[w*edgeStride]
 	}
 	return total
+}
+
+// checkpoint captures the interrupted run's position and knowledge. A
+// forward-phase capture drops the keys of the partially interned next
+// level (they must re-enter the frontier as fresh when the level re-runs)
+// — their level is recoverable from each key's program counters, so the
+// filter needs no bookkeeping from the hot loops.
+func (r *batchRun) checkpoint() *Checkpoint {
+	n := len(r.a.x.Events)
+	c := &Checkpoint{
+		Fingerprint: r.a.fingerprint(),
+		POR:         r.por,
+		Phase:       r.phase,
+		NextLevel:   r.phaseLvl,
+		Expanded:    r.expanded.Load(),
+		Edges:       r.edges(),
+		NumEvents:   n,
+		PcSeen:      exportSnapshot(r.pcSeen),
+		CanOrder:    flattenFacts(r.canOrder, r.factWords),
+		CanOverlap:  flattenFacts(r.canOverlap, r.factWords),
+	}
+	snap := exportSnapshot(r.table)
+	if r.phase == ckPhaseForward {
+		s := r.shadows[0]
+		filtered := &statetab.Snapshot{Words: snap.Words}
+		for i := 0; i < snap.Entries; i++ {
+			key := snap.Key(i)
+			if r.keyLevel(s, key) > r.phaseLvl {
+				continue
+			}
+			filtered.Append(key, snap.Val(i), snap.AuxAt(i))
+		}
+		snap = filtered
+	}
+	c.States = snap
+	if r.seed != nil {
+		c.HasSeed = true
+		c.SeedOrder = seedPairs(r.seed.Order)
+		c.SeedNoOrder = seedPairs(r.seed.NoOrder)
+		c.SeedOverlap = seedPairs(r.seed.Overlap)
+		c.SeedNoOverlap = seedPairs(r.seed.NoOverlap)
+	}
+	return c
+}
+
+// flattenFacts lays the per-event fact rows out row-major for the
+// checkpoint's flat encoding.
+func flattenFacts(rows [][]uint64, words int) []uint64 {
+	out := make([]uint64, 0, len(rows)*words)
+	for _, row := range rows {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// orderVerdict is the partial-run three-valued reading of canOrder(a, b):
+// a folded or seed-restored bit proves it true; only the seed can refute
+// it before the exploration completes (absence of a witness is evidence
+// only once every reachable completable state has been folded).
+func (r *batchRun) orderVerdict(a, b model.EventID) Verdict {
+	if r.fact(r.canOrder, int(a), int(b)) {
+		return VerdictTrue
+	}
+	if r.seed != nil && seedHas(r.seed.NoOrder, a, b) {
+		return VerdictFalse
+	}
+	return VerdictUnknown
+}
+
+// overlapVerdict is orderVerdict's canOverlap counterpart.
+func (r *batchRun) overlapVerdict(a, b model.EventID) Verdict {
+	if r.fact(r.canOverlap, int(a), int(b)) {
+		return VerdictTrue
+	}
+	if r.seed != nil && seedHas(r.seed.NoOverlap, a, b) {
+		return VerdictFalse
+	}
+	return VerdictUnknown
+}
+
+// partialResult assembles the interrupted run's three-valued matrices:
+// per kind, the pairs proven to hold and the pairs still open. Callers
+// must have merged worker facts and applied the seed first.
+func (r *batchRun) partialResult(kinds []RelKind, cause error) *MatrixResult {
+	n := len(r.a.x.Events)
+	res := &MatrixResult{
+		Kinds:      append([]RelKind(nil), kinds...),
+		Relations:  make(map[RelKind]*model.Relation, len(kinds)),
+		Undecided:  make(map[RelKind]*model.Relation, len(kinds)),
+		Checkpoint: r.checkpoint(),
+		Cause:      cause,
+		Expanded:   r.expanded.Load(),
+	}
+	for _, kind := range kinds {
+		rel := model.NewRelation(kind.String(), n)
+		und := model.NewRelation(kind.String()+"-undecided", n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				ei, ej := model.EventID(i), model.EventID(j)
+				v := verdictFromFacts(kind,
+					r.orderVerdict(ei, ej), r.orderVerdict(ej, ei), r.overlapVerdict(ei, ej))
+				switch v {
+				case VerdictTrue:
+					rel.Set(ei, ej)
+				case VerdictUnknown:
+					und.Set(ei, ej)
+				}
+			}
+		}
+		res.Relations[kind] = rel
+		res.Undecided[kind] = und
+	}
+	return res
+}
+
+// completeResult reads every verdict out of the finished exploration's
+// fact matrices (two-valued: absence of a witness is now proof of
+// absence).
+func (r *batchRun) completeResult(kinds []RelKind) *MatrixResult {
+	n := len(r.a.x.Events)
+	out := make(map[RelKind]*model.Relation, len(kinds))
+	for _, kind := range kinds {
+		rel := model.NewRelation(kind.String(), n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				ordIJ := r.fact(r.canOrder, i, j)
+				ordJI := r.fact(r.canOrder, j, i)
+				ovl := r.fact(r.canOverlap, i, j)
+				var holds bool
+				switch kind {
+				case RelCHB:
+					holds = ordIJ
+				case RelMHB:
+					holds = !ordJI && !ovl
+				case RelCCW:
+					holds = ovl
+				case RelMCW:
+					holds = !ordIJ && !ordJI
+				case RelCOW:
+					holds = ordIJ || ordJI
+				case RelMOW:
+					holds = !ovl
+				}
+				if holds {
+					rel.Set(model.EventID(i), model.EventID(j))
+				}
+			}
+		}
+		out[kind] = rel
+	}
+	return &MatrixResult{
+		Complete:  true,
+		Kinds:     append([]RelKind(nil), kinds...),
+		Relations: out,
+		Expanded:  r.expanded.Load(),
+	}
 }
 
 // mergeCompletionMemo folds the batch's completability verdicts into the

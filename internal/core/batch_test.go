@@ -39,10 +39,13 @@ func requireMatrixEqualsSequential(t *testing.T, tag string, x *model.Execution,
 		if err != nil {
 			t.Fatalf("%s: Matrix(workers=%d): %v", tag, workers, err)
 		}
+		if !got.Complete {
+			t.Fatalf("%s: Matrix(workers=%d) incomplete with no interruption", tag, workers)
+		}
 		for _, kind := range AllRelKinds {
-			if !got[kind].Equal(want[kind]) {
+			if !got.Relations[kind].Equal(want[kind]) {
 				t.Errorf("%s: Matrix(workers=%d) %s differs from per-pair:\nbatch:\n%s\nsequential:\n%s",
-					tag, workers, kind, got[kind].FormatMatrix(x), want[kind].FormatMatrix(x))
+					tag, workers, kind, got.Relations[kind].FormatMatrix(x), want[kind].FormatMatrix(x))
 			}
 		}
 	}
@@ -80,9 +83,9 @@ func TestMatrixMatchesBruteForce(t *testing.T) {
 			t.Fatalf("trial %d: Matrix: %v", trial, err)
 		}
 		for _, kind := range AllRelKinds {
-			if !got[kind].Equal(brute.Relations[kind]) {
+			if !got.Relations[kind].Equal(brute.Relations[kind]) {
 				t.Errorf("trial %d: Matrix %s differs from brute force:\nbatch:\n%s\nbrute:\n%s",
-					trial, kind, got[kind].FormatMatrix(x), brute.Relations[kind].FormatMatrix(x))
+					trial, kind, got.Relations[kind].FormatMatrix(x), brute.Relations[kind].FormatMatrix(x))
 			}
 		}
 	}
@@ -140,11 +143,11 @@ func TestMatrixSubsetKinds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(some) != 2 {
-		t.Fatalf("got %d kinds, want 2", len(some))
+	if len(some.Relations) != 2 {
+		t.Fatalf("got %d kinds, want 2", len(some.Relations))
 	}
 	for _, kind := range []RelKind{RelMHB, RelCCW} {
-		if !some[kind].Equal(all[kind]) {
+		if !some.Relations[kind].Equal(all.Relations[kind]) {
 			t.Errorf("%s differs between subset and full call", kind)
 		}
 	}
@@ -153,29 +156,63 @@ func TestMatrixSubsetKinds(t *testing.T) {
 	}
 }
 
-// TestMatrixBudget: a tiny state budget must fail with ErrBudget at every
-// worker count, not hang or succeed.
+// TestMatrixBudget: a tiny state budget must yield a partial anytime
+// result at every worker count — nil error, Complete false, a budget
+// cause, and a checkpoint that can resume — not hang, fail, or succeed.
 func TestMatrixBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	x := randomExecution(rng)
 	for _, workers := range matrixWorkerCounts {
 		a := mustAnalyzer(t, x, Options{})
-		_, err := a.Matrix(context.Background(), nil, MatrixOpts{Workers: workers, Budget: 1})
-		if !errors.Is(err, ErrBudget) {
-			t.Errorf("workers=%d: got %v, want ErrBudget", workers, err)
+		m, err := a.Matrix(context.Background(), nil, MatrixOpts{Workers: workers, Budget: 1})
+		if err != nil {
+			t.Fatalf("workers=%d: got error %v, want partial result", workers, err)
+		}
+		if m.Complete {
+			t.Fatalf("workers=%d: budget 1 claims a complete matrix", workers)
+		}
+		if !errors.Is(m.Cause, ErrBudget) {
+			t.Errorf("workers=%d: cause = %v, want ErrBudget", workers, m.Cause)
+		}
+		if m.Checkpoint == nil {
+			t.Errorf("workers=%d: partial result carries no checkpoint", workers)
 		}
 	}
 }
 
-// TestMatrixCancel: an already-canceled context aborts before exploring.
+// TestMatrixCancel: a context that is dead before the exploration starts
+// yields an empty-but-resumable partial, not an error — the anytime
+// contract holds no matter when the interruption struck.
 func TestMatrixCancel(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	x := randomExecution(rng)
 	a := mustAnalyzer(t, x, Options{})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := a.Matrix(ctx, nil, MatrixOpts{Workers: 4}); !errors.Is(err, context.Canceled) {
-		t.Errorf("got %v, want context.Canceled", err)
+	m, err := a.Matrix(ctx, nil, MatrixOpts{Workers: 4})
+	if err != nil {
+		t.Fatalf("got error %v, want partial result", err)
+	}
+	if m.Complete {
+		t.Fatal("canceled-before-start matrix claims to be complete")
+	}
+	if !errors.Is(m.Cause, context.Canceled) {
+		t.Errorf("cause = %v, want context.Canceled", m.Cause)
+	}
+	if got := m.DecidedPairs(); got != 0 {
+		t.Errorf("canceled-before-start matrix decided %d pairs, want 0", got)
+	}
+	if m.Checkpoint == nil {
+		t.Fatal("canceled-before-start partial carries no checkpoint")
+	}
+	// The checkpoint must resume to the full answer.
+	b := mustAnalyzer(t, x, Options{})
+	res, err := b.Matrix(context.Background(), nil, MatrixOpts{Resume: m.Checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("resume from empty checkpoint did not complete")
 	}
 }
 

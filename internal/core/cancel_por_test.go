@@ -26,17 +26,24 @@ func (c *countCtx) Err() error {
 }
 
 // TestCancelMidBatchNoPartialVerdicts cancels a batch Matrix sweep
-// mid-exploration (POR on and off) and asserts the interrupted run caches
-// nothing: the persistent completion memo stays empty, and a follow-up
-// Matrix on the same analyzer is bit-identical to a fresh one.
+// mid-exploration (POR on and off) and asserts the interrupted run yields
+// a sound partial — every verdict it decided matches the full analysis —
+// while caching nothing: the persistent completion memo stays empty, and
+// a follow-up Matrix on the same analyzer is bit-identical to a fresh one.
 func TestCancelMidBatchNoPartialVerdicts(t *testing.T) {
 	x := loadTrace(t, "barrier.evo")
 	for _, disable := range []bool{false, true} {
 		a := mustAnalyzer(t, x, Options{DisablePOR: disable})
 		cctx := &countCtx{Context: context.Background(), limit: 2}
-		_, err := a.Matrix(cctx, nil, MatrixOpts{Workers: 2})
-		if !errors.Is(err, context.Canceled) {
-			t.Fatalf("disablePOR=%v: Matrix under canceled ctx = %v, want context.Canceled", disable, err)
+		partial, err := a.Matrix(cctx, nil, MatrixOpts{Workers: 2})
+		if err != nil {
+			t.Fatalf("disablePOR=%v: Matrix under canceled ctx = %v, want partial result", disable, err)
+		}
+		if partial.Complete {
+			t.Fatalf("disablePOR=%v: canceled sweep claims a complete matrix", disable)
+		}
+		if !errors.Is(partial.Cause, context.Canceled) {
+			t.Fatalf("disablePOR=%v: cause = %v, want context.Canceled", disable, partial.Cause)
 		}
 		if n := a.Stats().CompleteMemo; n != 0 {
 			t.Errorf("disablePOR=%v: canceled batch cached %d completion verdicts, want 0", disable, n)
@@ -50,9 +57,27 @@ func TestCancelMidBatchNoPartialVerdicts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		n := model.EventID(len(x.Events))
 		for _, kind := range AllRelKinds {
-			if !got[kind].Equal(want[kind]) {
+			if !got.Relations[kind].Equal(want.Relations[kind]) {
 				t.Errorf("disablePOR=%v: %s after canceled sweep differs from fresh analyzer", disable, kind)
+			}
+			// Partial soundness: every verdict the interrupted run decided
+			// must agree with the complete analysis.
+			for ea := model.EventID(0); ea < n; ea++ {
+				for eb := model.EventID(0); eb < n; eb++ {
+					if ea == eb {
+						continue
+					}
+					v := partial.Verdict(kind, ea, eb)
+					if v == VerdictUnknown {
+						continue
+					}
+					if v.Holds() != want.Relations[kind].Has(ea, eb) {
+						t.Errorf("disablePOR=%v: partial %s(%d,%d)=%s contradicts full analysis",
+							disable, kind, ea, eb, v)
+					}
+				}
 			}
 		}
 	}

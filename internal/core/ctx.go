@@ -1,24 +1,17 @@
 package core
 
-import (
-	"context"
+import "context"
 
-	"eventorder/internal/model"
-)
-
-// Context plumbing and legacy *Ctx aliases. The relation searches are
-// exponential in the worst case (that is the paper's point), so long-running
-// callers — notably the eventorderd analysis service — need a way to abandon
-// a query whose client has gone away or whose deadline has passed. The
-// primary query surface (Decide, Relation, AllRelations, MHBRelation,
-// WitnessSchedule, Matrix) takes a context directly; the search loops poll
-// it every ctxPollInterval nodes via budgetCharge and abort with ctx.Err()
-// (context.Canceled or context.DeadlineExceeded, checkable with errors.Is).
-// A Background context is never installed, so ctx-free convenience callers
-// pay no polling cost.
-//
-// The *Ctx names below predate the context-first redesign and forward to
-// the primary methods unchanged.
+// Context plumbing. The relation searches are exponential in the worst
+// case (that is the paper's point), so long-running callers — notably the
+// eventorderd analysis service — need a way to abandon a query whose
+// client has gone away or whose deadline has passed. The query surface
+// (Decide, Relation, AllRelations, MHBRelation, WitnessSchedule, Matrix)
+// takes a context directly; the search loops poll it every
+// ctxPollInterval nodes via budgetCharge and abort with ctx.Err()
+// (context.Canceled or context.DeadlineExceeded, checkable with
+// errors.Is). A Background context is never installed, so ctx-free
+// convenience callers pay no polling cost.
 
 // withCtx installs ctx for the duration of f. A nil or Background context
 // is not installed, keeping the fast path poll-free.
@@ -31,41 +24,4 @@ func (a *Analyzer) withCtx(ctx context.Context, f func() error) error {
 		defer func() { a.ctx = nil }()
 	}
 	return f()
-}
-
-// DecideCtx answers one relation query like Decide.
-//
-// Deprecated: Decide takes the context directly; call it instead.
-func (a *Analyzer) DecideCtx(ctx context.Context, kind RelKind, ea, eb model.EventID) (bool, error) {
-	return a.Decide(ctx, kind, ea, eb)
-}
-
-// RelationCtx computes the full relation matrix like Relation.
-//
-// Deprecated: Relation takes the context directly; call it instead.
-func (a *Analyzer) RelationCtx(ctx context.Context, kind RelKind) (*model.Relation, error) {
-	return a.Relation(ctx, kind)
-}
-
-// MHBRelationCtx computes the transitivity-pruned MHB matrix like
-// MHBRelation.
-//
-// Deprecated: MHBRelation takes the context directly; call it instead.
-func (a *Analyzer) MHBRelationCtx(ctx context.Context) (*model.Relation, error) {
-	return a.MHBRelation(ctx)
-}
-
-// AllRelationsCtx computes all six relations like AllRelations.
-//
-// Deprecated: AllRelations takes the context directly; call it instead.
-func (a *Analyzer) AllRelationsCtx(ctx context.Context) (map[RelKind]*model.Relation, error) {
-	return a.AllRelations(ctx)
-}
-
-// WitnessScheduleCtx extracts a demonstrating interleaving like
-// WitnessSchedule.
-//
-// Deprecated: WitnessSchedule takes the context directly; call it instead.
-func (a *Analyzer) WitnessScheduleCtx(ctx context.Context, kind RelKind, ea, eb model.EventID) (Witness, error) {
-	return a.WitnessSchedule(ctx, kind, ea, eb)
 }

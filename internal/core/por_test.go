@@ -45,13 +45,13 @@ func requirePOROnOffAgree(t *testing.T, tag string, x *model.Execution, opts Opt
 			t.Fatalf("%s: Matrix POR-off workers=%d: %v", tag, workers, err)
 		}
 		for _, kind := range AllRelKinds {
-			if !mOn[kind].Equal(mOff[kind]) {
+			if !mOn.Relations[kind].Equal(mOff.Relations[kind]) {
 				t.Errorf("%s: Matrix(workers=%d) %s differs POR on vs off:\non:\n%s\noff:\n%s",
-					tag, workers, kind, mOn[kind].FormatMatrix(x), mOff[kind].FormatMatrix(x))
+					tag, workers, kind, mOn.Relations[kind].FormatMatrix(x), mOff.Relations[kind].FormatMatrix(x))
 			}
-			if !mOn[kind].Equal(want[kind]) {
+			if !mOn.Relations[kind].Equal(want[kind]) {
 				t.Errorf("%s: Matrix(workers=%d) %s POR-on differs from per-pair POR-off:\nbatch:\n%s\nper-pair:\n%s",
-					tag, workers, kind, mOn[kind].FormatMatrix(x), want[kind].FormatMatrix(x))
+					tag, workers, kind, mOn.Relations[kind].FormatMatrix(x), want[kind].FormatMatrix(x))
 			}
 		}
 	}

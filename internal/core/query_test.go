@@ -108,29 +108,29 @@ func mutexExecution(t *testing.T, procs, crits int) *model.Execution {
 
 func procName(p int) string { return string(rune('a'+p)) + "proc" }
 
-func TestDecideCtxMatchesDecide(t *testing.T) {
+func TestDecideRepeatIsStable(t *testing.T) {
 	a := mutexAnalyzer(t, 3, 2)
 	for _, kind := range AllRelKinds {
 		want, err := a.Decide(context.Background(), kind, 0, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := a.DecideCtx(context.Background(), kind, 0, 5)
+		got, err := a.Decide(context.Background(), kind, 0, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if got != want {
-			t.Errorf("%v: DecideCtx = %v, Decide = %v", kind, got, want)
+			t.Errorf("%v: repeated Decide = %v, first = %v", kind, got, want)
 		}
 	}
 }
 
-func TestDecideCtxAlreadyCanceled(t *testing.T) {
+func TestDecideAlreadyCanceled(t *testing.T) {
 	a := mutexAnalyzer(t, 3, 2)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	before := a.Stats().Nodes
-	_, err := a.DecideCtx(ctx, RelMHB, 0, 5)
+	_, err := a.Decide(ctx, RelMHB, 0, 5)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
@@ -146,7 +146,7 @@ func TestRelationCtxDeadlineAborts(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := a.AllRelationsCtx(ctx)
+	_, err := a.AllRelations(ctx)
 	elapsed := time.Since(start)
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want context.DeadlineExceeded, got %v (elapsed %v)", err, elapsed)
@@ -162,11 +162,11 @@ func TestRelationCtxDeadlineAborts(t *testing.T) {
 	}
 }
 
-func TestWitnessScheduleCtxCanceled(t *testing.T) {
+func TestWitnessScheduleCanceled(t *testing.T) {
 	a := mutexAnalyzer(t, 3, 2)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err := a.WitnessScheduleCtx(ctx, RelCCW, 0, 5)
+	_, err := a.WitnessSchedule(ctx, RelCCW, 0, 5)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"eventorder/internal/model"
+)
+
+// resumeToCompletion drives an interrupted analysis to its end: starting
+// from a first partial, it re-runs Matrix with Resume set and a budget
+// large enough to finish, round-tripping every checkpoint through the
+// string codec on the way (the wire path the service and CLI use).
+func resumeToCompletion(t *testing.T, x *model.Execution, first *MatrixResult, opts Options, mopts MatrixOpts) *MatrixResult {
+	t.Helper()
+	cur := first
+	for steps := 0; !cur.Complete; steps++ {
+		if steps > 10_000 {
+			t.Fatal("resume loop did not converge")
+		}
+		if cur.Checkpoint == nil {
+			t.Fatal("partial result carries no checkpoint")
+		}
+		enc, err := cur.Checkpoint.EncodeString()
+		if err != nil {
+			t.Fatalf("encode checkpoint: %v", err)
+		}
+		ckpt, err := DecodeCheckpointString(enc)
+		if err != nil {
+			t.Fatalf("decode checkpoint: %v", err)
+		}
+		a := mustAnalyzer(t, x, opts)
+		step := mopts
+		step.Resume = ckpt
+		cur, err = a.Matrix(context.Background(), nil, step)
+		if err != nil {
+			t.Fatalf("resume step %d: %v", steps, err)
+		}
+	}
+	return cur
+}
+
+// requireResumeIdentity is the anytime tentpole's acceptance gate: for one
+// trace and worker count, interrupt the exploration with a tiny budget,
+// resume (through serialized checkpoints) in small budget increments until
+// complete, and require the final matrices bit-identical to a one-shot
+// run — and every intermediate partial verdict to agree with it.
+func requireResumeIdentity(t *testing.T, tag string, x *model.Execution, workers int) {
+	t.Helper()
+	oneShot, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(), nil, MatrixOpts{Workers: workers})
+	if err != nil {
+		t.Fatalf("%s: one-shot: %v", tag, err)
+	}
+	if !oneShot.Complete {
+		t.Fatalf("%s: one-shot run incomplete", tag)
+	}
+
+	// Budget 1 forces an interrupt at the very first level; each resume
+	// step adds a sliver of budget so the run crosses many checkpoints
+	// (forward and backward phase boundaries included).
+	step := int64(1 + oneShot.Expanded/7)
+	first, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(), nil,
+		MatrixOpts{Workers: workers, Budget: 1})
+	if err != nil {
+		t.Fatalf("%s: budget-1 run: %v", tag, err)
+	}
+	if first.Complete {
+		t.Fatalf("%s: budget-1 run completed; interruption path untested", tag)
+	}
+	if !errors.Is(first.Cause, ErrBudget) {
+		t.Fatalf("%s: cause = %v, want ErrBudget", tag, first.Cause)
+	}
+
+	n := model.EventID(len(x.Events))
+	cur := first
+	for steps := 0; !cur.Complete; steps++ {
+		if steps > 10_000 {
+			t.Fatalf("%s: resume loop did not converge", tag)
+		}
+		// Soundness at every intermediate: a decided partial verdict must
+		// equal the one-shot verdict, and budgets are cumulative, so the
+		// decided set never shrinks.
+		for _, kind := range AllRelKinds {
+			for a := model.EventID(0); a < n; a++ {
+				for b := model.EventID(0); b < n; b++ {
+					if a == b {
+						continue
+					}
+					v := cur.Verdict(kind, a, b)
+					if v == VerdictUnknown {
+						continue
+					}
+					if v.Holds() != oneShot.Relations[kind].Has(a, b) {
+						t.Fatalf("%s: step %d partial %s(%d,%d)=%s contradicts one-shot",
+							tag, steps, kind, a, b, v)
+					}
+				}
+			}
+		}
+		enc, err := cur.Checkpoint.EncodeString()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", tag, err)
+		}
+		ckpt, err := DecodeCheckpointString(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", tag, err)
+		}
+		a := mustAnalyzer(t, x, Options{})
+		cur, err = a.Matrix(context.Background(), nil, MatrixOpts{
+			Workers: workers, Budget: ckpt.Expanded + step, Resume: ckpt,
+		})
+		if err != nil {
+			t.Fatalf("%s: resume step %d: %v", tag, steps, err)
+		}
+	}
+
+	for _, kind := range AllRelKinds {
+		if !cur.Relations[kind].Equal(oneShot.Relations[kind]) {
+			t.Errorf("%s: resumed %s differs from one-shot:\nresumed:\n%s\none-shot:\n%s",
+				tag, kind, cur.Relations[kind].FormatMatrix(x), oneShot.Relations[kind].FormatMatrix(x))
+		}
+	}
+	if cur.Checkpoint != nil || cur.Cause != nil || cur.Undecided != nil {
+		t.Errorf("%s: complete result still carries partial fields", tag)
+	}
+}
+
+// TestResumeIdentityTestdata is the CI resume-identity gate: on every
+// committed example trace and at 1, 2, and 4 workers, an interrupted run
+// resumed to completion is bit-identical to a one-shot run.
+func TestResumeIdentityTestdata(t *testing.T) {
+	for _, name := range testdataTraces(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			x := loadTrace(t, name)
+			for _, workers := range []int{1, 2, 4} {
+				requireResumeIdentity(t, fmt.Sprintf("%s workers=%d", name, workers), x, workers)
+			}
+		})
+	}
+}
+
+// testdataTraces lists the committed .evo example programs.
+func testdataTraces(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "*.evo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no testdata traces found")
+	}
+	names := make([]string, len(paths))
+	for i, p := range paths {
+		names[i] = filepath.Base(p)
+	}
+	return names
+}
+
+// TestResumeIdentityPOROff runs the gate with the reduction disabled: the
+// checkpoint pins the POR setting, and the plain exploration must resume
+// just as deterministically.
+func TestResumeIdentityPOROff(t *testing.T) {
+	x := loadTrace(t, "barrier.evo")
+	a := mustAnalyzer(t, x, Options{DisablePOR: true})
+	oneShot, err := a.Matrix(context.Background(), nil, MatrixOpts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := mustAnalyzer(t, x, Options{DisablePOR: true}).Matrix(context.Background(), nil,
+		MatrixOpts{Workers: 2, Budget: oneShot.Expanded / 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Complete {
+		t.Skip("third-budget run completed; nothing to resume")
+	}
+	if !first.Checkpoint.POR {
+		// DisablePOR analyzers checkpoint POR=false; a resume on a
+		// POR-capable analyzer must keep it off.
+		full := resumeToCompletion(t, x, first, Options{}, MatrixOpts{Workers: 2})
+		for _, kind := range AllRelKinds {
+			if !full.Relations[kind].Equal(oneShot.Relations[kind]) {
+				t.Errorf("%s: resumed (POR pinned off) differs from one-shot", kind)
+			}
+		}
+		return
+	}
+	t.Fatal("DisablePOR run checkpointed POR=true")
+}
+
+// TestResumeRejectsMismatchedExecution: a checkpoint carries a fingerprint
+// of the execution it was cut from; resuming it against a different
+// execution must fail, not silently corrupt.
+func TestResumeRejectsMismatchedExecution(t *testing.T) {
+	x := loadTrace(t, "barrier.evo")
+	first, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(), nil, MatrixOpts{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Complete {
+		t.Fatal("budget-1 run completed")
+	}
+	other := loadTrace(t, "pipeline.evo")
+	if _, err := mustAnalyzer(t, other, Options{}).Matrix(context.Background(), nil,
+		MatrixOpts{Resume: first.Checkpoint}); err == nil {
+		t.Error("checkpoint accepted against a different execution")
+	}
+	// Seed and Resume are mutually exclusive.
+	if _, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(), nil,
+		MatrixOpts{Resume: first.Checkpoint, Seed: &FactSeed{}}); err == nil {
+		t.Error("Seed+Resume accepted")
+	}
+}
+
+// TestCheckpointCodecRejectsGarbage pins the decode error paths.
+func TestCheckpointCodecRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCheckpointString("not base64!!!"); err == nil {
+		t.Error("garbage base64 accepted")
+	}
+	if _, err := DecodeCheckpointString("aGVsbG8gd29ybGQ="); err == nil {
+		t.Error("non-gob payload accepted")
+	}
+}
+
+// TestNormalize is the satellite's table test: MatrixOpts.Normalize is the
+// one place defaults and clamps are applied, shared by the service, the
+// CLIs, and bench.
+func TestNormalize(t *testing.T) {
+	gomax := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		name        string
+		in          MatrixOpts
+		lim         MatrixLimits
+		wantWorkers int
+		wantBudget  int64
+		wantTiers   int
+	}{
+		{"zero value", MatrixOpts{}, MatrixLimits{}, gomax, 0, 0},
+		{"negative workers", MatrixOpts{Workers: -3}, MatrixLimits{}, gomax, 0, 0},
+		{"workers clamped", MatrixOpts{Workers: 1000}, MatrixLimits{MaxWorkers: 4}, 4, 0, 0},
+		{"workers default clamped", MatrixOpts{}, MatrixLimits{MaxWorkers: 1}, 1, 0, 0},
+		{"workers under cap kept", MatrixOpts{Workers: 2}, MatrixLimits{MaxWorkers: 8}, 2, 0, 0},
+		{"negative budget to unlimited", MatrixOpts{Budget: -9}, MatrixLimits{}, gomax, 0, 0},
+		{"unlimited budget capped", MatrixOpts{}, MatrixLimits{MaxBudget: 500}, gomax, 500, 0},
+		{"negative budget capped", MatrixOpts{Budget: -1}, MatrixLimits{MaxBudget: 500}, gomax, 500, 0},
+		{"budget over cap clamped", MatrixOpts{Budget: 900}, MatrixLimits{MaxBudget: 500}, gomax, 500, 0},
+		{"budget under cap kept", MatrixOpts{Budget: 100}, MatrixLimits{MaxBudget: 500}, gomax, 100, 0},
+		{"tiers below -1", MatrixOpts{Tiers: -7}, MatrixLimits{}, gomax, 0, -1},
+		{"tiers -1 kept", MatrixOpts{Tiers: -1}, MatrixLimits{}, gomax, 0, -1},
+		{"tiers in range kept", MatrixOpts{Tiers: 2}, MatrixLimits{}, gomax, 0, 2},
+		{"tiers at max kept", MatrixOpts{Tiers: MaxPlanTiers}, MatrixLimits{}, gomax, 0, MaxPlanTiers},
+		{"tiers above max to full cascade", MatrixOpts{Tiers: MaxPlanTiers + 1}, MatrixLimits{}, gomax, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.in.Normalize(c.lim)
+			if got.Workers != c.wantWorkers {
+				t.Errorf("Workers = %d, want %d", got.Workers, c.wantWorkers)
+			}
+			if got.Budget != c.wantBudget {
+				t.Errorf("Budget = %d, want %d", got.Budget, c.wantBudget)
+			}
+			if got.Tiers != c.wantTiers {
+				t.Errorf("Tiers = %d, want %d", got.Tiers, c.wantTiers)
+			}
+		})
+	}
+
+	// Seed and Resume pass through untouched, and Normalize is idempotent.
+	seed := &FactSeed{}
+	in := MatrixOpts{Seed: seed, Workers: 3, Budget: 7, Tiers: 1}
+	once := in.Normalize(MatrixLimits{MaxWorkers: 8, MaxBudget: 100})
+	if once.Seed != seed {
+		t.Error("Normalize dropped the seed")
+	}
+	twice := once.Normalize(MatrixLimits{MaxWorkers: 8, MaxBudget: 100})
+	if twice != once {
+		t.Errorf("Normalize not idempotent: %+v vs %+v", twice, once)
+	}
+}

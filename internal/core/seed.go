@@ -70,108 +70,70 @@ func (s *FactSeed) Validate(n int) error {
 	return checkDisjoint("overlap", s.Overlap, s.NoOverlap)
 }
 
-// tri is a three-valued fact: proven true, proven false, or undecided.
-type tri int8
-
-const (
-	triUnknown tri = iota
-	triFalse
-	triTrue
-)
-
 func seedHas(r *model.Relation, a, b model.EventID) bool {
 	return r != nil && r.Has(a, b)
 }
 
 // orderFact reads the seed's knowledge of canOrder(a, b).
-func (s *FactSeed) orderFact(a, b model.EventID) tri {
+func (s *FactSeed) orderFact(a, b model.EventID) Verdict {
 	switch {
 	case seedHas(s.Order, a, b):
-		return triTrue
+		return VerdictTrue
 	case seedHas(s.NoOrder, a, b):
-		return triFalse
+		return VerdictFalse
 	}
-	return triUnknown
+	return VerdictUnknown
 }
 
 // overlapFact reads the seed's knowledge of canOverlap(a, b).
-func (s *FactSeed) overlapFact(a, b model.EventID) tri {
+func (s *FactSeed) overlapFact(a, b model.EventID) Verdict {
 	switch {
 	case seedHas(s.Overlap, a, b):
-		return triTrue
+		return VerdictTrue
 	case seedHas(s.NoOverlap, a, b):
-		return triFalse
+		return VerdictFalse
 	}
-	return triUnknown
+	return VerdictUnknown
 }
 
 // orderDecided reports whether the seed decides canOrder(a, b) either way.
 func (s *FactSeed) orderDecided(a, b model.EventID) bool {
-	return s.orderFact(a, b) != triUnknown
+	return s.orderFact(a, b).Decided()
 }
 
 // overlapDecided reports whether the seed decides canOverlap(a, b).
 func (s *FactSeed) overlapDecided(a, b model.EventID) bool {
-	return s.overlapFact(a, b) != triUnknown
+	return s.overlapFact(a, b).Decided()
 }
 
-// not3, and3, or3 are Kleene three-valued connectives over tri.
-func not3(v tri) tri {
-	switch v {
-	case triTrue:
-		return triFalse
-	case triFalse:
-		return triTrue
+// verdictFromFacts derives the relation verdict kind(a, b) from the two
+// primitive facts via the paper's Table 1 formulas, in Kleene logic so a
+// verdict can be decided even when one of its facts is still open —
+// COW(a, b) is true as soon as either direction's canOrder is proven.
+// The same formulas serve the seed bracket and the partial-result path.
+func verdictFromFacts(kind RelKind, oab, oba, vab Verdict) Verdict {
+	switch kind {
+	case RelCHB:
+		return oab
+	case RelCCW:
+		return vab
+	case RelCOW:
+		return oab.Or(oba)
+	case RelMHB:
+		return oba.Not().And(vab.Not())
+	case RelMCW:
+		return oab.Not().And(oba.Not())
+	case RelMOW:
+		return vab.Not()
 	}
-	return triUnknown
-}
-
-func and3(u, v tri) tri {
-	switch {
-	case u == triFalse || v == triFalse:
-		return triFalse
-	case u == triTrue && v == triTrue:
-		return triTrue
-	}
-	return triUnknown
-}
-
-func or3(u, v tri) tri {
-	switch {
-	case u == triTrue || v == triTrue:
-		return triTrue
-	case u == triFalse && v == triFalse:
-		return triFalse
-	}
-	return triUnknown
+	return VerdictUnknown
 }
 
 // Verdict derives the relation verdict kind(a, b) from the seed's fact
-// bracket when the bracket pins it down, using the same Table 1 formulas
-// the batch engine applies to explored facts (three-valued, so a verdict
-// can be decided even when one of its facts is still open — COW(a, b) is
-// true as soon as either direction's canOrder is proven). decided=false
-// means the bracket leaves the verdict to the exact engine; holds is then
-// meaningless.
-func (s *FactSeed) Verdict(kind RelKind, a, b model.EventID) (holds, decided bool) {
-	var v tri
-	switch kind {
-	case RelCHB:
-		v = s.orderFact(a, b)
-	case RelCCW:
-		v = s.overlapFact(a, b)
-	case RelCOW:
-		v = or3(s.orderFact(a, b), s.orderFact(b, a))
-	case RelMHB:
-		v = and3(not3(s.orderFact(b, a)), not3(s.overlapFact(a, b)))
-	case RelMCW:
-		v = and3(not3(s.orderFact(a, b)), not3(s.orderFact(b, a)))
-	case RelMOW:
-		v = not3(s.overlapFact(a, b))
-	default:
-		return false, false
-	}
-	return v == triTrue, v != triUnknown
+// bracket. VerdictUnknown means the bracket leaves the verdict to the
+// exact engine.
+func (s *FactSeed) Verdict(kind RelKind, a, b model.EventID) Verdict {
+	return verdictFromFacts(kind, s.orderFact(a, b), s.orderFact(b, a), s.overlapFact(a, b))
 }
 
 // DecidesAll reports whether the seed's bracket decides every requested
@@ -184,7 +146,7 @@ func (s *FactSeed) DecidesAll(kinds []RelKind, n int) bool {
 				continue
 			}
 			for _, kind := range kinds {
-				if _, decided := s.Verdict(kind, model.EventID(i), model.EventID(j)); !decided {
+				if !s.Verdict(kind, model.EventID(i), model.EventID(j)).Decided() {
 					return false
 				}
 			}

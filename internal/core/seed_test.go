@@ -66,7 +66,7 @@ func TestSeededMatrixIdentity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		full := truthSeed(x, want)
+		full := truthSeed(x, want.Relations)
 		seeds := []*FactSeed{
 			full,                // decides everything: exploration skipped
 			{Order: full.Order}, // lower bounds only
@@ -86,10 +86,13 @@ func TestSeededMatrixIdentity(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
+				if !got.Complete {
+					t.Fatalf("trial %d seed %d workers %d: seeded run incomplete", trial, si, workers)
+				}
 				for _, kind := range AllRelKinds {
-					if !got[kind].Equal(want[kind]) {
+					if !got.Relations[kind].Equal(want.Relations[kind]) {
 						t.Errorf("trial %d seed %d workers %d: %s differs from unseeded:\nseeded:\n%s\nunseeded:\n%s",
-							trial, si, workers, kind, got[kind].FormatMatrix(x), want[kind].FormatMatrix(x))
+							trial, si, workers, kind, got.Relations[kind].FormatMatrix(x), want.Relations[kind].FormatMatrix(x))
 					}
 				}
 			}
@@ -133,22 +136,22 @@ func TestSeedVerdictThreeValued(t *testing.T) {
 	}
 	// Only canOrder(0, 1) is known.
 	s.Order.Set(0, 1)
-	if holds, ok := s.Verdict(RelCOW, 0, 1); !ok || !holds {
+	if s.Verdict(RelCOW, 0, 1) != VerdictTrue {
 		t.Error("COW(0,1) should be decided true from one direction alone")
 	}
-	if holds, ok := s.Verdict(RelCHB, 0, 1); !ok || !holds {
+	if s.Verdict(RelCHB, 0, 1) != VerdictTrue {
 		t.Error("CHB(0,1) should be decided true")
 	}
-	if _, ok := s.Verdict(RelMHB, 0, 1); ok {
+	if s.Verdict(RelMHB, 0, 1).Decided() {
 		t.Error("MHB(0,1) should be undecided (overlap fact open)")
 	}
-	if _, ok := s.Verdict(RelCCW, 0, 1); ok {
+	if s.Verdict(RelCCW, 0, 1).Decided() {
 		t.Error("CCW(0,1) should be undecided")
 	}
 	// canOrder(1, 0) true makes MHB(0,1) false regardless of overlap.
 	s2 := &FactSeed{Order: model.NewRelation("Order", 2)}
 	s2.Order.Set(1, 0)
-	if holds, ok := s2.Verdict(RelMHB, 0, 1); !ok || holds {
+	if s2.Verdict(RelMHB, 0, 1) != VerdictFalse {
 		t.Error("MHB(0,1) should be decided false once canOrder(1,0) is proven")
 	}
 }

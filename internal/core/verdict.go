@@ -1,0 +1,106 @@
+package core
+
+import "fmt"
+
+// Verdict is the engine's three-valued answer to a relation or primitive
+// fact question under Kleene logic: proven true, proven false, or not yet
+// decided. One Verdict type flows through the whole stack — FactSeed's
+// fact bracket, MatrixResult's per-pair answers, and the service's JSON
+// wire format — so a partial (anytime) analysis can report exactly what
+// it knows without collapsing "unknown" into a bare boolean.
+//
+// The zero value is VerdictUnknown, so a freshly allocated verdict table
+// starts out claiming nothing.
+type Verdict uint8
+
+const (
+	// VerdictUnknown means the analysis has not (yet) decided the question.
+	VerdictUnknown Verdict = iota
+	// VerdictFalse means the question is proven not to hold.
+	VerdictFalse
+	// VerdictTrue means the question is proven to hold.
+	VerdictTrue
+)
+
+// VerdictOf lifts a decided boolean into a Verdict.
+func VerdictOf(holds bool) Verdict {
+	if holds {
+		return VerdictTrue
+	}
+	return VerdictFalse
+}
+
+// Decided reports whether the verdict is settled either way.
+func (v Verdict) Decided() bool { return v != VerdictUnknown }
+
+// Holds reports whether the verdict is proven true. An unknown verdict
+// does not hold — callers that must distinguish "false" from "open"
+// check Decided first.
+func (v Verdict) Holds() bool { return v == VerdictTrue }
+
+// Not is Kleene three-valued negation.
+func (v Verdict) Not() Verdict {
+	switch v {
+	case VerdictTrue:
+		return VerdictFalse
+	case VerdictFalse:
+		return VerdictTrue
+	}
+	return VerdictUnknown
+}
+
+// And is Kleene three-valued conjunction: false dominates, unknown
+// absorbs the rest.
+func (v Verdict) And(w Verdict) Verdict {
+	switch {
+	case v == VerdictFalse || w == VerdictFalse:
+		return VerdictFalse
+	case v == VerdictTrue && w == VerdictTrue:
+		return VerdictTrue
+	}
+	return VerdictUnknown
+}
+
+// Or is Kleene three-valued disjunction: true dominates, unknown absorbs
+// the rest.
+func (v Verdict) Or(w Verdict) Verdict {
+	switch {
+	case v == VerdictTrue || w == VerdictTrue:
+		return VerdictTrue
+	case v == VerdictFalse && w == VerdictFalse:
+		return VerdictFalse
+	}
+	return VerdictUnknown
+}
+
+// String returns the wire spelling: "unknown", "false", or "true".
+func (v Verdict) String() string {
+	switch v {
+	case VerdictFalse:
+		return "false"
+	case VerdictTrue:
+		return "true"
+	}
+	return "unknown"
+}
+
+// MarshalText encodes the verdict as its wire spelling, making the
+// service JSON a typed string enum rather than a bare boolean.
+func (v Verdict) MarshalText() ([]byte, error) {
+	return []byte(v.String()), nil
+}
+
+// UnmarshalText parses the wire spelling produced by MarshalText.
+func (v *Verdict) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "unknown":
+		*v = VerdictUnknown
+	case "false":
+		*v = VerdictFalse
+	case "true":
+		*v = VerdictTrue
+	default:
+		return fmt.Errorf("core: invalid verdict %q (want unknown|false|true)", b)
+	}
+	return nil
+}

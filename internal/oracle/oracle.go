@@ -108,7 +108,10 @@ func Check(x *model.Execution, cfg Config) error {
 				return fmt.Errorf("oracle: Matrix(workers=%d, disablePOR=%v): %w", w, disable, err)
 			}
 			tag := fmt.Sprintf("Matrix(workers=%d, disablePOR=%v)", w, disable)
-			if err := compare(tag, x, m, ref); err != nil {
+			if !m.Complete {
+				return fmt.Errorf("oracle: %s returned a partial result with no interrupt", tag)
+			}
+			if err := compare(tag, x, m.Relations, ref); err != nil {
 				return err
 			}
 		}
@@ -158,12 +161,12 @@ func checkPlanner(x *model.Execution, opts core.Options, ref map[core.RelKind]*m
 				ea, eb := model.EventID(i), model.EventID(j)
 				tier := p.DecidedTier(ea, eb)
 				for _, kind := range core.AllRelKinds {
-					holds, ok := p.Seed.Verdict(kind, ea, eb)
-					if ok && holds != ref[kind].Has(ea, eb) {
+					v := p.Seed.Verdict(kind, ea, eb)
+					if v.Decided() && v.Holds() != ref[kind].Has(ea, eb) {
 						return fmt.Errorf("oracle: plan(tiers=%d) claims %s(%s, %s) = %v, reference says %v",
-							tiers, kind, x.EventName(ea), x.EventName(eb), holds, ref[kind].Has(ea, eb))
+							tiers, kind, x.EventName(ea), x.EventName(eb), v.Holds(), ref[kind].Has(ea, eb))
 					}
-					if tier != plan.TierExact && !ok {
+					if tier != plan.TierExact && !v.Decided() {
 						return fmt.Errorf("oracle: plan(tiers=%d) attributes (%s, %s) to tier %s with %s undecided",
 							tiers, x.EventName(ea), x.EventName(eb), tier, kind)
 					}
@@ -171,7 +174,7 @@ func checkPlanner(x *model.Execution, opts core.Options, ref map[core.RelKind]*m
 			}
 		}
 	}
-	res, err := plan.Analyze(context.Background(), x, nil, opts, core.MatrixOpts{}, plan.Options{})
+	res, err := plan.Analyze(context.Background(), x, nil, opts, core.MatrixOpts{})
 	if err != nil {
 		return fmt.Errorf("oracle: plan.Analyze: %w", err)
 	}

@@ -87,6 +87,11 @@ const (
 // NumPolyTiers is the number of polynomial tiers in the cascade.
 const NumPolyTiers = int(TierExact)
 
+// Compile-time assertion that the cascade depth matches the clamp bound
+// core.MatrixOpts.Normalize applies to the Tiers knob (a negative operand
+// would fail the uint conversions).
+const _ = uint(core.MaxPlanTiers-NumPolyTiers) + uint(NumPolyTiers-core.MaxPlanTiers)
+
 var tierNames = [...]string{"static", "observed", "dag", "exact"}
 
 func (t Tier) String() string {
@@ -302,7 +307,7 @@ func (b *builder) markDecided(t Tier) int {
 			}
 			decided := true
 			for _, kind := range b.p.Kinds {
-				if _, ok := b.p.Seed.Verdict(kind, model.EventID(i), model.EventID(j)); !ok {
+				if !b.p.Seed.Verdict(kind, model.EventID(i), model.EventID(j)).Decided() {
 					decided = false
 					break
 				}
@@ -519,38 +524,49 @@ func (b *builder) tierDAG(ignoreData bool) (TierStats, error) {
 	}, nil
 }
 
-// Result carries one planned analysis: the relation matrices, the plan
-// that bracketed them, and the exact engine's effort on the residue.
+// Result carries one planned analysis: the (possibly partial) matrix
+// result, the plan that bracketed it, and the exact engine's effort on
+// the residue. Relations aliases Matrix.Relations for convenience.
 type Result struct {
 	Relations map[core.RelKind]*model.Relation
+	Matrix    *core.MatrixResult
 	Plan      *Plan
 	Stats     core.Stats
 }
 
-// Analyze runs the full tiered pipeline: Build the plan, then hand its
-// seed to the exact batch engine for the residue. Verdicts are
+// Analyze runs the full tiered pipeline: Build the plan (the cascade
+// prefix mopts.Tiers selects; negative disables it), then hand its seed
+// to the exact batch engine for the residue. Complete verdicts are
 // bit-identical to an unplanned core.Matrix run; only the work differs.
-// copts.IgnoreData overrides opts.IgnoreData so the tiers and the engine
-// always share one feasibility notion.
-func Analyze(ctx context.Context, x *model.Execution, kinds []core.RelKind, copts core.Options, mopts core.MatrixOpts, opts Options) (*Result, error) {
+// The tiers and the engine share copts.IgnoreData as their one
+// feasibility notion.
+//
+// When mopts.Resume carries a checkpoint the planning cascade is skipped
+// entirely — the original run's seed travels inside the checkpoint, so
+// re-planning would be wasted work — and Result.Plan is nil. A resumed
+// analysis that is interrupted again returns a partial Result.Matrix
+// exactly like a first run would.
+func Analyze(ctx context.Context, x *model.Execution, kinds []core.RelKind, copts core.Options, mopts core.MatrixOpts) (*Result, error) {
 	if len(kinds) == 0 {
 		kinds = core.AllRelKinds
-	}
-	opts.IgnoreData = copts.IgnoreData
-	p, err := Build(x, kinds, opts)
-	if err != nil {
-		return nil, err
 	}
 	an, err := core.New(x, copts)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Tiers >= 0 {
-		mopts.Seed = p.Seed
+	var p *Plan
+	if mopts.Resume == nil {
+		p, err = Build(x, kinds, Options{IgnoreData: copts.IgnoreData, Tiers: mopts.Tiers})
+		if err != nil {
+			return nil, err
+		}
+		if mopts.Tiers >= 0 {
+			mopts.Seed = p.Seed
+		}
 	}
-	rels, err := an.Matrix(ctx, kinds, mopts)
+	res, err := an.Matrix(ctx, kinds, mopts)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Relations: rels, Plan: p, Stats: an.Stats()}, nil
+	return &Result{Relations: res.Relations, Matrix: res, Plan: p, Stats: an.Stats()}, nil
 }

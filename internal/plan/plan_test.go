@@ -45,7 +45,7 @@ func exactMatrix(t testing.TB, x *model.Execution, ignoreData bool) map[core.Rel
 	if err != nil {
 		t.Fatal(err)
 	}
-	return rels
+	return rels.Relations
 }
 
 // checkPlanned verifies, against the unplanned reference, everything the
@@ -56,7 +56,7 @@ func checkPlanned(t *testing.T, x *model.Execution, opts Options) {
 	t.Helper()
 	want := exactMatrix(t, x, opts.IgnoreData)
 	res, err := Analyze(context.Background(), x, nil,
-		core.Options{IgnoreData: opts.IgnoreData}, core.MatrixOpts{}, opts)
+		core.Options{IgnoreData: opts.IgnoreData}, core.MatrixOpts{Tiers: opts.Tiers})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,12 +90,12 @@ func checkPlanned(t *testing.T, x *model.Execution, opts Options) {
 			a, b := model.EventID(i), model.EventID(j)
 			tier := p.DecidedTier(a, b)
 			for _, kind := range core.AllRelKinds {
-				holds, ok := p.Seed.Verdict(kind, a, b)
-				if ok && holds != want[kind].Has(a, b) {
+				v := p.Seed.Verdict(kind, a, b)
+				if v.Decided() && v.Holds() != want[kind].Has(a, b) {
 					t.Errorf("seed verdict %s(%d,%d) = %v, exact says %v",
-						kind, a, b, holds, want[kind].Has(a, b))
+						kind, a, b, v.Holds(), want[kind].Has(a, b))
 				}
-				if tier != TierExact && !ok {
+				if tier != TierExact && !v.Decided() {
 					t.Errorf("pair (%d,%d) attributed to tier %s but %s verdict undecided",
 						a, b, tier, kind)
 				}
@@ -163,7 +163,7 @@ func TestPlanTiersKnob(t *testing.T) {
 	want := exactMatrix(t, x, false)
 	for _, tiers := range []int{-1, 1, 2, 3, 0} {
 		res, err := Analyze(context.Background(), x, nil,
-			core.Options{}, core.MatrixOpts{}, Options{Tiers: tiers})
+			core.Options{}, core.MatrixOpts{Tiers: tiers})
 		if err != nil {
 			t.Fatalf("Tiers=%d: %v", tiers, err)
 		}

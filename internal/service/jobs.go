@@ -12,6 +12,16 @@ import (
 // server is shutting down; handlers map it to 503.
 var errRejected = errors.New("service: job rejected (queue full or shutting down)")
 
+// jobOutput is what a job's run function produces: the response body,
+// whether the result may enter the result cache (complete analyses only —
+// a partial anytime result must never be served as if it were complete),
+// and the anytime progress the jobs endpoint reports for async polls.
+type jobOutput struct {
+	body      []byte
+	cacheable bool
+	progress  *JobProgress
+}
+
 // job is one unit of analysis work bound for the worker pool. The ctx
 // carries the request deadline; workers pass it into the core engine's
 // context-aware search so an abandoned job stops burning CPU.
@@ -20,13 +30,19 @@ type job struct {
 	cancel context.CancelFunc
 	// run computes the result body. It executes on a worker goroutine
 	// with a private core.Analyzer; it must honor ctx.
-	run func(ctx context.Context) ([]byte, error)
+	run func(ctx context.Context) (jobOutput, error)
 	// onDone, when non-nil, observes the outcome on the worker goroutine
 	// (used for caching and async bookkeeping) before done is closed.
-	onDone func(body []byte, err error)
+	onDone func(out jobOutput, err error)
+	// anytime marks jobs whose run yields a partial result with value
+	// under a dead context (matrix analyses). Such jobs execute even when
+	// their deadline passed while queued — the run aborts at its first
+	// cancellation poll and surfaces a resumable partial, where a
+	// non-anytime job would just burn CPU toward an error nobody reads.
+	anytime bool
 
 	done chan struct{}
-	body []byte
+	out  jobOutput
 	err  error
 }
 
@@ -65,11 +81,11 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) {
 	defer s.queueDepth.Add(-1)
 	defer j.cancel()
-	if err := j.ctx.Err(); err != nil {
+	if err := j.ctx.Err(); err != nil && !j.anytime {
 		j.err = err
 	} else {
 		s.jobsRunning.Add(1)
-		j.body, j.err = j.run(j.ctx)
+		j.out, j.err = j.run(j.ctx)
 		s.jobsRunning.Add(-1)
 	}
 	s.metrics.Counter(MetricJobsCompleted).Add(1)
@@ -77,7 +93,7 @@ func (s *Server) runJob(j *job) {
 		s.metrics.Counter(MetricJobsDeadline).Add(1)
 	}
 	if j.onDone != nil {
-		j.onDone(j.body, j.err)
+		j.onDone(j.out, j.err)
 	}
 	close(j.done)
 }
@@ -99,13 +115,18 @@ const (
 	JobFailed JobState = "failed"
 )
 
-// storedJob tracks one async submission for polling.
+// storedJob tracks one async submission for polling. For anytime matrix
+// jobs the progress field survives alongside the result body: a partial
+// result's body carries the checkpoint, so the poll response is enough to
+// continue the analysis with a larger budget (POST /v1/analyze with
+// resume set to the checkpoint).
 type storedJob struct {
-	mu    sync.Mutex
-	id    string
-	state JobState
-	body  []byte
-	errs  string
+	mu       sync.Mutex
+	id       string
+	state    JobState
+	body     []byte
+	errs     string
+	progress *JobProgress
 }
 
 func (sj *storedJob) set(state JobState, body []byte, errs string) {
@@ -114,10 +135,16 @@ func (sj *storedJob) set(state JobState, body []byte, errs string) {
 	sj.mu.Unlock()
 }
 
-func (sj *storedJob) snapshot() (JobState, []byte, string) {
+func (sj *storedJob) setProgress(p *JobProgress) {
+	sj.mu.Lock()
+	sj.progress = p
+	sj.mu.Unlock()
+}
+
+func (sj *storedJob) snapshot() (JobState, []byte, string, *JobProgress) {
 	sj.mu.Lock()
 	defer sj.mu.Unlock()
-	return sj.state, sj.body, sj.errs
+	return sj.state, sj.body, sj.errs, sj.progress
 }
 
 // jobStore retains recent async jobs for polling, bounded by maxJobs

@@ -57,6 +57,13 @@ const (
 	// MetricMemoGrows counts memo-table capacity doublings across all
 	// finished jobs.
 	MetricMemoGrows = "memo_grow_total"
+	// MetricAnalyzePartial counts matrix analyses that ended as partial
+	// anytime results (deadline, cancellation, or budget exhaustion
+	// struck mid-exploration; the response carried a checkpoint).
+	MetricAnalyzePartial = "analyze_partial"
+	// MetricAnalyzeResumed counts matrix requests that continued from a
+	// client-supplied checkpoint.
+	MetricAnalyzeResumed = "analyze_resumed"
 	// MetricPlanPairs counts, per planner tier, the event pairs whose
 	// verdicts that tier decided across all matrix jobs, as
 	// "plan_pairs_<tier>" (plan_pairs_static, plan_pairs_observed,

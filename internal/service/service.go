@@ -11,7 +11,11 @@
 //     queries — the common case for interactive debugging — skip the
 //     exponential search entirely;
 //   - per-request deadlines threaded as context.Context into the core
-//     search loops, so an abandoned request stops burning CPU.
+//     search loops, so an abandoned request stops burning CPU — and, for
+//     matrix queries, an anytime contract: a deadline or budget that
+//     strikes mid-analysis yields 200 with "complete": false, every
+//     verdict decided so far, and a checkpoint the client resumes via the
+//     request's resume field (partial results never enter the cache).
 //
 // Endpoints: POST /v1/analyze (single pair or full relation matrices),
 // POST /v1/races, POST /v1/witness, GET /v1/jobs/{id} (async polling),
@@ -202,6 +206,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Wire types ----------------------------------------------------------------
 
+// SchemaVersion is the wire schema generation stamped on every /v1
+// response envelope. Version 2 introduced the anytime analysis surface:
+// three-valued verdicts as string enums, partial matrix results with
+// "complete": false served as 200 instead of 504, resumable checkpoints,
+// and job progress on GET /v1/jobs/{id}.
+const SchemaVersion = 2
+
+// Verdict is the three-valued relation answer carried by v2 responses,
+// JSON-encoded as "true", "false", or "unknown".
+type Verdict = core.Verdict
+
+// Verdict values.
+const (
+	VerdictUnknown = core.VerdictUnknown
+	VerdictFalse   = core.VerdictFalse
+	VerdictTrue    = core.VerdictTrue
+)
+
 // ExecutionSource selects the execution under analysis: either a
 // mini-language program to run into a trace, or a serialized trace in the
 // traceio wire format.
@@ -250,11 +272,21 @@ type AnalyzeRequest struct {
 	// the plan summary do.
 	Tiers int `json:"tiers,omitempty"`
 	// TimeoutMs is the request deadline in milliseconds (0 = server
-	// default; capped by the server's maximum).
+	// default; capped by the server's maximum). A matrix query whose
+	// deadline strikes mid-analysis answers 200 with "complete": false
+	// and every verdict decided so far, plus a resumable checkpoint.
 	TimeoutMs int64 `json:"timeoutMs,omitempty"`
 	// Async submits the work as a pollable job: the response carries a
 	// job id for GET /v1/jobs/{id} instead of the result.
 	Async bool `json:"async,omitempty"`
+	// Resume continues an interrupted matrix analysis from the
+	// checkpoint a previous partial response carried (the base64 string
+	// under "checkpoint"). The execution and ignoreData setting must
+	// match the original request; budget is charged cumulatively across
+	// attempts, so resubmitting with a larger budget continues rather
+	// than restarts. Only meaningful for matrix queries; resumed
+	// requests bypass the result cache in both directions.
+	Resume *core.Checkpoint `json:"resume,omitempty"`
 }
 
 // RacesRequest is the body of POST /v1/races.
@@ -283,6 +315,8 @@ type WitnessRequest struct {
 
 // Envelope wraps every synchronous analysis response.
 type Envelope struct {
+	// SchemaVersion stamps the wire schema generation (currently 2).
+	SchemaVersion int `json:"schemaVersion"`
 	// Cached reports whether the result was served from the result cache
 	// (no search ran for this request).
 	Cached bool `json:"cached"`
@@ -299,21 +333,48 @@ type PairResult struct {
 	Rel string `json:"rel"`
 	A   string `json:"a"`
 	B   string `json:"b"`
-	// Holds is the verdict.
-	Holds bool `json:"holds"`
+	// Verdict is the three-valued answer ("true" or "false" here — a
+	// pair query either finishes or errors, so "unknown" never appears).
+	Verdict Verdict `json:"verdict"`
 	// Nodes is the search effort spent.
 	Nodes int64 `json:"nodes"`
 }
 
-// MatrixResult answers a full-matrix query.
+// MatrixResult answers a full-matrix query, completely or partially.
 type MatrixResult struct {
 	// Events names every event, indexed by event id.
 	Events []string `json:"events"`
-	// Relations maps relation name to its ordered pairs (event id pairs).
+	// Complete reports whether every requested verdict is decided. A
+	// partial result (deadline, cancellation, or budget exhaustion mid-
+	// analysis) carries everything decided so far — sound: a partial
+	// verdict never contradicts the completed analysis — plus a
+	// checkpoint to resume from.
+	Complete bool `json:"complete"`
+	// Relations maps relation name to the pairs PROVEN to satisfy it
+	// (event id pairs). On a complete result absence means proven false;
+	// on a partial one consult Undecided to tell proven-false from open.
 	Relations map[string][][2]int `json:"relations"`
+	// Undecided maps relation name to the pairs the interrupted analysis
+	// left open. Omitted when Complete.
+	Undecided map[string][][2]int `json:"undecided,omitempty"`
+	// DecidedPairs counts ordered event pairs whose every requested
+	// verdict is decided; TotalPairs is n·(n−1).
+	DecidedPairs int `json:"decidedPairs"`
+	TotalPairs   int `json:"totalPairs"`
+	// Checkpoint resumes the interrupted analysis: POST /v1/analyze the
+	// same execution with "resume" set to this string (and, typically, a
+	// larger budget or timeout). Omitted when Complete.
+	Checkpoint *core.Checkpoint `json:"checkpoint,omitempty"`
+	// Cause names why a partial analysis stopped ("deadline", "budget",
+	// or "canceled"). Omitted when Complete.
+	Cause string `json:"cause,omitempty"`
+	// Expanded is the cumulative number of states the batch exploration
+	// charged against its budget, including resumed-from attempts.
+	Expanded int64 `json:"expanded"`
 	// Nodes is the total search effort spent.
 	Nodes int64 `json:"nodes"`
-	// Plan summarizes the tiered planner's bracket for this query.
+	// Plan summarizes the tiered planner's bracket for this query
+	// (omitted on resumed runs — the seed travels in the checkpoint).
 	Plan *PlanSummary `json:"plan,omitempty"`
 }
 
@@ -372,18 +433,37 @@ type RacesResult struct {
 
 // WitnessResult carries a demonstrating schedule for a relation verdict.
 type WitnessResult struct {
-	// Rel, A, B echo the query; Holds is the verdict.
-	Rel   string `json:"rel"`
-	A     string `json:"a"`
-	B     string `json:"b"`
-	Holds bool   `json:"holds"`
+	// Rel, A, B echo the query; Verdict is the three-valued answer
+	// ("unknown" never appears — a witness query either finishes or
+	// errors).
+	Rel     string  `json:"rel"`
+	A       string  `json:"a"`
+	B       string  `json:"b"`
+	Verdict Verdict `json:"verdict"`
 	// Steps is the action-level schedule with event begin/end boundaries
 	// (empty when no schedule accompanies the verdict).
 	Steps []string `json:"steps,omitempty"`
 }
 
+// JobProgress reports an async matrix job's anytime progress: how many
+// ordered pairs are fully decided, and whether the stored result carries
+// a checkpoint that a resume request can continue with a larger budget.
+type JobProgress struct {
+	// Complete mirrors the stored MatrixResult's Complete flag.
+	Complete bool `json:"complete"`
+	// DecidedPairs / TotalPairs measure anytime progress.
+	DecidedPairs int `json:"decidedPairs"`
+	TotalPairs   int `json:"totalPairs"`
+	// Expanded is the cumulative explored-state count.
+	Expanded int64 `json:"expanded"`
+	// Resumable reports whether the result body carries a checkpoint.
+	Resumable bool `json:"resumable"`
+}
+
 // JobResponse is returned by async submissions and job polls.
 type JobResponse struct {
+	// SchemaVersion stamps the wire schema generation (currently 2).
+	SchemaVersion int `json:"schemaVersion"`
 	// ID is the pollable job id.
 	ID string `json:"id"`
 	// Status is the job lifecycle state.
@@ -392,10 +472,17 @@ type JobResponse struct {
 	Error string `json:"error,omitempty"`
 	// Result is set for done jobs.
 	Result json.RawMessage `json:"result,omitempty"`
+	// Progress is set for done matrix jobs; a done-but-incomplete job's
+	// Result carries a checkpoint to continue from (POST /v1/analyze
+	// with resume and a larger budget).
+	Progress *JobProgress `json:"progress,omitempty"`
 }
 
 // errorResponse is the JSON error body.
 type errorResponse struct {
+	// SchemaVersion stamps the wire schema generation (currently 2).
+	SchemaVersion int `json:"schemaVersion"`
+	// Error is the human-readable failure.
 	Error string `json:"error"`
 }
 
@@ -440,7 +527,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{SchemaVersion: SchemaVersion, Error: err.Error()})
 }
 
 // statusFor maps a job computation error to an HTTP status.
@@ -532,28 +619,45 @@ func (s *Server) nodeBudget(b int64) int64 {
 	return b
 }
 
-// matrixWorkers clamps a request's matrix fan-out to the server cap.
-func (s *Server) matrixWorkers(workers int) int {
-	if workers <= 0 || workers > s.cfg.MaxMatrixWorkers {
-		return s.cfg.MaxMatrixWorkers
-	}
-	return workers
+// matrixLimits is the server-side clamp configuration handed to
+// core.MatrixOpts.Normalize — the one place matrix knob defaults and caps
+// are applied (the CLIs and bench share the same path).
+func (s *Server) matrixLimits() core.MatrixLimits {
+	return core.MatrixLimits{MaxWorkers: s.cfg.MaxMatrixWorkers, MaxBudget: s.cfg.MaxBudget}
 }
+
+// partialGrace is how long a synchronous handler waits past the request
+// deadline for an interrupted anytime analysis to surface its partial
+// result (the search aborts at its next cancellation poll, so the wait is
+// normally microseconds; the bound only protects against a wedged job).
+const partialGrace = 2 * time.Second
 
 // dispatch runs one analysis job through the queue: cache lookup, then
 // either synchronous submit-and-wait or async submit-and-return-id.
-// run must honor its context; its successful body is cached under key.
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, async bool, timeoutMs int64, run func(ctx context.Context) ([]byte, error)) {
+// run must honor its context; its output body is cached under key when
+// the output says so (complete results only). An empty key disables the
+// cache in both directions (resume requests are inherently stateful).
+// anytime marks runs that return a partial result with value under a dead
+// context — they execute even when the deadline passed while queued.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, async, anytime bool, timeoutMs int64, run func(ctx context.Context) (jobOutput, error)) {
 	start := time.Now()
-	if body, ok := s.cache.get(key); ok {
-		writeJSON(w, http.StatusOK, Envelope{
-			Cached:    true,
-			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
-			Result:    body,
-		})
-		return
+	if key != "" {
+		if body, ok := s.cache.get(key); ok {
+			writeJSON(w, http.StatusOK, Envelope{
+				SchemaVersion: SchemaVersion,
+				Cached:        true,
+				ElapsedMs:     float64(time.Since(start).Microseconds()) / 1000,
+				Result:        body,
+			})
+			return
+		}
 	}
 	timeout := s.timeout(timeoutMs)
+	cachePut := func(out jobOutput) {
+		if key != "" && out.cacheable {
+			s.cache.put(key, out.body)
+		}
+	}
 
 	if async {
 		sj := s.store.add()
@@ -561,17 +665,19 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, as
 		j := &job{
 			ctx:    ctx,
 			cancel: cancel,
-			run: func(ctx context.Context) ([]byte, error) {
+			run: func(ctx context.Context) (jobOutput, error) {
 				sj.set(JobRunning, nil, "")
 				return run(ctx)
 			},
-			onDone: func(body []byte, err error) {
+			anytime: anytime,
+			onDone: func(out jobOutput, err error) {
 				if err != nil {
 					sj.set(JobFailed, nil, err.Error())
 					return
 				}
-				s.cache.put(key, body)
-				sj.set(JobDone, body, "")
+				cachePut(out)
+				sj.set(JobDone, out.body, "")
+				sj.setProgress(out.progress)
 			},
 			done: make(chan struct{}),
 		}
@@ -581,7 +687,7 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, as
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, JobResponse{ID: sj.id, Status: JobQueued})
+		writeJSON(w, http.StatusAccepted, JobResponse{SchemaVersion: SchemaVersion, ID: sj.id, Status: JobQueued})
 		return
 	}
 
@@ -594,32 +700,44 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, as
 		ctx:    ctx,
 		cancel: func() {}, // handler owns the sync job's context
 		run:    run,
-		onDone: func(body []byte, err error) {
+		onDone: func(out jobOutput, err error) {
 			if err == nil {
-				s.cache.put(key, body)
+				cachePut(out)
 			}
 		},
-		done: make(chan struct{}),
+		anytime: anytime,
+		done:    make(chan struct{}),
 	}
 	if err := s.submit(j); err != nil {
 		writeError(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	select {
-	case <-j.done:
+	serve := func() {
 		if j.err != nil {
 			writeError(w, statusFor(j.err), j.err)
 			return
 		}
 		writeJSON(w, http.StatusOK, Envelope{
-			Cached:    false,
-			ElapsedMs: float64(time.Since(start).Microseconds()) / 1000,
-			Result:    j.body,
+			SchemaVersion: SchemaVersion,
+			Cached:        false,
+			ElapsedMs:     float64(time.Since(start).Microseconds()) / 1000,
+			Result:        j.out.body,
 		})
+	}
+	select {
+	case <-j.done:
+		serve()
 	case <-ctx.Done():
-		// The job keeps draining on its worker (it aborts at the next
-		// cancellation poll); respond without waiting for it.
-		writeError(w, statusFor(ctx.Err()), fmt.Errorf("service: %w", ctx.Err()))
+		// The deadline struck mid-job. An anytime analysis returns a
+		// partial result with value instead of an error, so give the job
+		// a short grace period to surface it — a partial matrix answers
+		// 200 with "complete": false where v1 answered 504.
+		select {
+		case <-j.done:
+			serve()
+		case <-time.After(partialGrace):
+			writeError(w, statusFor(ctx.Err()), fmt.Errorf("service: %w", ctx.Err()))
+		}
 	}
 }
 
@@ -644,19 +762,9 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		kinds = []core.RelKind{kind}
 	}
 
-	if req.Budget < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: budget must be non-negative, got %d", req.Budget))
-		return
-	}
-	if req.Workers < 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: workers must be non-negative, got %d", req.Workers))
-		return
-	}
-	if req.Tiers < -1 || req.Tiers > plan.NumPolyTiers {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: tiers must be between -1 and %d, got %d", plan.NumPolyTiers, req.Tiers))
-		return
-	}
-
+	// Out-of-range resource knobs (budget, workers, tiers) are clamped by
+	// core.MatrixOpts.Normalize rather than rejected: they are hints, not
+	// semantics — verdicts are identical at every setting.
 	pairQuery := req.A != "" || req.B != ""
 	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR}
 
@@ -681,20 +789,21 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		}
 		kind := kinds[0]
 		key := cacheKey(digest, fmt.Sprintf("analyze|pair|rel=%s|a=%s|b=%s|ignoreData=%t", kind, req.A, req.B, req.IgnoreData))
-		s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
+		s.dispatch(w, r, key, req.Async, false, req.TimeoutMs, func(ctx context.Context) (jobOutput, error) {
 			an, err := core.New(x, opts)
 			if err != nil {
-				return nil, err
+				return jobOutput{}, err
 			}
 			holds, err := an.Decide(ctx, kind, ea.ID, eb.ID)
 			if err != nil {
-				return nil, err
+				return jobOutput{}, err
 			}
 			s.observeMemo(an)
-			return json.Marshal(PairResult{
+			body, err := json.Marshal(PairResult{
 				Rel: kind.String(), A: req.A, B: req.B,
-				Holds: holds, Nodes: an.Stats().Nodes,
+				Verdict: core.VerdictOf(holds), Nodes: an.Stats().Nodes,
 			})
+			return jobOutput{body: body, cacheable: true}, err
 		})
 		return
 	}
@@ -706,39 +815,97 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	} else {
 		kinds = core.AllRelKinds
 	}
-	// The cache key deliberately omits workers: the batch engine's
-	// verdicts are identical at every fan-out width, so results are
-	// shared across requests that differ only in that knob. Tiers IS
-	// part of the key — verdicts match at every setting, but the plan
-	// summary in the payload does not.
-	workers := s.matrixWorkers(req.Workers)
-	tiers := req.Tiers
-	if s.cfg.DisablePlan {
-		tiers = -1
+	mopts := core.MatrixOpts{
+		Workers: req.Workers,
+		Budget:  req.Budget,
+		Tiers:   req.Tiers,
+		Resume:  req.Resume,
 	}
-	key := cacheKey(digest, fmt.Sprintf("analyze|matrix|rel=%s|ignoreData=%t|tiers=%d", relDesc, req.IgnoreData, tiers))
-	s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
-		res, err := plan.Analyze(ctx, x, kinds, opts, core.MatrixOpts{Workers: workers}, plan.Options{Tiers: tiers})
+	if s.cfg.DisablePlan {
+		mopts.Tiers = -1
+	}
+	mopts = mopts.Normalize(s.matrixLimits())
+	// The cache key deliberately omits workers and budget: the batch
+	// engine's verdicts are identical at every fan-out width, and a
+	// budget only decides when a run stops, never what its completed
+	// verdicts say. Tiers IS part of the key — verdicts match at every
+	// setting, but the plan summary in the payload does not. Resume
+	// requests bypass the cache entirely: serving a cached plan-bearing
+	// body for a resumed run would misreport provenance, and a partial
+	// body must never be cached at all.
+	key := cacheKey(digest, fmt.Sprintf("analyze|matrix|rel=%s|ignoreData=%t|tiers=%d", relDesc, req.IgnoreData, mopts.Tiers))
+	if req.Resume != nil {
+		key = ""
+		s.metrics.Counter(MetricAnalyzeResumed).Add(1)
+	}
+	s.dispatch(w, r, key, req.Async, true, req.TimeoutMs, func(ctx context.Context) (jobOutput, error) {
+		res, err := plan.Analyze(ctx, x, kinds, opts, mopts)
 		if err != nil {
-			return nil, err
+			return jobOutput{}, err
 		}
 		s.observeMemoStats(res.Stats)
-		s.observePlan(res.Plan)
-		out := MatrixResult{Relations: map[string][][2]int{}}
+		if res.Plan != nil {
+			s.observePlan(res.Plan)
+		}
+		m := res.Matrix
+		out := MatrixResult{
+			Complete:     m.Complete,
+			Relations:    map[string][][2]int{},
+			DecidedPairs: m.DecidedPairs(),
+			TotalPairs:   m.TotalPairs(),
+			Expanded:     m.Expanded,
+			Nodes:        res.Stats.Nodes,
+		}
 		for e := 0; e < x.NumEvents(); e++ {
 			out.Events = append(out.Events, x.EventName(model.EventID(e)))
 		}
-		for _, kind := range kinds {
+		relPairs := func(rel *model.Relation) [][2]int {
 			pairs := [][2]int{}
-			for _, p := range res.Relations[kind].Pairs() {
+			for _, p := range rel.Pairs() {
 				pairs = append(pairs, [2]int{int(p[0]), int(p[1])})
 			}
-			out.Relations[kind.String()] = pairs
+			return pairs
 		}
-		out.Nodes = res.Stats.Nodes
-		out.Plan = planSummary(res.Plan)
-		return json.Marshal(out)
+		for _, kind := range kinds {
+			out.Relations[kind.String()] = relPairs(m.Relations[kind])
+		}
+		if !m.Complete {
+			s.metrics.Counter(MetricAnalyzePartial).Add(1)
+			out.Undecided = map[string][][2]int{}
+			for _, kind := range kinds {
+				out.Undecided[kind.String()] = relPairs(m.Undecided[kind])
+			}
+			out.Checkpoint = m.Checkpoint
+			out.Cause = causeName(m.Cause)
+		}
+		if res.Plan != nil {
+			out.Plan = planSummary(res.Plan)
+		}
+		body, err := json.Marshal(out)
+		progress := &JobProgress{
+			Complete:     m.Complete,
+			DecidedPairs: out.DecidedPairs,
+			TotalPairs:   out.TotalPairs,
+			Expanded:     m.Expanded,
+			Resumable:    m.Checkpoint != nil,
+		}
+		return jobOutput{body: body, cacheable: m.Complete && req.Resume == nil, progress: progress}, err
 	})
+}
+
+// causeName renders an anytime interrupt cause for the wire.
+func causeName(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, core.ErrBudget):
+		return "budget"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	}
+	return err.Error()
 }
 
 // planSummary converts a plan into its wire form.
@@ -778,10 +945,10 @@ func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR}
 	key := cacheKey(digest, fmt.Sprintf("races|ignoreData=%t", req.IgnoreData))
-	s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
+	s.dispatch(w, r, key, req.Async, false, req.TimeoutMs, func(ctx context.Context) (jobOutput, error) {
 		rep, err := race.DetectCtx(ctx, x, opts)
 		if err != nil {
-			return nil, err
+			return jobOutput{}, err
 		}
 		conv := func(pairs []race.Pair) []RacePair {
 			out := []RacePair{}
@@ -794,13 +961,14 @@ func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
 			}
 			return out
 		}
-		return json.Marshal(RacesResult{
+		body, err := json.Marshal(RacesResult{
 			Candidates: conv(rep.Candidates),
 			Exact:      conv(rep.Exact),
 			VC:         conv(rep.VC),
 			PO:         conv(rep.PO),
 			Nodes:      rep.Nodes,
 		})
+		return jobOutput{body: body, cacheable: true}, err
 	})
 }
 
@@ -835,21 +1003,22 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 	}
 	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR}
 	key := cacheKey(digest, fmt.Sprintf("witness|rel=%s|a=%s|b=%s|ignoreData=%t", kind, req.A, req.B, req.IgnoreData))
-	s.dispatch(w, r, key, req.Async, req.TimeoutMs, func(ctx context.Context) ([]byte, error) {
+	s.dispatch(w, r, key, req.Async, false, req.TimeoutMs, func(ctx context.Context) (jobOutput, error) {
 		an, err := core.New(x, opts)
 		if err != nil {
-			return nil, err
+			return jobOutput{}, err
 		}
 		wit, err := an.WitnessSchedule(ctx, kind, ea.ID, eb.ID)
 		if err != nil {
-			return nil, err
+			return jobOutput{}, err
 		}
 		s.observeMemo(an)
-		return json.Marshal(WitnessResult{
+		body, err := json.Marshal(WitnessResult{
 			Rel: kind.String(), A: req.A, B: req.B,
-			Holds: wit.Holds,
-			Steps: core.FormatSteps(x, wit.Steps),
+			Verdict: core.VerdictOf(wit.Holds),
+			Steps:   core.FormatSteps(x, wit.Steps),
 		})
+		return jobOutput{body: body, cacheable: true}, err
 	})
 }
 
@@ -878,8 +1047,12 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", id))
 		return
 	}
-	state, body, errs := sj.snapshot()
-	writeJSON(w, http.StatusOK, JobResponse{ID: id, Status: state, Error: errs, Result: body})
+	state, body, errs, progress := sj.snapshot()
+	writeJSON(w, http.StatusOK, JobResponse{
+		SchemaVersion: SchemaVersion,
+		ID:            id, Status: state, Error: errs,
+		Result: body, Progress: progress,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -110,8 +110,11 @@ func TestAnalyzeFigure1Pair(t *testing.T) {
 	if err := json.Unmarshal(env.Result, &pair); err != nil {
 		t.Fatal(err)
 	}
-	if !pair.Holds || pair.Rel != "MHB" {
-		t.Errorf("lp MHB rp = %v (rel %q), want true", pair.Holds, pair.Rel)
+	if pair.Verdict != VerdictTrue || pair.Rel != "MHB" {
+		t.Errorf("lp MHB rp = %v (rel %q), want true", pair.Verdict, pair.Rel)
+	}
+	if env.SchemaVersion != SchemaVersion {
+		t.Errorf("schemaVersion = %d, want %d", env.SchemaVersion, SchemaVersion)
 	}
 	if pair.Nodes <= 0 {
 		t.Errorf("no search effort reported: %+v", pair)
@@ -233,9 +236,10 @@ func TestMatrixMatchesDirectCore(t *testing.T) {
 }
 
 // TestAnalyzeWorkersAndBudgetKnobs covers the matrix-path request knobs:
-// negative values are rejected with 400, a large workers ask is clamped
-// (not rejected) and returns verdicts identical to the default, and the
-// cache is shared across worker counts (the knob is not part of the key).
+// out-of-range values are clamped by core.MatrixOpts.Normalize rather
+// than rejected (the knobs are hints, not semantics), a large workers ask
+// is clamped and returns verdicts identical to the default, and the cache
+// is shared across worker counts (the knob is not part of the key).
 func TestAnalyzeWorkersAndBudgetKnobs(t *testing.T) {
 	x, err := gen.Mutex(2, 2)
 	if err != nil {
@@ -244,47 +248,56 @@ func TestAnalyzeWorkersAndBudgetKnobs(t *testing.T) {
 	srv, ts := newTestServer(t, Config{Workers: 1, MaxMatrixWorkers: 2})
 	exec := executionJSON(t, x)
 
-	for _, bad := range []map[string]any{
-		{"execution": exec, "all": true, "workers": -1},
-		{"execution": exec, "all": true, "budget": -5},
-	} {
-		resp, body := postJSON(t, ts.URL+"/v1/analyze", bad)
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%v: status %d, want 400: %s", bad, resp.StatusCode, body)
-		}
-	}
-
 	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"execution": exec, "all": true})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("default: status %d: %s", resp.StatusCode, body)
 	}
 	base := decodeEnvelope(t, body)
 
-	// 1000 workers is clamped to MaxMatrixWorkers, and the result comes
-	// from the cache: the fan-out width is not part of the cache key.
-	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{
-		"execution": exec, "all": true, "workers": 1000,
-	})
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("workers=1000: status %d: %s", resp.StatusCode, body)
-	}
-	env := decodeEnvelope(t, body)
-	if !env.Cached {
-		t.Error("workers-only variation missed the cache")
-	}
-	if !bytes.Equal(base.Result, env.Result) {
-		t.Errorf("workers=1000 result differs from default:\n%s\nvs\n%s", env.Result, base.Result)
+	// Out-of-range knobs are clamped, not rejected; the results are served
+	// from the cache since neither knob is part of the key.
+	for _, clamped := range []map[string]any{
+		{"execution": exec, "all": true, "workers": -1},
+		{"execution": exec, "all": true, "budget": -5},
+		{"execution": exec, "all": true, "workers": 1000},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", clamped)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%v: status %d, want 200: %s", clamped, resp.StatusCode, body)
+		}
+		env := decodeEnvelope(t, body)
+		if !env.Cached {
+			t.Errorf("%v: knob-only variation missed the cache", clamped)
+		}
+		if !bytes.Equal(base.Result, env.Result) {
+			t.Errorf("%v: result differs from default:\n%s\nvs\n%s", clamped, env.Result, base.Result)
+		}
 	}
 
-	// A tiny budget on an uncached query must fail with the budget error
-	// mapped to 422 (unprocessable), like per-pair budget exhaustion.
+	// A tiny budget on an uncached query yields an anytime partial: 200
+	// with "complete": false, a cause of "budget", and a checkpoint.
 	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{
 		"execution": exec, "all": true, "budget": 1, "ignoreData": true,
 	})
-	if resp.StatusCode == http.StatusOK {
-		t.Errorf("budget=1 matrix succeeded unexpectedly: %s", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("budget=1: status %d, want 200 partial: %s", resp.StatusCode, body)
 	}
-	_ = srv
+	var m MatrixResult
+	if err := json.Unmarshal(decodeEnvelope(t, body).Result, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Complete {
+		t.Errorf("budget=1 matrix claims to be complete: %s", body)
+	}
+	if m.Cause != "budget" {
+		t.Errorf("cause = %q, want \"budget\"", m.Cause)
+	}
+	if m.Checkpoint == nil {
+		t.Error("partial matrix carries no checkpoint")
+	}
+	if n := srv.Metrics().Counter(MetricAnalyzePartial).Value(); n < 1 {
+		t.Errorf("analyze_partial = %d, want ≥ 1", n)
+	}
 }
 
 // TestAsyncSubmitPoll exercises the job queue's async path: submit,
@@ -370,11 +383,13 @@ func waitForIdle(t *testing.T, srv *Server) {
 	}
 }
 
-// TestDeadlineExceededFreesWorker posts a large instance with a 1ms
-// deadline: the request must fail with 504, the abandoned search must
-// actually stop (queue depth and running gauges return to 0), and the
-// freed worker must serve the next request.
-func TestDeadlineExceededFreesWorker(t *testing.T) {
+// TestDeadlinePartialFreesWorker posts a large instance with a 1ms
+// deadline: the request must answer 200 with a partial anytime result
+// (v1 answered 504 here), the interrupted search must actually stop
+// (queue depth and running gauges return to 0), and the freed worker must
+// serve the next request. Resuming from the partial's checkpoint with no
+// deadline must then complete the analysis.
+func TestDeadlinePartialFreesWorker(t *testing.T) {
 	// Barrier has a genuinely large reachable state space, so even the
 	// batch matrix engine needs hundreds of milliseconds — the per-pair
 	// engine's hard mutex instances complete in microseconds there.
@@ -386,12 +401,25 @@ func TestDeadlineExceededFreesWorker(t *testing.T) {
 	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
 		"execution": executionJSON(t, big), "all": true, "timeoutMs": 1,
 	})
-	if resp.StatusCode != http.StatusGatewayTimeout {
-		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 partial: %s", resp.StatusCode, body)
+	}
+	var partial MatrixResult
+	if err := json.Unmarshal(decodeEnvelope(t, body).Result, &partial); err != nil {
+		t.Fatal(err)
+	}
+	if partial.Complete {
+		t.Fatal("1ms-deadline matrix claims to be complete")
+	}
+	if partial.Checkpoint == nil {
+		t.Fatal("partial matrix carries no checkpoint")
+	}
+	if partial.Cause != "deadline" && partial.Cause != "canceled" {
+		t.Errorf("cause = %q, want deadline or canceled", partial.Cause)
 	}
 	waitForIdle(t, srv)
-	if n := srv.Metrics().Counter(MetricJobsDeadline).Value(); n < 1 {
-		t.Errorf("jobs_deadline_exceeded = %d, want ≥ 1", n)
+	if n := srv.Metrics().Counter(MetricAnalyzePartial).Value(); n < 1 {
+		t.Errorf("analyze_partial = %d, want ≥ 1", n)
 	}
 
 	// The single worker must be free for new work.
@@ -400,6 +428,44 @@ func TestDeadlineExceededFreesWorker(t *testing.T) {
 	})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("post-deadline request: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Continuing from the checkpoint without a deadline finishes the job.
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"execution": executionJSON(t, big), "all": true, "resume": partial.Checkpoint,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resume: status %d: %s", resp.StatusCode, body)
+	}
+	env := decodeEnvelope(t, body)
+	if env.Cached {
+		t.Error("resume request was served from cache")
+	}
+	var full MatrixResult
+	if err := json.Unmarshal(env.Result, &full); err != nil {
+		t.Fatal(err)
+	}
+	if !full.Complete {
+		t.Fatalf("resumed matrix still incomplete: %d/%d pairs", full.DecidedPairs, full.TotalPairs)
+	}
+	if full.DecidedPairs != full.TotalPairs {
+		t.Errorf("complete matrix decided %d of %d pairs", full.DecidedPairs, full.TotalPairs)
+	}
+	if n := srv.Metrics().Counter(MetricAnalyzeResumed).Value(); n < 1 {
+		t.Errorf("analyze_resumed = %d, want ≥ 1", n)
+	}
+
+	// The verdicts the partial decided must agree with the full analysis.
+	for rel, pairs := range partial.Relations {
+		fullSet := map[[2]int]bool{}
+		for _, p := range full.Relations[rel] {
+			fullSet[p] = true
+		}
+		for _, p := range pairs {
+			if !fullSet[p] {
+				t.Errorf("partial decided %s%v, absent from full analysis", rel, p)
+			}
+		}
 	}
 }
 
@@ -571,7 +637,7 @@ func TestWitnessEndpoint(t *testing.T) {
 	if err := json.Unmarshal(decodeEnvelope(t, body).Result, &wr); err != nil {
 		t.Fatal(err)
 	}
-	if wr.Holds && len(wr.Steps) == 0 {
+	if wr.Verdict == VerdictTrue && len(wr.Steps) == 0 {
 		t.Error("holding could-relation came without a schedule")
 	}
 }
@@ -607,7 +673,9 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
-// TestBudgetExceeded maps core.ErrBudget to 422.
+// TestBudgetExceeded pins the budget split: a per-pair query still maps
+// core.ErrBudget to 422 (there is no partial value to return), while the
+// matrix path answers 200 with an anytime partial.
 func TestBudgetExceeded(t *testing.T) {
 	big, err := gen.Mutex(3, 3)
 	if err != nil {
@@ -615,10 +683,24 @@ func TestBudgetExceeded(t *testing.T) {
 	}
 	_, ts := newTestServer(t, Config{Workers: 1})
 	resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{
-		"execution": executionJSON(t, big), "all": true, "budget": 10,
+		"program": figure1Program(t), "rel": "MHB", "a": "lp", "b": "rp", "budget": 1,
 	})
 	if resp.StatusCode != http.StatusUnprocessableEntity {
-		t.Fatalf("status %d, want 422: %s", resp.StatusCode, body)
+		t.Fatalf("pair budget: status %d, want 422: %s", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/analyze", map[string]any{
+		"execution": executionJSON(t, big), "all": true, "budget": 10,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("matrix budget: status %d, want 200 partial: %s", resp.StatusCode, body)
+	}
+	var m MatrixResult
+	if err := json.Unmarshal(decodeEnvelope(t, body).Result, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Complete || m.Cause != "budget" {
+		t.Errorf("matrix budget: complete=%v cause=%q, want partial with budget cause", m.Complete, m.Cause)
 	}
 }
 
@@ -669,20 +751,21 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 }
 
 // TestAnalyzeTiersKnob covers the planner knob on the matrix path:
-// out-of-range values are rejected with 400; every accepted setting
-// returns identical relation verdicts; the default runs the full cascade
-// (plan summary with tier rows and a residue that accounts for every
-// pair); tiers=-1 disables the planner (no tier rows, all pairs residue);
-// and results are NOT shared across tiers settings (the summary differs,
-// so tiers is part of the cache key).
+// out-of-range values are clamped (below -1 to -1, above the deepest tier
+// to the full cascade) rather than rejected; every setting returns
+// identical relation verdicts; the default runs the full cascade (plan
+// summary with tier rows and a residue that accounts for every pair);
+// tiers=-1 disables the planner (no tier rows, all pairs residue); and
+// results are NOT shared across tiers settings (the summary differs, so
+// tiers is part of the cache key).
 func TestAnalyzeTiersKnob(t *testing.T) {
 	srv, ts := newTestServer(t, Config{Workers: 2})
 	prog := figure1Program(t)
 
-	for _, bad := range []int{-2, 4} {
-		resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"program": prog, "all": true, "tiers": bad})
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("tiers=%d: status %d, want 400: %s", bad, resp.StatusCode, body)
+	for _, clamped := range []int{-2, 4} {
+		resp, body := postJSON(t, ts.URL+"/v1/analyze", map[string]any{"program": prog, "all": true, "tiers": clamped})
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("tiers=%d: status %d, want 200 (clamped): %s", clamped, resp.StatusCode, body)
 		}
 	}
 

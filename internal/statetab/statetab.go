@@ -19,7 +19,10 @@
 // load factor, grow count) so callers can surface cache pressure.
 package statetab
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // minCapacity is the smallest non-empty table capacity (power of two).
 const minCapacity = 16
@@ -329,6 +332,186 @@ func (t *Table) Range(fn func(key []uint64, value bool) bool) {
 			return
 		}
 	}
+}
+
+// Snapshot is a serializable copy of a table's entries: keys flattened at
+// Words stride, value bits packed into a bitset, and auxiliary words (nil
+// when every entry's aux is zero). Snapshots are pure data — every field
+// is a uint64 slice or an int — so they gob- and JSON-encode without any
+// table internals leaking into the format, and they import into either
+// table variant regardless of which one exported them. Entry order is the
+// exporting table's iteration order; importers must not depend on it.
+type Snapshot struct {
+	// Words is the fixed key width in uint64 words.
+	Words int
+	// Entries is the number of entries captured.
+	Entries int
+	// Keys holds Entries keys back to back, Words words each.
+	Keys []uint64
+	// Vals is a bitset of Entries bits: bit i is entry i's value.
+	Vals []uint64
+	// Aux holds one auxiliary word per entry, or nil when all are zero.
+	Aux []uint64
+}
+
+// val reads entry i's value bit.
+func (s *Snapshot) val(i int) bool { return s.Vals[i/64]&(1<<uint(i%64)) != 0 }
+
+// setVal sets entry i's value bit.
+func (s *Snapshot) setVal(i int) { s.Vals[i/64] |= 1 << uint(i%64) }
+
+// Key returns entry i's key, aliasing the snapshot's storage.
+func (s *Snapshot) Key(i int) []uint64 { return s.Keys[i*s.Words : (i+1)*s.Words] }
+
+// Val returns entry i's value bit.
+func (s *Snapshot) Val(i int) bool { return s.val(i) }
+
+// AuxAt returns entry i's auxiliary word (0 when none were captured).
+func (s *Snapshot) AuxAt(i int) uint64 {
+	if s.Aux == nil {
+		return 0
+	}
+	return s.Aux[i]
+}
+
+// Append adds one entry to a snapshot being built entry by entry (e.g. a
+// filtered copy of an export). It must only be used on snapshots whose
+// every entry was added through Append — mixing it with an exporter's
+// preallocated layout is undefined. key must be Words words long.
+func (s *Snapshot) Append(key []uint64, value bool, aux uint64) {
+	s.Keys = append(s.Keys, key...)
+	if s.Entries%64 == 0 {
+		s.Vals = append(s.Vals, 0)
+	}
+	if value {
+		s.setVal(s.Entries)
+	}
+	s.Aux = append(s.Aux, aux)
+	s.Entries++
+}
+
+// Validate checks the snapshot's internal consistency (slice lengths match
+// the declared entry count and key width) before an import walks it.
+func (s *Snapshot) Validate() error {
+	if s.Words < 1 {
+		return fmt.Errorf("statetab: snapshot key width %d", s.Words)
+	}
+	if s.Entries < 0 || len(s.Keys) != s.Entries*s.Words {
+		return fmt.Errorf("statetab: snapshot holds %d key words, want %d entries x %d words",
+			len(s.Keys), s.Entries, s.Words)
+	}
+	if want := (s.Entries + 63) / 64; len(s.Vals) != want {
+		return fmt.Errorf("statetab: snapshot value bitset has %d words, want %d", len(s.Vals), want)
+	}
+	if s.Aux != nil && len(s.Aux) != s.Entries {
+		return fmt.Errorf("statetab: snapshot has %d aux words, want %d", len(s.Aux), s.Entries)
+	}
+	return nil
+}
+
+// exportInto appends t's entries to snap (shared by both variants; the
+// Concurrent exporter calls it once per stripe under that stripe's lock).
+func (t *Table) exportInto(snap *Snapshot) {
+	for i, v := range t.vals {
+		if v == 0 {
+			continue
+		}
+		snap.Keys = append(snap.Keys, t.keys[i*t.words:(i+1)*t.words]...)
+		if v&slotValue != 0 {
+			snap.setVal(snap.Entries)
+		}
+		if t.aux != nil {
+			snap.Aux = append(snap.Aux, t.aux[i])
+		} else if snap.Aux != nil {
+			snap.Aux = append(snap.Aux, 0)
+		}
+		snap.Entries++
+	}
+}
+
+// newSnapshot sizes a snapshot for a table of n entries with the given key
+// width and aux presence. The value bitset is allocated for the final
+// count up front; keys and aux grow by append.
+func newSnapshot(words, n int, hasAux bool) *Snapshot {
+	s := &Snapshot{
+		Words: words,
+		Keys:  make([]uint64, 0, n*words),
+		Vals:  make([]uint64, (n+63)/64),
+	}
+	if hasAux {
+		s.Aux = make([]uint64, 0, n)
+	}
+	return s
+}
+
+// Export copies the table's contents into a serializable snapshot.
+func (t *Table) Export() *Snapshot {
+	snap := newSnapshot(t.words, t.n, t.aux != nil)
+	t.exportInto(snap)
+	return snap
+}
+
+// Import inserts every snapshot entry into the table, replacing the value
+// and aux word of any key already present. Importing into an empty table
+// reproduces the exported contents exactly.
+func (t *Table) Import(snap *Snapshot) error {
+	if err := snap.Validate(); err != nil {
+		return err
+	}
+	if snap.Words != t.words {
+		return fmt.Errorf("statetab: importing %d-word keys into a %d-word table", snap.Words, t.words)
+	}
+	for i := 0; i < snap.Entries; i++ {
+		key := snap.Keys[i*snap.Words : (i+1)*snap.Words]
+		var aux uint64
+		if snap.Aux != nil {
+			aux = snap.Aux[i]
+		}
+		t.StoreAux(key, snap.val(i), aux)
+	}
+	return nil
+}
+
+// Export copies the striped table's contents into one serializable
+// snapshot, locking one stripe at a time (call it only after the workers
+// have quiesced).
+func (c *Concurrent) Export() *Snapshot {
+	n, hasAux := 0, false
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		n += s.t.n
+		hasAux = hasAux || s.t.aux != nil
+		s.mu.Unlock()
+	}
+	snap := newSnapshot(c.words, n, hasAux)
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		s.t.exportInto(snap)
+		s.mu.Unlock()
+	}
+	return snap
+}
+
+// Import inserts every snapshot entry into the striped table, replacing
+// the value and aux word of any key already present.
+func (c *Concurrent) Import(snap *Snapshot) error {
+	if err := snap.Validate(); err != nil {
+		return err
+	}
+	if snap.Words != c.words {
+		return fmt.Errorf("statetab: importing %d-word keys into a %d-word table", snap.Words, c.words)
+	}
+	for i := 0; i < snap.Entries; i++ {
+		key := snap.Keys[i*snap.Words : (i+1)*snap.Words]
+		var aux uint64
+		if snap.Aux != nil {
+			aux = snap.Aux[i]
+		}
+		c.StoreAux(key, snap.val(i), aux)
+	}
+	return nil
 }
 
 // stripeCount is the fixed stripe fan-out of Concurrent (a power of two).

@@ -16,16 +16,24 @@
 // Usage:
 //
 //	go run ./cmd/bench [-o BENCH_matrix.json] [-reps 3] [-workers 1,2,4,8]
-//	                   [-baseline old.json] [-no-por]
+//	                   [-baseline old.json] [-no-por] [-no-symm] [-procs N]
+//	                   [-assert-symm-ge 1.0]
 //	                   [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Median-of-reps wall-clock per strategy is reported, plus the speedup of
 // matrix over parallel at each worker count, node throughput
 // (states/second through the batch engine), explored node and edge counts
 // with the sleep-set reduction's on/off edge comparison (states are
-// identical either way; edges are what reduction prunes), and heap
-// allocations per expanded state. -no-por disables the reduction in every
-// strategy and drops the comparison columns. -baseline points at a
+// identical either way; edges are what reduction prunes), the symmetry
+// reduction's on/off state comparison (process-symmetry orbit collapsing
+// shrinks the state count itself, reported as symm_state_reduction), and
+// heap allocations per expanded state. -no-por disables the sleep-set
+// reduction in every strategy and -no-symm the orbit collapsing; each
+// drops its comparison columns. -procs pins GOMAXPROCS for the whole run
+// (the report records the effective value, so committed artifacts are
+// honest about the parallelism they measured). -assert-symm-ge fails the
+// run if any case's symm_state_reduction falls below the given bound — a
+// CI hook keeping the collapse from silently regressing. -baseline points at a
 // previous report (same schema); its per-case matrix timings and
 // node/edge counts are embedded alongside the fresh ones as before/after
 // columns with the resulting throughput gain. -cpuprofile and -memprofile
@@ -94,6 +102,16 @@ type caseResult struct {
 	MatrixEdgesNoPOR int64              `json:"explored_edges_nopor,omitempty"`
 	MatrixNoPORMS    map[string]float64 `json:"matrix_nopor_ms,omitempty"`
 	EdgeReduction    float64            `json:"edge_reduction,omitempty"`
+	// MatrixNodesNoSymm is MatrixNodes with process-symmetry orbit
+	// collapsing disabled — the full state count the orbit-canonical
+	// representatives stand for — and MatrixNoSymmMS the corresponding
+	// wall-clock per worker count; SymmStateReduction is their ratio
+	// (off/on), exactly 1 when the trace has no provable process
+	// symmetry. Omitted under -no-symm, where the main columns already
+	// measure the uncollapsed engine.
+	MatrixNodesNoSymm  int64              `json:"matrix_nodes_nosymm,omitempty"`
+	MatrixNoSymmMS     map[string]float64 `json:"matrix_nosymm_ms,omitempty"`
+	SymmStateReduction float64            `json:"symm_state_reduction,omitempty"`
 	// MatrixNodesPerSec is batch node throughput (MatrixNodes over matrix
 	// wall-clock) per worker count — the honest cross-version comparison
 	// axis, since the exploration visits the same states either way.
@@ -137,14 +155,15 @@ type caseResult struct {
 }
 
 type report struct {
-	Kind       string       `json:"kind"`
-	Workers    []int        `json:"workers"`
-	Reps       int          `json:"reps"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	NumCPU     int          `json:"numcpu"`
-	DisablePOR bool         `json:"disable_por,omitempty"`
-	Baseline   string       `json:"baseline,omitempty"`
-	Cases      []caseResult `json:"cases"`
+	Kind        string       `json:"kind"`
+	Workers     []int        `json:"workers"`
+	Reps        int          `json:"reps"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	NumCPU      int          `json:"numcpu"`
+	DisablePOR  bool         `json:"disable_por,omitempty"`
+	DisableSymm bool         `json:"disable_symm,omitempty"`
+	Baseline    string       `json:"baseline,omitempty"`
+	Cases       []caseResult `json:"cases"`
 }
 
 func main() {
@@ -153,6 +172,9 @@ func main() {
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 	baselinePath := flag.String("baseline", "", "previous report to embed as before/after columns")
 	noPOR := flag.Bool("no-por", false, "disable sleep-set partial-order reduction in every strategy (drops the on/off comparison columns)")
+	noSymm := flag.Bool("no-symm", false, "disable process-symmetry orbit collapsing in every strategy (drops the on/off comparison columns)")
+	procs := flag.Int("procs", 0, "pin GOMAXPROCS for the whole run (0 = keep the runtime default; the report records the effective value)")
+	assertSymmGE := flag.Float64("assert-symm-ge", 0, "exit nonzero if any case's symm_state_reduction falls below this bound (0 = no assertion)")
 	testdata := flag.String("testdata", "testdata", "directory of .evo programs to bench as additional workloads (\"\" = generated cases only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -161,6 +183,9 @@ func main() {
 	workers, err := parseWorkers(*workersFlag)
 	if err != nil {
 		fatal(err)
+	}
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
 	}
 	cases, err := workloads(*testdata)
 	if err != nil {
@@ -188,17 +213,18 @@ func main() {
 	}
 
 	rep := report{
-		Kind:       core.RelCCW.String(),
-		Workers:    workers,
-		Reps:       *reps,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		DisablePOR: *noPOR,
-		Baseline:   *baselinePath,
+		Kind:        core.RelCCW.String(),
+		Workers:     workers,
+		Reps:        *reps,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		DisablePOR:  *noPOR,
+		DisableSymm: *noSymm,
+		Baseline:    *baselinePath,
 	}
 	for _, c := range cases {
 		fmt.Fprintf(os.Stderr, "== %s (%d procs, %d events)\n", c.name, len(c.x.Procs), len(c.x.Events))
-		res, err := runCase(c, workers, *reps, baseline, *noPOR)
+		res, err := runCase(c, workers, *reps, baseline, *noPOR, *noSymm)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", c.name, err))
 		}
@@ -214,6 +240,19 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	if *assertSymmGE > 0 {
+		failed := false
+		for _, cr := range rep.Cases {
+			if cr.SymmStateReduction != 0 && cr.SymmStateReduction < *assertSymmGE {
+				fmt.Fprintf(os.Stderr, "bench: %s: symm_state_reduction %.2f below required %.2f\n",
+					cr.Name, cr.SymmStateReduction, *assertSymmGE)
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
@@ -318,7 +357,7 @@ func testdataWorkloads(dir string) ([]benchCase, error) {
 	return cases, nil
 }
 
-func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool) (caseResult, error) {
+func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR, noSymm bool) (caseResult, error) {
 	n := len(c.x.Events)
 	res := caseResult{
 		Name:              c.name,
@@ -332,7 +371,7 @@ func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool)
 	}
 
 	seq, err := measure(reps, func() error {
-		a, err := core.New(c.x, core.Options{})
+		a, err := core.New(c.x, core.Options{DisableSymm: noSymm})
 		if err != nil {
 			return err
 		}
@@ -348,7 +387,7 @@ func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool)
 	for _, w := range workers {
 		key := strconv.Itoa(w)
 		par, err := measure(reps, func() error {
-			_, err := relationParallel(c.x, core.Options{}, core.RelCCW, w)
+			_, err := relationParallel(c.x, core.Options{DisableSymm: noSymm}, core.RelCCW, w)
 			return err
 		})
 		if err != nil {
@@ -362,7 +401,7 @@ func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool)
 		key := strconv.Itoa(w)
 		var nodes, edges int64
 		mat, err := measure(reps, func() error {
-			a, err := core.New(c.x, core.Options{DisablePOR: noPOR})
+			a, err := core.New(c.x, core.Options{DisablePOR: noPOR, DisableSymm: noSymm})
 			if err != nil {
 				return err
 			}
@@ -395,7 +434,7 @@ func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool)
 			key := strconv.Itoa(w)
 			var edges int64
 			mat, err := measure(reps, func() error {
-				a, err := core.New(c.x, core.Options{})
+				a, err := core.New(c.x, core.Options{DisableSymm: noSymm})
 				if err != nil {
 					return err
 				}
@@ -419,15 +458,45 @@ func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool)
 		}
 	}
 
-	if err := measurePlan(c, &res, reps, noPOR); err != nil {
+	if !noSymm {
+		res.MatrixNoSymmMS = map[string]float64{}
+		for _, w := range workers {
+			key := strconv.Itoa(w)
+			var nodes int64
+			mat, err := measure(reps, func() error {
+				a, err := core.New(c.x, core.Options{DisablePOR: noPOR, DisableSymm: true})
+				if err != nil {
+					return err
+				}
+				if _, err := a.Matrix(context.Background(), []core.RelKind{core.RelCCW}, core.MatrixOpts{Workers: w}); err != nil {
+					return err
+				}
+				nodes = a.Stats().Nodes
+				return nil
+			})
+			if err != nil {
+				return res, err
+			}
+			res.MatrixNoSymmMS[key] = mat
+			res.MatrixNodesNoSymm = nodes
+			fmt.Fprintf(os.Stderr, "  matrix-nosymm w=%-2d    %10.2f ms  (%d states without orbit collapse)\n", w, mat, nodes)
+		}
+		if res.MatrixNodes > 0 {
+			res.SymmStateReduction = round2(float64(res.MatrixNodesNoSymm) / float64(res.MatrixNodes))
+			fmt.Fprintf(os.Stderr, "  symm state reduction  %10.2fx (%d -> %d)\n",
+				res.SymmStateReduction, res.MatrixNodesNoSymm, res.MatrixNodes)
+		}
+	}
+
+	if err := measurePlan(c, &res, reps, noPOR, noSymm); err != nil {
 		return res, err
 	}
 
-	if err := measureAnytime(c, &res, noPOR); err != nil {
+	if err := measureAnytime(c, &res, noPOR, noSymm); err != nil {
 		return res, err
 	}
 
-	allocs, err := measureMatrixAllocs(c)
+	allocs, err := measureMatrixAllocs(c, noSymm)
 	if err != nil {
 		return res, err
 	}
@@ -446,7 +515,7 @@ func runCase(c benchCase, workers []int, reps int, baseline *report, noPOR bool)
 // fractions from one Build, then planner-on vs planner-off single-worker
 // matrix wall-clock through plan.Analyze (same engine options as the main
 // matrix columns).
-func measurePlan(c benchCase, res *caseResult, reps int, noPOR bool) error {
+func measurePlan(c benchCase, res *caseResult, reps int, noPOR, noSymm bool) error {
 	kinds := []core.RelKind{core.RelCCW}
 	p, err := plan.Build(c.x, kinds, plan.Options{})
 	if err != nil {
@@ -458,7 +527,7 @@ func measurePlan(c benchCase, res *caseResult, reps int, noPOR bool) error {
 	}
 	res.PlanPolyFrac = round4(p.PolyFraction())
 	res.PlanResiduePairs = p.Residue
-	copts := core.Options{DisablePOR: noPOR}
+	copts := core.Options{DisablePOR: noPOR, DisableSymm: noSymm}
 	for _, tiers := range []int{0, -1} {
 		ms, err := measure(reps, func() error {
 			_, err := plan.Analyze(context.Background(), c.x, kinds, copts,
@@ -488,13 +557,13 @@ func measurePlan(c benchCase, res *caseResult, reps int, noPOR bool) error {
 // expanded-state count, and the partial result's decided-pair fraction is
 // recorded (completed runs — possible on tiny state spaces where a
 // quarter budget still finishes the sweeps — record 1).
-func measureAnytime(c benchCase, res *caseResult, noPOR bool) error {
+func measureAnytime(c benchCase, res *caseResult, noPOR, noSymm bool) error {
 	run := func(budget int64) (float64, error) {
 		if budget < 1 {
 			budget = 1
 		}
 		out, err := plan.Analyze(context.Background(), c.x, []core.RelKind{core.RelCCW},
-			core.Options{DisablePOR: noPOR},
+			core.Options{DisablePOR: noPOR, DisableSymm: noSymm},
 			core.MatrixOpts{Workers: 1, Budget: budget})
 		if err != nil {
 			return 0, err
@@ -524,8 +593,8 @@ func measureAnytime(c benchCase, res *caseResult, noPOR bool) error {
 // measureMatrixAllocs runs one single-worker Matrix and returns the heap
 // allocation count it incurred (Mallocs delta; single-goroutine, so the
 // delta is attributable to the run).
-func measureMatrixAllocs(c benchCase) (float64, error) {
-	a, err := core.New(c.x, core.Options{})
+func measureMatrixAllocs(c benchCase, noSymm bool) (float64, error) {
+	a, err := core.New(c.x, core.Options{DisableSymm: noSymm})
 	if err != nil {
 		return 0, err
 	}

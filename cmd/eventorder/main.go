@@ -177,6 +177,7 @@ func cmdAnalyze(args []string) error {
 	budget := fs.Int64("budget", 0, "search node budget per query (0 = unlimited)")
 	workers := fs.Int("workers", 0, "with -all: batch matrix engine fan-out (0 = GOMAXPROCS)")
 	noPOR := fs.Bool("no-por", false, "disable sleep-set partial-order reduction (verdicts are identical; escape hatch for comparison and debugging)")
+	noSymm := fs.Bool("no-symm", false, "disable process-symmetry orbit collapsing (verdicts are identical; escape hatch for comparison and debugging)")
 	noPlan := fs.Bool("no-plan", false, "with -all: skip the polynomial planner tiers and let the exact engine settle every pair (verdicts are identical)")
 	ckptFile := fs.String("checkpoint", "", "with -all: when the analysis is interrupted (budget exhaustion or Ctrl-C), write a resumable checkpoint to this file")
 	resumeFile := fs.String("resume", "", "with -all: resume an interrupted analysis from a checkpoint file (budget counts cumulatively across attempts)")
@@ -192,7 +193,7 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
-	copts := core.Options{IgnoreData: *ignoreData, MaxNodes: *budget, DisablePOR: *noPOR}
+	copts := core.Options{IgnoreData: *ignoreData, MaxNodes: *budget, DisablePOR: *noPOR, DisableSymm: *noSymm}
 	if *all {
 		// Full matrices go through the tiered planner: polynomial
 		// pre-solvers decide what they can, then one shared exact

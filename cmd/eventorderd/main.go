@@ -69,6 +69,7 @@ func main() {
 	maxBudget := flag.Int64("max-budget", 0, "cap on client-requested node budgets (0 = uncapped)")
 	maxMatrixWorkers := flag.Int("max-matrix-workers", 0, "cap on client-requested matrix fan-out (0 = GOMAXPROCS)")
 	noPOR := flag.Bool("no-por", false, "disable sleep-set partial-order reduction in all analyses (identical verdicts; comparison/debugging escape hatch)")
+	noSymm := flag.Bool("no-symm", false, "disable process-symmetry orbit collapsing in all analyses (identical verdicts; comparison/debugging escape hatch)")
 	noPlan := flag.Bool("no-plan", false, "disable the tiered relation planner on matrix requests (identical verdicts; exact engine settles every pair)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	selfcheck := flag.Bool("selfcheck", false, "run an end-to-end smoke test against a loopback instance and exit")
@@ -85,6 +86,7 @@ func main() {
 		MaxBudget:        *maxBudget,
 		MaxMatrixWorkers: *maxMatrixWorkers,
 		DisablePOR:       *noPOR,
+		DisableSymm:      *noSymm,
 		DisablePlan:      *noPlan,
 		Logger:           logger,
 	}

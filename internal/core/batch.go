@@ -78,6 +78,15 @@ type MatrixOpts struct {
 	// states, and the backward completability sweep always walks the full
 	// enabled set. A resumed run inherits the checkpoint's setting.
 	DisablePOR bool
+	// DisableSymm turns off process-symmetry orbit collapsing for this
+	// batch's sweeps (it is also off whenever the analyzer's
+	// Options.DisableSymm is set or no nontrivial group was detected).
+	// Matrices are bit-identical either way: the sweeps intern one
+	// canonical representative per orbit and fold facts for every orbit
+	// member through the inverse permutations. A resumed run inherits the
+	// checkpoint's setting — and refuses to resume a symmetry-reduced
+	// checkpoint (whose stored keys are canonical) with symmetry disabled.
+	DisableSymm bool
 	// Seed carries primitive interval facts proven by a polynomial
 	// pre-analysis (internal/plan builds one): a lower bound (facts proven
 	// true) and an upper bound (facts proven false) on the canOrder /
@@ -268,6 +277,7 @@ func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts)
 	n := len(a.x.Events)
 	seed := opts.Seed
 	por := a.por && !opts.DisablePOR
+	sym := a.symm && !opts.DisableSymm
 	ckpt := opts.Resume
 	if ckpt != nil {
 		if opts.Seed != nil {
@@ -278,6 +288,15 @@ func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts)
 		}
 		seed = ckpt.seed()
 		por = ckpt.POR
+		// The checkpoint's stored state keys are orbit-canonical when it
+		// was cut from a symmetry-reduced run; resuming them without the
+		// canonicalizer would treat representatives as the whole frontier.
+		// POR-style silent inheritance is impossible in that direction, so
+		// the mismatch is an error rather than a downgrade.
+		if ckpt.Symm && !sym {
+			return nil, errors.New("core: checkpoint was cut from a symmetry-reduced run; resume without -no-symm/DisableSymm")
+		}
+		sym = ckpt.Symm
 	}
 	if seed != nil {
 		if err := seed.Validate(n); err != nil {
@@ -308,12 +327,13 @@ func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts)
 		}
 	}
 
-	run, err := newBatchRun(a, ctx, opts.Workers, budget, por, seed, ckpt)
+	run, err := newBatchRun(a, ctx, opts.Workers, budget, por, sym, seed, ckpt)
 	if err != nil {
 		return nil, err
 	}
 	err = run.explore()
 	run.mergeWorkerFacts()
+	a.stats.SymmCollapses += run.symmCollapses()
 	if err != nil {
 		if !isInterrupt(err) {
 			return nil, err
@@ -354,6 +374,7 @@ func isInterrupt(err error) bool {
 type batchTable interface {
 	Intern(key []uint64) (fresh bool)
 	InternAux(key []uint64, aux uint64) (fresh bool)
+	InternAuxOr(key []uint64, aux uint64) (fresh bool, old uint64)
 	Lookup(key []uint64) (value, ok bool)
 	LookupAux(key []uint64) (value bool, aux uint64, ok bool)
 	Store(key []uint64, value bool)
@@ -420,6 +441,17 @@ type batchRun struct {
 	por     bool
 	edgeCnt []int64
 
+	// symm enables orbit-canonical state keys: the forward sweep interns
+	// only the least representative of each orbit (sleep masks translated
+	// into its frame by the witness permutation), the backward sweep folds
+	// facts for every orbit member, and pcSeen's aux word accumulates
+	// which per-process sync-edge orbit folds a canonical signature has
+	// already run. perms is per-worker witness scratch; orbits the
+	// per-worker orbit-enumeration walkers.
+	symm   bool
+	perms  [][]int32
+	orbits []*orbitWalker
+
 	// phase/phaseLvl track which sweep is running and the level it is
 	// processing, so an interrupt can checkpoint its exact position.
 	// baseExpanded/baseEdges carry the resumed-from checkpoint's counters
@@ -441,7 +473,7 @@ type batchRun struct {
 // edgeStride spaces per-worker edge counters one cache line apart.
 const edgeStride = 8
 
-func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, por bool, seed *FactSeed, ckpt *Checkpoint) (*batchRun, error) {
+func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, por, sym bool, seed *FactSeed, ckpt *Checkpoint) (*batchRun, error) {
 	n := len(a.x.Events)
 	r := &batchRun{
 		a:         a,
@@ -450,6 +482,7 @@ func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, po
 		factWords: (n + 63) / 64,
 		budget:    budget,
 		por:       por,
+		symm:      sym,
 		seed:      seed,
 		edgeCnt:   make([]int64, workers*edgeStride),
 	}
@@ -523,6 +556,19 @@ func newBatchRun(a *Analyzer, ctx context.Context, workers int, budget int64, po
 		r.shadows[w] = a.shadow()
 		r.wOrder[w] = newFacts()
 		r.wOverlap[w] = newFacts()
+	}
+	if sym {
+		r.perms = make([][]int32, workers)
+		r.orbits = make([]*orbitWalker, workers)
+		for w := 0; w < workers; w++ {
+			r.perms[w] = make([]int32, len(a.pc))
+			r.orbits[w] = &orbitWalker{
+				r:    r,
+				w:    w,
+				pc:   make([]int32, len(a.pc)),
+				used: make([]uint64, len(a.symmClasses)),
+			}
+		}
 	}
 	r.precomputeIntervalTables()
 	if ckpt != nil {
@@ -860,6 +906,18 @@ func (r *batchRun) forward() error {
 			sleep := cand
 			enabled := s.appendEnabled(s.enabledSlot(0))
 			child := s.keySlot(0)
+			// With symmetry on, successors are patched into raw scratch
+			// and canonicalized into child before interning, the sleep
+			// contribution translated into the canonical frame by the
+			// witness permutation. The parent's own mask needs no inverse
+			// translation: the parent key IS canonical, and decodeState
+			// put the shadow in that same canonical frame.
+			raw := child
+			var perm []int32
+			if r.symm {
+				raw = s.symmRaw
+				perm = r.perms[w]
+			}
 			for _, id := range enabled {
 				var childMask uint64
 				if r.por {
@@ -871,7 +929,13 @@ func (r *batchRun) forward() error {
 					cand |= pbit
 				}
 				r.edgeCnt[w*edgeStride]++
-				s.patchChildKey(id, key, child)
+				s.patchChildKey(id, key, raw)
+				if r.symm {
+					if s.canonicalizeKey(raw, child, perm) {
+						s.stats.SymmCollapses++
+					}
+					childMask = permuteMask(childMask, perm)
+				}
 				if r.table.InternAux(child, childMask) {
 					nextLevel[w] = append(nextLevel[w], child...)
 				}
@@ -905,6 +969,7 @@ func (r *batchRun) backward() error {
 			key := level[i*kw : (i+1)*kw]
 			r.decodeState(s, key)
 			completable := false
+			var syncMask uint64
 			if s.allDone() {
 				completable = true
 			} else {
@@ -912,22 +977,38 @@ func (r *batchRun) backward() error {
 				child := s.keySlot(0)
 				for _, id := range enabled {
 					s.patchChildKey(id, key, child)
-					childOK, _ := r.table.Lookup(child)
+					ck := child
+					if r.symm {
+						// The table holds canonical keys only; the child of
+						// a canonical state need not be canonical itself.
+						s.canonicalizeKey(child, s.symmRaw, r.perms[w])
+						ck = s.symmRaw
+					}
+					childOK, _ := r.table.Lookup(ck)
 					if !childOK {
 						continue
 					}
 					completable = true
 					if s.acts[id].kind == actSync {
-						// Edge rule: the atomic event fires here, inside
-						// the interval of every in-progress event.
-						r.foldSyncOverlap(w, s, s.acts[id].event)
+						if r.symm {
+							// Deferred: the orbit fold below replays this
+							// edge for every orbit member, deduped through
+							// pcSeen's accumulated fold mask.
+							syncMask |= 1 << uint(s.acts[id].proc)
+						} else {
+							// Edge rule: the atomic event fires here, inside
+							// the interval of every in-progress event.
+							r.foldSyncOverlap(w, s.pc, s.acts[id].event)
+						}
 					}
 				}
 			}
 			if completable {
 				r.table.Store(key, true)
-				if r.pcSeen.Intern(r.pcSig(w, key)) {
-					r.foldStateFacts(w, s)
+				if r.symm {
+					r.orbits[w].fold(s, key, syncMask)
+				} else if r.pcSeen.Intern(r.pcSig(w, key)) {
+					r.foldStateFacts(w, s.pc)
 				}
 			}
 			return nil
@@ -956,19 +1037,21 @@ func (r *batchRun) mergeWorkerFacts() {
 	}
 }
 
-// foldStateFacts derives the interval facts visible at shadow s's current
-// state (which is reachable and completable) into worker w's accumulators:
+// foldStateFacts derives the interval facts visible at the reachable,
+// completable state with program counters pc into worker w's accumulators:
 // every ended event can-order every not-yet-begun event, and every pair of
-// in-progress events can overlap.
-func (r *batchRun) foldStateFacts(w int, s *Analyzer) {
-	n := len(s.x.Events)
+// in-progress events can overlap. It depends on the state only through pc
+// (the interval tables are indexed [proc][pc]), which is what lets the
+// orbit walker fold members whose packed keys were never materialized.
+func (r *batchRun) foldStateFacts(w int, pc []int32) {
+	n := len(r.a.x.Events)
 	ended, notBegun := r.foldEnded[w], r.foldNotBegun[w]
 	for i := 0; i < r.factWords; i++ {
 		ended[i], notBegun[i] = 0, 0
 	}
 	inProg := r.foldInProg[w][:0]
-	for p := range s.procActs {
-		pcp := s.pc[p]
+	for p := range pc {
+		pcp := pc[p]
 		eb := r.endedBits[p][pcp]
 		bb := r.begunBits[p][pcp]
 		for i := 0; i < r.factWords; i++ {
@@ -1024,14 +1107,16 @@ func (r *batchRun) setOverlap(acc [][]uint64, e, f int32) {
 	acc[e][f/64] |= 1 << uint(f%64)
 }
 
-// foldSyncOverlap records that atomic event ev, firing from shadow s's
-// current state on a path to completion, overlaps every event in progress
-// there (in-progress events belong to other processes by construction: a
-// sync action is enabled only when it is its own process's next action).
-func (r *batchRun) foldSyncOverlap(w int, s *Analyzer, ev int32) {
+// foldSyncOverlap records that atomic event ev, firing from the state with
+// program counters pc on a path to completion, overlaps every event in
+// progress there (in-progress events belong to other processes by
+// construction: a sync action is enabled only when it is its own process's
+// next action). Like foldStateFacts it reads only pc, for the orbit
+// walker's sake.
+func (r *batchRun) foldSyncOverlap(w int, pc []int32, ev int32) {
 	overlap := r.wOverlap[w]
-	for p := range s.procActs {
-		if f := r.inProgEvent[p][s.pc[p]]; f >= 0 {
+	for p := range pc {
+		if f := r.inProgEvent[p][pc[p]]; f >= 0 {
 			r.setOverlap(overlap, ev, f)
 			r.setOverlap(overlap, f, ev)
 		}
@@ -1075,6 +1160,124 @@ func (r *batchRun) edges() int64 {
 	return total
 }
 
+// symmCollapses sums the per-worker orbit-collapse counters (shadows carry
+// them so the hot loop touches no shared cache line).
+func (r *batchRun) symmCollapses() int64 {
+	var total int64
+	for _, s := range r.shadows {
+		total += s.stats.SymmCollapses
+	}
+	return total
+}
+
+// orbitWalker replays a canonical backward-sweep state's fact folds for
+// every member of its orbit, keeping the symmetry-reduced run's matrices
+// bit-identical to the unreduced engine's: the unreduced backward sweep
+// visits each member as a real state and folds there; the reduced sweep
+// visits only the representative, so the walker reconstructs the member
+// program counters (facts depend on states only through pc) and folds the
+// same set. One walker per worker; all walk state lives in the struct and
+// recursion is by method, so enumeration allocates nothing per state.
+//
+// Dedup matches the unreduced run's exactly. State facts fold once per pc
+// signature — the walker runs them only when the canonical signature was
+// fresh in pcSeen, and then covers every member signature (orbits
+// partition states, so no other canonical state reaches these members).
+// Sync-edge folds are per (signature, acting process): pcSeen's aux word
+// accumulates, per canonical signature, the canonical processes whose
+// edge folds have run, so ev-variant states sharing a signature replay
+// each process's orbit folds exactly once (the folded pairs depend only
+// on the signature, making the replay idempotent — same union of bits as
+// the unreduced run's per-state folds).
+type orbitWalker struct {
+	r       *batchRun
+	w       int
+	canon   []int32  // canonical pc (borrowed from the worker's shadow)
+	pc      []int32  // member pc under construction
+	used    []uint64 // per-class taken-position bitmaps for the recursion
+	fresh   bool     // canonical signature was new: fold member state facts
+	newSync uint64   // canonical procs whose sync-edge folds run this walk
+}
+
+// fold is the walker's entry point: s sits decoded at the canonical state
+// whose packed key is key, and syncMask holds the processes whose enabled
+// sync action led to a completable child there.
+func (o *orbitWalker) fold(s *Analyzer, key []uint64, syncMask uint64) {
+	r := o.r
+	fresh, old := r.pcSeen.InternAuxOr(r.pcSig(o.w, key), syncMask)
+	o.fresh = fresh
+	o.newSync = syncMask &^ old
+	if !fresh && o.newSync == 0 {
+		return
+	}
+	o.canon = s.pc
+	copy(o.pc, s.pc)
+	o.walk(s, 0)
+}
+
+// walk recurses over the symmetry classes; when all are assigned, the pc
+// vector names one orbit member and emit folds its facts. Processes
+// outside every class keep their canonical counters (pc starts as a copy).
+func (o *orbitWalker) walk(s *Analyzer, ci int) {
+	if ci == len(s.symmClasses) {
+		o.emit(s)
+		return
+	}
+	o.place(s, ci, 0)
+}
+
+// place assigns class ci's j-th member one of the class's canonical pc
+// values, each canonical position used once per member assignment.
+// Duplicate values generate identical assignments; skipping a position
+// whose equal left neighbor is still unused enumerates each distinct
+// member exactly once (the standard distinct-permutations recursion).
+func (o *orbitWalker) place(s *Analyzer, ci, j int) {
+	class := s.symmClasses[ci]
+	if j == len(class) {
+		o.walk(s, ci+1)
+		return
+	}
+	for i := 0; i < len(class); i++ {
+		if o.used[ci]&(1<<uint(i)) != 0 {
+			continue
+		}
+		v := o.canon[class[i]]
+		if i > 0 && v == o.canon[class[i-1]] && o.used[ci]&(1<<uint(i-1)) == 0 {
+			continue
+		}
+		o.used[ci] |= 1 << uint(i)
+		o.pc[class[j]] = v
+		o.place(s, ci, j+1)
+		o.used[ci] &^= 1 << uint(i)
+	}
+}
+
+// emit folds one orbit member's facts. For a sync-edge fold of canonical
+// process p, the member's acting processes are exactly the members of p's
+// class whose counter sits at p's canonical position — each corresponds to
+// an automorphism mapping the canonical state to this member and p to that
+// process — so the member's own event at that position is folded for each.
+func (o *orbitWalker) emit(s *Analyzer) {
+	r := o.r
+	if o.fresh {
+		r.foldStateFacts(o.w, o.pc)
+	}
+	for m := o.newSync; m != 0; m &= m - 1 {
+		p := int32(bits.TrailingZeros64(m))
+		pos := o.canon[p]
+		ci := s.symmClassOf[p]
+		if ci < 0 {
+			r.foldSyncOverlap(o.w, o.pc, s.acts[s.procActs[p][pos]].event)
+			continue
+		}
+		for _, q := range s.symmClasses[ci] {
+			if o.pc[q] == pos {
+				r.foldSyncOverlap(o.w, o.pc, s.acts[s.procActs[q][pos]].event)
+			}
+		}
+	}
+}
+
 // checkpoint captures the interrupted run's position and knowledge. A
 // forward-phase capture drops the keys of the partially interned next
 // level (they must re-enter the frontier as fresh when the level re-runs)
@@ -1085,6 +1288,7 @@ func (r *batchRun) checkpoint() *Checkpoint {
 	c := &Checkpoint{
 		Fingerprint: r.a.fingerprint(),
 		POR:         r.por,
+		Symm:        r.symm,
 		Phase:       r.phase,
 		NextLevel:   r.phaseLvl,
 		Expanded:    r.expanded.Load(),

@@ -51,6 +51,14 @@ type Checkpoint struct {
 	// POR records whether sleep-set pruning was on; the resumed run keeps
 	// the same setting so the stored aux masks retain their meaning.
 	POR bool
+	// Symm records whether process-symmetry orbit collapsing was on. The
+	// stored state keys are then orbit-canonical representatives (and
+	// PcSeen's aux words are fold-progress masks), so the resumed run
+	// keeps the setting and refuses to resume with symmetry disabled.
+	// Checkpoints from before this field decode as false, matching the
+	// runs that produced them. (Gob omits zero-valued fields, so old
+	// payloads remain readable.)
+	Symm bool
 	// Phase is the interrupted sweep: 0 forward, 1 backward.
 	Phase uint8
 	// NextLevel is the level the interrupted sweep was processing; the

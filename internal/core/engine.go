@@ -42,6 +42,7 @@ import (
 
 	"eventorder/internal/model"
 	"eventorder/internal/statetab"
+	"eventorder/internal/symm"
 )
 
 // ErrBudget is returned when a query exceeds Options.MaxNodes search nodes.
@@ -70,6 +71,15 @@ type Options struct {
 	// disables itself automatically on executions with more than 64
 	// processes (sleep sets are process bitmasks).
 	DisablePOR bool
+	// DisableSymm turns off process-symmetry reduction, restoring raw
+	// (non-canonicalized) state keys in the completion memo and the batch
+	// sweeps. Verdicts and relation matrices are identical either way —
+	// symmetry only collapses states that differ by a proven program
+	// automorphism — so, like DisablePOR, this is an escape hatch and a
+	// differential-testing axis. Symmetry also disables itself
+	// automatically when no nontrivial group is detected or on executions
+	// with more than 64 processes (witness masks are process bitmasks).
+	DisableSymm bool
 }
 
 // Stats reports search effort accumulated by an Analyzer, plus the
@@ -85,6 +95,13 @@ type Stats struct {
 	MemoBytes    int64   // heap bytes held by the completion memo's arrays
 	MemoLoad     float64 // completion memo load factor (entries/capacity)
 	MemoGrows    int64   // capacity doublings since creation or DropMemo
+	// SymmClasses is the number of interchangeable-process classes the
+	// symmetry detector proved (0 when reduction is off or the group is
+	// trivial); SymmCollapses counts states whose key canonicalized to a
+	// different orbit representative — search work the reduction avoided
+	// re-doing.
+	SymmClasses   int
+	SymmCollapses int64
 }
 
 type actKind uint8
@@ -177,6 +194,20 @@ type Analyzer struct {
 	por    bool
 	depAll []bool    // action id → dependent with every action (fork/join)
 	depAdj [][]int32 // action id → data-dependence neighbors, both directions
+
+	// Process-symmetry reduction (symm.go). symm is true when a nontrivial
+	// process-permutation group was detected and not disabled; the class
+	// tables are shared (immutable) while the scratch below is per-Analyzer
+	// (reallocated by shadow()). symmRaw holds the raw packed key before
+	// canonicalization; permArena holds per-depth witness permutations,
+	// which must survive recursion into child frames like keyArena slots.
+	symm        bool
+	symmClasses [][]int32 // interchangeable-process classes, ascending ids
+	symmClassOf []int32   // proc → class index, or -1 if fixed
+	symmVals    []int32   // per-class pc values during canonicalization
+	symmIdx     []int32   // per-class sort permutation scratch
+	symmRaw     []uint64  // raw-key scratch (keyWords words)
+	permArena   []int32   // per-depth witness permutations (len(pc) each)
 }
 
 // New preprocesses x for relation queries. The execution must be
@@ -364,6 +395,13 @@ func newAnalyzer(x *model.Execution, opts Options, needOrder bool) (*Analyzer, e
 	if a.por {
 		a.buildPOR()
 	}
+	if !opts.DisableSymm && len(x.Procs) >= 2 && len(x.Procs) <= 64 {
+		if g := symm.Detect(x, opts.IgnoreData); !g.Trivial() {
+			a.symm = true
+			a.symmClasses = g.Classes
+			a.symmClassOf = g.ClassOf
+		}
+	}
 	a.allocScratch()
 	a.memoComplete = statetab.New(a.keyWords, 0)
 	return a, nil
@@ -376,6 +414,13 @@ func (a *Analyzer) allocScratch() {
 	a.keyArena = make([]uint64, depths*a.keyWords)
 	a.enabledArena = make([]int32, depths*len(a.procActs))
 	a.walkEnabled = make([]int32, 0, len(a.procActs))
+	if a.symm {
+		np := len(a.procActs)
+		a.symmVals = make([]int32, np)
+		a.symmIdx = make([]int32, np)
+		a.symmRaw = make([]uint64, a.keyWords)
+		a.permArena = make([]int32, depths*np)
+	}
 }
 
 // keySlot returns depth's packed-key scratch slot.
@@ -405,6 +450,7 @@ func (a *Analyzer) Stats() Stats {
 	s.MemoBytes = ts.Bytes
 	s.MemoLoad = ts.Load
 	s.MemoGrows = ts.Grows
+	s.SymmClasses = len(a.symmClasses)
 	return s
 }
 
@@ -697,17 +743,38 @@ func (a *Analyzer) canComplete(budget *int64, depth int, sleep uint64) (bool, er
 		return true, nil
 	}
 	var key []uint64
+	var perm []int32
 	var oldMask uint64
 	reexplore := false
 	if !a.opts.DisableMemo {
 		key = a.keySlot(depth)
-		a.packKey(keyExtraComplete, key)
+		if a.symm {
+			// Memoize under the orbit-canonical key: completability is
+			// invariant under program automorphisms, so every orbit member
+			// shares one entry. The witness permutation translates POR
+			// sleep masks between this state's process frame and the
+			// canonical one (stored masks live in canonical coordinates).
+			perm = a.permSlot(depth)
+			a.packKey(keyExtraComplete, a.symmRaw)
+			if a.canonicalizeKey(a.symmRaw, key, perm) {
+				a.stats.SymmCollapses++
+			}
+		} else {
+			a.packKey(keyExtraComplete, key)
+		}
 		if v, aux, ok := a.memoComplete.LookupAux(key); ok {
-			if v || aux&^sleep == 0 {
+			sleepC := sleep
+			if a.symm {
+				sleepC = permuteMask(sleep, perm)
+			}
+			if v || aux&^sleepC == 0 {
 				a.stats.MemoHits++
 				return v, nil
 			}
 			oldMask = aux
+			if a.symm {
+				oldMask = unpermuteMask(aux, perm)
+			}
 			reexplore = true
 		}
 	}
@@ -761,6 +828,8 @@ func (a *Analyzer) canComplete(budget *int64, depth int, sleep uint64) (bool, er
 		mask := unexplored // sleeping processes no pass has ever explored
 		if result {
 			mask = 0 // an existence verdict holds regardless of sleep sets
+		} else if a.symm {
+			mask = permuteMask(mask, perm)
 		}
 		a.memoComplete.StoreAux(key, result, mask)
 	}

@@ -45,13 +45,14 @@ func resumeToCompletion(t *testing.T, x *model.Execution, first *MatrixResult, o
 }
 
 // requireResumeIdentity is the anytime tentpole's acceptance gate: for one
-// trace and worker count, interrupt the exploration with a tiny budget,
-// resume (through serialized checkpoints) in small budget increments until
+// trace, worker count, and analyzer options (the symm on/off axis rides
+// through opts), interrupt the exploration with a tiny budget, resume
+// (through serialized checkpoints) in small budget increments until
 // complete, and require the final matrices bit-identical to a one-shot
 // run — and every intermediate partial verdict to agree with it.
-func requireResumeIdentity(t *testing.T, tag string, x *model.Execution, workers int) {
+func requireResumeIdentity(t *testing.T, tag string, x *model.Execution, workers int, opts Options) {
 	t.Helper()
-	oneShot, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(), nil, MatrixOpts{Workers: workers})
+	oneShot, err := mustAnalyzer(t, x, opts).Matrix(context.Background(), nil, MatrixOpts{Workers: workers})
 	if err != nil {
 		t.Fatalf("%s: one-shot: %v", tag, err)
 	}
@@ -63,7 +64,7 @@ func requireResumeIdentity(t *testing.T, tag string, x *model.Execution, workers
 	// step adds a sliver of budget so the run crosses many checkpoints
 	// (forward and backward phase boundaries included).
 	step := int64(1 + oneShot.Expanded/7)
-	first, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(), nil,
+	first, err := mustAnalyzer(t, x, opts).Matrix(context.Background(), nil,
 		MatrixOpts{Workers: workers, Budget: 1})
 	if err != nil {
 		t.Fatalf("%s: budget-1 run: %v", tag, err)
@@ -109,7 +110,7 @@ func requireResumeIdentity(t *testing.T, tag string, x *model.Execution, workers
 		if err != nil {
 			t.Fatalf("%s: decode: %v", tag, err)
 		}
-		a := mustAnalyzer(t, x, Options{})
+		a := mustAnalyzer(t, x, opts)
 		cur, err = a.Matrix(context.Background(), nil, MatrixOpts{
 			Workers: workers, Budget: ckpt.Expanded + step, Resume: ckpt,
 		})
@@ -130,8 +131,11 @@ func requireResumeIdentity(t *testing.T, tag string, x *model.Execution, workers
 }
 
 // TestResumeIdentityTestdata is the CI resume-identity gate: on every
-// committed example trace and at 1, 2, and 4 workers, an interrupted run
-// resumed to completion is bit-identical to a one-shot run.
+// committed example trace, at 1, 2, and 4 workers, with symmetry reduction
+// on and off, an interrupted run resumed to completion is bit-identical to
+// a one-shot run. (On traces with a trivial symmetry group both settings
+// exercise the same path; the symmetric traces — barrier6, symring,
+// barrier — split genuinely.)
 func TestResumeIdentityTestdata(t *testing.T) {
 	for _, name := range testdataTraces(t) {
 		name := name
@@ -139,9 +143,87 @@ func TestResumeIdentityTestdata(t *testing.T) {
 			t.Parallel()
 			x := loadTrace(t, name)
 			for _, workers := range []int{1, 2, 4} {
-				requireResumeIdentity(t, fmt.Sprintf("%s workers=%d", name, workers), x, workers)
+				for _, noSymm := range []bool{false, true} {
+					tag := fmt.Sprintf("%s workers=%d noSymm=%v", name, workers, noSymm)
+					requireResumeIdentity(t, tag, x, workers, Options{DisableSymm: noSymm})
+				}
 			}
 		})
+	}
+}
+
+// TestResumeIdentitySymmDisagree pins the symm axis across the identity
+// gate's comparison itself: a symm-off resumed run must also be
+// bit-identical to a symm-ON one-shot run (matrices are engine-invariant,
+// not merely config-reproducible).
+func TestResumeIdentitySymmDisagree(t *testing.T) {
+	x := loadTrace(t, "barrier6.evo")
+	symmOn, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(), nil, MatrixOpts{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := mustAnalyzer(t, x, Options{DisableSymm: true}).Matrix(context.Background(), nil,
+		MatrixOpts{Workers: 2, Budget: symmOn.Expanded / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Complete {
+		t.Fatal("half-budget symm-off run completed; interruption path untested")
+	}
+	full := resumeToCompletion(t, x, first, Options{DisableSymm: true}, MatrixOpts{Workers: 2})
+	for _, kind := range AllRelKinds {
+		if !full.Relations[kind].Equal(symmOn.Relations[kind]) {
+			t.Errorf("%s: symm-off resumed differs from symm-on one-shot", kind)
+		}
+	}
+}
+
+// TestResumeRejectsSymmMismatch: a checkpoint cut from a symmetry-reduced
+// run stores orbit-canonical keys; resuming it with symmetry disabled
+// (the -no-symm escape hatch) must fail loudly, not misread the frontier.
+func TestResumeRejectsSymmMismatch(t *testing.T) {
+	x := loadTrace(t, "barrier6.evo")
+	first, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(), nil, MatrixOpts{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Complete {
+		t.Fatal("budget-1 run completed")
+	}
+	if !first.Checkpoint.Symm {
+		t.Fatal("symm-capable run checkpointed Symm=false")
+	}
+	// Analyzer-level disable.
+	if _, err := mustAnalyzer(t, x, Options{DisableSymm: true}).Matrix(context.Background(), nil,
+		MatrixOpts{Resume: first.Checkpoint}); err == nil {
+		t.Error("symm-on checkpoint accepted by a DisableSymm analyzer")
+	}
+	// Matrix-level disable on a symm-capable analyzer.
+	if _, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(), nil,
+		MatrixOpts{Resume: first.Checkpoint, DisableSymm: true}); err == nil {
+		t.Error("symm-on checkpoint accepted with MatrixOpts.DisableSymm")
+	}
+	// The reverse direction inherits like POR: a symm-off checkpoint
+	// resumed on a symm-capable analyzer stays off and completes.
+	firstOff, err := mustAnalyzer(t, x, Options{DisableSymm: true}).Matrix(context.Background(), nil, MatrixOpts{Budget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstOff.Complete {
+		t.Fatal("budget-1 symm-off run completed")
+	}
+	if firstOff.Checkpoint.Symm {
+		t.Fatal("DisableSymm run checkpointed Symm=true")
+	}
+	full := resumeToCompletion(t, x, firstOff, Options{}, MatrixOpts{})
+	oneShot, err := mustAnalyzer(t, x, Options{}).Matrix(context.Background(), nil, MatrixOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range AllRelKinds {
+		if !full.Relations[kind].Equal(oneShot.Relations[kind]) {
+			t.Errorf("%s: symm-pinned-off resume differs from one-shot", kind)
+		}
 	}
 }
 

@@ -66,10 +66,11 @@ func Check(x *model.Execution, cfg Config) error {
 	cfg = cfg.withDefaults()
 	opts := core.Options{IgnoreData: cfg.IgnoreData, MaxNodes: cfg.MaxNodes}
 
-	// Reference: the per-pair search with reduction disabled — the oldest,
-	// most directly paper-shaped decision procedure.
+	// Reference: the per-pair search with every reduction disabled — the
+	// oldest, most directly paper-shaped decision procedure.
 	refOpts := opts
 	refOpts.DisablePOR = true
+	refOpts.DisableSymm = true
 	ref, err := allRelations(x, refOpts)
 	if err != nil {
 		return fmt.Errorf("oracle: reference per-pair engine: %w", err)
@@ -89,30 +90,48 @@ func Check(x *model.Execution, cfg Config) error {
 		}
 	}
 
-	por, err := allRelations(x, opts)
-	if err != nil {
-		return fmt.Errorf("oracle: per-pair POR engine: %w", err)
+	// Per-pair engine at every reduction combination the reference does
+	// not already cover: POR alone, symmetry alone, both composed.
+	perPairVariants := []struct {
+		name            string
+		disPOR, disSymm bool
+	}{
+		{"per-pair POR", false, true},
+		{"per-pair symm", true, false},
+		{"per-pair POR+symm", false, false},
 	}
-	if err := compare("per-pair POR", x, por, ref); err != nil {
-		return err
+	for _, v := range perPairVariants {
+		o := opts
+		o.DisablePOR = v.disPOR
+		o.DisableSymm = v.disSymm
+		got, err := allRelations(x, o)
+		if err != nil {
+			return fmt.Errorf("oracle: %s engine: %w", v.name, err)
+		}
+		if err := compare(v.name, x, got, ref); err != nil {
+			return err
+		}
 	}
 
 	for _, w := range cfg.Workers {
-		for _, disable := range []bool{false, true} {
-			a, err := core.New(x, opts)
-			if err != nil {
-				return fmt.Errorf("oracle: analyzer: %w", err)
-			}
-			m, err := a.Matrix(context.Background(), nil, core.MatrixOpts{Workers: w, DisablePOR: disable})
-			if err != nil {
-				return fmt.Errorf("oracle: Matrix(workers=%d, disablePOR=%v): %w", w, disable, err)
-			}
-			tag := fmt.Sprintf("Matrix(workers=%d, disablePOR=%v)", w, disable)
-			if !m.Complete {
-				return fmt.Errorf("oracle: %s returned a partial result with no interrupt", tag)
-			}
-			if err := compare(tag, x, m.Relations, ref); err != nil {
-				return err
+		for _, disablePOR := range []bool{false, true} {
+			for _, disableSymm := range []bool{false, true} {
+				a, err := core.New(x, opts)
+				if err != nil {
+					return fmt.Errorf("oracle: analyzer: %w", err)
+				}
+				m, err := a.Matrix(context.Background(), nil,
+					core.MatrixOpts{Workers: w, DisablePOR: disablePOR, DisableSymm: disableSymm})
+				tag := fmt.Sprintf("Matrix(workers=%d, disablePOR=%v, disableSymm=%v)", w, disablePOR, disableSymm)
+				if err != nil {
+					return fmt.Errorf("oracle: %s: %w", tag, err)
+				}
+				if !m.Complete {
+					return fmt.Errorf("oracle: %s returned a partial result with no interrupt", tag)
+				}
+				if err := compare(tag, x, m.Relations, ref); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -174,11 +193,24 @@ func checkPlanner(x *model.Execution, opts core.Options, ref map[core.RelKind]*m
 			}
 		}
 	}
-	res, err := plan.Analyze(context.Background(), x, nil, opts, core.MatrixOpts{})
-	if err != nil {
-		return fmt.Errorf("oracle: plan.Analyze: %w", err)
+	// The fully planned Matrix must be bit-identical to the reference at
+	// every reduction combination (planner seeding × POR × symmetry).
+	for _, disablePOR := range []bool{false, true} {
+		for _, disableSymm := range []bool{false, true} {
+			copts := opts
+			copts.DisablePOR = copts.DisablePOR || disablePOR
+			copts.DisableSymm = copts.DisableSymm || disableSymm
+			res, err := plan.Analyze(context.Background(), x, nil, copts, core.MatrixOpts{})
+			if err != nil {
+				return fmt.Errorf("oracle: plan.Analyze(disablePOR=%v, disableSymm=%v): %w", disablePOR, disableSymm, err)
+			}
+			tag := fmt.Sprintf("planned Matrix(disablePOR=%v, disableSymm=%v)", disablePOR, disableSymm)
+			if err := compare(tag, x, res.Relations, ref); err != nil {
+				return err
+			}
+		}
 	}
-	return compare("planned Matrix", x, res.Relations, ref)
+	return nil
 }
 
 // allRelations answers all six relations per-pair on a fresh analyzer.

@@ -70,6 +70,14 @@ const (
 	// plan_pairs_dag, and plan_pairs_exact for the residue the
 	// exponential engine had to settle).
 	MetricPlanPairs = "plan_pairs"
+	// MetricSymmClasses gauges the process-symmetry class count the most
+	// recent analysis detected (0 when the trace has no provable
+	// automorphisms or symmetry is disabled).
+	MetricSymmClasses = "symm_classes"
+	// MetricSymmCollapses counts state keys the symmetry canonicalizer
+	// rewrote onto a smaller orbit representative across all finished
+	// jobs — the raw volume of exploration the orbit collapse avoided.
+	MetricSymmCollapses = "symm_collapse_total"
 )
 
 // Counter is a monotonically increasing metric.

@@ -77,6 +77,12 @@ type Config struct {
 	// analysis this server runs. Verdicts, witnesses, and matrices are
 	// identical either way; the knob exists for comparison and debugging.
 	DisablePOR bool
+	// DisableSymm turns off process-symmetry orbit collapsing in every
+	// analysis this server runs. Verdicts, witnesses, and matrices are
+	// identical either way; the knob exists for comparison and debugging.
+	// It contributes to the matrix result-cache key, since symmetric and
+	// non-symmetric runs take different checkpoint shapes.
+	DisableSymm bool
 	// DisablePlan turns off the tiered polynomial planner for matrix
 	// queries: every request runs exact-only, as if it asked for
 	// tiers=-1. Verdicts are identical either way (the planner is a
@@ -766,7 +772,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// core.MatrixOpts.Normalize rather than rejected: they are hints, not
 	// semantics — verdicts are identical at every setting.
 	pairQuery := req.A != "" || req.B != ""
-	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR}
+	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR, DisableSymm: s.cfg.DisableSymm}
 
 	if pairQuery {
 		if req.A == "" || req.B == "" || len(kinds) != 1 || req.All {
@@ -833,7 +839,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// requests bypass the cache entirely: serving a cached plan-bearing
 	// body for a resumed run would misreport provenance, and a partial
 	// body must never be cached at all.
-	key := cacheKey(digest, fmt.Sprintf("analyze|matrix|rel=%s|ignoreData=%t|tiers=%d", relDesc, req.IgnoreData, mopts.Tiers))
+	key := cacheKey(digest, fmt.Sprintf("analyze|matrix|rel=%s|ignoreData=%t|tiers=%d|symm=%t", relDesc, req.IgnoreData, mopts.Tiers, !s.cfg.DisableSymm))
 	if req.Resume != nil {
 		key = ""
 		s.metrics.Counter(MetricAnalyzeResumed).Add(1)
@@ -943,7 +949,7 @@ func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR}
+	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR, DisableSymm: s.cfg.DisableSymm}
 	key := cacheKey(digest, fmt.Sprintf("races|ignoreData=%t", req.IgnoreData))
 	s.dispatch(w, r, key, req.Async, false, req.TimeoutMs, func(ctx context.Context) (jobOutput, error) {
 		rep, err := race.DetectCtx(ctx, x, opts)
@@ -1001,7 +1007,7 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A))
 		return
 	}
-	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR}
+	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR, DisableSymm: s.cfg.DisableSymm}
 	key := cacheKey(digest, fmt.Sprintf("witness|rel=%s|a=%s|b=%s|ignoreData=%t", kind, req.A, req.B, req.IgnoreData))
 	s.dispatch(w, r, key, req.Async, false, req.TimeoutMs, func(ctx context.Context) (jobOutput, error) {
 		an, err := core.New(x, opts)
@@ -1038,6 +1044,8 @@ func (s *Server) observeMemoStats(st core.Stats) {
 	s.metrics.Gauge(MetricMemoBytes).Set(st.MemoBytes)
 	s.metrics.Gauge(MetricMemoLoadPermille).Set(int64(st.MemoLoad * 1000))
 	s.metrics.Counter(MetricMemoGrows).Add(st.MemoGrows)
+	s.metrics.Gauge(MetricSymmClasses).Set(int64(st.SymmClasses))
+	s.metrics.Counter(MetricSymmCollapses).Add(st.SymmCollapses)
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {

@@ -227,6 +227,26 @@ func (t *Table) InternAux(key []uint64, aux uint64) (fresh bool) {
 	return true
 }
 
+// InternAuxOr inserts key with value false and the given auxiliary word if
+// absent (reporting fresh=true), or OR-merges aux into the existing
+// entry's word, returning the word as it was before the merge. The OR is
+// the natural combine for accumulation masks — work items already folded
+// for a key — where callers act on exactly the bits they were first to
+// set (aux &^ old).
+func (t *Table) InternAuxOr(key []uint64, aux uint64) (fresh bool, old uint64) {
+	i, found := t.probe(key)
+	if found {
+		if t.aux != nil {
+			old = t.aux[i]
+		}
+		t.setAux(i, old|aux)
+		return false, old
+	}
+	i = t.insertAt(i, key, slotUsed)
+	t.setAux(i, aux)
+	return true, 0
+}
+
 // setAux writes slot i's auxiliary word, allocating the aux array on the
 // first nonzero write (a nil array reads as all-zero).
 func (t *Table) setAux(i uint64, aux uint64) {
@@ -618,6 +638,19 @@ func (c *Concurrent) InternAux(key []uint64, aux uint64) (fresh bool) {
 	fresh = s.t.InternAux(key, aux)
 	s.mu.Unlock()
 	return fresh
+}
+
+// InternAuxOr inserts key with the given auxiliary word if absent, or
+// OR-merges aux into the existing entry's word under the stripe lock,
+// returning the pre-merge word. Concurrent callers racing on one key each
+// see a distinct pre-merge snapshot, so the bits one caller was first to
+// set (aux &^ old) partition the work exactly once across callers.
+func (c *Concurrent) InternAuxOr(key []uint64, aux uint64) (fresh bool, old uint64) {
+	s := c.stripeFor(key)
+	s.mu.Lock()
+	fresh, old = s.t.InternAuxOr(key, aux)
+	s.mu.Unlock()
+	return fresh, old
 }
 
 // Len returns the total entries across all stripes.

@@ -1,0 +1,250 @@
+// Package symm detects the process-permutation symmetry group of an
+// execution from static structure. A permutation π of the processes is a
+// program automorphism when relabeling process p as π(p) maps the execution
+// onto itself: op sequences match position-for-position (same kinds, same
+// synchronization objects), and the cross-process ordering constraints are
+// carried onto each other. Completability of a state — the exact engine's
+// hot predicate — is invariant under any automorphism, so states that differ
+// only by an automorphism can share one search.
+//
+// The detector is deliberately conservative: it only emits classes of
+// processes proven pairwise interchangeable (the full symmetric group on
+// each class), and degrades to the trivial group whenever a proof falls
+// through. A trivial group costs callers nothing; a wrong automorphism would
+// corrupt verdicts, so every class is validated against the execution's
+// derived constraint set before it is reported.
+package symm
+
+import (
+	"strings"
+
+	"eventorder/internal/model"
+)
+
+// Group is the detected process-permutation symmetry group, presented as a
+// partition of the interchangeable processes: the group is the direct
+// product of the full symmetric groups on each class (processes in no class
+// are fixed by every element). Classes are disjoint, each has at least two
+// members, members are listed in ascending process id, and classes are
+// ordered by their smallest member — the presentation is deterministic for
+// a given execution.
+type Group struct {
+	// N is the number of processes of the execution.
+	N int
+	// Classes lists each interchangeable-process class (len ≥ 2 each).
+	Classes [][]int32
+	// ClassOf maps a process id to its class index, or -1 when the
+	// process is fixed by the whole group.
+	ClassOf []int32
+}
+
+// Trivial reports whether the group is the identity-only group (no
+// interchangeable processes were proven).
+func (g *Group) Trivial() bool { return len(g.Classes) == 0 }
+
+// Generators returns transpositions generating the group: for each class,
+// the swaps of the class representative with every other member. Useful for
+// property tests — a state predicate invariant under every generator is
+// invariant under the whole group.
+func (g *Group) Generators() [][2]int32 {
+	var gens [][2]int32
+	for _, class := range g.Classes {
+		for _, p := range class[1:] {
+			gens = append(gens, [2]int32{class[0], p})
+		}
+	}
+	return gens
+}
+
+// Detect returns the process-permutation symmetry group of x, proven from
+// static structure. ignoreData must match the engine's Options.IgnoreData:
+// it selects which derived ordering constraints an automorphism has to
+// preserve (with data dependences ignored, more programs are symmetric).
+//
+// Two processes land in one class only if (a) both exist from the start of
+// the execution and are never the target of a fork or join, (b) their op
+// sequences are identical position-for-position up to the names of shared
+// variables they access (same kinds, same semaphores, same event
+// variables), and (c) swapping them maps the execution's cross-process
+// constraint set onto itself. Anything the proof cannot certify — forked
+// processes, processes containing fork/join ops, asymmetric data
+// dependences — falls out of every class; in the worst case the result is
+// the trivial group, never an unsound one.
+func Detect(x *model.Execution, ignoreData bool) *Group {
+	n := len(x.Procs)
+	g := &Group{N: n, ClassOf: make([]int32, n)}
+	for i := range g.ClassOf {
+		g.ClassOf[i] = -1
+	}
+	if n < 2 {
+		return g
+	}
+
+	eligible := eligibleProcs(x)
+	sigs := make([]string, n)
+	for p := 0; p < n; p++ {
+		if eligible[p] {
+			sigs[p] = procSignature(x, p)
+		}
+	}
+
+	// Candidate classes: equal structural signatures. Refinement: a
+	// candidate joins the first subclass whose representative it provably
+	// swaps with. Transpositions with a shared representative generate the
+	// full symmetric group on the subclass, and validated structure maps
+	// compose, so each emitted class is sound as a whole.
+	cks := newConstraintChecker(x, ignoreData)
+	bySig := make(map[string][]int32, n)
+	var order []string
+	for p := 0; p < n; p++ {
+		if !eligible[p] {
+			continue
+		}
+		if _, ok := bySig[sigs[p]]; !ok {
+			order = append(order, sigs[p])
+		}
+		bySig[sigs[p]] = append(bySig[sigs[p]], int32(p))
+	}
+	for _, s := range order {
+		cand := bySig[s]
+		if len(cand) < 2 {
+			continue
+		}
+		var subs [][]int32
+		for _, p := range cand {
+			placed := false
+			for i := range subs {
+				if cks.checkSwap(subs[i][0], p) {
+					subs[i] = append(subs[i], p)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				subs = append(subs, []int32{p})
+			}
+		}
+		for _, sub := range subs {
+			if len(sub) < 2 {
+				continue
+			}
+			ci := int32(len(g.Classes))
+			g.Classes = append(g.Classes, sub)
+			for _, p := range sub {
+				g.ClassOf[p] = ci
+			}
+		}
+	}
+	return g
+}
+
+// eligibleProcs marks the processes a class may contain: root processes
+// (present from the start) that are never the target of a fork or join and
+// contain no fork/join ops themselves. Fork/join symmetry would need the
+// op-to-target mapping permuted alongside the processes; the conservative
+// detector sidesteps that entirely.
+func eligibleProcs(x *model.Execution) []bool {
+	eligible := make([]bool, len(x.Procs))
+	byName := make(map[string]int, len(x.Procs))
+	for p := range x.Procs {
+		eligible[p] = x.Procs[p].Parent == model.NoID
+		byName[x.Procs[p].Name] = p
+	}
+	for i := range x.Ops {
+		op := &x.Ops[i]
+		if op.Kind != model.OpFork && op.Kind != model.OpJoin {
+			continue
+		}
+		eligible[op.Proc] = false
+		if t, ok := byName[op.Obj]; ok {
+			eligible[t] = false
+		}
+	}
+	return eligible
+}
+
+// procSignature renders a process's op sequence as a comparable string:
+// op kinds in order, synchronization objects by name, event boundaries
+// marked so computation-event bracketing must match. Shared-variable names
+// of reads and writes are deliberately omitted — renaming a private
+// variable does not change which interleavings are valid, and the
+// constraint-set check catches every asymmetric access pattern that
+// actually induces cross-process ordering.
+func procSignature(x *model.Execution, p int) string {
+	var b strings.Builder
+	prevEvent := model.EventID(model.NoID)
+	for _, opID := range x.Procs[p].Ops {
+		op := &x.Ops[opID]
+		if op.Event != prevEvent {
+			b.WriteByte('|')
+			prevEvent = op.Event
+		}
+		b.WriteString(op.Kind.String())
+		if op.Kind.IsSync() {
+			b.WriteByte('(')
+			b.WriteString(op.Obj)
+			b.WriteByte(')')
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// constraintChecker validates candidate transpositions against the
+// execution's derived cross-process constraint set.
+type constraintChecker struct {
+	x     *model.Execution
+	cons  map[[2]model.OpID]bool
+	posOf []int32 // op id -> index within its process's op sequence
+}
+
+func newConstraintChecker(x *model.Execution, ignoreData bool) *constraintChecker {
+	c := &constraintChecker{
+		x:     x,
+		cons:  make(map[[2]model.OpID]bool),
+		posOf: make([]int32, len(x.Ops)),
+	}
+	for p := range x.Procs {
+		for i, opID := range x.Procs[p].Ops {
+			c.posOf[opID] = int32(i)
+		}
+	}
+	for _, pr := range model.OpConstraintsForExploration(x, ignoreData) {
+		if x.Ops[pr[0]].Proc == x.Ops[pr[1]].Proc {
+			continue // program order holds under any process relabeling
+		}
+		c.cons[[2]model.OpID{pr[0], pr[1]}] = true
+	}
+	return c
+}
+
+// checkSwap reports whether the transposition of processes p and q is a
+// program automorphism. Callers guarantee equal structural signatures, so
+// op sequences already match position-for-position; what remains is that
+// the swap maps every cross-process constraint onto a constraint. A
+// transposition is its own inverse, so closure under the map implies it is
+// carried bijectively.
+func (c *constraintChecker) checkSwap(p, q int32) bool {
+	for pr := range c.cons {
+		u, v := c.mapOp(pr[0], p, q), c.mapOp(pr[1], p, q)
+		if u == pr[0] && v == pr[1] {
+			continue
+		}
+		if !c.cons[[2]model.OpID{u, v}] {
+			return false
+		}
+	}
+	return true
+}
+
+// mapOp applies the (p q) transposition to an op: ops of p map to the
+// same-position op of q and vice versa; all other ops are fixed.
+func (c *constraintChecker) mapOp(id model.OpID, p, q int32) model.OpID {
+	switch int32(c.x.Ops[id].Proc) {
+	case p:
+		return c.x.Procs[q].Ops[c.posOf[id]]
+	case q:
+		return c.x.Procs[p].Ops[c.posOf[id]]
+	}
+	return id
+}

@@ -19,6 +19,14 @@
 //	                   [-baseline old.json] [-no-por] [-no-symm] [-procs N]
 //	                   [-assert-symm-ge 1.0]
 //	                   [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	go run ./cmd/bench -soak [-soak-duration 30s] [-soak-o BENCH_soak.json]
+//
+// -soak switches to the service soak comparison: the soak/fault-injection
+// harness (internal/service.RunSoak) drives an undersized server twice —
+// cheap-request fast lane enabled, then disabled — and the report carries
+// per-lane queue-wait and end-to-end latency quantiles plus the shed rate
+// (the EXPERIMENTS E19 numbers). Any load-shedding contract violation
+// fails the run.
 //
 // Median-of-reps wall-clock per strategy is reported, plus the speedup of
 // matrix over parallel at each worker count, node throughput
@@ -178,7 +186,18 @@ func main() {
 	testdata := flag.String("testdata", "testdata", "directory of .evo programs to bench as additional workloads (\"\" = generated cases only)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	soak := flag.Bool("soak", false, "run the service soak comparison (fast lane on vs off) instead of the matrix bench")
+	soakDuration := flag.Duration("soak-duration", 30*time.Second, "traffic duration per soak side")
+	soakOut := flag.String("soak-o", "BENCH_soak.json", "soak comparison output path")
 	flag.Parse()
+
+	if *soak {
+		if err := runSoakBench(*testdata, *soakDuration, *soakOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bench -soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	workers, err := parseWorkers(*workersFlag)
 	if err != nil {

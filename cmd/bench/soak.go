@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"eventorder/internal/service"
+)
+
+// Soak comparison (-soak): instead of the matrix engine bench, run the
+// service soak harness twice against an undersized server — once with the
+// cheap-request fast lane enabled and once with both lanes collapsed into
+// the heavy pool — and report the tail-latency and shed-rate numbers the
+// EXPERIMENTS log tracks (E19). The claim under test: planner-decidable
+// requests isolated on their own lane keep polynomial work from queueing
+// behind the NP-hard backlog. Under sustained saturation (the -race soak
+// test, where the detector slows the heavy worker ~10-20x) that shows up
+// as fast-lane p99 queue wait below heavy p50; at native speed the heavy
+// queue is bursty — it drains between arrival spikes, pinning heavy p50
+// near zero — so the comparison here is tail-to-tail: fast p99 well below
+// heavy p99, with the shed rate showing overload was real.
+
+// soakSide is one soak run's headline numbers.
+type soakSide struct {
+	Requests   int64           `json:"requests"`
+	Statuses   map[int]int64   `json:"statuses"`
+	Complete   int64           `json:"complete"`
+	Partial    int64           `json:"partial"`
+	Shed       int64           `json:"shed"`
+	ShedRate   float64         `json:"shed_rate"`
+	Lanes      map[string]int64 `json:"lanes"`
+	Violations []string        `json:"violations,omitempty"`
+
+	FastQueueWaitP99Ms  float64 `json:"fast_queue_wait_p99_ms"`
+	HeavyQueueWaitP50Ms float64 `json:"heavy_queue_wait_p50_ms"`
+	HeavyQueueWaitP99Ms float64 `json:"heavy_queue_wait_p99_ms"`
+	AnalyzeP50Ms        float64 `json:"analyze_p50_ms"`
+	AnalyzeP99Ms        float64 `json:"analyze_p99_ms"`
+	AnalyzeP999Ms       float64 `json:"analyze_p999_ms"`
+}
+
+// soakReportJSON is the written artifact (BENCH_soak.json).
+type soakReportJSON struct {
+	DurationSec float64  `json:"duration_sec"`
+	Programs    []string `json:"programs"`
+	FastLane    soakSide `json:"fast_lane"`
+	NoFastLane  soakSide `json:"no_fast_lane"`
+}
+
+func sideOf(rep *service.SoakReport) soakSide {
+	s := soakSide{
+		Requests:            rep.Requests,
+		Statuses:            rep.Statuses,
+		Complete:            rep.Complete,
+		Partial:             rep.Partial,
+		Shed:                rep.Shed,
+		Lanes:               rep.Lanes,
+		Violations:          rep.Unexpected,
+		FastQueueWaitP99Ms:  rep.FastQueueWaitP99Ms,
+		HeavyQueueWaitP50Ms: rep.HeavyQueueWaitP50Ms,
+		HeavyQueueWaitP99Ms: rep.HeavyQueueWaitP99Ms,
+		AnalyzeP50Ms:        rep.AnalyzeP50Ms,
+		AnalyzeP99Ms:        rep.AnalyzeP99Ms,
+		AnalyzeP999Ms:       rep.AnalyzeP999Ms,
+	}
+	if rep.Requests > 0 {
+		s.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	return s
+}
+
+// runSoakBench runs the two-sided soak comparison and writes out as JSON.
+func runSoakBench(testdataDir string, dur time.Duration, out string) error {
+	// The soak tests run this mix under -race, where the detector's
+	// slowdown saturates a single heavy worker by itself; at native speed
+	// the bench needs real exponential work in the mix (barrier6) and a
+	// budget large enough that heavy queries are not cut short after a
+	// few thousand nodes.
+	names := []string{"handshake.evo", "burst.evo", "figure1.evo", "pipeline.evo", "barrier6.evo"}
+	var programs []service.SoakProgram
+	for _, name := range names {
+		src, err := os.ReadFile(filepath.Join(testdataDir, name))
+		if err != nil {
+			return err
+		}
+		programs = append(programs, service.SoakProgram{Name: name, Source: string(src)})
+	}
+
+	run := func(disableFastLane bool) (*service.SoakReport, error) {
+		return service.RunSoak(context.Background(), service.SoakOptions{
+			Duration:      dur,
+			Clients:       24,
+			StormClients:  4,
+			SlowClients:   2,
+			RequestBudget: 4 << 20,
+			Programs:      programs,
+			Server: service.Config{
+				// Undersized on purpose, mirroring the soak test: one
+				// heavy worker and a shallow queue so queueing, shedding,
+				// and lane isolation all engage.
+				Workers:         1,
+				FastWorkers:     4,
+				QueueDepth:      8,
+				CacheBytes:      1 << 16,
+				DisableFastLane: disableFastLane,
+			},
+		})
+	}
+
+	fmt.Fprintf(os.Stderr, "soak: fast lane ON, %s...\n", dur)
+	withLane, err := run(false)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "soak: fast lane OFF, %s...\n", dur)
+	withoutLane, err := run(true)
+	if err != nil {
+		return err
+	}
+
+	report := soakReportJSON{
+		DurationSec: dur.Seconds(),
+		Programs:    names,
+		FastLane:    sideOf(withLane),
+		NoFastLane:  sideOf(withoutLane),
+	}
+	raw, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("%-22s %14s %14s\n", "", "fast lane on", "fast lane off")
+	row := func(label string, a, b float64) {
+		fmt.Printf("%-22s %14.3f %14.3f\n", label, a, b)
+	}
+	row("fast p99 wait (ms)", report.FastLane.FastQueueWaitP99Ms, report.NoFastLane.FastQueueWaitP99Ms)
+	row("heavy p50 wait (ms)", report.FastLane.HeavyQueueWaitP50Ms, report.NoFastLane.HeavyQueueWaitP50Ms)
+	row("heavy p99 wait (ms)", report.FastLane.HeavyQueueWaitP99Ms, report.NoFastLane.HeavyQueueWaitP99Ms)
+	row("analyze p50 (ms)", report.FastLane.AnalyzeP50Ms, report.NoFastLane.AnalyzeP50Ms)
+	row("analyze p99 (ms)", report.FastLane.AnalyzeP99Ms, report.NoFastLane.AnalyzeP99Ms)
+	row("analyze p999 (ms)", report.FastLane.AnalyzeP999Ms, report.NoFastLane.AnalyzeP999Ms)
+	row("shed rate", report.FastLane.ShedRate, report.NoFastLane.ShedRate)
+	fmt.Printf("%-22s %14d %14d\n", "requests", report.FastLane.Requests, report.NoFastLane.Requests)
+	for side, v := range map[string][]string{"on": report.FastLane.Violations, "off": report.NoFastLane.Violations} {
+		for _, msg := range v {
+			fmt.Fprintf(os.Stderr, "soak (%s): contract violation: %s\n", side, msg)
+		}
+	}
+	fmt.Printf("wrote %s\n", out)
+	if len(report.FastLane.Violations)+len(report.NoFastLane.Violations) > 0 {
+		return fmt.Errorf("soak saw load-shedding contract violations")
+	}
+	return nil
+}

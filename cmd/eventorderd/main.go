@@ -7,6 +7,8 @@
 //
 //	eventorderd [-addr :8080] [-workers N] [-queue N] [-cache-bytes N]
 //	            [-timeout 30s] [-max-timeout 5m] [-budget N]
+//	            [-fast-workers N] [-fast-queue N] [-no-fast-lane]
+//	            [-shed-depth N] [-shed-timeout 200ms] [-partial-grace 2s]
 //	            [-pprof-addr 127.0.0.1:6060]
 //	eventorderd -selfcheck
 //
@@ -23,8 +25,17 @@
 // on a SEPARATE listener, off by default: profiling endpoints expose
 // internals and eat CPU, so they never share the public service address.
 //
+// Admission control: matrix requests the tiered planner fully decides
+// ride a separate fast-lane worker pool (-fast-workers/-fast-queue) so
+// they never queue behind NP-hard work; -no-fast-lane collapses both
+// lanes back into one pool. When the heavy queue reaches -shed-depth,
+// anytime requests get their deadline clamped to -shed-timeout and answer
+// quickly with a partial result and a resumable checkpoint instead of
+// deepening the backlog. A full queue answers 429 with Retry-After.
+//
 // -selfcheck starts the server on a loopback port, exercises the analyze,
-// cache, deadline, and metrics paths end-to-end, and exits 0 on success
+// cache, deadline, tracing, admission, and metrics paths end-to-end —
+// including a short burst of the soak harness — and exits 0 on success
 // (used by CI as a smoke test).
 package main
 
@@ -71,6 +82,12 @@ func main() {
 	noPOR := flag.Bool("no-por", false, "disable sleep-set partial-order reduction in all analyses (identical verdicts; comparison/debugging escape hatch)")
 	noSymm := flag.Bool("no-symm", false, "disable process-symmetry orbit collapsing in all analyses (identical verdicts; comparison/debugging escape hatch)")
 	noPlan := flag.Bool("no-plan", false, "disable the tiered relation planner on matrix requests (identical verdicts; exact engine settles every pair)")
+	fastWorkers := flag.Int("fast-workers", 0, "fast-lane workers for planner-decidable requests (0 = default)")
+	fastQueue := flag.Int("fast-queue", 0, "fast-lane queue depth (0 = same as -queue)")
+	noFastLane := flag.Bool("no-fast-lane", false, "disable the cheap-request fast lane; all jobs share the heavy pool")
+	shedDepth := flag.Int("shed-depth", 0, "heavy-queue occupancy that triggers load shedding (0 = 3/4 of -queue)")
+	shedTimeout := flag.Duration("shed-timeout", 0, "deadline clamp applied to anytime requests while shedding (0 = 200ms)")
+	partialGrace := flag.Duration("partial-grace", 0, "grace past a request's deadline to surface an anytime partial instead of 504 (0 = 2s)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	selfcheck := flag.Bool("selfcheck", false, "run an end-to-end smoke test against a loopback instance and exit")
 	flag.Parse()
@@ -88,6 +105,12 @@ func main() {
 		DisablePOR:       *noPOR,
 		DisableSymm:      *noSymm,
 		DisablePlan:      *noPlan,
+		FastWorkers:      *fastWorkers,
+		FastQueueDepth:   *fastQueue,
+		DisableFastLane:  *noFastLane,
+		ShedDepth:        *shedDepth,
+		ShedTimeout:      *shedTimeout,
+		PartialGrace:     *partialGrace,
 		Logger:           logger,
 	}
 

@@ -1,18 +1,58 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"strings"
+	"sync"
 	"time"
 
 	"eventorder/internal/gen"
 	"eventorder/internal/service"
 	"eventorder/internal/traceio"
 )
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the selfcheck captures the
+// server's structured log stream from handler and worker goroutines and
+// reads it back on the main one.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// handshakeSrc is a two-process semaphore handshake: fully ordered by
+// synchronization, so the tiered planner decides every pair and the
+// request classifies onto the fast lane.
+const handshakeSrc = `
+sem s = 0
+
+proc sender {
+    a: skip
+    V(s)
+}
+proc receiver {
+    P(s)
+    b: skip
+}
+`
 
 // figure1Src is the paper's Figure 1a program (testdata/figure1.evo): the
 // shared-data dependence "X := 1" → "if X == 1" orders the two posts even
@@ -46,10 +86,15 @@ proc t3 {
 
 // runSelfcheck boots a loopback server and exercises the acceptance path:
 // Figure 1 MHB verdict, cache hit on the identical repeat, a 1ms deadline
-// on a large instance returning 504 with the queue draining back to zero,
-// and graceful shutdown.
+// on a large instance degrading to an anytime partial with the queue
+// draining back to zero, the request-tracing and fast-lane admission
+// contracts, a short soak burst, and graceful shutdown.
 func runSelfcheck(cfg service.Config) error {
 	cfg.QueueDepth = 16
+	// Capture the structured log stream: the tracing contract says every
+	// response's request ID must be greppable in the server logs.
+	logbuf := &syncBuffer{}
+	cfg.Logger = slog.New(slog.NewJSONHandler(logbuf, nil))
 	srv := service.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -141,6 +186,55 @@ func runSelfcheck(cfg service.Config) error {
 		return fmt.Errorf("metrics report %d cache hits after a cached response", snap.Counters[service.MetricCacheHits])
 	}
 
+	// Request tracing: the envelope's request ID must match the
+	// X-Request-Id header, carry a trace block, and be greppable in the
+	// server's structured logs.
+	traceReq, err := json.Marshal(map[string]any{"program": handshakeSrc, "all": true})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(base+"/v1/analyze", "application/json", bytes.NewReader(traceReq))
+	if err != nil {
+		return err
+	}
+	env = service.Envelope{}
+	decodeErr := json.NewDecoder(resp.Body).Decode(&env)
+	resp.Body.Close()
+	if decodeErr != nil {
+		return decodeErr
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("handshake matrix: status %d", resp.StatusCode)
+	}
+	if env.RequestID == "" {
+		return fmt.Errorf("envelope carries no request id")
+	}
+	if hdr := resp.Header.Get("X-Request-Id"); hdr != env.RequestID {
+		return fmt.Errorf("X-Request-Id header %q != envelope request id %q", hdr, env.RequestID)
+	}
+	if env.Trace == nil || env.Trace.RequestID != env.RequestID {
+		return fmt.Errorf("trace block missing or mismatched: %+v", env.Trace)
+	}
+	// The handshake is fully planner-decidable, so admission must have
+	// routed it onto the fast lane.
+	if env.Trace.Lane != service.LaneFast {
+		return fmt.Errorf("planner-decidable request rode lane %q, want %q", env.Trace.Lane, service.LaneFast)
+	}
+	ridLines := 0
+	scanner := bufio.NewScanner(strings.NewReader(logbuf.String()))
+	for scanner.Scan() {
+		var line struct {
+			RID string `json:"rid"`
+		}
+		if json.Unmarshal(scanner.Bytes(), &line) == nil && line.RID == env.RequestID {
+			ridLines++
+		}
+	}
+	// At least the job-completion line and the request line carry the id.
+	if ridLines < 2 {
+		return fmt.Errorf("request id %s appears in %d log lines, want >= 2", env.RequestID, ridLines)
+	}
+
 	// A 1ms deadline on a large instance must return an anytime partial —
 	// 200 with "complete": false and a resumable checkpoint — and free its
 	// worker. The batch matrix engine answers mutex-style instances in
@@ -215,6 +309,56 @@ func runSelfcheck(cfg service.Config) error {
 	// The freed worker must serve new requests.
 	if err := post("/v1/analyze", req, http.StatusOK, &env); err != nil {
 		return err
+	}
+
+	// The latency and per-lane queue-wait histograms must be populated by
+	// the traffic above — these are the series the operating docs point
+	// dashboards at.
+	if err := get("/metrics", &snap); err != nil {
+		return err
+	}
+	for _, name := range []string{
+		service.MetricLatency + "_analyze",
+		service.MetricQueueWait + "_" + service.LaneFast,
+		service.MetricQueueWait + "_" + service.LaneHeavy,
+	} {
+		if h, ok := snap.Histograms[name]; !ok || h.Count == 0 {
+			return fmt.Errorf("histogram %s empty after traffic (present=%t)", name, ok)
+		}
+	}
+
+	// A short burst of the soak harness: mixed fast/heavy traffic with
+	// deadline storms and stalled clients against a deliberately small
+	// pool, holding the load-shedding contract (only 200/202/429, partials
+	// resumable, no hangs).
+	soakRep, err := service.RunSoak(context.Background(), service.SoakOptions{
+		Duration:     2 * time.Second,
+		Clients:      3,
+		StormClients: 1,
+		SlowClients:  1,
+		Programs: []service.SoakProgram{
+			{Name: "handshake", Source: handshakeSrc},
+			{Name: "figure1", Source: figure1Src},
+		},
+		Server: service.Config{Workers: 1, FastWorkers: 2, QueueDepth: 8},
+	})
+	if err != nil {
+		return fmt.Errorf("soak: %w", err)
+	}
+	for _, msg := range soakRep.Unexpected {
+		return fmt.Errorf("soak contract violation: %s", msg)
+	}
+	for code := range soakRep.Statuses {
+		switch code {
+		case 200, 202, 429:
+		default:
+			return fmt.Errorf("soak saw status %d (%d times); contract allows only 200/202/429",
+				code, soakRep.Statuses[code])
+		}
+	}
+	if soakRep.Requests == 0 || soakRep.Complete+soakRep.Partial == 0 {
+		return fmt.Errorf("soak issued %d requests with %d results — harness misfire",
+			soakRep.Requests, soakRep.Complete+soakRep.Partial)
 	}
 
 	// Graceful shutdown: drain workers, then close connections.

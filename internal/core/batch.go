@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"eventorder/internal/model"
 	"eventorder/internal/statetab"
@@ -104,6 +105,15 @@ type MatrixOpts struct {
 	// may differ freely. Interrupted-then-resumed analyses produce
 	// matrices bit-identical to one-shot runs.
 	Resume *Checkpoint
+	// OnPhase, when non-nil, observes coarse span timings as the analysis
+	// runs: the batch engine reports "forward" (level-synchronous state
+	// expansion) and "backward" (completability sweep and fact folding)
+	// once each as the phase finishes — on an interrupted run, for the
+	// partial phase that was cut short. Layers above add their own spans
+	// through the same hook (plan.Analyze reports "plan"). The callback
+	// runs on the calling goroutine of Matrix and must be cheap; it is an
+	// observability hook and never alters verdicts.
+	OnPhase func(phase string, elapsed time.Duration)
 }
 
 // MaxPlanTiers is the number of polynomial planning tiers the layers
@@ -331,6 +341,7 @@ func (a *Analyzer) Matrix(ctx context.Context, kinds []RelKind, opts MatrixOpts)
 	if err != nil {
 		return nil, err
 	}
+	run.onPhase = opts.OnPhase
 	err = run.explore()
 	run.mergeWorkerFacts()
 	a.stats.SymmCollapses += run.symmCollapses()
@@ -451,6 +462,10 @@ type batchRun struct {
 	symm   bool
 	perms  [][]int32
 	orbits []*orbitWalker
+
+	// onPhase mirrors MatrixOpts.OnPhase (nil when unobserved): explore
+	// reports each sweep's wall time through it as the sweep ends.
+	onPhase func(string, time.Duration)
 
 	// phase/phaseLvl track which sweep is running and the level it is
 	// processing, so an interrupt can checkpoint its exact position.
@@ -868,13 +883,26 @@ func (r *batchRun) explore() error {
 		r.table.Intern(root)
 	}
 	if r.phase == ckPhaseForward {
-		if err := r.forward(); err != nil {
+		start := time.Now()
+		err := r.forward()
+		r.emitPhase("forward", start)
+		if err != nil {
 			return err
 		}
 		r.phase = ckPhaseBackward
 		r.phaseLvl = len(r.levels) - 1
 	}
-	return r.backward()
+	start := time.Now()
+	err := r.backward()
+	r.emitPhase("backward", start)
+	return err
+}
+
+// emitPhase reports one sweep's wall time through the OnPhase hook.
+func (r *batchRun) emitPhase(name string, start time.Time) {
+	if r.onPhase != nil {
+		r.onPhase(name, time.Since(start))
+	}
 }
 
 // forward expands each level's states starting at phaseLvl, deduping

@@ -361,8 +361,9 @@ func TestNormalize(t *testing.T) {
 	if once.Seed != seed {
 		t.Error("Normalize dropped the seed")
 	}
+	// MatrixOpts holds a func field (OnPhase), so compare knob by knob.
 	twice := once.Normalize(MatrixLimits{MaxWorkers: 8, MaxBudget: 100})
-	if twice != once {
+	if twice.Workers != once.Workers || twice.Budget != once.Budget || twice.Tiers != once.Tiers || twice.Seed != once.Seed || twice.Resume != once.Resume {
 		t.Errorf("Normalize not idempotent: %+v vs %+v", twice, once)
 	}
 }

@@ -58,6 +58,7 @@ package plan
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"eventorder/internal/core"
 	"eventorder/internal/dag"
@@ -550,19 +551,43 @@ func Analyze(ctx context.Context, x *model.Execution, kinds []core.RelKind, copt
 	if len(kinds) == 0 {
 		kinds = core.AllRelKinds
 	}
-	an, err := core.New(x, copts)
-	if err != nil {
-		return nil, err
-	}
 	var p *Plan
 	if mopts.Resume == nil {
+		start := time.Now()
+		var err error
 		p, err = Build(x, kinds, Options{IgnoreData: copts.IgnoreData, Tiers: mopts.Tiers})
 		if err != nil {
 			return nil, err
 		}
-		if mopts.Tiers >= 0 {
-			mopts.Seed = p.Seed
+		if mopts.OnPhase != nil {
+			mopts.OnPhase("plan", time.Since(start))
 		}
+	}
+	return AnalyzePlanned(ctx, x, kinds, copts, mopts, p)
+}
+
+// AnalyzePlanned is Analyze for callers that already Built the plan (or
+// deliberately hold none): it seeds the exact batch engine with p's fact
+// bracket (when p is non-nil and mopts.Tiers is non-negative) and settles
+// the residue. The split exists for admission control: a front end can
+// Build the polynomial plan cheaply on the request path, use its residue
+// as a cost estimate to pick a lane, and hand the finished plan to a
+// worker without re-running the cascade. p must have been Built for the
+// same execution, kinds, and IgnoreData setting; mopts.Resume requires a
+// nil p (the checkpoint carries the original seed).
+func AnalyzePlanned(ctx context.Context, x *model.Execution, kinds []core.RelKind, copts core.Options, mopts core.MatrixOpts, p *Plan) (*Result, error) {
+	if len(kinds) == 0 {
+		kinds = core.AllRelKinds
+	}
+	if p != nil && mopts.Resume != nil {
+		return nil, fmt.Errorf("plan: AnalyzePlanned with both a plan and a resume checkpoint (the seed travels inside the checkpoint)")
+	}
+	an, err := core.New(x, copts)
+	if err != nil {
+		return nil, err
+	}
+	if p != nil && mopts.Tiers >= 0 {
+		mopts.Seed = p.Seed
 	}
 	res, err := an.Matrix(ctx, kinds, mopts)
 	if err != nil {

@@ -6,11 +6,21 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
-// errRejected is returned by submit when the job queue is full or the
-// server is shutting down; handlers map it to 503.
-var errRejected = errors.New("service: job rejected (queue full or shutting down)")
+// Admission-control rejections. The two cases answer differently on the
+// wire: a full queue is transient overload, so the client gets 429 with a
+// Retry-After hint; a draining server will not come back for this
+// connection, so the client gets 503 and should re-resolve.
+var (
+	// errQueueFull is returned by submit when the target lane's accept
+	// queue is at capacity; handlers map it to 429 + Retry-After.
+	errQueueFull = errors.New("service: queue full, retry later")
+	// errDraining is returned by submit when the server is shutting down;
+	// handlers map it to 503.
+	errDraining = errors.New("service: shutting down")
+)
 
 // jobOutput is what a job's run function produces: the response body,
 // whether the result may enter the result cache (complete analyses only —
@@ -40,40 +50,62 @@ type job struct {
 	// cancellation poll and surfaces a resumable partial, where a
 	// non-anytime job would just burn CPU toward an error nobody reads.
 	anytime bool
+	// lane is the admission-control routing decision (LaneFast or
+	// LaneHeavy): which worker pool runs the job and which queue-wait
+	// histogram its wait lands in.
+	lane string
+	// submitted is when submit accepted the job; runJob derives the
+	// queue-wait span from it.
+	submitted time.Time
+	// tracer, when non-nil, receives the job's queue wait and any phase
+	// timings its run records.
+	tracer *tracer
 
 	done chan struct{}
 	out  jobOutput
 	err  error
 }
 
-// submit enqueues j without blocking. It fails with errRejected when the
-// queue is at capacity or the server no longer accepts work.
+// submit enqueues j on its lane without blocking. It fails with
+// errQueueFull when that lane's queue is at capacity and errDraining when
+// the server no longer accepts work.
 func (s *Server) submit(j *job) error {
+	queue := s.jobs
+	if j.lane == LaneFast {
+		queue = s.fastJobs
+	}
 	s.shutdownMu.Lock()
 	if s.closed {
 		s.shutdownMu.Unlock()
 		s.metrics.Counter(MetricJobsRejected).Add(1)
-		return errRejected
+		return errDraining
 	}
+	// Stamp before the send: the receiving worker reads submitted, and a
+	// send can be received the instant it completes.
+	j.submitted = time.Now()
 	select {
-	case s.jobs <- j:
+	case queue <- j:
 		s.queueDepth.Add(1)
+		if j.lane == LaneFast {
+			s.metrics.Counter(MetricJobsFastLane).Add(1)
+		}
 		s.shutdownMu.Unlock()
 		return nil
 	default:
 		s.shutdownMu.Unlock()
 		s.metrics.Counter(MetricJobsRejected).Add(1)
-		return errRejected
+		s.metrics.Counter(MetricJobsThrottled).Add(1)
+		return errQueueFull
 	}
 }
 
-// worker drains the job channel until it is closed (graceful shutdown
-// closes it after the last submit). Each job runs under its own context;
-// a job whose deadline already passed while queued is failed without
-// running.
-func (s *Server) worker() {
+// worker drains one lane's job channel until it is closed (graceful
+// shutdown closes both after the last submit). Each job runs under its own
+// context; a non-anytime job whose deadline already passed while queued is
+// failed without running.
+func (s *Server) worker(queue chan *job) {
 	defer s.workerWG.Done()
-	for j := range s.jobs {
+	for j := range queue {
 		s.runJob(j)
 	}
 }
@@ -81,6 +113,15 @@ func (s *Server) worker() {
 func (s *Server) runJob(j *job) {
 	defer s.queueDepth.Add(-1)
 	defer j.cancel()
+	wait := time.Since(j.submitted)
+	lane := j.lane
+	if lane == "" {
+		lane = LaneHeavy
+	}
+	s.metrics.Histogram(MetricQueueWait+"_"+lane, queueWaitBounds).Observe(wait.Seconds())
+	if j.tracer != nil {
+		j.tracer.setQueueWait(wait)
+	}
 	if err := j.ctx.Err(); err != nil && !j.anytime {
 		j.err = err
 	} else {
@@ -95,7 +136,18 @@ func (s *Server) runJob(j *job) {
 	if j.onDone != nil {
 		j.onDone(j.out, j.err)
 	}
+	if j.tracer != nil {
+		s.log.Info("job done", append(j.tracer.logFields(), "err", errString(j.err))...)
+	}
 	close(j.done)
+}
+
+// errString renders an error for a log attribute ("" when nil).
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // Async job store -----------------------------------------------------------

@@ -78,7 +78,60 @@ const (
 	// rewrote onto a smaller orbit representative across all finished
 	// jobs — the raw volume of exploration the orbit collapse avoided.
 	MetricSymmCollapses = "symm_collapse_total"
+	// MetricQueueWait is the per-lane queue-wait histogram family, in
+	// seconds, log-bucketed, as "queue_wait_seconds_<lane>"
+	// (queue_wait_seconds_fast, queue_wait_seconds_heavy): how long an
+	// admitted job waited before a worker picked it up. The admission
+	// contract the soak suite enforces is phrased over these — fast-lane
+	// p99 must stay below heavy-pool p50.
+	MetricQueueWait = "queue_wait_seconds"
+	// MetricExploredNodes is the per-request search-effort histogram
+	// (log-bucketed node counts): the cost distribution of an NP-hard
+	// workload is the heavy tail this service is provisioned around, and
+	// a mean hides exactly what matters about it.
+	MetricExploredNodes = "explored_nodes"
+	// MetricJobsThrottled counts submissions refused with 429 because the
+	// accept queue was full (load shedding by refusal; Retry-After rides
+	// on the response).
+	MetricJobsThrottled = "jobs_throttled"
+	// MetricJobsShed counts anytime requests whose deadline the server
+	// clamped to the shed timeout under queue pressure (load shedding by
+	// degradation: they answer 200 with a partial result and a resumable
+	// checkpoint instead of queueing toward their full deadline).
+	MetricJobsShed = "jobs_shed"
+	// MetricJobsFastLane counts jobs routed to the cheap-request fast
+	// lane (planner-decidable matrix queries).
+	MetricJobsFastLane = "jobs_fast_lane"
+	// MetricShedMode gauges whether the server is currently degrading
+	// anytime requests (1 when the heavy queue is at or past the shed
+	// depth, else 0). Sampled at each admission decision.
+	MetricShedMode = "shed_mode"
 )
+
+// Log-bucketed histogram bounds. Queue waits and handler latencies span
+// microseconds (cache hits, fast lane) to minutes (saturated heavy pool),
+// and explored-node counts span 1 to 10^9 — both are power-law-ish, so
+// geometric buckets hold relative error constant across the range where
+// linear buckets would waste every low bucket.
+var (
+	// queueWaitBounds covers 10µs .. ~167s in ×4 steps.
+	queueWaitBounds = LogBuckets(10e-6, 4, 13)
+	// nodeBounds covers 1 .. ~2.6e8 explored nodes in ×8 steps.
+	nodeBounds = LogBuckets(1, 8, 10)
+)
+
+// LogBuckets returns n geometric histogram upper bounds starting at start
+// and multiplying by factor: {start, start·factor, ...}. start must be
+// positive and factor > 1.
+func LogBuckets(start, factor float64, n int) []float64 {
+	bounds := make([]float64, n)
+	v := start
+	for i := range bounds {
+		bounds[i] = v
+		v *= factor
+	}
+	return bounds
+}
 
 // Counter is a monotonically increasing metric.
 type Counter struct{ v atomic.Int64 }
@@ -130,19 +183,63 @@ type HistogramSnapshot struct {
 	// Buckets maps "le_<bound>" (upper bound, "le_inf" for the overflow
 	// bucket) to the number of observations at or below that bound.
 	Buckets map[string]int64 `json:"buckets"`
+	// Bounds are the ascending finite upper bounds, and Cumulative the
+	// matching cumulative counts plus one final entry for the overflow
+	// (+Inf) bucket — the same data as Buckets in an order-preserving
+	// shape quantile estimation can consume.
+	Bounds     []float64 `json:"bounds"`
+	Cumulative []int64   `json:"cumulative"`
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	s := HistogramSnapshot{Count: h.count, Sum: h.sum, Buckets: make(map[string]int64, len(h.counts))}
+	s := HistogramSnapshot{
+		Count:      h.count,
+		Sum:        h.sum,
+		Buckets:    make(map[string]int64, len(h.counts)),
+		Bounds:     append([]float64(nil), h.bounds...),
+		Cumulative: make([]int64, len(h.counts)),
+	}
 	cum := int64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i]
 		s.Buckets[fmt.Sprintf("le_%g", b)] = cum
+		s.Cumulative[i] = cum
 	}
-	s.Buckets["le_inf"] = cum + h.counts[len(h.bounds)]
+	cum += h.counts[len(h.bounds)]
+	s.Buckets["le_inf"] = cum
+	s.Cumulative[len(h.bounds)] = cum
 	return s
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the snapshot's
+// buckets by linear interpolation inside the bucket the rank lands in.
+// Observations in the overflow bucket are attributed its lower bound, so
+// high quantiles are underestimated once the tail escapes the finite
+// bounds — size the bounds so they don't. Returns 0 on an empty
+// histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	prevCum := int64(0)
+	lower := 0.0
+	for i, b := range s.Bounds {
+		cum := s.Cumulative[i]
+		if float64(cum) >= rank {
+			inBucket := cum - prevCum
+			if inBucket == 0 {
+				return b
+			}
+			frac := (rank - float64(prevCum)) / float64(inBucket)
+			return lower + frac*(b-lower)
+		}
+		prevCum = cum
+		lower = b
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 // Registry is an in-process metrics registry: named counters, gauges, and

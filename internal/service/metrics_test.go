@@ -1,0 +1,164 @@
+package service
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestLogBuckets pins the geometric bucket generator: the bounds the
+// queue-wait and node-count histograms are built from must start where
+// asked, grow by exactly the factor, and stay strictly ascending (a
+// histogram with unsorted bounds would silently misclassify samples).
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(10e-6, 4, 13)
+	if len(b) != 13 {
+		t.Fatalf("len = %d, want 13", len(b))
+	}
+	if math.Abs(b[0]-10e-6) > 1e-12 {
+		t.Errorf("first bound = %g, want 10e-6", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+		if r := b[i] / b[i-1]; math.Abs(r-4) > 1e-9 {
+			t.Errorf("ratio at %d = %g, want 4", i, r)
+		}
+	}
+	// The top bound must comfortably cover the longest plausible queue
+	// wait (the soak's storm deadlines are tens of seconds at worst).
+	if top := b[len(b)-1]; top < 60 {
+		t.Errorf("top queue-wait bound %gs cannot hold a minute-long wait", top)
+	}
+}
+
+// TestHistogramBuckets drives known samples through a small histogram and
+// checks the cumulative bucket counts, sum, and count land exactly.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 2, 50, 1000} {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 5 || s.Sum != 1053.5 {
+		t.Fatalf("count=%d sum=%g, want 5 / 1053.5", s.Count, s.Sum)
+	}
+	// 0.5 and 1 fall at or below the le_1 bound; 2 below 10; 50 below
+	// 100; 1000 overflows.
+	want := []int64{2, 3, 4, 5}
+	for i, w := range want {
+		if s.Cumulative[i] != w {
+			t.Errorf("cumulative[%d] = %d, want %d", i, s.Cumulative[i], w)
+		}
+	}
+	if s.Buckets["le_1"] != 2 || s.Buckets["le_inf"] != 5 {
+		t.Errorf("bucket map wrong: %v", s.Buckets)
+	}
+}
+
+// TestHistogramQuantile checks the interpolation the soak report's
+// p50/p99 numbers come from, including the empty and overflow edges.
+func TestHistogramQuantile(t *testing.T) {
+	empty := HistogramSnapshot{}
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+
+	r := NewRegistry()
+	h := r.Histogram("t", []float64{10, 20, 30})
+	// 10 samples uniformly in (0,10]: the median rank (5) lands halfway
+	// into the first bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	if q := h.snapshot().Quantile(0.5); math.Abs(q-5) > 1e-9 {
+		t.Errorf("p50 = %g, want 5 (half of the first bucket)", q)
+	}
+
+	// All samples in the overflow bucket: the estimate clamps to the top
+	// finite bound rather than inventing numbers past it.
+	h2 := r.Histogram("t2", []float64{10, 20})
+	h2.Observe(1e6)
+	if q := h2.snapshot().Quantile(0.99); q != 20 {
+		t.Errorf("overflow p99 = %g, want the top bound 20", q)
+	}
+}
+
+// TestRegistryConcurrency hammers one registry from many goroutines —
+// creating, incrementing, observing, and snapshotting simultaneously —
+// under -race. The assertions at the end verify no observation was lost.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("hits").Add(1)
+				r.Gauge("depth").Add(1)
+				r.Histogram("wait", []float64{0.001, 0.01, 0.1, 1}).Observe(float64(i%100) / 100)
+				r.Gauge("depth").Add(-1)
+				if i%100 == 0 {
+					// Concurrent snapshots must see internally consistent
+					// histograms: cumulative counts ascending, count equal
+					// to the overflow entry.
+					s := r.Snapshot()
+					if h, ok := s.Histograms["wait"]; ok {
+						for j := 1; j < len(h.Cumulative); j++ {
+							if h.Cumulative[j] < h.Cumulative[j-1] {
+								t.Errorf("snapshot cumulative not monotone: %v", h.Cumulative)
+								return
+							}
+						}
+						if h.Cumulative[len(h.Cumulative)-1] != h.Count {
+							t.Errorf("snapshot count %d != last cumulative %d", h.Count, h.Cumulative[len(h.Cumulative)-1])
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := r.Counter("hits").Value(); n != workers*perWorker {
+		t.Errorf("counter = %d, want %d", n, workers*perWorker)
+	}
+	if n := r.Gauge("depth").Value(); n != 0 {
+		t.Errorf("gauge = %d, want 0", n)
+	}
+	s := r.Snapshot()
+	if h := s.Histograms["wait"]; h.Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*perWorker)
+	}
+}
+
+// TestRegistryMarshalWireShape checks the /metrics wire shape: the
+// registry marshals to the three top-level sections with the histogram
+// detail the operations docs promise.
+func TestRegistryMarshalWireShape(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(MetricJobsShed).Add(3)
+	r.Gauge(MetricShedMode).Set(1)
+	r.Histogram(MetricQueueWait+"_"+LaneFast, queueWaitBounds).Observe(0.005)
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters[MetricJobsShed] != 3 || s.Gauges[MetricShedMode] != 1 {
+		t.Errorf("roundtrip lost values: %+v", s)
+	}
+	h, ok := s.Histograms[MetricQueueWait+"_"+LaneFast]
+	if !ok || h.Count != 1 || len(h.Bounds) != len(queueWaitBounds) {
+		t.Errorf("histogram roundtrip wrong: %+v", h)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package service
+
+// raceDetectorEnabled is false in native (non -race) test builds; see
+// race_on_test.go.
+const raceDetectorEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package service
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. The soak tests use it to decide whether sustained saturation of
+// the single heavy worker is guaranteed: the detector's ~10-20x slowdown
+// keeps the heavy queue pinned, while at native speed the same traffic
+// drains between bursts.
+const raceDetectorEnabled = true

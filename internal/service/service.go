@@ -52,9 +52,43 @@ type Config struct {
 	// Workers is also the peak number of live analyzers.
 	Workers int
 	// QueueDepth bounds jobs admitted but not yet running (default 64).
-	// Submissions beyond it are rejected with 503 rather than queued
-	// without bound — load-shedding for a server of exponential queries.
+	// Submissions beyond it are rejected with 429 + Retry-After rather
+	// than queued without bound — load-shedding for a server of
+	// exponential queries.
 	QueueDepth int
+	// FastWorkers is the cheap-request fast lane's pool size (default 1;
+	// ignored when DisableFastLane). Requests the polynomial planner
+	// fully decides never touch the exponential engine, so routing them
+	// around the heavy pool keeps their latency flat no matter how many
+	// NP-hard queries are queued — the paper's hardness cliff is exactly
+	// why one FIFO for both classes has unbounded cheap-request p99.
+	FastWorkers int
+	// FastQueueDepth bounds the fast lane's accept queue (default
+	// QueueDepth).
+	FastQueueDepth int
+	// DisableFastLane routes every request through the heavy pool (the
+	// comparison/debugging escape hatch; cmd/bench -soak uses it for the
+	// with/without-lane experiment).
+	DisableFastLane bool
+	// ShedDepth is the heavy-queue occupancy at which load shedding
+	// engages (default 3/4 of QueueDepth, minimum 1): while the heavy
+	// queue holds at least this many jobs, anytime (matrix) requests get
+	// their deadline clamped to ShedTimeout, so they answer quickly with
+	// a partial result and a resumable checkpoint instead of deepening
+	// the backlog. Set it above QueueDepth to disable shedding.
+	ShedDepth int
+	// ShedTimeout is the clamped deadline shed mode applies (default
+	// 200ms).
+	ShedTimeout time.Duration
+	// PartialGrace is how long a synchronous handler waits past the
+	// request deadline for an interrupted anytime analysis to surface its
+	// partial result (default 2s). The search aborts at its next
+	// cancellation poll, so the wait is normally microseconds once the
+	// job runs; the grace must cover the residual queue wait of a job
+	// whose deadline struck while still queued — size it above
+	// QueueDepth × ShedTimeout if storms of tiny-deadline requests are
+	// expected.
+	PartialGrace time.Duration
 	// CacheBytes is the result cache budget in bytes (default 32 MiB).
 	CacheBytes int64
 	// DefaultTimeout applies to requests that set no timeoutMs
@@ -104,6 +138,21 @@ func (c *Config) withDefaults() {
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
 	}
+	if c.FastWorkers <= 0 {
+		c.FastWorkers = 1
+	}
+	if c.FastQueueDepth <= 0 {
+		c.FastQueueDepth = c.QueueDepth
+	}
+	if c.ShedDepth <= 0 {
+		c.ShedDepth = max(1, c.QueueDepth*3/4)
+	}
+	if c.ShedTimeout <= 0 {
+		c.ShedTimeout = 200 * time.Millisecond
+	}
+	if c.PartialGrace <= 0 {
+		c.PartialGrace = 2 * time.Second
+	}
 	if c.CacheBytes <= 0 {
 		c.CacheBytes = 32 << 20
 	}
@@ -138,6 +187,7 @@ type Server struct {
 	store   *jobStore
 
 	jobs        chan *job
+	fastJobs    chan *job
 	queueDepth  *Gauge
 	jobsRunning *Gauge
 	workerWG    sync.WaitGroup
@@ -161,10 +211,12 @@ func New(cfg Config) *Server {
 		cache:       newResultCache(cfg.CacheBytes, m),
 		store:       newJobStore(cfg.MaxJobs),
 		jobs:        make(chan *job, cfg.QueueDepth),
+		fastJobs:    make(chan *job, cfg.FastQueueDepth),
 		queueDepth:  m.Gauge(MetricQueueDepth),
 		jobsRunning: m.Gauge(MetricJobsRunning),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.preregisterMetrics()
 	s.mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/races", s.instrument("races", s.handleRaces))
 	s.mux.HandleFunc("POST /v1/witness", s.instrument("witness", s.handleWitness))
@@ -173,9 +225,51 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
-		go s.worker()
+		go s.worker(s.jobs)
+	}
+	fastWorkers := cfg.FastWorkers
+	if cfg.DisableFastLane {
+		fastWorkers = 0
+	}
+	for i := 0; i < fastWorkers; i++ {
+		s.workerWG.Add(1)
+		go s.worker(s.fastJobs)
 	}
 	return s
+}
+
+// preregisterMetrics touches every metric name the server can emit so
+// /metrics exposes the full inventory from the first scrape. Dashboards
+// and the schema golden test depend on the name set being a property of
+// the build, not of which code paths happened to run.
+func (s *Server) preregisterMetrics() {
+	for _, name := range []string{
+		MetricCacheHits, MetricCacheMisses, MetricCacheEvictions,
+		MetricJobsRejected, MetricJobsCompleted, MetricJobsDeadline,
+		MetricJobsThrottled, MetricJobsShed, MetricJobsFastLane,
+		MetricMemoGrows, MetricAnalyzePartial, MetricAnalyzeResumed,
+		MetricSymmCollapses,
+	} {
+		s.metrics.Counter(name)
+	}
+	for t := plan.TierStatic; t <= plan.TierExact; t++ {
+		s.metrics.Counter(MetricPlanPairs + "_" + t.String())
+	}
+	for _, name := range []string{
+		MetricQueueDepth, MetricJobsRunning, MetricCacheBytes,
+		MetricCacheEntries, MetricMemoEntries, MetricMemoBytes,
+		MetricMemoLoadPermille, MetricSymmClasses, MetricShedMode,
+	} {
+		s.metrics.Gauge(name)
+	}
+	for _, endpoint := range []string{"analyze", "races", "witness", "jobs", "healthz", "metrics"} {
+		s.metrics.Counter(MetricRequests + "_" + endpoint)
+		s.metrics.Histogram(MetricLatency+"_"+endpoint, latencyBounds)
+	}
+	for _, lane := range []string{LaneFast, LaneHeavy} {
+		s.metrics.Histogram(MetricQueueWait+"_"+lane, queueWaitBounds)
+	}
+	s.metrics.Histogram(MetricExploredNodes, nodeBounds)
 }
 
 // Handler returns the HTTP handler serving all endpoints.
@@ -192,7 +286,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.shutdownMu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.jobs) // safe: submissions only send while holding shutdownMu with closed=false
+		// Safe: submissions only send while holding shutdownMu with
+		// closed=false.
+		close(s.jobs)
+		close(s.fastJobs)
 	}
 	s.shutdownMu.Unlock()
 	done := make(chan struct{})
@@ -323,11 +420,17 @@ type WitnessRequest struct {
 type Envelope struct {
 	// SchemaVersion stamps the wire schema generation (currently 2).
 	SchemaVersion int `json:"schemaVersion"`
+	// RequestID is the server-minted request ID (also in the X-Request-Id
+	// header); the server's structured log lines for this request carry
+	// the same value under "rid".
+	RequestID string `json:"requestId"`
 	// Cached reports whether the result was served from the result cache
 	// (no search ran for this request).
 	Cached bool `json:"cached"`
 	// ElapsedMs is wall time spent serving this request.
 	ElapsedMs float64 `json:"elapsedMs"`
+	// Trace carries the request's lane, queue wait, and span timings.
+	Trace *TraceInfo `json:"trace,omitempty"`
 	// Result is the endpoint-specific payload (PairResult, MatrixResult,
 	// RacesResult, or WitnessResult).
 	Result json.RawMessage `json:"result"`
@@ -470,6 +573,9 @@ type JobProgress struct {
 type JobResponse struct {
 	// SchemaVersion stamps the wire schema generation (currently 2).
 	SchemaVersion int `json:"schemaVersion"`
+	// RequestID identifies the HTTP request that produced this response
+	// (the submission and each poll mint their own).
+	RequestID string `json:"requestId,omitempty"`
 	// ID is the pollable job id.
 	ID string `json:"id"`
 	// Status is the job lifecycle state.
@@ -488,6 +594,8 @@ type JobResponse struct {
 type errorResponse struct {
 	// SchemaVersion stamps the wire schema generation (currently 2).
 	SchemaVersion int `json:"schemaVersion"`
+	// RequestID is the server-minted request ID for log correlation.
+	RequestID string `json:"requestId,omitempty"`
 	// Error is the human-readable failure.
 	Error string `json:"error"`
 }
@@ -506,23 +614,28 @@ func (sr *statusRecorder) WriteHeader(code int) {
 	sr.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting, latency observation,
-// and structured logging.
+// instrument wraps a handler with request tracing (a minted request ID in
+// the X-Request-Id header and the request context), request counting,
+// latency observation, and structured logging keyed by the request ID.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		tr := &tracer{id: newRequestID()}
+		w.Header().Set("X-Request-Id", tr.id)
+		r = r.WithContext(withTracer(r.Context(), tr))
 		s.metrics.Counter(MetricRequests + "_" + endpoint).Add(1)
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(sr, r)
 		elapsed := time.Since(start)
 		s.metrics.Histogram(MetricLatency+"_"+endpoint, latencyBounds).Observe(elapsed.Seconds())
-		s.log.Info("request",
+		fields := append(tr.logFields(),
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sr.status,
-			"durMs", float64(elapsed.Microseconds())/1000,
+			"durMs", ms(elapsed),
 			"remote", r.RemoteAddr,
 		)
+		s.log.Info("request", fields...)
 	}
 }
 
@@ -532,8 +645,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{SchemaVersion: SchemaVersion, Error: err.Error()})
+// writeError writes the JSON error body, stamped with the request's ID so
+// the client can hand operators a greppable handle even on failures.
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, status, errorResponse{
+		SchemaVersion: SchemaVersion,
+		RequestID:     tracerFrom(r.Context()).id,
+		Error:         err.Error(),
+	})
 }
 
 // statusFor maps a job computation error to an HTTP status.
@@ -545,7 +664,9 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, core.ErrBudget):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, errRejected):
+	case errors.Is(err, errQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -557,7 +678,7 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, into any) bool {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(into); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: bad request body: %w", err))
 		return false
 	}
 	return true
@@ -632,40 +753,82 @@ func (s *Server) matrixLimits() core.MatrixLimits {
 	return core.MatrixLimits{MaxWorkers: s.cfg.MaxMatrixWorkers, MaxBudget: s.cfg.MaxBudget}
 }
 
-// partialGrace is how long a synchronous handler waits past the request
-// deadline for an interrupted anytime analysis to surface its partial
-// result (the search aborts at its next cancellation poll, so the wait is
-// normally microseconds; the bound only protects against a wedged job).
-const partialGrace = 2 * time.Second
+// dispatchOpts parameterizes one dispatch: the cache key (empty disables
+// the cache in both directions — resume requests are inherently
+// stateful), async vs synchronous delivery, the anytime flag (runs that
+// return a partial result with value under a dead context execute even
+// when the deadline passed while queued), the client deadline, and the
+// admission-control lane (LaneFast routes to the fast pool; anything else
+// to the heavy pool).
+type dispatchOpts struct {
+	key       string
+	async     bool
+	anytime   bool
+	timeoutMs int64
+	lane      string
+	run       func(ctx context.Context) (jobOutput, error)
+}
+
+// rejectSubmit maps an admission failure to its wire response: 429 with a
+// Retry-After hint for a full queue, 503 for a draining server.
+func (s *Server) rejectSubmit(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, errQueueFull) {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, r, statusFor(err), err)
+}
 
 // dispatch runs one analysis job through the queue: cache lookup, then
 // either synchronous submit-and-wait or async submit-and-return-id.
-// run must honor its context; its output body is cached under key when
-// the output says so (complete results only). An empty key disables the
-// cache in both directions (resume requests are inherently stateful).
-// anytime marks runs that return a partial result with value under a dead
-// context — they execute even when the deadline passed while queued.
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, async, anytime bool, timeoutMs int64, run func(ctx context.Context) (jobOutput, error)) {
+// o.run must honor its context; its output body is cached under o.key
+// when the output says so (complete results only).
+//
+// Load shedding: when the heavy queue is at or past the shed depth, an
+// anytime request bound for the heavy pool gets its deadline clamped to
+// the shed timeout — it still runs, but answers quickly with a partial
+// result and a resumable checkpoint instead of deepening the backlog.
+// Fast-lane and non-anytime requests are never shed (the former are
+// polynomial, the latter have no partial result to degrade to).
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, o dispatchOpts) {
 	start := time.Now()
-	if key != "" {
-		if body, ok := s.cache.get(key); ok {
+	tr := tracerFrom(r.Context())
+	if o.key != "" {
+		if body, ok := s.cache.get(o.key); ok {
+			tr.setLane(LaneCache)
 			writeJSON(w, http.StatusOK, Envelope{
 				SchemaVersion: SchemaVersion,
+				RequestID:     tr.id,
 				Cached:        true,
-				ElapsedMs:     float64(time.Since(start).Microseconds()) / 1000,
+				ElapsedMs:     ms(time.Since(start)),
+				Trace:         tr.info(),
 				Result:        body,
 			})
 			return
 		}
 	}
-	timeout := s.timeout(timeoutMs)
+	lane := o.lane
+	if lane != LaneFast {
+		lane = LaneHeavy
+	}
+	tr.setLane(lane)
+	timeout := s.timeout(o.timeoutMs)
+	if o.anytime && lane == LaneHeavy && len(s.jobs) >= s.cfg.ShedDepth {
+		s.metrics.Gauge(MetricShedMode).Set(1)
+		s.metrics.Counter(MetricJobsShed).Add(1)
+		tr.setShed()
+		if timeout > s.cfg.ShedTimeout {
+			timeout = s.cfg.ShedTimeout
+		}
+	} else if o.anytime {
+		s.metrics.Gauge(MetricShedMode).Set(0)
+	}
 	cachePut := func(out jobOutput) {
-		if key != "" && out.cacheable {
-			s.cache.put(key, out.body)
+		if o.key != "" && out.cacheable {
+			s.cache.put(o.key, out.body)
 		}
 	}
 
-	if async {
+	if o.async {
 		sj := s.store.add()
 		ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
 		j := &job{
@@ -673,9 +836,11 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, as
 			cancel: cancel,
 			run: func(ctx context.Context) (jobOutput, error) {
 				sj.set(JobRunning, nil, "")
-				return run(ctx)
+				return o.run(ctx)
 			},
-			anytime: anytime,
+			anytime: o.anytime,
+			lane:    lane,
+			tracer:  tr,
 			onDone: func(out jobOutput, err error) {
 				if err != nil {
 					sj.set(JobFailed, nil, err.Error())
@@ -690,10 +855,10 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, as
 		if err := s.submit(j); err != nil {
 			cancel()
 			sj.set(JobFailed, nil, err.Error())
-			writeError(w, http.StatusServiceUnavailable, err)
+			s.rejectSubmit(w, r, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, JobResponse{SchemaVersion: SchemaVersion, ID: sj.id, Status: JobQueued})
+		writeJSON(w, http.StatusAccepted, JobResponse{SchemaVersion: SchemaVersion, RequestID: tr.id, ID: sj.id, Status: JobQueued})
 		return
 	}
 
@@ -705,28 +870,32 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, as
 	j := &job{
 		ctx:    ctx,
 		cancel: func() {}, // handler owns the sync job's context
-		run:    run,
+		run:    o.run,
 		onDone: func(out jobOutput, err error) {
 			if err == nil {
 				cachePut(out)
 			}
 		},
-		anytime: anytime,
+		anytime: o.anytime,
+		lane:    lane,
+		tracer:  tr,
 		done:    make(chan struct{}),
 	}
 	if err := s.submit(j); err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		s.rejectSubmit(w, r, err)
 		return
 	}
 	serve := func() {
 		if j.err != nil {
-			writeError(w, statusFor(j.err), j.err)
+			writeError(w, r, statusFor(j.err), j.err)
 			return
 		}
 		writeJSON(w, http.StatusOK, Envelope{
 			SchemaVersion: SchemaVersion,
+			RequestID:     tr.id,
 			Cached:        false,
-			ElapsedMs:     float64(time.Since(start).Microseconds()) / 1000,
+			ElapsedMs:     ms(time.Since(start)),
+			Trace:         tr.info(),
 			Result:        j.out.body,
 		})
 	}
@@ -736,13 +905,15 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, key string, as
 	case <-ctx.Done():
 		// The deadline struck mid-job. An anytime analysis returns a
 		// partial result with value instead of an error, so give the job
-		// a short grace period to surface it — a partial matrix answers
-		// 200 with "complete": false where v1 answered 504.
+		// a grace period to surface it — a partial matrix answers 200
+		// with "complete": false where v1 answered 504. The grace also
+		// covers the residual queue wait of a job whose deadline struck
+		// while still queued (see Config.PartialGrace).
 		select {
 		case <-j.done:
 			serve()
-		case <-time.After(partialGrace):
-			writeError(w, statusFor(ctx.Err()), fmt.Errorf("service: %w", ctx.Err()))
+		case <-time.After(s.cfg.PartialGrace):
+			writeError(w, r, statusFor(ctx.Err()), fmt.Errorf("service: %w", ctx.Err()))
 		}
 	}
 }
@@ -752,9 +923,16 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	x, digest, err := s.resolveExecution(&req.ExecutionSource)
+	tr := tracerFrom(r.Context())
+	var x *model.Execution
+	var digest string
+	err := tr.timePhase("resolve", func() error {
+		var rerr error
+		x, digest, rerr = s.resolveExecution(&req.ExecutionSource)
+		return rerr
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 
@@ -762,7 +940,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if req.Rel != "" {
 		kind, err := core.ParseRelKind(req.Rel)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		kinds = []core.RelKind{kind}
@@ -776,41 +954,46 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	if pairQuery {
 		if req.A == "" || req.B == "" || len(kinds) != 1 || req.All {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("service: a pair query needs rel, a, and b (and no all)"))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: a pair query needs rel, a, and b (and no all)"))
 			return
 		}
 		ea, ok := x.EventByLabel(req.A)
 		if !ok {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.A, x.Labels()))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.A, x.Labels()))
 			return
 		}
 		eb, ok := x.EventByLabel(req.B)
 		if !ok {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.B, x.Labels()))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.B, x.Labels()))
 			return
 		}
 		if ea == eb {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A))
 			return
 		}
 		kind := kinds[0]
 		key := cacheKey(digest, fmt.Sprintf("analyze|pair|rel=%s|a=%s|b=%s|ignoreData=%t", kind, req.A, req.B, req.IgnoreData))
-		s.dispatch(w, r, key, req.Async, false, req.TimeoutMs, func(ctx context.Context) (jobOutput, error) {
+		s.dispatch(w, r, dispatchOpts{key: key, async: req.Async, timeoutMs: req.TimeoutMs, run: func(ctx context.Context) (jobOutput, error) {
 			an, err := core.New(x, opts)
 			if err != nil {
 				return jobOutput{}, err
 			}
-			holds, err := an.Decide(ctx, kind, ea.ID, eb.ID)
-			if err != nil {
+			var holds bool
+			if err := tr.timePhase("decide", func() error {
+				var derr error
+				holds, derr = an.Decide(ctx, kind, ea.ID, eb.ID)
+				return derr
+			}); err != nil {
 				return jobOutput{}, err
 			}
 			s.observeMemo(an)
+			s.metrics.Histogram(MetricExploredNodes, nodeBounds).Observe(float64(an.Stats().Nodes))
 			body, err := json.Marshal(PairResult{
 				Rel: kind.String(), A: req.A, B: req.B,
 				Verdict: core.VerdictOf(holds), Nodes: an.Stats().Nodes,
 			})
 			return jobOutput{body: body, cacheable: true}, err
-		})
+		}})
 		return
 	}
 
@@ -831,6 +1014,34 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		mopts.Tiers = -1
 	}
 	mopts = mopts.Normalize(s.matrixLimits())
+	// The engine reports its forward/backward sweep spans to the request
+	// trace (the tracer is concurrency-safe; the job runs on a worker).
+	mopts.OnPhase = tr.phase
+
+	// Build the polynomial plan on the request path, not the worker: it
+	// doubles as the admission controller's cost estimate. A plan with
+	// zero residue means the cascade decided every pair — the job's cost
+	// is polynomial and proven, so it rides the fast lane past the queue
+	// of NP-hard searches. The finished plan is handed to the worker via
+	// AnalyzePlanned, so nothing is computed twice. Resumed runs skip
+	// planning (the seed travels inside the checkpoint) and are always
+	// heavy — a resume exists precisely because the query was hard.
+	var built *plan.Plan
+	lane := LaneHeavy
+	if req.Resume == nil {
+		perr := tr.timePhase("plan", func() error {
+			var berr error
+			built, berr = plan.Build(x, kinds, plan.Options{IgnoreData: req.IgnoreData, Tiers: mopts.Tiers})
+			return berr
+		})
+		if perr != nil {
+			writeError(w, r, http.StatusBadRequest, perr)
+			return
+		}
+		if built.Residue == 0 && !s.cfg.DisableFastLane {
+			lane = LaneFast
+		}
+	}
 	// The cache key deliberately omits workers and budget: the batch
 	// engine's verdicts are identical at every fan-out width, and a
 	// budget only decides when a run stops, never what its completed
@@ -844,12 +1055,13 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		key = ""
 		s.metrics.Counter(MetricAnalyzeResumed).Add(1)
 	}
-	s.dispatch(w, r, key, req.Async, true, req.TimeoutMs, func(ctx context.Context) (jobOutput, error) {
-		res, err := plan.Analyze(ctx, x, kinds, opts, mopts)
+	s.dispatch(w, r, dispatchOpts{key: key, async: req.Async, anytime: true, timeoutMs: req.TimeoutMs, lane: lane, run: func(ctx context.Context) (jobOutput, error) {
+		res, err := plan.AnalyzePlanned(ctx, x, kinds, opts, mopts, built)
 		if err != nil {
 			return jobOutput{}, err
 		}
 		s.observeMemoStats(res.Stats)
+		s.metrics.Histogram(MetricExploredNodes, nodeBounds).Observe(float64(res.Stats.Nodes))
 		if res.Plan != nil {
 			s.observePlan(res.Plan)
 		}
@@ -896,7 +1108,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			Resumable:    m.Checkpoint != nil,
 		}
 		return jobOutput{body: body, cacheable: m.Complete && req.Resume == nil, progress: progress}, err
-	})
+	}})
 }
 
 // causeName renders an anytime interrupt cause for the wire.
@@ -944,18 +1156,30 @@ func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	x, digest, err := s.resolveExecution(&req.ExecutionSource)
+	tr := tracerFrom(r.Context())
+	var x *model.Execution
+	var digest string
+	err := tr.timePhase("resolve", func() error {
+		var rerr error
+		x, digest, rerr = s.resolveExecution(&req.ExecutionSource)
+		return rerr
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR, DisableSymm: s.cfg.DisableSymm}
 	key := cacheKey(digest, fmt.Sprintf("races|ignoreData=%t", req.IgnoreData))
-	s.dispatch(w, r, key, req.Async, false, req.TimeoutMs, func(ctx context.Context) (jobOutput, error) {
-		rep, err := race.DetectCtx(ctx, x, opts)
-		if err != nil {
+	s.dispatch(w, r, dispatchOpts{key: key, async: req.Async, timeoutMs: req.TimeoutMs, run: func(ctx context.Context) (jobOutput, error) {
+		var rep *race.Report
+		if err := tr.timePhase("detect", func() error {
+			var derr error
+			rep, derr = race.DetectCtx(ctx, x, opts)
+			return derr
+		}); err != nil {
 			return jobOutput{}, err
 		}
+		s.metrics.Histogram(MetricExploredNodes, nodeBounds).Observe(float64(rep.Nodes))
 		conv := func(pairs []race.Pair) []RacePair {
 			out := []RacePair{}
 			for _, p := range pairs {
@@ -975,7 +1199,7 @@ func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
 			Nodes:      rep.Nodes,
 		})
 		return jobOutput{body: body, cacheable: true}, err
-	})
+	}})
 }
 
 func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
@@ -983,49 +1207,61 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	x, digest, err := s.resolveExecution(&req.ExecutionSource)
+	tr := tracerFrom(r.Context())
+	var x *model.Execution
+	var digest string
+	err := tr.timePhase("resolve", func() error {
+		var rerr error
+		x, digest, rerr = s.resolveExecution(&req.ExecutionSource)
+		return rerr
+	})
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	kind, err := core.ParseRelKind(req.Rel)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, r, http.StatusBadRequest, err)
 		return
 	}
 	ea, ok := x.EventByLabel(req.A)
 	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.A, x.Labels()))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.A, x.Labels()))
 		return
 	}
 	eb, ok := x.EventByLabel(req.B)
 	if !ok {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.B, x.Labels()))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.B, x.Labels()))
 		return
 	}
 	if ea == eb {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A))
+		writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A))
 		return
 	}
 	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR, DisableSymm: s.cfg.DisableSymm}
 	key := cacheKey(digest, fmt.Sprintf("witness|rel=%s|a=%s|b=%s|ignoreData=%t", kind, req.A, req.B, req.IgnoreData))
-	s.dispatch(w, r, key, req.Async, false, req.TimeoutMs, func(ctx context.Context) (jobOutput, error) {
+	s.dispatch(w, r, dispatchOpts{key: key, async: req.Async, timeoutMs: req.TimeoutMs, run: func(ctx context.Context) (jobOutput, error) {
 		an, err := core.New(x, opts)
 		if err != nil {
 			return jobOutput{}, err
 		}
-		wit, err := an.WitnessSchedule(ctx, kind, ea.ID, eb.ID)
-		if err != nil {
+		var wit core.Witness
+		if err := tr.timePhase("witness", func() error {
+			var werr error
+			wit, werr = an.WitnessSchedule(ctx, kind, ea.ID, eb.ID)
+			return werr
+		}); err != nil {
 			return jobOutput{}, err
 		}
 		s.observeMemo(an)
+		s.metrics.Histogram(MetricExploredNodes, nodeBounds).Observe(float64(an.Stats().Nodes))
 		body, err := json.Marshal(WitnessResult{
 			Rel: kind.String(), A: req.A, B: req.B,
 			Verdict: core.VerdictOf(wit.Holds),
 			Steps:   core.FormatSteps(x, wit.Steps),
 		})
 		return jobOutput{body: body, cacheable: true}, err
-	})
+	}})
 }
 
 // observeMemo exports a finished search job's completion-memo occupancy:
@@ -1052,12 +1288,13 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	sj, ok := s.store.get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Errorf("service: no job %q", id))
+		writeError(w, r, http.StatusNotFound, fmt.Errorf("service: no job %q", id))
 		return
 	}
 	state, body, errs, progress := sj.snapshot()
 	writeJSON(w, http.StatusOK, JobResponse{
 		SchemaVersion: SchemaVersion,
+		RequestID:     tracerFrom(r.Context()).id,
 		ID:            id, Status: state, Error: errs,
 		Result: body, Progress: progress,
 	})
@@ -1077,6 +1314,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":     status,
 		"workers":    s.cfg.Workers,
 		"queueDepth": s.queueDepth.Value(),
+		"fastLane":   !s.cfg.DisableFastLane,
+		"shedding":   len(s.jobs) >= s.cfg.ShedDepth,
 	})
 }
 

@@ -544,13 +544,15 @@ func TestGracefulShutdownDrain(t *testing.T) {
 }
 
 // TestQueueFullRejects fills the single-slot queue behind a busy worker
-// and requires load shedding with 503.
+// and requires admission control to answer 429 with a Retry-After hint.
+// The fast lane is disabled so every submission contends for the one
+// heavy queue slot.
 func TestQueueFullRejects(t *testing.T) {
 	slow, err := gen.Barrier(6)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	srv, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 1, DisableFastLane: true})
 	slowReq := func(seed int) map[string]any {
 		return map[string]any{
 			"execution": executionJSON(t, slow), "all": true, "async": true,
@@ -573,15 +575,21 @@ func TestQueueFullRejects(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("second submit: %d: %s", resp.StatusCode, body)
 	}
-	// Worker busy + queue slot taken → the third submission must shed.
+	// Worker busy + queue slot taken → the third submission must throttle.
 	resp, body = postJSON(t, ts.URL+"/v1/races", map[string]any{
 		"execution": executionJSON(t, slow), "async": true, "timeoutMs": 10000,
 	})
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("third submit: %d, want 503: %s", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: %d, want 429: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without a Retry-After hint")
 	}
 	if n := srv.Metrics().Counter(MetricJobsRejected).Value(); n < 1 {
 		t.Errorf("jobs_rejected = %d, want ≥ 1", n)
+	}
+	if n := srv.Metrics().Counter(MetricJobsThrottled).Value(); n < 1 {
+		t.Errorf("jobs_throttled = %d, want ≥ 1", n)
 	}
 }
 

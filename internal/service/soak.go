@@ -1,0 +1,548 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Soak/fault-injection harness. RunSoak boots an in-process server behind
+// an httptest listener and drives it with a mixed adversarial workload —
+// planner-decidable fast-lane traffic, NP-hard heavy queries, async
+// submit-and-poll, resume-from-checkpoint chains, deadline storms, and
+// slow clients that stall mid-request — then drains it and reports every
+// outcome. The same harness backs the soak tests, `eventorderd
+// -selfcheck`, and `bench -soak`: the service's load-shedding contract
+// ("every response is 200-complete, 200-partial, 202, or 429 — never a
+// hang, never a 5xx") is checked by machines, not by prose.
+
+// SoakProgram is one mini-language workload item for the soak mix.
+type SoakProgram struct {
+	// Name labels the program in reports.
+	Name string
+	// Source is the mini-language text (the contents of a .evo file).
+	Source string
+}
+
+// SoakOptions configures RunSoak. Zero values select the documented
+// defaults.
+type SoakOptions struct {
+	// Duration is how long traffic runs before the drain phase
+	// (default 2s).
+	Duration time.Duration
+	// Clients is the number of mixed-workload request loops (default 4).
+	Clients int
+	// StormClients is the number of deadline-storm loops: matrix requests
+	// with millisecond deadlines that must still answer 200 with a partial
+	// result (default 2).
+	StormClients int
+	// SlowClients is the number of stalled connections: each opens a raw
+	// TCP connection, sends a partial request, and sits on it for most of
+	// the soak before closing — the server must neither hang a worker on
+	// them nor leak their goroutines (default 2).
+	SlowClients int
+	// Seed seeds the workload generators; equal seeds produce the same
+	// request sequence modulo scheduling (default 1).
+	Seed int64
+	// RequestBudget is the per-request search-node budget the workload
+	// attaches to heavy queries so each job's cost is bounded
+	// (default 4000).
+	RequestBudget int64
+	// Server configures the server under test. PartialGrace defaults to
+	// 15s here (not the server's 2s): a deadline storm can queue many
+	// already-expired anytime jobs, and the grace must cover their
+	// residual queue wait or the harness would count 504s the
+	// configuration caused, not the code.
+	Server Config
+	// Programs is the workload corpus (required).
+	Programs []SoakProgram
+}
+
+func (o *SoakOptions) withDefaults() {
+	if o.Duration <= 0 {
+		o.Duration = 2 * time.Second
+	}
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.StormClients < 0 {
+		o.StormClients = 0
+	}
+	if o.SlowClients < 0 {
+		o.SlowClients = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.RequestBudget <= 0 {
+		o.RequestBudget = 4000
+	}
+	if o.Server.PartialGrace <= 0 {
+		o.Server.PartialGrace = 15 * time.Second
+	}
+}
+
+// SoakReport aggregates one RunSoak's outcomes.
+type SoakReport struct {
+	// Duration is the traffic phase's configured length.
+	Duration time.Duration
+	// Requests counts every HTTP exchange the workload completed
+	// (including async polls).
+	Requests int64
+	// Statuses counts responses by HTTP status code.
+	Statuses map[int]int64
+	// Complete and Partial count matrix results by their Complete flag.
+	Complete int64
+	Partial  int64
+	// Shed counts responses whose trace reported load-shedding
+	// degradation.
+	Shed int64
+	// Lanes counts responses by the trace's admission lane.
+	Lanes map[string]int64
+	// Resumes counts resume-from-checkpoint requests issued.
+	Resumes int64
+	// Unexpected lists contract violations the workload observed (wrong
+	// status, missing request ID, partial without checkpoint, ...),
+	// capped at 20. A clean soak has none.
+	Unexpected []string
+	// FastQueueWaitP99Ms, HeavyQueueWaitP50Ms, HeavyQueueWaitP99Ms are
+	// queue-wait quantiles per admission lane, from the server's
+	// log-bucketed histograms. The fast-lane isolation contract is
+	// FastQueueWaitP99Ms < HeavyQueueWaitP50Ms under saturation.
+	FastQueueWaitP99Ms  float64
+	HeavyQueueWaitP50Ms float64
+	HeavyQueueWaitP99Ms float64
+	// FastSamples and HeavySamples are those histograms' populations.
+	FastSamples  int64
+	HeavySamples int64
+	// AnalyzeP50Ms, AnalyzeP99Ms, AnalyzeP999Ms are handler-latency
+	// quantiles for the analyze endpoint.
+	AnalyzeP50Ms  float64
+	AnalyzeP99Ms  float64
+	AnalyzeP999Ms float64
+	// Metrics is the server's full registry snapshot after the drain.
+	Metrics Snapshot
+}
+
+// soakCollector accumulates the report under a mutex (many client
+// goroutines write it).
+type soakCollector struct {
+	mu  sync.Mutex
+	rep *SoakReport
+}
+
+func (c *soakCollector) count(fn func(rep *SoakReport)) {
+	c.mu.Lock()
+	fn(c.rep)
+	c.mu.Unlock()
+}
+
+func (c *soakCollector) unexpected(format string, args ...any) {
+	c.mu.Lock()
+	if len(c.rep.Unexpected) < 20 {
+		c.rep.Unexpected = append(c.rep.Unexpected, fmt.Sprintf(format, args...))
+	}
+	c.mu.Unlock()
+}
+
+// soakRun carries one soak's shared state.
+type soakRun struct {
+	opts   SoakOptions
+	url    string
+	addr   string
+	client *http.Client
+	col    *soakCollector
+	stop   <-chan struct{}
+}
+
+// RunSoak runs the soak: boot, mixed traffic for opts.Duration, stop the
+// clients, drain via Shutdown, snapshot the metrics. The error covers
+// harness-level failures (boot, drain timeout); workload-level contract
+// violations land in the report's Unexpected list so the caller can
+// decide how loudly to fail.
+func RunSoak(ctx context.Context, opts SoakOptions) (*SoakReport, error) {
+	opts.withDefaults()
+	if len(opts.Programs) == 0 {
+		return nil, fmt.Errorf("service: soak needs at least one workload program")
+	}
+	srv := New(opts.Server)
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	// Bound how long a stalled client may dribble its headers; the body
+	// stall is bounded by the connection close the harness performs.
+	ts.Config.ReadHeaderTimeout = 2 * time.Second
+	ts.Start()
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	run := &soakRun{
+		opts:   opts,
+		url:    ts.URL,
+		addr:   ts.Listener.Addr().String(),
+		client: &http.Client{Timeout: 60 * time.Second},
+		col:    &soakCollector{rep: &SoakReport{Duration: opts.Duration, Statuses: map[int]int64{}, Lanes: map[string]int64{}}},
+		stop:   stop,
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Clients; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			run.mixedLoop(rand.New(rand.NewSource(seed)))
+		}(opts.Seed + int64(i))
+	}
+	for i := 0; i < opts.StormClients; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			run.stormLoop(rand.New(rand.NewSource(seed)))
+		}(opts.Seed + 1000 + int64(i))
+	}
+	var slowWG sync.WaitGroup
+	for i := 0; i < opts.SlowClients; i++ {
+		slowWG.Add(1)
+		go func() {
+			defer slowWG.Done()
+			run.slowClient()
+		}()
+	}
+
+	select {
+	case <-time.After(opts.Duration):
+	case <-ctx.Done():
+	}
+	close(stop)
+	wg.Wait()
+	slowWG.Wait()
+
+	// Drain phase: traffic has stopped but async jobs may still be
+	// queued — Shutdown must finish them and return without error.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return run.col.rep, fmt.Errorf("service: soak drain: %w", err)
+	}
+
+	rep := run.col.rep
+	snap := srv.Metrics().Snapshot()
+	rep.Metrics = snap
+	if h, ok := snap.Histograms[MetricQueueWait+"_"+LaneFast]; ok {
+		rep.FastSamples = h.Count
+		rep.FastQueueWaitP99Ms = h.Quantile(0.99) * 1000
+	}
+	if h, ok := snap.Histograms[MetricQueueWait+"_"+LaneHeavy]; ok {
+		rep.HeavySamples = h.Count
+		rep.HeavyQueueWaitP50Ms = h.Quantile(0.50) * 1000
+		rep.HeavyQueueWaitP99Ms = h.Quantile(0.99) * 1000
+	}
+	if h, ok := snap.Histograms[MetricLatency+"_analyze"]; ok {
+		rep.AnalyzeP50Ms = h.Quantile(0.50) * 1000
+		rep.AnalyzeP99Ms = h.Quantile(0.99) * 1000
+		rep.AnalyzeP999Ms = h.Quantile(0.999) * 1000
+	}
+	return rep, nil
+}
+
+// stopped reports whether the traffic phase is over.
+func (r *soakRun) stopped() bool {
+	select {
+	case <-r.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// mixedLoop is one mixed-workload client: matrix queries across the
+// planner-knob space (the cache-busting axis), async submit-and-poll,
+// race queries, and budget-starved runs chained into resumes.
+func (r *soakRun) mixedLoop(rng *rand.Rand) {
+	for !r.stopped() {
+		p := r.opts.Programs[rng.Intn(len(r.opts.Programs))]
+		switch rng.Intn(6) {
+		case 0, 1:
+			r.matrixOnce(rng, p, false)
+		case 2, 3:
+			// Async weighs as much as sync on purpose: submissions that
+			// do not block the client are what keep the heavy queue
+			// persistently deep — the regime admission control exists for.
+			r.matrixOnce(rng, p, true)
+		case 4:
+			r.racesOnce(rng, p)
+		case 5:
+			r.resumeChain(rng, p)
+		}
+	}
+}
+
+// matrixBody builds a matrix request over the variant axes that change
+// the cache key (tiers, ignoreData, seed, rel), keeping the cache-hit
+// rate realistic instead of saturating.
+func (r *soakRun) matrixBody(rng *rand.Rand, p SoakProgram) map[string]any {
+	body := map[string]any{
+		"program":   p.Source,
+		"seed":      1 + rng.Int63n(4),
+		"all":       true,
+		"budget":    r.opts.RequestBudget,
+		"timeoutMs": 5000,
+	}
+	if rng.Intn(4) == 0 {
+		body["ignoreData"] = true
+	}
+	if rng.Intn(3) == 0 {
+		body["tiers"] = rng.Intn(5) - 1 // -1..3
+	}
+	return body
+}
+
+func (r *soakRun) matrixOnce(rng *rand.Rand, p SoakProgram, async bool) {
+	body := r.matrixBody(rng, p)
+	if async {
+		body["async"] = true
+		resp, raw := r.post("/v1/analyze", body)
+		if resp == nil {
+			return
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return
+		}
+		if resp.StatusCode == http.StatusOK {
+			// The cache answers async submissions synchronously (no job
+			// to poll) — a plain matrix envelope, validated as such.
+			r.checkMatrixResponse(p, resp, raw)
+			return
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			r.col.unexpected("%s async submit: status %d: %.200s", p.Name, resp.StatusCode, raw)
+			return
+		}
+		var jr JobResponse
+		if err := json.Unmarshal(raw, &jr); err != nil || jr.ID == "" || jr.RequestID == "" {
+			r.col.unexpected("%s async submit: bad job response %.200s", p.Name, raw)
+			return
+		}
+		for i := 0; i < 8 && !r.stopped(); i++ {
+			resp, raw := r.get("/v1/jobs/" + jr.ID)
+			if resp == nil {
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				r.col.unexpected("%s poll: status %d: %.200s", p.Name, resp.StatusCode, raw)
+				return
+			}
+			var poll JobResponse
+			if err := json.Unmarshal(raw, &poll); err != nil {
+				r.col.unexpected("%s poll: bad body %.200s", p.Name, raw)
+				return
+			}
+			if poll.Status == JobDone || poll.Status == JobFailed {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		return
+	}
+	resp, raw := r.post("/v1/analyze", body)
+	r.checkMatrixResponse(p, resp, raw)
+}
+
+// checkMatrixResponse validates one synchronous matrix exchange against
+// the load-shedding contract and tallies it.
+func (r *soakRun) checkMatrixResponse(p SoakProgram, resp *http.Response, raw []byte) (complete bool, checkpoint json.RawMessage) {
+	if resp == nil {
+		return false, nil
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			r.col.unexpected("%s: 429 without Retry-After", p.Name)
+		}
+		return false, nil
+	case http.StatusOK:
+	default:
+		r.col.unexpected("%s matrix: status %d: %.200s", p.Name, resp.StatusCode, raw)
+		return false, nil
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		r.col.unexpected("%s matrix: bad envelope %.200s", p.Name, raw)
+		return false, nil
+	}
+	if env.RequestID == "" || env.RequestID != resp.Header.Get("X-Request-Id") {
+		r.col.unexpected("%s matrix: request id %q does not match header %q", p.Name, env.RequestID, resp.Header.Get("X-Request-Id"))
+	}
+	if env.Trace == nil || env.Trace.RequestID != env.RequestID {
+		r.col.unexpected("%s matrix: envelope without matching trace", p.Name)
+		return false, nil
+	}
+	r.col.count(func(rep *SoakReport) {
+		rep.Lanes[env.Trace.Lane]++
+		if env.Trace.Shed {
+			rep.Shed++
+		}
+	})
+	var mr struct {
+		Complete   bool            `json:"complete"`
+		Checkpoint json.RawMessage `json:"checkpoint"`
+	}
+	if err := json.Unmarshal(env.Result, &mr); err != nil {
+		r.col.unexpected("%s matrix: bad result %.200s", p.Name, env.Result)
+		return false, nil
+	}
+	if !mr.Complete && len(mr.Checkpoint) == 0 {
+		r.col.unexpected("%s matrix: partial result without a checkpoint", p.Name)
+	}
+	r.col.count(func(rep *SoakReport) {
+		if mr.Complete {
+			rep.Complete++
+		} else {
+			rep.Partial++
+		}
+	})
+	return mr.Complete, mr.Checkpoint
+}
+
+// resumeChain starves a matrix query's budget to force a partial result,
+// then resumes it from the returned checkpoint with a larger budget —
+// the anytime degrade-then-continue path load shedding relies on.
+func (r *soakRun) resumeChain(rng *rand.Rand, p SoakProgram) {
+	body := r.matrixBody(rng, p)
+	body["budget"] = int64(16) // starve: almost certainly partial
+	resp, raw := r.post("/v1/analyze", body)
+	complete, checkpoint := r.checkMatrixResponse(p, resp, raw)
+	if complete || len(checkpoint) == 0 || r.stopped() {
+		return
+	}
+	body["budget"] = r.opts.RequestBudget
+	body["resume"] = checkpoint
+	r.col.count(func(rep *SoakReport) { rep.Resumes++ })
+	resp, raw = r.post("/v1/analyze", body)
+	r.checkMatrixResponse(p, resp, raw)
+}
+
+func (r *soakRun) racesOnce(rng *rand.Rand, p SoakProgram) {
+	body := map[string]any{
+		"program":   p.Source,
+		"seed":      1 + rng.Int63n(4),
+		"timeoutMs": 20000,
+	}
+	resp, raw := r.post("/v1/races", body)
+	if resp == nil {
+		return
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			r.col.unexpected("%s: 429 without Retry-After", p.Name)
+		}
+	default:
+		r.col.unexpected("%s races: status %d: %.200s", p.Name, resp.StatusCode, raw)
+	}
+}
+
+// stormLoop fires matrix queries with millisecond deadlines. The anytime
+// contract makes these the sharpest probe the service has: every one
+// must come back 200 with a partial (or tiny-but-complete) result, or
+// 429 — a 504 means the partial-grace path regressed.
+func (r *soakRun) stormLoop(rng *rand.Rand) {
+	for !r.stopped() {
+		p := r.opts.Programs[rng.Intn(len(r.opts.Programs))]
+		body := r.matrixBody(rng, p)
+		body["timeoutMs"] = 1 + rng.Int63n(10)
+		resp, raw := r.post("/v1/analyze", body)
+		r.checkMatrixResponse(p, resp, raw)
+	}
+}
+
+// slowClient opens a raw connection, sends a partial request, and stalls
+// until the traffic phase ends, then closes. The server must neither
+// dedicate a worker to it nor leak its serving goroutine after the close.
+func (r *soakRun) slowClient() {
+	conn, err := net.DialTimeout("tcp", r.addr, 2*time.Second)
+	if err != nil {
+		r.col.unexpected("slow client dial: %v", err)
+		return
+	}
+	defer conn.Close()
+	_, _ = io.WriteString(conn, "POST /v1/analyze HTTP/1.1\r\nHost: soak\r\nContent-Type: application/json\r\nContent-Length: 100000\r\n\r\n{\"program\": \"")
+	<-r.stop
+}
+
+// post issues one POST and reads the body fully; transport-level errors
+// land in the unexpected list (nil response). Client-side timeouts count
+// as hangs — the contract says the server always answers.
+func (r *soakRun) post(path string, body any) (*http.Response, []byte) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		r.col.unexpected("marshal %s: %v", path, err)
+		return nil, nil
+	}
+	resp, err := r.client.Post(r.url+path, "application/json", bytes.NewReader(buf))
+	return r.finish(path, resp, err)
+}
+
+func (r *soakRun) get(path string) (*http.Response, []byte) {
+	resp, err := r.client.Get(r.url + path)
+	return r.finish(path, resp, err)
+}
+
+func (r *soakRun) finish(path string, resp *http.Response, err error) (*http.Response, []byte) {
+	if err != nil {
+		r.col.unexpected("%s: transport: %v", path, err)
+		return nil, nil
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		r.col.unexpected("%s: read body: %v", path, err)
+		return nil, nil
+	}
+	r.col.count(func(rep *SoakReport) {
+		rep.Requests++
+		rep.Statuses[resp.StatusCode]++
+	})
+	return resp, raw
+}
+
+// Leak probes ---------------------------------------------------------------
+
+// CountOpenFDs returns the process's open file-descriptor count via
+// /proc/self/fd, or -1 where that interface is unavailable (callers
+// should skip fd-leak assertions then).
+func CountOpenFDs() int {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return len(ents)
+}
+
+// GoroutinesSettled polls until the live goroutine count drops to at
+// most limit or the timeout expires, returning the final count and
+// whether it settled. Goroutine teardown is asynchronous (timer and
+// connection goroutines unwind after their triggering event), so leak
+// checks must poll, not sample once.
+func GoroutinesSettled(limit int, timeout time.Duration) (int, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= limit {
+			return n, true
+		}
+		if time.Now().After(deadline) {
+			return n, false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

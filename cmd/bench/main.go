@@ -20,6 +20,8 @@
 //	                   [-assert-symm-ge 1.0]
 //	                   [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	go run ./cmd/bench -soak [-soak-duration 30s] [-soak-o BENCH_soak.json]
+//	go run ./cmd/bench -durability [-durability-jobs 200]
+//	                   [-durability-o BENCH_durability.json]
 //
 // -soak switches to the service soak comparison: the soak/fault-injection
 // harness (internal/service.RunSoak) drives an undersized server twice —
@@ -27,6 +29,13 @@
 // per-lane queue-wait and end-to-end latency quantiles plus the shed rate
 // (the EXPERIMENTS E19 numbers). Any load-shedding contract violation
 // fails the run.
+//
+// -durability switches to the durability comparison: async accept latency
+// (time to a 202, which with a state directory includes the fsynced
+// write-ahead "accepted" record) with the journal on versus off, plus a
+// crash-restart soak whose final-boot recovery wall time and
+// verified-results count quantify what crash safety costs and buys (the
+// EXPERIMENTS E20 numbers).
 //
 // Median-of-reps wall-clock per strategy is reported, plus the speedup of
 // matrix over parallel at each worker count, node throughput
@@ -189,11 +198,21 @@ func main() {
 	soak := flag.Bool("soak", false, "run the service soak comparison (fast lane on vs off) instead of the matrix bench")
 	soakDuration := flag.Duration("soak-duration", 30*time.Second, "traffic duration per soak side")
 	soakOut := flag.String("soak-o", "BENCH_soak.json", "soak comparison output path")
+	durability := flag.Bool("durability", false, "run the durability comparison (journal on vs off accept latency + crash-soak recovery) instead of the matrix bench")
+	durabilityJobs := flag.Int("durability-jobs", 200, "async submissions per accept-latency side")
+	durabilityOut := flag.String("durability-o", "BENCH_durability.json", "durability comparison output path")
 	flag.Parse()
 
 	if *soak {
 		if err := runSoakBench(*testdata, *soakDuration, *soakOut); err != nil {
 			fmt.Fprintf(os.Stderr, "bench -soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *durability {
+		if err := runDurabilityBench(*testdata, *durabilityJobs, *durabilityOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bench -durability: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -26,14 +26,14 @@ import (
 
 // soakSide is one soak run's headline numbers.
 type soakSide struct {
-	Requests   int64           `json:"requests"`
-	Statuses   map[int]int64   `json:"statuses"`
-	Complete   int64           `json:"complete"`
-	Partial    int64           `json:"partial"`
-	Shed       int64           `json:"shed"`
-	ShedRate   float64         `json:"shed_rate"`
+	Requests   int64            `json:"requests"`
+	Statuses   map[int]int64    `json:"statuses"`
+	Complete   int64            `json:"complete"`
+	Partial    int64            `json:"partial"`
+	Shed       int64            `json:"shed"`
+	ShedRate   float64          `json:"shed_rate"`
 	Lanes      map[string]int64 `json:"lanes"`
-	Violations []string        `json:"violations,omitempty"`
+	Violations []string         `json:"violations,omitempty"`
 
 	FastQueueWaitP99Ms  float64 `json:"fast_queue_wait_p99_ms"`
 	HeavyQueueWaitP50Ms float64 `json:"heavy_queue_wait_p50_ms"`

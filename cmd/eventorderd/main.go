@@ -9,6 +9,7 @@
 //	            [-timeout 30s] [-max-timeout 5m] [-budget N]
 //	            [-fast-workers N] [-fast-queue N] [-no-fast-lane]
 //	            [-shed-depth N] [-shed-timeout 200ms] [-partial-grace 2s]
+//	            [-state-dir /var/lib/eventorderd] [-drain-checkpoint 1s]
 //	            [-pprof-addr 127.0.0.1:6060]
 //	eventorderd -selfcheck
 //
@@ -33,10 +34,22 @@
 // quickly with a partial result and a resumable checkpoint instead of
 // deepening the backlog. A full queue answers 429 with Retry-After.
 //
+// Durability: -state-dir makes acknowledged async work survive crashes.
+// Every async 202 is preceded by a fsynced write-ahead journal record, job
+// results and drain checkpoints are persisted to a content-addressed blob
+// store under the same directory, and on restart the journal is replayed:
+// finished jobs come back pollable with their original results, and jobs
+// that were running when the process died are re-enqueued (from their
+// latest checkpoint when one was persisted). On SIGTERM, in-flight anytime
+// jobs get -drain-checkpoint to reach a checkpoint that the next boot
+// resumes from. Without -state-dir the server is purely in-memory, as
+// before.
+//
 // -selfcheck starts the server on a loopback port, exercises the analyze,
-// cache, deadline, tracing, admission, and metrics paths end-to-end —
-// including a short burst of the soak harness — and exits 0 on success
-// (used by CI as a smoke test).
+// cache, deadline, tracing, admission, metrics, and durability paths
+// end-to-end — including a short burst of the soak harness and an async
+// job surviving a shutdown/boot cycle — and exits 0 on success (used by
+// CI as a smoke test).
 package main
 
 import (
@@ -88,6 +101,8 @@ func main() {
 	shedDepth := flag.Int("shed-depth", 0, "heavy-queue occupancy that triggers load shedding (0 = 3/4 of -queue)")
 	shedTimeout := flag.Duration("shed-timeout", 0, "deadline clamp applied to anytime requests while shedding (0 = 200ms)")
 	partialGrace := flag.Duration("partial-grace", 0, "grace past a request's deadline to surface an anytime partial instead of 504 (0 = 2s)")
+	stateDir := flag.String("state-dir", "", "directory for the write-ahead job journal and blob store (empty = no durability; in-memory only)")
+	drainCheckpoint := flag.Duration("drain-checkpoint", 0, "shutdown grace for in-flight anytime jobs to persist a resumable checkpoint (0 = 1s; needs -state-dir)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	selfcheck := flag.Bool("selfcheck", false, "run an end-to-end smoke test against a loopback instance and exit")
 	flag.Parse()
@@ -111,6 +126,8 @@ func main() {
 		ShedDepth:        *shedDepth,
 		ShedTimeout:      *shedTimeout,
 		PartialGrace:     *partialGrace,
+		StateDir:         *stateDir,
+		DrainCheckpoint:  *drainCheckpoint,
 		Logger:           logger,
 	}
 
@@ -132,7 +149,11 @@ func main() {
 		}()
 	}
 
-	srv := service.New(cfg)
+	srv, err := service.New(cfg)
+	if err != nil {
+		logger.Error("boot failed", "err", err)
+		os.Exit(1)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -7,11 +7,40 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"eventorder/internal/model"
 	"eventorder/internal/statetab"
 )
+
+// ErrBadCheckpoint is wrapped by every checkpoint decode or validation
+// failure, so transport layers can map "the client sent an unusable
+// checkpoint" (HTTP 422) separately from other errors. The decode path
+// never panics and never allocates more than MaxCheckpointBytes on
+// adversarial input: the size cap is enforced before base64 or gob see
+// the payload, and gob itself bounds declared lengths by input size.
+var ErrBadCheckpoint = errors.New("core: bad checkpoint")
+
+// MaxCheckpointBytes caps the encoded (binary) size of a checkpoint a
+// decoder will accept. Real checkpoints are megabytes at worst (the
+// state table dominates); the cap exists so an adversarial payload
+// cannot drive memory use past what the request size limits already
+// allow.
+const MaxCheckpointBytes = 64 << 20
+
+// Checkpoint encoding header: magic + format version. Version 1 is the
+// first headered format; payloads from before the header (or with a
+// future version) are rejected rather than fed to gob.
+const (
+	ckptMagic   = "EOCK"
+	ckptVersion = 1
+)
+
+// badCheckpoint builds an error wrapping ErrBadCheckpoint.
+func badCheckpoint(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadCheckpoint, fmt.Sprintf(format, args...))
+}
 
 // Checkpoint is a serializable snapshot of an interrupted batch
 // exploration, returned inside a partial MatrixResult and resumed via
@@ -92,27 +121,41 @@ const (
 	ckPhaseBackward
 )
 
-// Encode serializes the checkpoint with gob (self-describing, exact for
-// uint64 words, no dependency beyond the standard library).
+// Encode serializes the checkpoint as a 5-byte header ("EOCK" + version)
+// followed by gob (self-describing, exact for uint64 words, no dependency
+// beyond the standard library). The header lets decoders reject foreign
+// or stale payloads before gob allocates anything for them.
 func (c *Checkpoint) Encode() ([]byte, error) {
 	var buf bytes.Buffer
+	buf.WriteString(ckptMagic)
+	buf.WriteByte(ckptVersion)
 	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
 		return nil, fmt.Errorf("core: encoding checkpoint: %w", err)
 	}
 	return buf.Bytes(), nil
 }
 
-// DecodeCheckpoint reverses Encode.
+// DecodeCheckpoint reverses Encode. All failures wrap ErrBadCheckpoint;
+// the size cap and header are checked before gob runs.
 func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	if len(b) > MaxCheckpointBytes {
+		return nil, badCheckpoint("encoded size %d exceeds max %d", len(b), MaxCheckpointBytes)
+	}
+	if len(b) < len(ckptMagic)+1 || string(b[:len(ckptMagic)]) != ckptMagic {
+		return nil, badCheckpoint("missing checkpoint header")
+	}
+	if v := b[len(ckptMagic)]; v != ckptVersion {
+		return nil, badCheckpoint("unsupported checkpoint version %d (this build reads version %d)", v, ckptVersion)
+	}
 	c := &Checkpoint{}
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(c); err != nil {
-		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+	if err := gob.NewDecoder(bytes.NewReader(b[len(ckptMagic)+1:])).Decode(c); err != nil {
+		return nil, badCheckpoint("decoding: %v", err)
 	}
 	return c, nil
 }
 
-// EncodeString returns the checkpoint as base64(gob), the form the wire
-// schema and the CLI checkpoint files carry.
+// EncodeString returns the checkpoint as base64(header+gob), the form
+// the wire schema and the CLI checkpoint files carry.
 func (c *Checkpoint) EncodeString() (string, error) {
 	b, err := c.Encode()
 	if err != nil {
@@ -121,11 +164,16 @@ func (c *Checkpoint) EncodeString() (string, error) {
 	return base64.StdEncoding.EncodeToString(b), nil
 }
 
-// DecodeCheckpointString reverses EncodeString.
+// DecodeCheckpointString reverses EncodeString. The size cap applies to
+// the base64 text before it is decoded, so an oversized payload is
+// rejected without materializing its binary form.
 func DecodeCheckpointString(s string) (*Checkpoint, error) {
+	if len(s) > base64.StdEncoding.EncodedLen(MaxCheckpointBytes) {
+		return nil, badCheckpoint("encoded size %d exceeds max", len(s))
+	}
 	b, err := base64.StdEncoding.DecodeString(s)
 	if err != nil {
-		return nil, fmt.Errorf("core: decoding checkpoint: %w", err)
+		return nil, badCheckpoint("base64: %v", err)
 	}
 	return DecodeCheckpoint(b)
 }
@@ -190,38 +238,38 @@ func seedPairs(r *model.Relation) [][2]int32 {
 // analyzer a before a resume trusts its contents.
 func (c *Checkpoint) validateFor(a *Analyzer) error {
 	if c.Fingerprint != a.fingerprint() {
-		return fmt.Errorf("core: checkpoint fingerprint does not match this execution (wrong trace, event set, or IgnoreData setting)")
+		return badCheckpoint("checkpoint fingerprint does not match this execution (wrong trace, event set, or IgnoreData setting)")
 	}
 	if c.Phase > ckPhaseBackward {
-		return fmt.Errorf("core: checkpoint phase %d out of range", c.Phase)
+		return badCheckpoint("checkpoint phase %d out of range", c.Phase)
 	}
 	if c.NumEvents != len(a.x.Events) {
-		return fmt.Errorf("core: checkpoint covers %d events, execution has %d", c.NumEvents, len(a.x.Events))
+		return badCheckpoint("checkpoint covers %d events, execution has %d", c.NumEvents, len(a.x.Events))
 	}
 	if c.NextLevel < 0 || c.NextLevel > len(a.acts) {
-		return fmt.Errorf("core: checkpoint level %d out of range [0, %d]", c.NextLevel, len(a.acts))
+		return badCheckpoint("checkpoint level %d out of range [0, %d]", c.NextLevel, len(a.acts))
 	}
 	if c.Expanded < 0 {
-		return fmt.Errorf("core: checkpoint expanded count %d negative", c.Expanded)
+		return badCheckpoint("checkpoint expanded count %d negative", c.Expanded)
 	}
 	if c.States == nil || c.PcSeen == nil {
-		return fmt.Errorf("core: checkpoint is missing its state tables")
+		return badCheckpoint("checkpoint is missing its state tables")
 	}
 	if c.States.Entries < 1 {
-		return fmt.Errorf("core: checkpoint state table is empty")
+		return badCheckpoint("checkpoint state table is empty")
 	}
 	if err := c.States.Validate(); err != nil {
-		return fmt.Errorf("core: checkpoint state table: %w", err)
+		return badCheckpoint("checkpoint state table: %v", err)
 	}
 	if err := c.PcSeen.Validate(); err != nil {
-		return fmt.Errorf("core: checkpoint pc-signature table: %w", err)
+		return badCheckpoint("checkpoint pc-signature table: %v", err)
 	}
 	if c.States.Words != a.keyWords {
-		return fmt.Errorf("core: checkpoint keys are %d words, analyzer packs %d", c.States.Words, a.keyWords)
+		return badCheckpoint("checkpoint keys are %d words, analyzer packs %d", c.States.Words, a.keyWords)
 	}
 	factWords := (c.NumEvents + 63) / 64
 	if len(c.CanOrder) != c.NumEvents*factWords || len(c.CanOverlap) != c.NumEvents*factWords {
-		return fmt.Errorf("core: checkpoint fact matrices have %d/%d words, want %d",
+		return badCheckpoint("checkpoint fact matrices have %d/%d words, want %d",
 			len(c.CanOrder), len(c.CanOverlap), c.NumEvents*factWords)
 	}
 	return nil

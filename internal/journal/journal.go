@@ -1,0 +1,531 @@
+// Package journal is a write-ahead log for async-job lifecycle records.
+//
+// Frame format (all integers little-endian):
+//
+//	[len uint32][crc32c uint32][payload len bytes]
+//
+// where crc32c is the Castagnoli checksum of the payload. Frames are
+// appended to segment files named seg-%08d.wal, each of which starts with
+// the 8-byte magic "EOJRNL01". When a segment exceeds MaxSegmentBytes the
+// writer rotates to the next index; Compact rewrites the live records
+// into a fresh segment and deletes the older ones.
+//
+// Durability contract: Append returns only after the frame — and every
+// frame appended concurrently with it — has been fsync'd. Concurrent
+// appenders share one fsync (group commit): the first appender into the
+// critical section becomes the leader and syncs on behalf of everyone who
+// buffered behind it. A write or sync failure wedges the journal
+// permanently (ErrWedged): once the OS has refused an fsync, the kernel
+// may have dropped the dirty pages, so pretending later appends are
+// durable would be a lie. Callers are expected to stop accepting work.
+//
+// Replay contract: a torn frame at the tail of the LAST segment is the
+// expected artifact of a crash mid-append — replay truncates it and the
+// journal continues from there. A bad frame anywhere else (bit flip,
+// truncated middle segment) means storage corruption: replay stops at the
+// first bad frame, quarantines that segment's remainder and every later
+// segment (renamed to *.quarantine, never deleted), and reports what it
+// kept. Zero-length segments (created but never synced before a crash)
+// are tolerated and skipped.
+package journal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"eventorder/internal/vfs"
+)
+
+var (
+	// ErrWedged is returned by Append after any write or sync failure;
+	// the journal refuses all further appends.
+	ErrWedged = errors.New("journal: wedged after write/sync failure")
+	// ErrTooLarge is returned for payloads over MaxRecordBytes.
+	ErrTooLarge = errors.New("journal: record exceeds max size")
+)
+
+// MaxRecordBytes bounds a single record. Replay treats any frame
+// declaring a larger length as corrupt, so this also caps what a
+// bit-flipped length field can make replay allocate.
+const MaxRecordBytes = 1 << 20
+
+// magic heads every segment file.
+const magic = "EOJRNL01"
+
+const frameHeaderLen = 8 // len + crc
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options configures Open.
+type Options struct {
+	// FS is the filesystem to write through; nil means the real one.
+	FS vfs.FS
+	// MaxSegmentBytes triggers rotation when a segment grows past it.
+	// Zero means 4 MiB.
+	MaxSegmentBytes int64
+}
+
+// Stats is a point-in-time snapshot of journal counters.
+type Stats struct {
+	Appends  int64 // records appended this process
+	Syncs    int64 // fsync calls issued (≤ Appends thanks to group commit)
+	Segments int   // live (non-quarantined) segment files
+	Wedged   bool
+}
+
+// Journal is an open write-ahead log. Safe for concurrent use.
+type Journal struct {
+	fs      vfs.FS
+	dir     string
+	segMax  int64
+	mu      sync.Mutex
+	cond    *sync.Cond
+	f       vfs.File
+	segIdx  int   // index of the open segment
+	segSize int64 // bytes written to the open segment
+	nsegs   int   // live segment count
+	buf     []byte
+	pending int64 // appends buffered since the last sync completed
+	synced  int64 // total appends known durable
+	total   int64 // total appends accepted
+	syncs   int64
+	syncing bool
+	wedged  bool
+}
+
+// Replay is the result of scanning a journal directory.
+type Replay struct {
+	// Records holds every intact payload in append order.
+	Records [][]byte
+	// CorruptFrames counts bad frames encountered (0 or 1 per scan for
+	// mid-journal corruption, plus any torn tail that was truncated).
+	CorruptFrames int
+	// Quarantined lists segment files set aside after mid-journal
+	// corruption.
+	Quarantined []string
+	// TornTail reports whether the last segment ended in a partial frame
+	// (normal after a crash) that was truncated away.
+	TornTail bool
+}
+
+func segName(idx int) string { return fmt.Sprintf("seg-%08d.wal", idx) }
+
+// parseSegName returns the index of a live segment file name, or -1.
+func parseSegName(name string) int {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+		return -1
+	}
+	var idx int
+	if _, err := fmt.Sscanf(name, "seg-%08d.wal", &idx); err != nil {
+		return -1
+	}
+	return idx
+}
+
+// anySegIndex extracts the segment index from live or quarantined names,
+// so a fresh writer never reuses an index a quarantined file holds.
+func anySegIndex(name string) int {
+	base := strings.TrimSuffix(name, ".quarantine")
+	return parseSegName(base)
+}
+
+// Scan replays every segment in dir (which may not exist yet: that is an
+// empty journal). It repairs torn tails and quarantines corruption as
+// described in the package comment; the directory is left in a state
+// Open can append to.
+func Scan(fsys vfs.FS, dir string) (*Replay, error) {
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	rep := &Replay{}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return rep, nil
+		}
+		return nil, err
+	}
+	var segs []int
+	for _, e := range ents {
+		if idx := parseSegName(e.Name()); idx >= 0 {
+			segs = append(segs, idx)
+		}
+	}
+	sort.Ints(segs)
+	for pos, idx := range segs {
+		name := vfs.Join(dir, segName(idx))
+		last := pos == len(segs)-1
+		good, recs, err := scanSegment(fsys, name)
+		if err != nil {
+			return nil, err
+		}
+		rep.Records = append(rep.Records, recs...)
+		if good >= 0 { // bad frame at offset `good`
+			rep.CorruptFrames++
+			if last {
+				// Torn tail: truncate and keep appending here later.
+				rep.TornTail = true
+				if err := truncateSegment(fsys, name, good); err != nil {
+					return nil, err
+				}
+			} else {
+				// Mid-journal corruption: quarantine this segment's file
+				// and every later one, stop replay.
+				for _, qidx := range segs[pos:] {
+					qname := vfs.Join(dir, segName(qidx))
+					if err := fsys.Rename(qname, qname+".quarantine"); err != nil {
+						return nil, err
+					}
+					rep.Quarantined = append(rep.Quarantined, segName(qidx)+".quarantine")
+				}
+				return rep, nil
+			}
+		}
+	}
+	return rep, nil
+}
+
+// scanSegment reads one segment. It returns (-1, recs, nil) for a clean
+// segment, or (offset, recs, nil) where offset is the byte position of
+// the first bad frame and recs the intact records before it. Zero-length
+// files are clean and empty.
+func scanSegment(fsys vfs.FS, name string) (int64, [][]byte, error) {
+	data, err := vfs.ReadFile(fsys, name)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) == 0 {
+		return -1, nil, nil
+	}
+	if len(data) < len(magic) || string(data[:len(magic)]) != magic {
+		return 0, nil, nil // bad header: whole file is one bad frame
+	}
+	var recs [][]byte
+	off := int64(len(magic))
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			return off, recs, nil
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		crc := binary.LittleEndian.Uint32(rest[4:8])
+		if n > MaxRecordBytes || int64(len(rest)) < frameHeaderLen+int64(n) {
+			return off, recs, nil
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int(n)]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			return off, recs, nil
+		}
+		recs = append(recs, append([]byte(nil), payload...))
+		off += frameHeaderLen + int64(n)
+	}
+	return -1, recs, nil
+}
+
+func truncateSegment(fsys vfs.FS, name string, size int64) error {
+	f, err := fsys.OpenFile(name, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(size); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Open prepares dir for appending. Call Scan first if you need the
+// records; Open itself only positions the writer (after any repairs Scan
+// performed) at the end of the highest live segment, or starts segment 0.
+func Open(dir string, opts Options) (*Journal, error) {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	segMax := opts.MaxSegmentBytes
+	if segMax <= 0 {
+		segMax = 4 << 20
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	maxIdx, nsegs := -1, 0
+	liveMax := -1
+	for _, e := range ents {
+		if idx := anySegIndex(e.Name()); idx > maxIdx {
+			maxIdx = idx
+		}
+		if idx := parseSegName(e.Name()); idx >= 0 {
+			nsegs++
+			if idx > liveMax {
+				liveMax = idx
+			}
+		}
+	}
+	j := &Journal{fs: fsys, dir: dir, segMax: segMax, nsegs: nsegs}
+	j.cond = sync.NewCond(&j.mu)
+	// Append to the highest live segment if it exists and is below the
+	// rotation threshold; otherwise start a fresh one past every index
+	// ever used (quarantined included).
+	if liveMax >= 0 && liveMax == maxIdx {
+		name := vfs.Join(dir, segName(liveMax))
+		info, err := fsys.Stat(name)
+		if err != nil {
+			return nil, err
+		}
+		if info.Size() < segMax {
+			f, err := fsys.OpenFile(name, os.O_RDWR, 0)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := f.Seek(0, io.SeekEnd); err != nil {
+				f.Close()
+				return nil, err
+			}
+			j.f, j.segIdx, j.segSize = f, liveMax, info.Size()
+			if info.Size() == 0 {
+				// Created-but-unsynced survivor: give it its header.
+				if err := j.writeHeaderLocked(); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
+			return j, nil
+		}
+	}
+	if err := j.openSegmentLocked(maxIdx + 1); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Journal) openSegmentLocked(idx int) error {
+	f, err := j.fs.OpenFile(vfs.Join(j.dir, segName(idx)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	j.f, j.segIdx, j.segSize = f, idx, 0
+	j.nsegs++
+	return j.writeHeaderLocked()
+}
+
+func (j *Journal) writeHeaderLocked() error {
+	if _, err := io.WriteString(j.f, magic); err != nil {
+		return err
+	}
+	j.segSize = int64(len(magic))
+	return nil
+}
+
+// Append writes one record and returns once it is durable. Concurrent
+// appends share fsyncs (group commit).
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return ErrTooLarge
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wedged {
+		return ErrWedged
+	}
+	// Rotate before writing if the open segment is full. Rotation must
+	// not race an in-flight fsync on the old file, so wait it out.
+	if j.segSize >= j.segMax {
+		for j.syncing {
+			j.cond.Wait()
+			if j.wedged {
+				return ErrWedged
+			}
+		}
+		if j.segSize >= j.segMax { // recheck: another rotator may have won
+			if err := j.rotateLocked(); err != nil {
+				j.wedgeLocked()
+				return ErrWedged
+			}
+		}
+	}
+
+	j.buf = j.buf[:0]
+	j.buf = binary.LittleEndian.AppendUint32(j.buf, uint32(len(payload)))
+	j.buf = binary.LittleEndian.AppendUint32(j.buf, crc32.Checksum(payload, castagnoli))
+	j.buf = append(j.buf, payload...)
+	if _, err := j.f.Write(j.buf); err != nil {
+		j.wedgeLocked()
+		return ErrWedged
+	}
+	j.segSize += int64(len(j.buf))
+	j.total++
+	j.pending++
+	seq := j.total
+
+	// Group commit: wait for a sync covering this append. The first
+	// waiter finding no sync in flight becomes leader.
+	for j.synced < seq {
+		if j.wedged {
+			return ErrWedged
+		}
+		if !j.syncing {
+			j.syncing = true
+			covers := j.total // everything written so far rides this sync
+			f := j.f
+			j.mu.Unlock()
+			err := f.Sync()
+			j.mu.Lock()
+			j.syncing = false
+			if err != nil {
+				j.wedgeLocked()
+				return ErrWedged
+			}
+			j.syncs++
+			j.synced = covers
+			j.pending = j.total - j.synced
+			j.cond.Broadcast()
+		} else {
+			j.cond.Wait()
+		}
+	}
+	return nil
+}
+
+func (j *Journal) rotateLocked() error {
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	// Everything written so far is on durable storage now; release any
+	// followers still waiting on a group commit for the old segment.
+	j.syncs++
+	j.synced = j.total
+	j.pending = 0
+	j.cond.Broadcast()
+	if err := j.f.Close(); err != nil {
+		return err
+	}
+	return j.openSegmentLocked(j.segIdx + 1)
+}
+
+func (j *Journal) wedgeLocked() {
+	j.wedged = true
+	j.cond.Broadcast()
+}
+
+// Compact writes the given records as the complete new contents of the
+// journal — a fresh segment past every existing index — then deletes the
+// older live segments. Quarantined files are never touched. Callers pass
+// the minimal record set that reconstructs current state (e.g. one
+// terminal record per finished job, the latest checkpoint per pending
+// job). Compact must not race Append: a record appended concurrently
+// would be deleted with the old segments unless the caller included it in
+// records. The service only compacts at boot, before accepting traffic.
+func (j *Journal) Compact(records [][]byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wedged {
+		return ErrWedged
+	}
+	for j.syncing {
+		j.cond.Wait()
+		if j.wedged {
+			return ErrWedged
+		}
+	}
+	oldIdx := j.segIdx
+	if err := j.f.Sync(); err != nil {
+		j.wedgeLocked()
+		return ErrWedged
+	}
+	if err := j.f.Close(); err != nil {
+		j.wedgeLocked()
+		return ErrWedged
+	}
+	if err := j.openSegmentLocked(oldIdx + 1); err != nil {
+		j.wedgeLocked()
+		return ErrWedged
+	}
+	for _, rec := range records {
+		if len(rec) > MaxRecordBytes {
+			return ErrTooLarge
+		}
+		var hdr [frameHeaderLen]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(rec)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(rec, castagnoli))
+		if _, err := j.f.Write(hdr[:]); err != nil {
+			j.wedgeLocked()
+			return ErrWedged
+		}
+		if _, err := j.f.Write(rec); err != nil {
+			j.wedgeLocked()
+			return ErrWedged
+		}
+		j.segSize += frameHeaderLen + int64(len(rec))
+	}
+	if err := j.f.Sync(); err != nil {
+		j.wedgeLocked()
+		return ErrWedged
+	}
+	j.syncs++
+	j.synced = j.total
+	j.pending = 0
+	j.cond.Broadcast()
+	// The new segment is durable; drop the old ones. A crash between the
+	// sync above and these removes just leaves stale segments whose
+	// records are superseded by re-replay (replay is idempotent per job).
+	ents, err := j.fs.ReadDir(j.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if idx := parseSegName(e.Name()); idx >= 0 && idx <= oldIdx {
+			if err := j.fs.Remove(vfs.Join(j.dir, e.Name())); err != nil {
+				return err
+			}
+			j.nsegs--
+		}
+	}
+	return nil
+}
+
+// Stats returns current counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{Appends: j.total, Syncs: j.syncs, Segments: j.nsegs, Wedged: j.wedged}
+}
+
+// Wedged reports whether the journal has failed permanently.
+func (j *Journal) Wedged() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.wedged
+}
+
+// Close syncs and closes the open segment. The journal must not be used
+// afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.wedged {
+		j.f.Close()
+		return ErrWedged
+	}
+	for j.syncing {
+		j.cond.Wait()
+	}
+	if err := j.f.Sync(); err != nil {
+		j.wedgeLocked()
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,464 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"eventorder/internal/vfs"
+)
+
+func openMem(t *testing.T, m *vfs.MemFS, opts Options) *Journal {
+	t.Helper()
+	opts.FS = m
+	j, err := Open("wal", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func appendAll(t *testing.T, j *Journal, recs ...string) {
+	t.Helper()
+	for _, r := range recs {
+		if err := j.Append([]byte(r)); err != nil {
+			t.Fatalf("Append(%q): %v", r, err)
+		}
+	}
+}
+
+func recStrings(rep *Replay) []string {
+	out := make([]string, len(rep.Records))
+	for i, r := range rep.Records {
+		out[i] = string(r)
+	}
+	return out
+}
+
+func TestAppendScanRoundTrip(t *testing.T) {
+	m := vfs.NewMemFS()
+	j := openMem(t, m, Options{})
+	appendAll(t, j, "one", "two", "three")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scan(m, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"one", "two", "three"}
+	if got := recStrings(rep); !equalStrings(got, want) {
+		t.Fatalf("records = %v, want %v", got, want)
+	}
+	if rep.CorruptFrames != 0 || rep.TornTail || len(rep.Quarantined) != 0 {
+		t.Fatalf("clean journal misreported: %+v", rep)
+	}
+}
+
+func TestScanEmptyAndMissingDir(t *testing.T) {
+	m := vfs.NewMemFS()
+	rep, err := Scan(m, "nowhere")
+	if err != nil || len(rep.Records) != 0 {
+		t.Fatalf("missing dir: %+v, %v", rep, err)
+	}
+	m.MkdirAll("wal", 0o755)
+	rep, err = Scan(m, "wal")
+	if err != nil || len(rep.Records) != 0 {
+		t.Fatalf("empty dir: %+v, %v", rep, err)
+	}
+}
+
+// A segment file that exists but is zero-length (crash before its first
+// sync) must be skipped, and Open must be able to continue in it.
+func TestZeroLengthSegment(t *testing.T) {
+	m := vfs.NewMemFS()
+	m.MkdirAll("wal", 0o755)
+	f, _ := m.OpenFile("wal/"+segName(0), os.O_RDWR|os.O_CREATE, 0o644)
+	f.Sync()
+	f.Close()
+	rep, err := Scan(m, "wal")
+	if err != nil || len(rep.Records) != 0 || rep.CorruptFrames != 0 {
+		t.Fatalf("zero-length segment: %+v, %v", rep, err)
+	}
+	j := openMem(t, m, Options{})
+	appendAll(t, j, "after")
+	j.Close()
+	rep, _ = Scan(m, "wal")
+	if got := recStrings(rep); !equalStrings(got, []string{"after"}) {
+		t.Fatalf("append into empty segment: %v", got)
+	}
+}
+
+func TestRotationAndReopen(t *testing.T) {
+	m := vfs.NewMemFS()
+	// Tiny segments: every ~2 records rotates.
+	j := openMem(t, m, Options{MaxSegmentBytes: 64})
+	var want []string
+	for i := 0; i < 20; i++ {
+		r := fmt.Sprintf("record-%02d", i)
+		want = append(want, r)
+		appendAll(t, j, r)
+	}
+	if st := j.Stats(); st.Segments < 3 {
+		t.Fatalf("expected rotation, got %d segments", st.Segments)
+	}
+	j.Close()
+
+	rep, err := Scan(m, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recStrings(rep); !equalStrings(got, want) {
+		t.Fatalf("records across segments = %v, want %v", got, want)
+	}
+
+	// Reopen appends to the last segment without losing anything.
+	j = openMem(t, m, Options{MaxSegmentBytes: 64})
+	appendAll(t, j, "post-reopen")
+	j.Close()
+	rep, _ = Scan(m, "wal")
+	if got := recStrings(rep); !equalStrings(got, append(want, "post-reopen")) {
+		t.Fatalf("post-reopen records = %v", got)
+	}
+}
+
+// Crash at every record boundary and at every byte inside the final
+// frame: replay must recover exactly the records whose frames are fully
+// durable, truncate the rest, and the journal must keep working.
+func TestCrashAtEveryBoundary(t *testing.T) {
+	recs := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	// Build the reference durable image once.
+	ref := vfs.NewMemFS()
+	j := openMem(t, ref, Options{})
+	appendAll(t, j, recs...)
+	j.Close()
+	img := ref.DurableBytes("wal/" + segName(0))
+	if img == nil {
+		t.Fatal("no durable segment image")
+	}
+
+	for cut := 0; cut <= len(img); cut++ {
+		m := vfs.NewMemFS()
+		m.MkdirAll("wal", 0o755)
+		if err := vfs.WriteFile(m, "wal/"+segName(0), img[:cut]); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Scan(m, "wal")
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		// Every recovered record must be an intact prefix of recs.
+		got := recStrings(rep)
+		if len(got) > len(recs) {
+			t.Fatalf("cut=%d: recovered %d > %d records", cut, len(got), len(recs))
+		}
+		for i, r := range got {
+			if r != recs[i] {
+				t.Fatalf("cut=%d: record %d = %q, want %q", cut, i, r, recs[i])
+			}
+		}
+		// The journal must reopen and append cleanly after repair.
+		j := openMem(t, m, Options{})
+		if err := j.Append([]byte("resumed")); err != nil {
+			t.Fatalf("cut=%d: append after repair: %v", cut, err)
+		}
+		j.Close()
+		rep2, err := Scan(m, "wal")
+		if err != nil {
+			t.Fatalf("cut=%d rescan: %v", cut, err)
+		}
+		got2 := recStrings(rep2)
+		if !equalStrings(got2, append(append([]string(nil), got...), "resumed")) {
+			t.Fatalf("cut=%d: post-repair records %v, want %v + resumed", cut, got2, got)
+		}
+	}
+}
+
+// A bit flip in any byte of the segment must never yield a wrong record:
+// replay stops at the first bad frame (possibly dropping later good
+// ones — that is the quarantine policy, applied at segment granularity).
+func TestBitFlipNeverServesCorruptRecord(t *testing.T) {
+	recs := []string{"aaaa", "bbbb", "cccc"}
+	ref := vfs.NewMemFS()
+	j := openMem(t, ref, Options{})
+	appendAll(t, j, recs...)
+	j.Close()
+	img := ref.DurableBytes("wal/" + segName(0))
+
+	for pos := 0; pos < len(img); pos++ {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), img...)
+			mut[pos] ^= bit
+			m := vfs.NewMemFS()
+			m.MkdirAll("wal", 0o755)
+			vfs.WriteFile(m, "wal/"+segName(0), mut)
+			rep, err := Scan(m, "wal")
+			if err != nil {
+				t.Fatalf("pos=%d: %v", pos, err)
+			}
+			// Recovered records must be a prefix of the true sequence:
+			// a flipped record may vanish, never change content.
+			got := recStrings(rep)
+			for i, r := range got {
+				if i >= len(recs) || r != recs[i] {
+					t.Fatalf("pos=%d bit=%#x: served corrupt/wrong record %q at %d", pos, bit, r, i)
+				}
+			}
+		}
+	}
+}
+
+// Corruption in a non-last segment stops replay there and quarantines
+// that segment and all later ones; the later (good) records are set
+// aside, not silently replayed past a gap.
+func TestMidJournalCorruptionQuarantines(t *testing.T) {
+	m := vfs.NewMemFS()
+	j := openMem(t, m, Options{MaxSegmentBytes: 30})
+	appendAll(t, j, "seg0-a", "seg0-b", "seg1-a", "seg1-b", "seg2-a")
+	j.Close()
+	st := j.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("need ≥3 segments, got %d", st.Segments)
+	}
+
+	// Flip a payload byte in segment 1.
+	img := m.DurableBytes("wal/" + segName(1))
+	img[len(img)-1] ^= 0xff
+	vfs.WriteFile(m, "wal/"+segName(1), img)
+
+	rep, err := Scan(m, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := recStrings(rep)
+	// Everything from segment 0 survives; segment 1's intact prefix may
+	// survive; nothing from segment 2 may appear.
+	for _, r := range got {
+		if strings.HasPrefix(r, "seg2") {
+			t.Fatalf("replayed past corruption: %v", got)
+		}
+	}
+	if rep.CorruptFrames == 0 || len(rep.Quarantined) == 0 {
+		t.Fatalf("corruption not reported: %+v", rep)
+	}
+	// Quarantined files still exist under their new names.
+	ents, _ := m.ReadDir("wal")
+	var quarantined, live int
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".quarantine") {
+			quarantined++
+		} else if parseSegName(e.Name()) >= 0 {
+			live++
+		}
+	}
+	if quarantined == 0 {
+		t.Fatal("no quarantine files on disk")
+	}
+
+	// A fresh journal must start past the quarantined indices, not
+	// collide with them.
+	j2 := openMem(t, m, Options{MaxSegmentBytes: 30})
+	appendAll(t, j2, "fresh")
+	j2.Close()
+	rep2, err := Scan(m, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := recStrings(rep2)
+	if got2[len(got2)-1] != "fresh" {
+		t.Fatalf("post-quarantine append lost: %v", got2)
+	}
+}
+
+// After a sync failure the journal must wedge: the failed append and
+// every later one return ErrWedged, and nothing pretends to be durable.
+func TestWedgeOnSyncFailure(t *testing.T) {
+	m := vfs.NewMemFS()
+	j := openMem(t, m, Options{})
+	appendAll(t, j, "good")
+	m.SetFault(vfs.FaultPlan{FailSyncs: 1})
+	if err := j.Append([]byte("doomed")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append with failing sync: %v", err)
+	}
+	if err := j.Append([]byte("after")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("append after wedge: %v", err)
+	}
+	if !j.Wedged() {
+		t.Fatal("journal not wedged")
+	}
+	// Replay after a crash sees only the synced record.
+	m.Crash()
+	rep, err := Scan(m, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recStrings(rep); !equalStrings(got, []string{"good"}) {
+		t.Fatalf("post-wedge replay = %v", got)
+	}
+}
+
+func TestWedgeOnShortWrite(t *testing.T) {
+	m := vfs.NewMemFS()
+	j := openMem(t, m, Options{})
+	appendAll(t, j, "good")
+	m.SetFault(vfs.FaultPlan{ShortWrites: 1})
+	if err := j.Append([]byte("torn-record-payload")); !errors.Is(err, ErrWedged) {
+		t.Fatalf("short write: %v", err)
+	}
+	// The torn frame is in the page cache; after a crash replay repairs
+	// it and serves only the good record.
+	m.Crash()
+	rep, err := Scan(m, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recStrings(rep); !equalStrings(got, []string{"good"}) {
+		t.Fatalf("records after torn write = %v", got)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	m := vfs.NewMemFS()
+	j := openMem(t, m, Options{MaxSegmentBytes: 64})
+	for i := 0; i < 12; i++ {
+		appendAll(t, j, fmt.Sprintf("old-%d", i))
+	}
+	live := [][]byte{[]byte("live-1"), []byte("live-2")}
+	if err := j.Compact(live); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.Stats(); st.Segments != 1 {
+		t.Fatalf("segments after compact = %d, want 1", st.Segments)
+	}
+	appendAll(t, j, "post-compact")
+	j.Close()
+	rep, err := Scan(m, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recStrings(rep); !equalStrings(got, []string{"live-1", "live-2", "post-compact"}) {
+		t.Fatalf("records after compact = %v", got)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	m := vfs.NewMemFS()
+	j := openMem(t, m, Options{})
+	if err := j.Append(make([]byte, MaxRecordBytes+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversize append: %v", err)
+	}
+	// Journal still usable.
+	appendAll(t, j, "fine")
+	j.Close()
+}
+
+// Concurrent appenders must all land durably, in some order, with group
+// commit issuing fewer syncs than appends.
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	m := vfs.NewMemFS()
+	j := openMem(t, m, Options{MaxSegmentBytes: 1 << 16})
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := j.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("w%d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := j.Stats()
+	if st.Appends != writers*per {
+		t.Fatalf("appends = %d", st.Appends)
+	}
+	j.Close()
+	rep, err := Scan(m, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != writers*per {
+		t.Fatalf("replayed %d records, want %d", len(rep.Records), writers*per)
+	}
+	// Per-writer order must be preserved even if global order interleaves.
+	next := map[string]int{}
+	for _, r := range rep.Records {
+		var w, i int
+		fmt.Sscanf(string(r), "w%d-%d", &w, &i)
+		key := fmt.Sprintf("w%d", w)
+		if i != next[key] {
+			t.Fatalf("writer %d out of order: got %d want %d", w, i, next[key])
+		}
+		next[key]++
+	}
+}
+
+// Binary payloads (NULs, high bytes, frame-header-like content) must
+// round-trip unchanged.
+func TestBinaryPayloads(t *testing.T) {
+	payloads := [][]byte{
+		{},
+		{0},
+		bytes.Repeat([]byte{0xff}, 300),
+		{0x08, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef}, // looks like a frame header
+	}
+	m := vfs.NewMemFS()
+	j := openMem(t, m, Options{})
+	for _, p := range payloads {
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	rep, err := Scan(m, "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != len(payloads) {
+		t.Fatalf("got %d records", len(rep.Records))
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(rep.Records[i], p) {
+			t.Fatalf("payload %d = %x, want %x", i, rep.Records[i], p)
+		}
+	}
+}
+
+func TestOSBackedJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir+"/wal", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendAll(t, j, "on-disk")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Scan(nil, dir+"/wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := recStrings(rep); !equalStrings(got, []string{"on-disk"}) {
+		t.Fatalf("os-backed records = %v", got)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

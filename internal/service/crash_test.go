@@ -1,0 +1,171 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"eventorder/internal/gen"
+	"eventorder/internal/traceio"
+)
+
+// TestCrashSoakShort exercises the episodic crash-restart harness end to
+// end: repeated mid-traffic power cuts, then a final recovery that must
+// account for every acknowledged job.
+func TestCrashSoakShort(t *testing.T) {
+	progs := []SoakProgram{
+		{Name: "figure1", Source: figure1Program(t)},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := RunCrashSoak(ctx, CrashSoakOptions{
+		Episodes:       3,
+		JobsPerEpisode: 4,
+		Server:         Config{Workers: 2},
+		Programs:       progs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Unexpected) > 0 {
+		t.Fatalf("crash soak violations: %v", rep.Unexpected)
+	}
+	if rep.Accepted == 0 {
+		t.Fatal("crash soak accepted no jobs")
+	}
+	if rep.Done != rep.Accepted {
+		t.Errorf("done = %d, accepted = %d: acknowledged work was lost", rep.Done, rep.Accepted)
+	}
+	if rep.Verified == 0 {
+		t.Error("no recovered results were verified against the clean run")
+	}
+}
+
+const (
+	crashHelperEnv      = "EVENTORDER_CRASH_HELPER"
+	crashHelperStateEnv = "EVENTORDER_CRASH_STATE"
+)
+
+// TestHelperCrashServer is not a test: it is the child process body for
+// TestCrashRestartSIGKILL. It boots a durable server on a real state
+// directory, submits a heavy async job to itself, reports the job id on
+// stdout once the job is running, and then waits to be SIGKILLed.
+func TestHelperCrashServer(t *testing.T) {
+	if os.Getenv(crashHelperEnv) != "1" {
+		t.Skip("helper process body; run via TestCrashRestartSIGKILL")
+	}
+	stateDir := os.Getenv(crashHelperStateEnv)
+	srv, err := New(Config{Workers: 1, StateDir: stateDir})
+	if err != nil {
+		fmt.Printf("HELPER_ERR boot: %v\n", err)
+		os.Exit(1)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	slow, err := gen.Barrier(6)
+	if err != nil {
+		fmt.Printf("HELPER_ERR gen: %v\n", err)
+		os.Exit(1)
+	}
+	var buf strings.Builder
+	if err := traceio.SaveExecution(&buf, slow); err != nil {
+		fmt.Printf("HELPER_ERR save: %v\n", err)
+		os.Exit(1)
+	}
+	id := submitAsync(t, ts.URL, "/v1/analyze", map[string]any{
+		"execution": json.RawMessage(buf.String()), "all": true, "async": true,
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sj, _ := srv.store.get(id)
+		if state, _, _, _ := sj.snapshot(); state == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			fmt.Println("HELPER_ERR job never ran")
+			os.Exit(1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("HELPER_JOB %s\n", id)
+	// Block until the parent kills the process. The job is mid-search on
+	// the worker; nothing here may checkpoint or drain.
+	time.Sleep(5 * time.Minute)
+}
+
+// TestCrashRestartSIGKILL is the real-process acceptance test: a child
+// server on a real on-disk state dir is SIGKILLed mid-heavy-job, and a
+// fresh in-process server on the same directory must recover the job to
+// completion.
+func TestCrashRestartSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec test; skipped in -short")
+	}
+	stateDir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperCrashServer$", "-test.v")
+	cmd.Env = append(os.Environ(), crashHelperEnv+"=1", crashHelperStateEnv+"="+stateDir)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	var id string
+	scanner := bufio.NewScanner(stdout)
+	idCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		for scanner.Scan() {
+			line := scanner.Text()
+			if strings.HasPrefix(line, "HELPER_JOB ") {
+				idCh <- strings.TrimPrefix(line, "HELPER_JOB ")
+				return
+			}
+			if strings.HasPrefix(line, "HELPER_ERR") {
+				errCh <- fmt.Errorf("%s", line)
+				return
+			}
+		}
+		errCh <- fmt.Errorf("helper exited without reporting a job: %v", scanner.Err())
+	}()
+	select {
+	case id = <-idCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("helper never reported a running job")
+	}
+
+	// SIGKILL: no deferred cleanup, no checkpoint, no journal close.
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	srv, err := New(Config{Workers: 2, StateDir: stateDir})
+	if err != nil {
+		t.Fatalf("recovery boot: %v", err)
+	}
+	defer forceStopGraceful(t, srv)
+	state, body, errs := awaitJob(t, srv, id, 2*time.Minute)
+	if state != JobDone {
+		t.Fatalf("job %s after SIGKILL recovery: %s (%s)", id, state, errs)
+	}
+	if got := relationsOf(t, body); len(got) == 0 {
+		t.Error("recovered result has no relations")
+	}
+	if v := srv.Metrics().Counter(MetricJobsRecovered).Value(); v != 1 {
+		t.Errorf("jobs_recovered = %d, want 1", v)
+	}
+}

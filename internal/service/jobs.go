@@ -26,10 +26,23 @@ var (
 // whether the result may enter the result cache (complete analyses only —
 // a partial anytime result must never be served as if it were complete),
 // and the anytime progress the jobs endpoint reports for async polls.
+// The complete/checkpoint/cause triple is the durability layer's view of
+// an anytime outcome: it decides whether a partial was clipped by server
+// drain (journal "checkpointed", resume next boot) or requested by the
+// client (terminal).
 type jobOutput struct {
 	body      []byte
 	cacheable bool
 	progress  *JobProgress
+	// complete reports whether the analysis decided everything it was
+	// asked (non-anytime runs always set it true on success).
+	complete bool
+	// checkpoint is the base64 resume token of a partial anytime result
+	// ("" when complete or when the run kind has no checkpoints).
+	checkpoint string
+	// cause names why a partial stopped ("deadline", "budget",
+	// "canceled"; "" when complete).
+	cause string
 }
 
 // job is one unit of analysis work bound for the worker pool. The ctx
@@ -207,6 +220,9 @@ type jobStore struct {
 	maxJobs int
 	order   *list.List // oldest at back
 	byID    map[string]*list.Element
+	// onEvict, when non-nil, observes each evicted job id outside the
+	// store lock (the durability layer garbage-collects that job's blobs).
+	onEvict func(id string)
 }
 
 func newJobStore(maxJobs int) *jobStore {
@@ -216,16 +232,62 @@ func newJobStore(maxJobs int) *jobStore {
 // add registers a fresh queued job and returns it with a unique id.
 func (st *jobStore) add() *storedJob {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	st.seq++
 	sj := &storedJob{id: fmt.Sprintf("j%06d", st.seq), state: JobQueued}
 	st.byID[sj.id] = st.order.PushFront(sj)
+	evicted := st.evictLocked()
+	onEvict := st.onEvict
+	st.mu.Unlock()
+	notifyEvicted(onEvict, evicted)
+	return sj
+}
+
+// restore re-registers a journaled job under its original id during crash
+// recovery, bumping the id sequence past it so fresh submissions never
+// collide with recovered ids. Insertion order is replay order, keeping
+// eviction order stable across restarts.
+func (st *jobStore) restore(id string, state JobState, body []byte, errs string) *storedJob {
+	st.mu.Lock()
+	var n int64
+	if _, err := fmt.Sscanf(id, "j%06d", &n); err == nil && n > st.seq {
+		st.seq = n
+	}
+	if el, ok := st.byID[id]; ok {
+		// Duplicate id across journal segments: later records win.
+		sj := el.Value.(*storedJob)
+		sj.set(state, body, errs)
+		st.mu.Unlock()
+		return sj
+	}
+	sj := &storedJob{id: id, state: state, body: body, errs: errs}
+	st.byID[id] = st.order.PushFront(sj)
+	evicted := st.evictLocked()
+	onEvict := st.onEvict
+	st.mu.Unlock()
+	notifyEvicted(onEvict, evicted)
+	return sj
+}
+
+// evictLocked trims the store to maxJobs and returns the evicted ids.
+func (st *jobStore) evictLocked() []string {
+	var evicted []string
 	for st.order.Len() > st.maxJobs {
 		back := st.order.Back()
 		st.order.Remove(back)
-		delete(st.byID, back.Value.(*storedJob).id)
+		id := back.Value.(*storedJob).id
+		delete(st.byID, id)
+		evicted = append(evicted, id)
 	}
-	return sj
+	return evicted
+}
+
+func notifyEvicted(onEvict func(id string), ids []string) {
+	if onEvict == nil {
+		return
+	}
+	for _, id := range ids {
+		onEvict(id)
+	}
 }
 
 // get looks up a job by id.

@@ -106,6 +106,30 @@ const (
 	// anytime requests (1 when the heavy queue is at or past the shed
 	// depth, else 0). Sampled at each admission decision.
 	MetricShedMode = "shed_mode"
+	// MetricJournalReplayRecords counts journal records replayed at boot
+	// (cumulative; one boot per process, so in practice the last boot's
+	// replay size).
+	MetricJournalReplayRecords = "journal_replay_records"
+	// MetricJournalCorruptFrames counts corrupt journal frames detected at
+	// boot: torn or bit-flipped WAL frames plus intact frames whose JSON
+	// payload would not parse. Nonzero after an unclean crash is normal
+	// (the torn tail); growth across boots is not.
+	MetricJournalCorruptFrames = "journal_corrupt_frames"
+	// MetricJournalRecords counts lifecycle records appended to the
+	// write-ahead journal since boot.
+	MetricJournalRecords = "journal_records_total"
+	// MetricJournalSegments gauges the journal's live segment file count.
+	MetricJournalSegments = "journal_segments"
+	// MetricJobsRecovered counts async jobs re-enqueued from the journal
+	// at boot (jobs that were accepted but not terminal when the previous
+	// process died).
+	MetricJobsRecovered = "jobs_recovered"
+	// MetricJobsDrainCheckpointed counts anytime jobs whose drain-clipped
+	// partial result was checkpointed for resumption on the next boot.
+	MetricJobsDrainCheckpointed = "jobs_drain_checkpointed"
+	// MetricStoreRehydrated counts result-cache entries restored from the
+	// blob store at boot.
+	MetricStoreRehydrated = "store_rehydrated"
 )
 
 // Log-bucketed histogram bounds. Queue waits and handler latencies span

@@ -33,15 +33,19 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"eventorder/internal/core"
 	"eventorder/internal/interp"
+	"eventorder/internal/journal"
 	"eventorder/internal/lang"
 	"eventorder/internal/model"
 	"eventorder/internal/plan"
 	"eventorder/internal/race"
+	blobstore "eventorder/internal/store"
 	"eventorder/internal/traceio"
+	"eventorder/internal/vfs"
 )
 
 // Config tunes a Server. Zero values select the documented defaults.
@@ -127,6 +131,26 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxJobs bounds retained async jobs for polling (default 1024).
 	MaxJobs int
+	// StateDir enables crash-safe durability: async-job lifecycle records
+	// go to a write-ahead journal under <StateDir>/journal, result bodies
+	// and drain checkpoints to a blob store under <StateDir>/blobs, and
+	// startup replays the journal — rehydrating finished jobs and the
+	// result cache, and re-enqueueing unfinished jobs from their latest
+	// checkpoint. Empty (the default) keeps all state in memory.
+	StateDir string
+	// StateFS overrides the filesystem the durability layer writes
+	// through (tests inject a crash-simulating in-memory FS; nil means
+	// the real filesystem).
+	StateFS vfs.FS
+	// DrainCheckpoint is how long Shutdown lets in-flight anytime jobs
+	// keep running before canceling them so they surface resumable
+	// partial results (journaled as "checkpointed" and resumed on the
+	// next boot). Default 1s; negative disables the cancellation (drain
+	// waits for natural completion, as before durability).
+	DrainCheckpoint time.Duration
+	// JournalSegmentBytes overrides the journal's segment rotation
+	// threshold (default 4 MiB; tests shrink it to force rotation).
+	JournalSegmentBytes int64
 	// Logger receives structured request logs (default: JSON to stderr).
 	Logger *slog.Logger
 }
@@ -168,6 +192,9 @@ func (c *Config) withDefaults() {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.DrainCheckpoint == 0 {
+		c.DrainCheckpoint = time.Second
+	}
 	if c.MaxMatrixWorkers <= 0 {
 		c.MaxMatrixWorkers = runtime.GOMAXPROCS(0)
 	}
@@ -197,10 +224,28 @@ type Server struct {
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	// Durability (nil / inert without Config.StateDir; see durability.go).
+	jrnl             *journal.Journal
+	blobs            *blobstore.Store
+	recoveryWG       sync.WaitGroup
+	closeJournalOnce sync.Once
+	// draining flips when Shutdown begins; asyncOnDone uses it to tell a
+	// drain-clipped partial (journal "checkpointed", resume next boot)
+	// from a client-requested one (terminal).
+	draining atomic.Bool
+	// drainCtx cancels in-flight anytime jobs once Shutdown's checkpoint
+	// grace (Config.DrainCheckpoint) expires.
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
+// New builds a Server and starts its worker pool. With Config.StateDir
+// set it also replays the write-ahead journal — restoring finished async
+// jobs, re-enqueueing unfinished ones from their latest checkpoint, and
+// rehydrating the result cache; the error return is reserved for a state
+// directory that cannot be opened or replayed.
+func New(cfg Config) (*Server, error) {
 	cfg.withDefaults()
 	m := NewRegistry()
 	s := &Server{
@@ -216,6 +261,7 @@ func New(cfg Config) *Server {
 		jobsRunning: m.Gauge(MetricJobsRunning),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
 	s.preregisterMetrics()
 	s.mux.HandleFunc("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.HandleFunc("POST /v1/races", s.instrument("races", s.handleRaces))
@@ -235,7 +281,15 @@ func New(cfg Config) *Server {
 		s.workerWG.Add(1)
 		go s.worker(s.fastJobs)
 	}
-	return s
+	// After the workers: recovery re-enqueues journaled jobs into the
+	// live queues.
+	if err := s.initDurability(); err != nil {
+		s.baseCancel()
+		s.drainCancel()
+		_ = s.Shutdown(context.Background())
+		return nil, err
+	}
+	return s, nil
 }
 
 // preregisterMetrics touches every metric name the server can emit so
@@ -249,6 +303,9 @@ func (s *Server) preregisterMetrics() {
 		MetricJobsThrottled, MetricJobsShed, MetricJobsFastLane,
 		MetricMemoGrows, MetricAnalyzePartial, MetricAnalyzeResumed,
 		MetricSymmCollapses,
+		MetricJournalReplayRecords, MetricJournalCorruptFrames,
+		MetricJournalRecords, MetricJobsRecovered,
+		MetricJobsDrainCheckpointed, MetricStoreRehydrated,
 	} {
 		s.metrics.Counter(name)
 	}
@@ -259,6 +316,7 @@ func (s *Server) preregisterMetrics() {
 		MetricQueueDepth, MetricJobsRunning, MetricCacheBytes,
 		MetricCacheEntries, MetricMemoEntries, MetricMemoBytes,
 		MetricMemoLoadPermille, MetricSymmClasses, MetricShedMode,
+		MetricJournalSegments,
 	} {
 		s.metrics.Gauge(name)
 	}
@@ -279,10 +337,16 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Metrics() *Registry { return s.metrics }
 
 // Shutdown drains the server: new submissions are rejected with 503,
-// queued and running jobs finish, then workers exit. If ctx expires
-// first, running jobs are force-canceled (their searches abort at the
-// next cancellation poll) and Shutdown returns ctx.Err().
+// queued and running jobs finish, then workers exit. After
+// Config.DrainCheckpoint, still-running anytime jobs are canceled so
+// they surface resumable partial results instead of holding the drain
+// open — with a state dir those partials are journaled as "checkpointed"
+// and the next boot resumes them, so drain throws away no search work.
+// If ctx expires first, all running jobs are force-canceled (their
+// searches abort at the next cancellation poll) and Shutdown returns
+// ctx.Err().
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	s.shutdownMu.Lock()
 	if !s.closed {
 		s.closed = true
@@ -292,10 +356,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.fastJobs)
 	}
 	s.shutdownMu.Unlock()
+	var drainTimer *time.Timer
+	if s.cfg.DrainCheckpoint > 0 {
+		drainTimer = time.AfterFunc(s.cfg.DrainCheckpoint, s.drainCancel)
+	}
 	done := make(chan struct{})
 	go func() {
 		s.workerWG.Wait()
 		close(done)
+	}()
+	defer func() {
+		if drainTimer != nil {
+			drainTimer.Stop()
+		}
+		s.finishDurability()
 	}()
 	select {
 	case <-done:
@@ -388,8 +462,9 @@ type AnalyzeRequest struct {
 	// match the original request; budget is charged cumulatively across
 	// attempts, so resubmitting with a larger budget continues rather
 	// than restarts. Only meaningful for matrix queries; resumed
-	// requests bypass the result cache in both directions.
-	Resume *core.Checkpoint `json:"resume,omitempty"`
+	// requests bypass the result cache in both directions. A malformed
+	// or mismatched checkpoint is rejected with 422.
+	Resume string `json:"resume,omitempty"`
 }
 
 // RacesRequest is the body of POST /v1/races.
@@ -664,6 +739,8 @@ func statusFor(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, core.ErrBudget):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, core.ErrBadCheckpoint):
+		return http.StatusUnprocessableEntity
 	case errors.Is(err, errQueueFull):
 		return http.StatusTooManyRequests
 	case errors.Is(err, errDraining):
@@ -767,6 +844,15 @@ type dispatchOpts struct {
 	timeoutMs int64
 	lane      string
 	run       func(ctx context.Context) (jobOutput, error)
+	// endpoint and reqJSON identify the request for the write-ahead
+	// journal ("analyze"/"races"/"witness" plus the canonical request
+	// body); reqJSON is only populated for async submissions on a durable
+	// server — the only case that journals.
+	endpoint string
+	reqJSON  json.RawMessage
+	// tracer receives the job's queue wait and phase spans (the request's
+	// tracer on the HTTP path, a no-op one during crash recovery).
+	tracer *tracer
 }
 
 // rejectSubmit maps an admission failure to its wire response: 429 with a
@@ -822,39 +908,24 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, o dispatchOpts
 	} else if o.anytime {
 		s.metrics.Gauge(MetricShedMode).Set(0)
 	}
-	cachePut := func(out jobOutput) {
-		if o.key != "" && out.cacheable {
-			s.cache.put(o.key, out.body)
-		}
-	}
+	o.lane = lane
 
 	if o.async {
 		sj := s.store.add()
-		ctx, cancel := context.WithTimeout(s.baseCtx, timeout)
-		j := &job{
-			ctx:    ctx,
-			cancel: cancel,
-			run: func(ctx context.Context) (jobOutput, error) {
-				sj.set(JobRunning, nil, "")
-				return o.run(ctx)
-			},
-			anytime: o.anytime,
-			lane:    lane,
-			tracer:  tr,
-			onDone: func(out jobOutput, err error) {
-				if err != nil {
-					sj.set(JobFailed, nil, err.Error())
-					return
-				}
-				cachePut(out)
-				sj.set(JobDone, out.body, "")
-				sj.setProgress(out.progress)
-			},
-			done: make(chan struct{}),
-		}
-		if err := s.submit(j); err != nil {
-			cancel()
+		// Durability ordering: the "accepted" record is on disk before the
+		// 202 leaves — an acknowledged job is always recoverable. A wedged
+		// journal refuses the work instead.
+		if err := s.journalAccepted(sj.id, o.endpoint, o.reqJSON); err != nil {
 			sj.set(JobFailed, nil, err.Error())
+			writeError(w, r, http.StatusServiceUnavailable,
+				fmt.Errorf("service: cannot journal the job; refusing to acknowledge it: %w", err))
+			return
+		}
+		j := s.buildAsyncJob(sj, o, timeout)
+		if err := s.submit(j); err != nil {
+			j.cancel()
+			sj.set(JobFailed, nil, err.Error())
+			s.journalRecord(jobRecord{T: "failed", ID: sj.id, Err: err.Error()})
 			s.rejectSubmit(w, r, err)
 			return
 		}
@@ -867,13 +938,20 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, o dispatchOpts
 	// Forced shutdown must also cancel in-flight synchronous jobs.
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
+	if o.anytime {
+		// Drain checkpointing clips synchronous anytime jobs too: the
+		// client gets its partial (with a resume token) instead of holding
+		// the drain open.
+		stopDrain := context.AfterFunc(s.drainCtx, cancel)
+		defer stopDrain()
+	}
 	j := &job{
 		ctx:    ctx,
 		cancel: func() {}, // handler owns the sync job's context
 		run:    o.run,
 		onDone: func(out jobOutput, err error) {
 			if err == nil {
-				cachePut(out)
+				s.cacheStore(o.key, out)
 			}
 		},
 		anytime: o.anytime,
@@ -923,27 +1001,73 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	tr := tracerFrom(r.Context())
+	o, err := s.prepareAnalyze(&req, tracerFrom(r.Context()))
+	if err != nil {
+		writeError(w, r, prepareStatus(err), err)
+		return
+	}
+	s.dispatch(w, r, o)
+}
+
+// prepareStatus maps a prepare-time failure to its HTTP status: a bad or
+// mismatched resume checkpoint is the client's 422 (the request parsed;
+// its checkpoint is unprocessable); everything else is a plain 400.
+func prepareStatus(err error) int {
+	if errors.Is(err, core.ErrBadCheckpoint) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
+// journalBody marshals a request for the write-ahead journal — only when
+// this submission will actually journal (async on a durable server), so
+// synchronous requests never pay the copy.
+func (s *Server) journalBody(async bool, req any) (json.RawMessage, error) {
+	if !async || !s.durable() {
+		return nil, nil
+	}
+	return json.Marshal(req)
+}
+
+// prepareAnalyze validates an analyze request and compiles it into a
+// dispatchable job. Shared by the HTTP handler and crash recovery —
+// errors are returned, not written, so each caller can map them to its
+// own surface (HTTP status vs failed journaled job).
+func (s *Server) prepareAnalyze(req *AnalyzeRequest, tr *tracer) (dispatchOpts, error) {
+	reqJSON, err := s.journalBody(req.Async, req)
+	if err != nil {
+		return dispatchOpts{}, err
+	}
 	var x *model.Execution
 	var digest string
-	err := tr.timePhase("resolve", func() error {
+	err = tr.timePhase("resolve", func() error {
 		var rerr error
 		x, digest, rerr = s.resolveExecution(&req.ExecutionSource)
 		return rerr
 	})
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
-		return
+		return dispatchOpts{}, err
 	}
 
 	var kinds []core.RelKind
 	if req.Rel != "" {
 		kind, err := core.ParseRelKind(req.Rel)
 		if err != nil {
-			writeError(w, r, http.StatusBadRequest, err)
-			return
+			return dispatchOpts{}, err
 		}
 		kinds = []core.RelKind{kind}
+	}
+
+	// The resume token decodes on the request path so a malformed or
+	// oversized one is rejected before any work is queued (422, per
+	// core.ErrBadCheckpoint; structural validation against the execution
+	// happens in the engine).
+	var resume *core.Checkpoint
+	if req.Resume != "" {
+		resume, err = core.DecodeCheckpointString(req.Resume)
+		if err != nil {
+			return dispatchOpts{}, err
+		}
 	}
 
 	// Out-of-range resource knobs (budget, workers, tiers) are clamped by
@@ -954,26 +1078,22 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	if pairQuery {
 		if req.A == "" || req.B == "" || len(kinds) != 1 || req.All {
-			writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: a pair query needs rel, a, and b (and no all)"))
-			return
+			return dispatchOpts{}, fmt.Errorf("service: a pair query needs rel, a, and b (and no all)")
 		}
 		ea, ok := x.EventByLabel(req.A)
 		if !ok {
-			writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.A, x.Labels()))
-			return
+			return dispatchOpts{}, fmt.Errorf("service: no event labeled %q (have %v)", req.A, x.Labels())
 		}
 		eb, ok := x.EventByLabel(req.B)
 		if !ok {
-			writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.B, x.Labels()))
-			return
+			return dispatchOpts{}, fmt.Errorf("service: no event labeled %q (have %v)", req.B, x.Labels())
 		}
 		if ea == eb {
-			writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A))
-			return
+			return dispatchOpts{}, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A)
 		}
 		kind := kinds[0]
 		key := cacheKey(digest, fmt.Sprintf("analyze|pair|rel=%s|a=%s|b=%s|ignoreData=%t", kind, req.A, req.B, req.IgnoreData))
-		s.dispatch(w, r, dispatchOpts{key: key, async: req.Async, timeoutMs: req.TimeoutMs, run: func(ctx context.Context) (jobOutput, error) {
+		return dispatchOpts{key: key, async: req.Async, timeoutMs: req.TimeoutMs, endpoint: "analyze", reqJSON: reqJSON, tracer: tr, run: func(ctx context.Context) (jobOutput, error) {
 			an, err := core.New(x, opts)
 			if err != nil {
 				return jobOutput{}, err
@@ -992,9 +1112,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 				Rel: kind.String(), A: req.A, B: req.B,
 				Verdict: core.VerdictOf(holds), Nodes: an.Stats().Nodes,
 			})
-			return jobOutput{body: body, cacheable: true}, err
-		}})
-		return
+			return jobOutput{body: body, cacheable: true, complete: true}, err
+		}}, nil
 	}
 
 	// Matrix query: one relation, or all six when none was named.
@@ -1008,7 +1127,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		Workers: req.Workers,
 		Budget:  req.Budget,
 		Tiers:   req.Tiers,
-		Resume:  req.Resume,
+		Resume:  resume,
 	}
 	if s.cfg.DisablePlan {
 		mopts.Tiers = -1
@@ -1028,15 +1147,14 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// heavy — a resume exists precisely because the query was hard.
 	var built *plan.Plan
 	lane := LaneHeavy
-	if req.Resume == nil {
+	if resume == nil {
 		perr := tr.timePhase("plan", func() error {
 			var berr error
 			built, berr = plan.Build(x, kinds, plan.Options{IgnoreData: req.IgnoreData, Tiers: mopts.Tiers})
 			return berr
 		})
 		if perr != nil {
-			writeError(w, r, http.StatusBadRequest, perr)
-			return
+			return dispatchOpts{}, perr
 		}
 		if built.Residue == 0 && !s.cfg.DisableFastLane {
 			lane = LaneFast
@@ -1051,11 +1169,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	// body for a resumed run would misreport provenance, and a partial
 	// body must never be cached at all.
 	key := cacheKey(digest, fmt.Sprintf("analyze|matrix|rel=%s|ignoreData=%t|tiers=%d|symm=%t", relDesc, req.IgnoreData, mopts.Tiers, !s.cfg.DisableSymm))
-	if req.Resume != nil {
+	if resume != nil {
 		key = ""
 		s.metrics.Counter(MetricAnalyzeResumed).Add(1)
 	}
-	s.dispatch(w, r, dispatchOpts{key: key, async: req.Async, anytime: true, timeoutMs: req.TimeoutMs, lane: lane, run: func(ctx context.Context) (jobOutput, error) {
+	return dispatchOpts{key: key, async: req.Async, anytime: true, timeoutMs: req.TimeoutMs, lane: lane, endpoint: "analyze", reqJSON: reqJSON, tracer: tr, run: func(ctx context.Context) (jobOutput, error) {
 		res, err := plan.AnalyzePlanned(ctx, x, kinds, opts, mopts, built)
 		if err != nil {
 			return jobOutput{}, err
@@ -1107,8 +1225,17 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			Expanded:     m.Expanded,
 			Resumable:    m.Checkpoint != nil,
 		}
-		return jobOutput{body: body, cacheable: m.Complete && req.Resume == nil, progress: progress}, err
-	}})
+		jo := jobOutput{body: body, cacheable: m.Complete && resume == nil, progress: progress, complete: m.Complete}
+		if !m.Complete {
+			jo.cause = out.Cause
+			if m.Checkpoint != nil {
+				if cs, cerr := m.Checkpoint.EncodeString(); cerr == nil {
+					jo.checkpoint = cs
+				}
+			}
+		}
+		return jo, err
+	}}, nil
 }
 
 // causeName renders an anytime interrupt cause for the wire.
@@ -1156,21 +1283,34 @@ func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	tr := tracerFrom(r.Context())
+	o, err := s.prepareRaces(&req, tracerFrom(r.Context()))
+	if err != nil {
+		writeError(w, r, prepareStatus(err), err)
+		return
+	}
+	s.dispatch(w, r, o)
+}
+
+// prepareRaces validates a races request and compiles it into a
+// dispatchable job (shared by the HTTP handler and crash recovery).
+func (s *Server) prepareRaces(req *RacesRequest, tr *tracer) (dispatchOpts, error) {
+	reqJSON, err := s.journalBody(req.Async, req)
+	if err != nil {
+		return dispatchOpts{}, err
+	}
 	var x *model.Execution
 	var digest string
-	err := tr.timePhase("resolve", func() error {
+	err = tr.timePhase("resolve", func() error {
 		var rerr error
 		x, digest, rerr = s.resolveExecution(&req.ExecutionSource)
 		return rerr
 	})
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
-		return
+		return dispatchOpts{}, err
 	}
 	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR, DisableSymm: s.cfg.DisableSymm}
 	key := cacheKey(digest, fmt.Sprintf("races|ignoreData=%t", req.IgnoreData))
-	s.dispatch(w, r, dispatchOpts{key: key, async: req.Async, timeoutMs: req.TimeoutMs, run: func(ctx context.Context) (jobOutput, error) {
+	return dispatchOpts{key: key, async: req.Async, timeoutMs: req.TimeoutMs, endpoint: "races", reqJSON: reqJSON, tracer: tr, run: func(ctx context.Context) (jobOutput, error) {
 		var rep *race.Report
 		if err := tr.timePhase("detect", func() error {
 			var derr error
@@ -1198,8 +1338,8 @@ func (s *Server) handleRaces(w http.ResponseWriter, r *http.Request) {
 			PO:         conv(rep.PO),
 			Nodes:      rep.Nodes,
 		})
-		return jobOutput{body: body, cacheable: true}, err
-	}})
+		return jobOutput{body: body, cacheable: true, complete: true}, err
+	}}, nil
 }
 
 func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
@@ -1207,40 +1347,49 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 	if !s.decode(w, r, &req) {
 		return
 	}
-	tr := tracerFrom(r.Context())
+	o, err := s.prepareWitness(&req, tracerFrom(r.Context()))
+	if err != nil {
+		writeError(w, r, prepareStatus(err), err)
+		return
+	}
+	s.dispatch(w, r, o)
+}
+
+// prepareWitness validates a witness request and compiles it into a
+// dispatchable job (shared by the HTTP handler and crash recovery).
+func (s *Server) prepareWitness(req *WitnessRequest, tr *tracer) (dispatchOpts, error) {
+	reqJSON, err := s.journalBody(req.Async, req)
+	if err != nil {
+		return dispatchOpts{}, err
+	}
 	var x *model.Execution
 	var digest string
-	err := tr.timePhase("resolve", func() error {
+	err = tr.timePhase("resolve", func() error {
 		var rerr error
 		x, digest, rerr = s.resolveExecution(&req.ExecutionSource)
 		return rerr
 	})
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
-		return
+		return dispatchOpts{}, err
 	}
 	kind, err := core.ParseRelKind(req.Rel)
 	if err != nil {
-		writeError(w, r, http.StatusBadRequest, err)
-		return
+		return dispatchOpts{}, err
 	}
 	ea, ok := x.EventByLabel(req.A)
 	if !ok {
-		writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.A, x.Labels()))
-		return
+		return dispatchOpts{}, fmt.Errorf("service: no event labeled %q (have %v)", req.A, x.Labels())
 	}
 	eb, ok := x.EventByLabel(req.B)
 	if !ok {
-		writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: no event labeled %q (have %v)", req.B, x.Labels()))
-		return
+		return dispatchOpts{}, fmt.Errorf("service: no event labeled %q (have %v)", req.B, x.Labels())
 	}
 	if ea == eb {
-		writeError(w, r, http.StatusBadRequest, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A))
-		return
+		return dispatchOpts{}, fmt.Errorf("service: a and b must name distinct events (both are %q)", req.A)
 	}
 	opts := core.Options{IgnoreData: req.IgnoreData, MaxNodes: s.nodeBudget(req.Budget), DisablePOR: s.cfg.DisablePOR, DisableSymm: s.cfg.DisableSymm}
 	key := cacheKey(digest, fmt.Sprintf("witness|rel=%s|a=%s|b=%s|ignoreData=%t", kind, req.A, req.B, req.IgnoreData))
-	s.dispatch(w, r, dispatchOpts{key: key, async: req.Async, timeoutMs: req.TimeoutMs, run: func(ctx context.Context) (jobOutput, error) {
+	return dispatchOpts{key: key, async: req.Async, timeoutMs: req.TimeoutMs, endpoint: "witness", reqJSON: reqJSON, tracer: tr, run: func(ctx context.Context) (jobOutput, error) {
 		an, err := core.New(x, opts)
 		if err != nil {
 			return jobOutput{}, err
@@ -1260,8 +1409,8 @@ func (s *Server) handleWitness(w http.ResponseWriter, r *http.Request) {
 			Verdict: core.VerdictOf(wit.Holds),
 			Steps:   core.FormatSteps(x, wit.Steps),
 		})
-		return jobOutput{body: body, cacheable: true}, err
-	}})
+		return jobOutput{body: body, cacheable: true, complete: true}, err
+	}}, nil
 }
 
 // observeMemo exports a finished search job's completion-memo occupancy:

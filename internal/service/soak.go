@@ -175,7 +175,10 @@ func RunSoak(ctx context.Context, opts SoakOptions) (*SoakReport, error) {
 	if len(opts.Programs) == 0 {
 		return nil, fmt.Errorf("service: soak needs at least one workload program")
 	}
-	srv := New(opts.Server)
+	srv, err := New(opts.Server)
+	if err != nil {
+		return nil, fmt.Errorf("service: soak boot: %w", err)
+	}
 	ts := httptest.NewUnstartedServer(srv.Handler())
 	// Bound how long a stalled client may dribble its headers; the body
 	// stall is bounded by the connection close the harness performs.

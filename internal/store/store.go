@@ -1,0 +1,220 @@
+// Package store is a keyed blob store for checkpoints and results.
+//
+// Each blob is one file named hex(sha256(key))+".blob" — content-addressed
+// by key, so a key maps to exactly one file and overwrites are idempotent.
+// The file layout is:
+//
+//	[magic "EOBLOB01"][keyLen uint32 LE][payloadLen uint32 LE]
+//	[crc32c uint32 LE over key+payload][key][payload]
+//
+// Writes are crash-atomic: the blob is written to a .tmp file, synced,
+// then renamed over the final name. A crash mid-write leaves at most a
+// .tmp file, which Open sweeps away. Get verifies the checksum and that
+// the stored key matches the requested one (a hash collision or a
+// mis-renamed file must read as "not found / corrupt", never as another
+// key's data).
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"strings"
+
+	"eventorder/internal/vfs"
+)
+
+var (
+	// ErrNotFound is returned by Get for missing keys.
+	ErrNotFound = errors.New("store: not found")
+	// ErrCorrupt is returned when a blob fails checksum or framing
+	// validation; callers treat it like a miss (the blob is dropped).
+	ErrCorrupt = errors.New("store: corrupt blob")
+)
+
+const (
+	magic     = "EOBLOB01"
+	headerLen = len(magic) + 4 + 4 + 4
+	// MaxBlobBytes bounds a single blob (checkpoints for huge traces
+	// stay well under this; it exists so a corrupt length field cannot
+	// drive allocation).
+	MaxBlobBytes = 256 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Store is a blob store rooted at one directory. Safe for concurrent
+// use (distinct keys write distinct files; same-key writers race benignly
+// through the rename).
+type Store struct {
+	fs  vfs.FS
+	dir string
+}
+
+// Open creates dir if needed, removes leftover .tmp files from a
+// crashed writer, and returns the store.
+func Open(fsys vfs.FS, dir string) (*Store, error) {
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			if err := fsys.Remove(vfs.Join(dir, e.Name())); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Store{fs: fsys, dir: dir}, nil
+}
+
+func fileFor(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + ".blob"
+}
+
+// Put durably stores payload under key, replacing any previous value.
+func (s *Store) Put(key string, payload []byte) error {
+	if len(payload) > MaxBlobBytes {
+		return fmt.Errorf("store: blob %d bytes exceeds max", len(payload))
+	}
+	name := fileFor(key)
+	buf := make([]byte, 0, headerLen+len(key)+len(payload))
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	crc := crc32.Checksum([]byte(key), castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	buf = append(buf, key...)
+	buf = append(buf, payload...)
+
+	tmp := vfs.Join(s.dir, name+".tmp")
+	f, err := s.fs.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		s.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	return s.fs.Rename(tmp, vfs.Join(s.dir, name))
+}
+
+// decode validates one blob image and returns (key, payload).
+func decode(data []byte) (string, []byte, error) {
+	if len(data) < headerLen || string(data[:len(magic)]) != magic {
+		return "", nil, ErrCorrupt
+	}
+	keyLen := binary.LittleEndian.Uint32(data[len(magic):])
+	payLen := binary.LittleEndian.Uint32(data[len(magic)+4:])
+	crc := binary.LittleEndian.Uint32(data[len(magic)+8:])
+	if keyLen > 1<<16 || payLen > MaxBlobBytes {
+		return "", nil, ErrCorrupt
+	}
+	body := data[headerLen:]
+	if int64(len(body)) != int64(keyLen)+int64(payLen) {
+		return "", nil, ErrCorrupt
+	}
+	if crc32.Checksum(body, castagnoli) != crc {
+		return "", nil, ErrCorrupt
+	}
+	return string(body[:keyLen]), body[keyLen:], nil
+}
+
+// Get returns the payload stored under key. ErrNotFound for a missing
+// blob, ErrCorrupt for one that fails validation (checksum, framing, or
+// a stored key that doesn't match — corrupt blobs are deleted on read so
+// they are not rediscovered forever).
+func (s *Store) Get(key string) ([]byte, error) {
+	name := vfs.Join(s.dir, fileFor(key))
+	data, err := vfs.ReadFile(s.fs, name)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, err
+	}
+	k, payload, err := decode(data)
+	if err != nil || k != key {
+		s.fs.Remove(name)
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}
+
+// Delete removes key's blob. Missing blobs are not an error.
+func (s *Store) Delete(key string) error {
+	err := s.fs.Remove(vfs.Join(s.dir, fileFor(key)))
+	if err != nil && errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	return err
+}
+
+// Range calls fn for every intact blob, in unspecified order. Corrupt
+// blobs are deleted and skipped, not surfaced: Range is the rehydration
+// path, and rehydration treats corruption as a cache miss. fn returning
+// false stops the walk.
+func (s *Store) Range(fn func(key string, payload []byte) bool) error {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".blob") {
+			continue
+		}
+		name := vfs.Join(s.dir, e.Name())
+		data, err := vfs.ReadFile(s.fs, name)
+		if err != nil {
+			continue // raced with a Delete
+		}
+		key, payload, err := decode(data)
+		if err != nil || fileFor(key) != e.Name() {
+			s.fs.Remove(name)
+			continue
+		}
+		if !fn(key, payload) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len reports the number of blob files (including any corrupt ones not
+// yet swept).
+func (s *Store) Len() (int, error) {
+	ents, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".blob") {
+			n++
+		}
+	}
+	return n, nil
+}

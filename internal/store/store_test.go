@@ -1,0 +1,197 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"eventorder/internal/vfs"
+)
+
+func openMem(t *testing.T) (*vfs.MemFS, *Store) {
+	t.Helper()
+	m := vfs.NewMemFS()
+	s, err := Open(m, "blobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	_, s := openMem(t)
+	payload := []byte("matrix result bytes \x00\xff")
+	if err := s.Put("job/j000001", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("job/j000001")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Overwrite is idempotent per key.
+	if err := s.Put("job/j000001", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = s.Get("job/j000001")
+	if string(got) != "v2" {
+		t.Fatalf("overwrite = %q", got)
+	}
+	if n, _ := s.Len(); n != 1 {
+		t.Fatalf("Len = %d", n)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	_, s := openMem(t)
+	if _, err := s.Get("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key: %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	_, s := openMem(t)
+	s.Put("k", []byte("v"))
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete: %v", err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+// A crash between tmp-write and rename leaves only a .tmp, which the next
+// Open sweeps; the old value (if any) survives untouched.
+func TestCrashMidPutKeepsOldValue(t *testing.T) {
+	m, s := openMem(t)
+	if err := s.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Fail the tmp file's sync so the new value never becomes durable,
+	// then crash.
+	m.SetFault(vfs.FaultPlan{FailSyncs: 1})
+	if err := s.Put("k", []byte("new")); err == nil {
+		t.Fatal("Put with failing sync succeeded")
+	}
+	m.Crash()
+	s2, err := Open(m, "blobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get("k")
+	if err != nil || string(got) != "old" {
+		t.Fatalf("after crash = %q, %v; want old value", got, err)
+	}
+	// No tmp debris.
+	ents, _ := m.ReadDir("blobs")
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("tmp file survived Open: %s", e.Name())
+		}
+	}
+}
+
+// Bit flips anywhere in a blob must surface as ErrCorrupt (then read as
+// missing), never as modified payload.
+func TestBitFlipDetected(t *testing.T) {
+	m, s := openMem(t)
+	key, payload := "job/j000042", []byte("0123456789abcdef")
+	s.Put(key, payload)
+	ents, _ := m.ReadDir("blobs")
+	if len(ents) != 1 {
+		t.Fatal("expected one blob")
+	}
+	name := "blobs/" + ents[0].Name()
+	img, _ := vfs.ReadFile(m, name)
+
+	for pos := 0; pos < len(img); pos++ {
+		mut := append([]byte(nil), img...)
+		mut[pos] ^= 0x04
+		vfs.WriteFile(m, name, mut)
+		got, err := s.Get(key)
+		if err == nil && !bytes.Equal(got, payload) {
+			t.Fatalf("pos %d: served corrupt payload %q", pos, got)
+		}
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("pos %d: err = %v, want ErrCorrupt", pos, err)
+		}
+		// Corrupt blob was deleted; restore for the next position.
+		vfs.WriteFile(m, name, img)
+	}
+}
+
+// A blob renamed to another key's file name must not be served under
+// that key: Get validates the embedded key.
+func TestWrongKeyRejected(t *testing.T) {
+	m, s := openMem(t)
+	s.Put("a", []byte("value-a"))
+	// Move a's file onto b's address.
+	ents, _ := m.ReadDir("blobs")
+	m.Rename("blobs/"+ents[0].Name(), "blobs/"+fileFor("b"))
+	if _, err := s.Get("b"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong-key blob: %v", err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	m, s := openMem(t)
+	want := map[string]string{}
+	for i := 0; i < 10; i++ {
+		k, v := fmt.Sprintf("key-%d", i), fmt.Sprintf("val-%d", i)
+		want[k] = v
+		s.Put(k, []byte(v))
+	}
+	// One corrupt blob: Range must skip and delete it.
+	vfs.WriteFile(m, "blobs/"+fileFor("key-3"), []byte("garbage"))
+
+	got := map[string]string{}
+	err := s.Range(func(k string, v []byte) bool {
+		got[k] = string(v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delete(want, "key-3")
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %d, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("Range[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+	if n, _ := s.Len(); n != len(want) {
+		t.Fatalf("corrupt blob not swept: Len = %d", n)
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	_, s := openMem(t)
+	s.Put("x", []byte("1"))
+	s.Put("y", []byte("2"))
+	calls := 0
+	s.Range(func(string, []byte) bool { calls++; return false })
+	if calls != 1 {
+		t.Fatalf("early stop visited %d", calls)
+	}
+}
+
+func TestOSBackedStore(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(nil, dir+"/blobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("disk-key", []byte("disk-val")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("disk-key")
+	if err != nil || string(got) != "disk-val" {
+		t.Fatalf("os-backed Get = %q, %v", got, err)
+	}
+}

@@ -1,0 +1,514 @@
+// Package vfs is the filesystem seam under the durability layer
+// (internal/journal, internal/store). Production code runs on the real
+// filesystem via OS; tests run on MemFS, which models exactly the part of
+// POSIX that crash-safety arguments depend on: data reaches durable
+// storage only at Sync, a crash reverts every file to its last-synced
+// contents, and open handles from before the crash keep "writing" into a
+// detached buffer that no later reader ever sees — the page cache a
+// SIGKILL throws away. MemFS also injects faults (short writes, fsync
+// errors) so the write paths' error handling is tested, not assumed.
+//
+// Deliberate simplifications, documented so tests don't overclaim:
+// renames and removals are treated as immediately durable (real
+// filesystems need a directory fsync; the journal and store tolerate a
+// lost rename anyway — it only orphans or drops one blob, which recovery
+// already handles), and a file created but never synced survives a crash
+// as a zero-length file rather than disappearing — the stricter case for
+// replay code, which must tolerate empty segments.
+package vfs
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path"
+	"sort"
+	"sync"
+	"time"
+)
+
+// File is the slice of *os.File the durability layer needs.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	io.Seeker
+	// Truncate changes the file's size (replay uses it to cut torn
+	// tails).
+	Truncate(size int64) error
+	// Sync flushes the file's contents to durable storage. Data written
+	// before a successful Sync survives a crash; anything after the last
+	// Sync may not.
+	Sync() error
+}
+
+// FS is the filesystem interface the journal and store are written
+// against.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics for the flags the
+	// durability layer uses (O_RDONLY, O_RDWR, O_CREATE, O_TRUNC,
+	// O_EXCL).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// MkdirAll creates a directory path.
+	MkdirAll(name string, perm fs.FileMode) error
+	// ReadDir lists a directory, sorted by name.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Stat reports a file's size.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// ReadFile reads a whole file through an FS.
+func ReadFile(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// WriteFile replaces name's contents (create or truncate) and syncs.
+func WriteFile(fsys FS, name string, data []byte) error {
+	f, err := fsys.OpenFile(name, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OS is the production FS: a thin adapter over package os.
+type OS struct{}
+
+type osFile struct{ *os.File }
+
+// OpenFile implements FS.
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// MkdirAll implements FS.
+func (OS) MkdirAll(name string, perm fs.FileMode) error { return os.MkdirAll(name, perm) }
+
+// ReadDir implements FS.
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// Rename implements FS.
+func (OS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+
+// Remove implements FS.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// Stat implements FS.
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// Fault injection -----------------------------------------------------------
+
+// ErrInjected is the error injected faults return, so tests can tell an
+// injected failure from a real one.
+var ErrInjected = fmt.Errorf("vfs: injected fault")
+
+// FaultPlan schedules write-path faults on a MemFS. Counters tick down on
+// each triggering call; zero values inject nothing.
+type FaultPlan struct {
+	// FailSyncs makes the next N Sync calls fail (data stays unsynced).
+	FailSyncs int
+	// FailWrites makes the next N Write calls fail outright (no bytes
+	// written).
+	FailWrites int
+	// ShortWrites makes the next N Write calls write only half their
+	// bytes and then fail — the torn-write case replay must tolerate.
+	ShortWrites int
+}
+
+// MemFS -----------------------------------------------------------------------
+
+// memFile is one file's state. Handles hold a pointer to it; Crash
+// replaces the pointer in the files map, detaching live handles.
+type memFile struct {
+	mu     sync.Mutex
+	name   string
+	data   []byte // current contents (the "page cache" view)
+	synced []byte // contents as of the last successful Sync (durable)
+}
+
+// MemFS is the in-memory crash-simulating FS. Safe for concurrent use.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+	fault FaultPlan
+}
+
+// NewMemFS returns an empty MemFS with a root directory.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, dirs: map[string]bool{".": true, "/": true}}
+}
+
+// SetFault installs a fault plan (replacing any previous one).
+func (m *MemFS) SetFault(p FaultPlan) {
+	m.mu.Lock()
+	m.fault = p
+	m.mu.Unlock()
+}
+
+// takeFault consumes one tick of the named fault counter.
+func (m *MemFS) takeSyncFault() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fault.FailSyncs > 0 {
+		m.fault.FailSyncs--
+		return true
+	}
+	return false
+}
+
+func (m *MemFS) takeWriteFault() (fail, short bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fault.FailWrites > 0 {
+		m.fault.FailWrites--
+		return true, false
+	}
+	if m.fault.ShortWrites > 0 {
+		m.fault.ShortWrites--
+		return false, true
+	}
+	return false, false
+}
+
+// Crash simulates a power cut / SIGKILL: every file reverts to its
+// last-synced contents, and every open handle is detached — its future
+// writes and syncs apply to an orphaned buffer that no subsequent
+// OpenFile observes. Files created but never synced survive as
+// zero-length files (see the package comment).
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	next := make(map[string]*memFile, len(m.files))
+	for name, f := range m.files {
+		f.mu.Lock()
+		next[name] = &memFile{name: name, data: append([]byte(nil), f.synced...), synced: append([]byte(nil), f.synced...)}
+		f.mu.Unlock()
+	}
+	m.files = next
+}
+
+// DurableBytes returns a copy of name's last-synced contents (what a
+// crash right now would preserve), or nil if the file does not exist.
+func (m *MemFS) DurableBytes(name string) []byte {
+	m.mu.Lock()
+	f, ok := m.files[path.Clean(name)]
+	m.mu.Unlock()
+	if !ok {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]byte(nil), f.synced...)
+}
+
+// Clone returns an independent MemFS holding the current (in-cache)
+// contents of every file, all marked synced — a snapshot a test can
+// mutate without disturbing the original.
+func (m *MemFS) Clone() *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := NewMemFS()
+	for name, f := range m.files {
+		f.mu.Lock()
+		c.files[name] = &memFile{name: name, data: append([]byte(nil), f.data...), synced: append([]byte(nil), f.data...)}
+		f.mu.Unlock()
+	}
+	for d := range m.dirs {
+		c.dirs[d] = true
+	}
+	return c
+}
+
+func (m *MemFS) clean(name string) string { return path.Clean(name) }
+
+// OpenFile implements FS.
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	name = m.clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		if dir := path.Dir(name); dir != "." && dir != "/" && !m.dirs[dir] {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		f = &memFile{name: name}
+		m.files[name] = f
+	case ok && flag&os.O_CREATE != 0 && flag&os.O_EXCL != 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrExist}
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.mu.Lock()
+		f.data = nil
+		f.mu.Unlock()
+	}
+	return &memHandle{fs: m, f: f, writable: flag&(os.O_WRONLY|os.O_RDWR) != 0 || flag&os.O_CREATE != 0}, nil
+}
+
+// MkdirAll implements FS.
+func (m *MemFS) MkdirAll(name string, perm fs.FileMode) error {
+	name = m.clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name != "." && name != "/" {
+		m.dirs[name] = true
+		name = path.Dir(name)
+	}
+	return nil
+}
+
+// ReadDir implements FS.
+func (m *MemFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	name = m.clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if name != "." && name != "/" && !m.dirs[name] {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrNotExist}
+	}
+	seen := map[string]bool{}
+	var out []fs.DirEntry
+	for fname, f := range m.files {
+		if path.Dir(fname) != name {
+			continue
+		}
+		f.mu.Lock()
+		size := int64(len(f.data))
+		f.mu.Unlock()
+		out = append(out, memDirEntry{name: path.Base(fname), size: size})
+		seen[path.Base(fname)] = true
+	}
+	for dname := range m.dirs {
+		if path.Dir(dname) == name && !seen[path.Base(dname)] {
+			out = append(out, memDirEntry{name: path.Base(dname), dir: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out, nil
+}
+
+// Rename implements FS. Durable immediately (see the package comment).
+func (m *MemFS) Rename(oldname, newname string) error {
+	oldname, newname = m.clean(oldname), m.clean(newname)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldname, Err: fs.ErrNotExist}
+	}
+	delete(m.files, oldname)
+	f.mu.Lock()
+	f.name = newname
+	f.mu.Unlock()
+	m.files[newname] = f
+	return nil
+}
+
+// Remove implements FS. Durable immediately.
+func (m *MemFS) Remove(name string) error {
+	name = m.clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// Stat implements FS.
+func (m *MemFS) Stat(name string) (fs.FileInfo, error) {
+	name = m.clean(name)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f, ok := m.files[name]; ok {
+		f.mu.Lock()
+		size := int64(len(f.data))
+		f.mu.Unlock()
+		return memFileInfo{name: path.Base(name), size: size}, nil
+	}
+	if m.dirs[name] {
+		return memFileInfo{name: path.Base(name), dir: true}, nil
+	}
+	return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+}
+
+// memHandle is one open descriptor: a private offset over a shared
+// memFile. After a Crash the memFile it points to is detached from the
+// FS's namespace, so its writes are lost exactly like an unflushed page
+// cache.
+type memHandle struct {
+	fs       *MemFS
+	f        *memFile
+	off      int64
+	writable bool
+	closed   bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	if h.off >= int64(len(h.f.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += int64(n)
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if !h.writable {
+		return 0, &fs.PathError{Op: "write", Path: h.f.name, Err: fs.ErrPermission}
+	}
+	fail, short := h.fs.takeWriteFault()
+	if fail {
+		return 0, ErrInjected
+	}
+	if short {
+		p = p[:len(p)/2]
+	}
+	h.f.mu.Lock()
+	if grow := h.off + int64(len(p)) - int64(len(h.f.data)); grow > 0 {
+		h.f.data = append(h.f.data, make([]byte, grow)...)
+	}
+	copy(h.f.data[h.off:], p)
+	h.off += int64(len(p))
+	h.f.mu.Unlock()
+	if short {
+		return len(p), ErrInjected
+	}
+	return len(p), nil
+}
+
+func (h *memHandle) Seek(offset int64, whence int) (int64, error) {
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		h.off = offset
+	case io.SeekCurrent:
+		h.off += offset
+	case io.SeekEnd:
+		h.off = int64(len(h.f.data)) + offset
+	default:
+		return 0, fmt.Errorf("vfs: bad whence %d", whence)
+	}
+	if h.off < 0 {
+		h.off = 0
+		return 0, fmt.Errorf("vfs: negative seek")
+	}
+	return h.off, nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.f.mu.Lock()
+	defer h.f.mu.Unlock()
+	if size < 0 {
+		return fmt.Errorf("vfs: negative truncate")
+	}
+	if size <= int64(len(h.f.data)) {
+		h.f.data = h.f.data[:size]
+	} else {
+		h.f.data = append(h.f.data, make([]byte, size-int64(len(h.f.data)))...)
+	}
+	return nil
+}
+
+func (h *memHandle) Sync() error {
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.fs.takeSyncFault() {
+		return ErrInjected
+	}
+	h.f.mu.Lock()
+	h.f.synced = append([]byte(nil), h.f.data...)
+	h.f.mu.Unlock()
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// memDirEntry / memFileInfo implement the fs interfaces for MemFS.
+type memDirEntry struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (e memDirEntry) Name() string { return e.name }
+func (e memDirEntry) IsDir() bool  { return e.dir }
+func (e memDirEntry) Type() fs.FileMode {
+	if e.dir {
+		return fs.ModeDir
+	}
+	return 0
+}
+func (e memDirEntry) Info() (fs.FileInfo, error) {
+	return memFileInfo{name: e.name, size: e.size, dir: e.dir}, nil
+}
+
+type memFileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (i memFileInfo) Name() string { return i.name }
+func (i memFileInfo) Size() int64  { return i.size }
+func (i memFileInfo) Mode() fs.FileMode {
+	if i.dir {
+		return fs.ModeDir | 0o755
+	}
+	return 0o644
+}
+func (i memFileInfo) ModTime() time.Time { return time.Time{} }
+func (i memFileInfo) IsDir() bool        { return i.dir }
+func (i memFileInfo) Sys() any           { return nil }
+
+// Join joins path elements with forward slashes (MemFS paths are
+// slash-separated on every platform; OS paths pass through
+// path.Clean-compatible forms on the platforms this repo targets).
+func Join(elem ...string) string { return path.Join(elem...) }

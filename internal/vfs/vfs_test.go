@@ -1,0 +1,193 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"testing"
+)
+
+func TestMemFSReadWriteRoundTrip(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("state/journal", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(m, "state/journal/a.wal", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(m, "state/journal/a.wal")
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	ents, err := m.ReadDir("state/journal")
+	if err != nil || len(ents) != 1 || ents[0].Name() != "a.wal" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	info, err := m.Stat("state/journal/a.wal")
+	if err != nil || info.Size() != 5 {
+		t.Fatalf("Stat = %v, %v", info, err)
+	}
+}
+
+func TestMemFSOpenMissingParent(t *testing.T) {
+	m := NewMemFS()
+	if _, err := m.OpenFile("nodir/x", os.O_RDWR|os.O_CREATE, 0o644); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("create under missing dir: err = %v, want ErrNotExist", err)
+	}
+	if _, err := m.OpenFile("missing", os.O_RDONLY, 0); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open missing: err = %v, want ErrNotExist", err)
+	}
+}
+
+// Crash must revert files to their last-synced contents and detach open
+// handles: a handle from before the crash keeps writing into a void.
+func TestMemFSCrashSemantics(t *testing.T) {
+	m := NewMemFS()
+	f, err := m.OpenFile("wal", os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("durable|"))
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("lost"))
+	// No sync: "lost" lives only in the page cache.
+	m.Crash()
+
+	got, err := ReadFile(m, "wal")
+	if err != nil || string(got) != "durable|" {
+		t.Fatalf("post-crash contents = %q, %v; want durable prefix only", got, err)
+	}
+
+	// The pre-crash handle is detached: its writes+syncs must not leak
+	// into the post-crash namespace.
+	f.Write([]byte("ghost"))
+	f.Sync()
+	got, _ = ReadFile(m, "wal")
+	if string(got) != "durable|" {
+		t.Fatalf("detached handle leaked into namespace: %q", got)
+	}
+}
+
+func TestMemFSCrashUnsyncedFileSurvivesEmpty(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.OpenFile("new", os.O_RDWR|os.O_CREATE, 0o644)
+	f.Write([]byte("never synced"))
+	f.Close()
+	m.Crash()
+	got, err := ReadFile(m, "new")
+	if err != nil || len(got) != 0 {
+		t.Fatalf("unsynced file after crash = %q, %v; want empty file", got, err)
+	}
+}
+
+func TestMemFSFaultInjection(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.OpenFile("x", os.O_RDWR|os.O_CREATE, 0o644)
+
+	m.SetFault(FaultPlan{FailSyncs: 1})
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync fault: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("fault did not clear: %v", err)
+	}
+
+	m.SetFault(FaultPlan{FailWrites: 1})
+	if _, err := f.Write([]byte("abcd")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write fault: %v", err)
+	}
+
+	m.SetFault(FaultPlan{ShortWrites: 1})
+	n, err := f.Write([]byte("abcd"))
+	if !errors.Is(err, ErrInjected) || n != 2 {
+		t.Fatalf("short write: n=%d err=%v, want 2 bytes then ErrInjected", n, err)
+	}
+	f.Sync()
+	got, _ := ReadFile(m, "x")
+	if string(got) != "ab" {
+		t.Fatalf("contents after short write = %q, want %q", got, "ab")
+	}
+}
+
+func TestMemFSSeekTruncate(t *testing.T) {
+	m := NewMemFS()
+	f, _ := m.OpenFile("x", os.O_RDWR|os.O_CREATE, 0o644)
+	f.Write([]byte("0123456789"))
+	if off, err := f.Seek(-4, io.SeekEnd); err != nil || off != 6 {
+		t.Fatalf("SeekEnd = %d, %v", off, err)
+	}
+	buf := make([]byte, 10)
+	n, _ := f.Read(buf)
+	if string(buf[:n]) != "6789" {
+		t.Fatalf("read after seek = %q", buf[:n])
+	}
+	if err := f.Truncate(3); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ReadFile(m, "x")
+	if string(got) != "012" {
+		t.Fatalf("after truncate = %q", got)
+	}
+}
+
+func TestMemFSRenameRemove(t *testing.T) {
+	m := NewMemFS()
+	WriteFile(m, "a", []byte("payload"))
+	if err := m.Rename("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(m, "a"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("old name still readable: %v", err)
+	}
+	got, err := ReadFile(m, "b")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("renamed contents = %q, %v", got, err)
+	}
+	if err := m.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stat("b"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("removed file still stats: %v", err)
+	}
+}
+
+func TestMemFSClone(t *testing.T) {
+	m := NewMemFS()
+	WriteFile(m, "x", []byte("one"))
+	c := m.Clone()
+	WriteFile(m, "x", []byte("two"))
+	got, _ := ReadFile(c, "x")
+	if string(got) != "one" {
+		t.Fatalf("clone mutated by original: %q", got)
+	}
+}
+
+// The OS adapter is exercised against a real temp dir so the production
+// path is not test-blind.
+func TestOSAdapter(t *testing.T) {
+	dir := t.TempDir()
+	var fsys FS = OS{}
+	if err := fsys.MkdirAll(dir+"/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(fsys, dir+"/sub/f", []byte("disk")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(fsys, dir+"/sub/f")
+	if err != nil || string(got) != "disk" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	ents, err := fsys.ReadDir(dir + "/sub")
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fsys.Rename(dir+"/sub/f", dir+"/sub/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(dir + "/sub/g"); err != nil {
+		t.Fatal(err)
+	}
+}
